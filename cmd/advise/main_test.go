@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunSingleScene(t *testing.T) {
+	if err := run(8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllScenes(t *testing.T) {
+	if err := run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadScene(t *testing.T) {
+	if err := run(99); err == nil {
+		t.Fatal("scene 99 must fail")
+	}
+}

@@ -1,0 +1,218 @@
+// Command casefile runs end-to-end investigations and prints their case
+// reports: the Section IV-A P2P traceback (all evidence admissible, no
+// process needed for the attack), the Section IV-B watermark traceback
+// (court order, then warrant), the Kyllo demonstration (warrantless
+// specialized-technology scan suppressed, derivative evidence falling as
+// fruit of the poisonous tree, with the suppression opinion rendered), the
+// Crist drive examination in both postures, the § III-A-2 attribution
+// exam, and the exigent-seizure flow. Experiments E4 and E6.
+//
+// Usage:
+//
+//	casefile [-flow p2p|watermark|kyllo|drive|attribution|exigent|all] [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lawgate/internal/investigation"
+	"lawgate/internal/opinion"
+	"lawgate/internal/report"
+	"lawgate/internal/watermark"
+)
+
+func main() {
+	flow := flag.String("flow", "all", "which flow to run: p2p, watermark, kyllo, drive, attribution, exigent, or all")
+	asJSON := flag.Bool("json", false, "emit machine-readable case exports instead of text")
+	flag.Parse()
+	if err := run(*flow, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "casefile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(flow string, asJSON bool) error {
+	runP2P := flow == "all" || flow == "p2p"
+	runWM := flow == "all" || flow == "watermark"
+	runKyllo := flow == "all" || flow == "kyllo"
+	runDrive := flow == "all" || flow == "drive"
+	runAttr := flow == "all" || flow == "attribution"
+	runExig := flow == "all" || flow == "exigent"
+	if !runP2P && !runWM && !runKyllo && !runDrive && !runAttr && !runExig {
+		return fmt.Errorf("unknown flow %q", flow)
+	}
+
+	if asJSON {
+		var cases []report.CaseView
+		if runP2P {
+			res, err := investigation.RunP2PTraceback(investigation.P2PTracebackConfig{
+				Seed: 1, Neighbors: 8, Sources: 3, Probes: 8,
+			})
+			if err != nil {
+				return err
+			}
+			cases = append(cases, report.CaseReport(res.Case))
+		}
+		if runWM {
+			res, err := investigation.RunWatermarkTraceback(watermark.DefaultExperimentConfig())
+			if err != nil {
+				return err
+			}
+			cases = append(cases, report.CaseReport(res.Case))
+		}
+		if runKyllo {
+			res, err := investigation.RunKylloDemo()
+			if err != nil {
+				return err
+			}
+			cases = append(cases, report.CaseReport(res.Case))
+		}
+		if runDrive {
+			for _, withWarrant := range []bool{true, false} {
+				res, err := investigation.RunDriveExam(withWarrant)
+				if err != nil {
+					return err
+				}
+				cases = append(cases, report.CaseReport(res.Case))
+			}
+		}
+		if runAttr {
+			for _, exclusive := range []bool{true, false} {
+				res, err := investigation.RunAttributionExam(exclusive)
+				if err != nil {
+					return err
+				}
+				cases = append(cases, report.CaseReport(res.Case))
+			}
+		}
+		if runExig {
+			for _, threat := range []investigation.DeviceThreat{{RemoteWipeObserved: true}, {}} {
+				res, err := investigation.RunExigentSeizure(threat)
+				if err != nil {
+					return err
+				}
+				cases = append(cases, report.CaseReport(res.Case))
+			}
+		}
+		return report.WriteJSON(os.Stdout, cases)
+	}
+
+	if runP2P {
+		res, err := investigation.RunP2PTraceback(investigation.P2PTracebackConfig{
+			Seed: 1, Neighbors: 8, Sources: 3, Probes: 8,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("================ SECTION IV-A: P2P TIMING TRACEBACK ================")
+		fmt.Print(res.Case.Report())
+		fmt.Printf("Identified subscribers: %d\n", len(res.Identified))
+		for _, s := range res.Identified {
+			fmt.Printf("  - %s, %s\n", s.Name, s.Street)
+		}
+		admissible := 0
+		for _, a := range res.Hearing {
+			if a.Admissible() {
+				admissible++
+			}
+		}
+		fmt.Printf("Suppression hearing: %d/%d items admissible\n\n", admissible, len(res.Hearing))
+	}
+
+	if runWM {
+		res, err := investigation.RunWatermarkTraceback(watermark.DefaultExperimentConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Println("================ SECTION IV-B: DSSS WATERMARK TRACEBACK ================")
+		fmt.Print(res.Case.Report())
+		fmt.Printf("Watermark: detected=%v Z=%.1f BER=%.2f; baseline corr=%.2f\n",
+			res.Experiment.Detected, res.Experiment.Watermark.Z,
+			res.Experiment.Watermark.BER, res.Experiment.BaselineCorr)
+		fmt.Printf("Rate collection required process: %s (non-content — no wiretap order)\n\n",
+			res.Experiment.RequiredProcess)
+	}
+
+	if runKyllo {
+		res, err := investigation.RunKylloDemo()
+		if err != nil {
+			return err
+		}
+		fmt.Println("================ KYLLO DEMO: ILLEGAL TECHNIQUE, SUPPRESSED FRUITS ================")
+		fmt.Print(res.Case.Report())
+		for _, a := range res.Hearing {
+			fmt.Printf("  %s: %s\n", a.ItemID, a.Status)
+		}
+		fmt.Println("\n--- suppression opinion ---")
+		fmt.Println(opinion.Write(res.Case, "United States v. Kyllo-Redux, No. 12-cr-0533"))
+	}
+
+	if runDrive {
+		for _, withWarrant := range []bool{true, false} {
+			res, err := investigation.RunDriveExam(withWarrant)
+			if err != nil {
+				return err
+			}
+			label := "WITH second warrant (Crist satisfied)"
+			if !withWarrant {
+				label = "WITHOUT second warrant (Crist violated)"
+			}
+			fmt.Printf("================ DRIVE EXAM %s ================\n", label)
+			fmt.Print(res.Case.Report())
+			fmt.Printf("hash hits: %d (image sha256 %s…)\n", len(res.Hits), res.ImageHash[:12])
+			admissible := 0
+			for _, a := range res.Hearing {
+				if a.Admissible() {
+					admissible++
+				}
+			}
+			fmt.Printf("Suppression hearing: %d/%d items admissible\n\n", admissible, len(res.Hearing))
+		}
+	}
+
+	if runAttr {
+		for _, exclusive := range []bool{true, false} {
+			res, err := investigation.RunAttributionExam(exclusive)
+			if err != nil {
+				return err
+			}
+			label := "EXCLUSIVE attribution"
+			if !exclusive {
+				label = "SHARED machine (non-exclusive)"
+			}
+			fmt.Printf("================ ATTRIBUTION EXAM: %s ================\n", label)
+			fmt.Print(res.Case.Report())
+			fmt.Printf("warrant issued: %v; malware clean: %v; knowledge findings: %d\n\n",
+				res.WarrantIssued, res.Report.MalwareClean, len(res.Report.Knowledge))
+		}
+	}
+
+	if runExig {
+		for _, threat := range []investigation.DeviceThreat{
+			{RemoteWipeObserved: true},
+			{},
+		} {
+			res, err := investigation.RunExigentSeizure(threat)
+			if err != nil {
+				return err
+			}
+			label := "EXIGENT (destroy command observed)"
+			if !threat.Exigent() {
+				label = "NO EXIGENCY (warrantless seizure)"
+			}
+			fmt.Printf("================ EXIGENT SEIZURE: %s ================\n", label)
+			fmt.Print(res.Case.Report())
+			admissible := 0
+			for _, a := range res.Hearing {
+				if a.Admissible() {
+					admissible++
+				}
+			}
+			fmt.Printf("seizure lawful: %v; hearing: %d/%d admissible\n\n",
+				res.SeizureLawful, admissible, len(res.Hearing))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunFlows(t *testing.T) {
+	for _, flow := range []string{"kyllo", "p2p", "drive", "attribution", "exigent"} {
+		if err := run(flow, false); err != nil {
+			t.Errorf("flow %s: %v", flow, err)
+		}
+	}
+}
+
+func TestRunWatermarkFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("watermark flow too slow for -short")
+	}
+	if err := run("watermark", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	if err := run("kyllo", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("drive", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFlow(t *testing.T) {
+	if err := run("bogus", false); err == nil {
+		t.Fatal("unknown flow must fail")
+	}
+}

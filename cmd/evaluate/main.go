@@ -1,0 +1,148 @@
+// Command evaluate runs an arbitrary investigative action, described by
+// flags, through the lawgate compliance engine, printing the required
+// process, the governing regime, the rationale chain, and — when the
+// action needs process — the advisor's cheaper redesigns.
+//
+// Usage:
+//
+//	evaluate -actor government -timing realtime -data content -source isp
+//	evaluate -actor provider -timing realtime -data addressing -source own
+//	evaluate -actor government -timing stored -data device -source seized -beyond
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/report"
+)
+
+var actors = map[string]legal.Actor{
+	"government": legal.ActorGovernment,
+	"directed":   legal.ActorGovernmentDirected,
+	"private":    legal.ActorPrivate,
+	"provider":   legal.ActorProvider,
+}
+
+var timings = map[string]legal.Timing{
+	"realtime": legal.TimingRealTime,
+	"stored":   legal.TimingStored,
+}
+
+var dataClasses = map[string]legal.DataClass{
+	"content":    legal.DataContent,
+	"addressing": legal.DataAddressing,
+	"subscriber": legal.DataBasicSubscriber,
+	"records":    legal.DataTransactionalRecords,
+	"public":     legal.DataPublic,
+	"device":     legal.DataDeviceContents,
+}
+
+var sources = map[string]legal.Source{
+	"own":      legal.SourceOwnNetwork,
+	"wireless": legal.SourceWirelessBroadcast,
+	"isp":      legal.SourceThirdPartyNetwork,
+	"held":     legal.SourceProviderStored,
+	"service":  legal.SourcePublicService,
+	"seized":   legal.SourceSeizedDevice,
+	"remote":   legal.SourceRemoteAccount,
+	"victim":   legal.SourceVictimSystem,
+	"target":   legal.SourceTargetDevice,
+}
+
+var consents = map[string]legal.ConsentScope{
+	"":           0,
+	"owner":      legal.ConsentOwnData,
+	"couser":     legal.ConsentCoUserSharedSpace,
+	"spouse":     legal.ConsentSpouse,
+	"parent":     legal.ConsentParentMinor,
+	"employer":   legal.ConsentEmployerPrivate,
+	"tos":        legal.ConsentProviderToS,
+	"party":      legal.ConsentCommunicationParty,
+	"trespasser": legal.ConsentVictimTrespasser,
+}
+
+func main() {
+	var (
+		actor   = flag.String("actor", "government", "actor: government, directed, private, provider")
+		timing  = flag.String("timing", "realtime", "timing: realtime, stored")
+		data    = flag.String("data", "content", "data: content, addressing, subscriber, records, public, device")
+		source  = flag.String("source", "isp", "source: own, wireless, isp, held, service, seized, remote, victim, target")
+		consent = flag.String("consent", "", "consent scope: owner, couser, spouse, parent, employer, tos, party, trespasser")
+		beyond  = flag.Bool("beyond", false, "examination goes beyond the original authority (Crist)")
+		relay   = flag.Bool("relay", false, "intercepts third-party communications as a relay operator")
+		public  = flag.Bool("public-provider", true, "the holding provider serves the public")
+		ecs     = flag.Bool("ecs", true, "the holding provider is an ECS/RCS for the data")
+		asJSON  = flag.Bool("json", false, "emit the ruling as JSON")
+	)
+	flag.Parse()
+	if err := run(*actor, *timing, *data, *source, *consent, *beyond, *relay, *public, *ecs, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(actor, timing, data, source, consent string, beyond, relay, public, ecs, asJSON bool) error {
+	a := legal.Action{Name: "cli-action"}
+	var ok bool
+	if a.Actor, ok = actors[actor]; !ok {
+		return fmt.Errorf("unknown actor %q", actor)
+	}
+	if a.Timing, ok = timings[timing]; !ok {
+		return fmt.Errorf("unknown timing %q", timing)
+	}
+	if a.Data, ok = dataClasses[data]; !ok {
+		return fmt.Errorf("unknown data class %q", data)
+	}
+	if a.Source, ok = sources[source]; !ok {
+		return fmt.Errorf("unknown source %q", source)
+	}
+	scope, ok := consents[consent]
+	if !ok {
+		return fmt.Errorf("unknown consent scope %q", consent)
+	}
+	if scope != 0 {
+		a.Consent = &legal.Consent{Scope: scope}
+	}
+	a.SearchBeyondAuthority = beyond
+	a.InterceptsThirdParty = relay
+	a.ProviderPublic = public
+	if a.Source == legal.SourceProviderStored {
+		if ecs {
+			a.ProviderRole = legal.ProviderECS
+		} else {
+			a.ProviderRole = legal.ProviderNone
+		}
+	}
+
+	engine := legal.NewEngine()
+	ruling, err := engine.Evaluate(a)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return report.WriteJSON(os.Stdout, report.FromRuling(ruling))
+	}
+	fmt.Printf("required: %s\nregime:   %s\n", ruling.Required, ruling.Regime)
+	for _, reason := range ruling.Rationale {
+		fmt.Printf("  · %s\n", reason)
+	}
+	for _, c := range ruling.Citations {
+		fmt.Printf("  cite: %s\n", c.Title)
+	}
+	if ruling.NeedsProcess() {
+		advice, err := engine.Advise(a)
+		if err != nil {
+			return err
+		}
+		if len(advice) > 0 {
+			fmt.Println("\ncheaper redesigns (paper § V recommendation):")
+			for _, ad := range advice {
+				fmt.Printf("  -> %s: %s\n", ad.Ruling.Required, ad.Explanation)
+			}
+		}
+	}
+	return nil
+}

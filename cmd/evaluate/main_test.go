@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestRunCombos(t *testing.T) {
+	tests := []struct {
+		name                       string
+		actor, timing, data, src   string
+		consent                    string
+		beyond, relay, public, ecs bool
+	}{
+		{name: "wiretap", actor: "government", timing: "realtime", data: "content", src: "isp", public: true, ecs: true},
+		{name: "pen", actor: "government", timing: "realtime", data: "addressing", src: "isp", public: true, ecs: true},
+		{name: "provider", actor: "provider", timing: "realtime", data: "content", src: "own", public: true, ecs: true},
+		{name: "crist", actor: "government", timing: "stored", data: "device", src: "seized", beyond: true, public: true, ecs: true},
+		{name: "sca", actor: "government", timing: "stored", data: "content", src: "held", public: true, ecs: true},
+		{name: "consent", actor: "government", timing: "realtime", data: "content", src: "victim", consent: "trespasser", public: true, ecs: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.actor, tt.timing, tt.data, tt.src, tt.consent, tt.beyond, tt.relay, tt.public, tt.ecs, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run("government", "realtime", "content", "isp", "", false, false, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	bad := [][5]string{
+		{"alien", "realtime", "content", "isp", ""},
+		{"government", "never", "content", "isp", ""},
+		{"government", "realtime", "vibes", "isp", ""},
+		{"government", "realtime", "content", "moon", ""},
+		{"government", "realtime", "content", "isp", "nobody"},
+	}
+	for _, b := range bad {
+		if err := run(b[0], b[1], b[2], b[3], b[4], false, false, true, true, false); err == nil {
+			t.Errorf("combo %v must fail", b)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"lawgate/internal/p2p"
+)
+
+func TestAverage(t *testing.T) {
+	acc, prec, rec, err := average(6, 2, 4, 2, p2p.DefaultConfig(p2p.ModeAnonymous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{"accuracy": acc, "precision": prec, "recall": rec} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v out of range", name, v)
+		}
+	}
+	if acc != 1 {
+		t.Errorf("accuracy at default separation = %v, want 1", acc)
+	}
+}
+
+func TestRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	if err := run(4, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunPlain(t *testing.T) {
+	if err := run(false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	if err := run(true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	if err := run(false, true); err != nil {
+		t.Fatal(err)
+	}
+}

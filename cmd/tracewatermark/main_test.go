@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"lawgate/internal/watermark"
+)
+
+func TestSweepOnePoint(t *testing.T) {
+	base := watermark.DefaultExperimentConfig()
+	base.Bits = 2
+	p, err := sweep(base, 1, func(c *watermark.ExperimentConfig) {
+		c.NoiseRate = 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.tpr != 1 {
+		t.Errorf("TPR = %v, want 1 at moderate noise", p.tpr)
+	}
+	if p.fpr != 0 {
+		t.Errorf("FPR = %v, want 0", p.fpr)
+	}
+	if p.meanZ < watermark.DefaultZThreshold {
+		t.Errorf("mean Z = %v below detection threshold", p.meanZ)
+	}
+}

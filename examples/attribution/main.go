@@ -1,0 +1,58 @@
+// attribution: the paper's § III-A-2 identification goals as a narrated
+// example — prove which individual put the contraband on a shared
+// computer, rule out the trojan defense, show subject-matter knowledge —
+// and render the resulting suppression posture as a judicial opinion.
+//
+// Run with:
+//
+//	go run ./examples/attribution
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lawgate"
+	"lawgate/internal/opinion"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attribution:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, exclusive := range []bool{true, false} {
+		res, err := lawgate.RunAttributionExam(exclusive)
+		if err != nil {
+			return err
+		}
+		if exclusive {
+			fmt.Println("Scenario A — login records place the suspect ALONE at the keyboard:")
+		} else {
+			fmt.Println("Scenario B — a housemate's session overlaps the contraband's creation:")
+		}
+		for _, a := range res.Report.Actors {
+			fmt.Printf("  actor: %s created %s (exclusive=%v", a.User, a.Path, a.Exclusive)
+			if len(a.OthersPresent) > 0 {
+				fmt.Printf(", others present: %v", a.OthersPresent)
+			}
+			fmt.Println(")")
+		}
+		fmt.Printf("  trojan defense rebutted (machine clean): %v\n", res.Report.MalwareClean)
+		for _, k := range res.Report.Knowledge {
+			fmt.Printf("  knowledge: %s researched %v at %s\n", k.User, k.MatchedTerms, k.URL)
+		}
+		fmt.Printf("  derived facts: %d; warrant issued: %v\n\n", len(res.Report.Facts), res.WarrantIssued)
+	}
+
+	// Render the exclusive case's hearing as an opinion.
+	res, err := lawgate.RunAttributionExam(true)
+	if err != nil {
+		return err
+	}
+	fmt.Println(opinion.Write(res.Case, "United States v. Doe, No. 12-cr-0412"))
+	return nil
+}

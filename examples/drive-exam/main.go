@@ -1,0 +1,65 @@
+// drive-exam: Table 1 scenes 18 and 19 as a narrated example — a lawfully
+// seized drive is forensically imaged with hash verification, then
+// hash-searched for known contraband. Per United States v. Crist, hashing
+// the entire drive for matter outside the original warrant's scope is a
+// NEW search: with a second warrant everything survives the suppression
+// hearing; without it the hash-search results are excluded even though the
+// technique worked perfectly.
+//
+// Run with:
+//
+//	go run ./examples/drive-exam
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lawgate/internal/investigation"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drive-exam:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, withWarrant := range []bool{true, false} {
+		res, err := investigation.RunDriveExam(withWarrant)
+		if err != nil {
+			return err
+		}
+		if withWarrant {
+			fmt.Println("Scenario A — examiners obtain a second warrant for the hash search:")
+		} else {
+			fmt.Println("Scenario B — examiners hash the whole drive on the seizure warrant alone:")
+		}
+		fmt.Printf("  forensic image verified: sha256 %s…\n", res.ImageHash[:16])
+		fmt.Printf("  hash search found %d known-contraband matches", len(res.Hits))
+		for _, h := range res.Hits {
+			if h.Deleted {
+				fmt.Printf(" (one recovered from deleted space)")
+				break
+			}
+		}
+		fmt.Println()
+		if withWarrant {
+			fmt.Printf("  warrant execution: %d seized in scope, %d plain-view, %d left untouched\n",
+				len(res.Execution.Seized), len(res.Execution.PlainView), len(res.Execution.Left))
+		}
+		admissible := 0
+		for _, a := range res.Hearing {
+			if a.Admissible() {
+				admissible++
+			}
+		}
+		fmt.Printf("  suppression hearing: %d/%d items admissible\n", admissible, len(res.Hearing))
+		if !withWarrant {
+			fmt.Println("  -> the technique worked, but its fruits are excluded: the paper's warning")
+		}
+		fmt.Println()
+	}
+	return nil
+}

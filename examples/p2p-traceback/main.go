@@ -1,0 +1,85 @@
+// p2p-traceback: the paper's Section IV-A investigation as a narrated
+// example — join an anonymous filesharing overlay as an ordinary peer,
+// classify neighbors as sources vs. forwarders by response timing (no
+// warrant, court order, or subpoena needed), subpoena the ISP for the
+// sources' subscriber records, and convert the IP attribution into a
+// search warrant.
+//
+// Run with:
+//
+//	go run ./examples/p2p-traceback
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"lawgate"
+	"lawgate/internal/netsim"
+	"lawgate/internal/p2p"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "p2p-traceback:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// First, confirm the legal posture: the engine agrees with the
+	// paper that the timing attack needs no process.
+	engine := lawgate.NewEngine()
+	for _, cs := range lawgate.CaseStudies() {
+		if cs.ID != "IV-A" {
+			continue
+		}
+		r, err := engine.Evaluate(cs.Action)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Legal check (%s): requires %s — %s\n\n", cs.ID, r.Required, r.Rationale[0])
+	}
+
+	// Run the investigation end to end.
+	res, err := lawgate.RunP2PTraceback(lawgate.P2PTracebackConfig{
+		Seed:      42,
+		Neighbors: 10,
+		Sources:   4,
+		Probes:    8,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Neighbor classification (timing attack):")
+	ids := make([]string, 0, len(res.Verdicts))
+	for id := range res.Verdicts {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		v := res.Verdicts[netsim.NodeID(id)]
+		marker := " "
+		if v == p2p.VerdictSource {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-10s %s\n", marker, id, v)
+	}
+
+	fmt.Println("\nSubscribers identified by subpoena:")
+	for _, s := range res.Identified {
+		fmt.Printf("  - %s, %s (account %s)\n", s.Name, s.Street, s.Account)
+	}
+
+	admissible := 0
+	for _, a := range res.Hearing {
+		if a.Admissible() {
+			admissible++
+		}
+	}
+	fmt.Printf("\nSuppression hearing: %d/%d items admissible\n", admissible, len(res.Hearing))
+	fmt.Printf("Held process at close: %s\n", res.Case.HeldProcess())
+	return nil
+}

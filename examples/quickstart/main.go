@@ -1,0 +1,79 @@
+// Quickstart: evaluate an investigative step against the lawgate engine,
+// acquire evidence under the right process, and survive the suppression
+// hearing.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lawgate"
+	"lawgate/internal/court"
+	"lawgate/internal/legal"
+	"lawgate/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Ask the engine what a planned acquisition requires. Here:
+	// logging full packets at an ISP (Table 1 scene 8).
+	engine := lawgate.NewEngine()
+	s, err := scenario.ByNumber(8)
+	if err != nil {
+		return err
+	}
+	ruling, err := engine.Evaluate(s.Action)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Scene 8: %s\n", s.Description)
+	fmt.Printf("  paper says: %s; engine says: %s under the %s\n",
+		s.Answer(), ruling.Required, ruling.Regime)
+	for _, reason := range ruling.Rationale {
+		fmt.Printf("  · %s\n", reason)
+	}
+
+	// 2. Open a case, build the showing, and obtain process.
+	c := lawgate.NewCase("quickstart")
+	c.AddFact(court.Fact{
+		Kind:        court.FactIPAttribution,
+		Description: "victim logs attribute the attack to the suspect's IP; ISP resolved the subscriber",
+	})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "22 Birch Rd", []string{"computers"}); err != nil {
+		return err
+	}
+
+	// 3. Acquire under that process and verify everything holds up.
+	seize := legal.Action{
+		Name:   "seize-computer",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceTargetDevice,
+	}
+	item, err := c.Acquire("suspect laptop", []byte("disk image bytes"), seize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nAcquired %s (sha256 %s…), lawful=%v\n",
+		item.ID, item.SHA256[:12], item.LawfullyAcquired())
+
+	for _, a := range c.SuppressionHearing() {
+		fmt.Printf("hearing: %s — %s\n", a.ItemID, a.Status)
+	}
+	if err := c.VerifyCustody(); err != nil {
+		return err
+	}
+	fmt.Println("chain of custody verified")
+	return nil
+}

@@ -1,0 +1,115 @@
+// stored-comms: the paper's Section III-A-3 Alice/Bob example as runnable
+// code — how a provider's SCA role (ECS, RCS, or neither) shifts with a
+// message's lifecycle, what process each disclosure tier requires, and
+// when a message drops out of the SCA into pure Fourth Amendment analysis.
+//
+// Run with:
+//
+//	go run ./examples/stored-comms
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/provider"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stored-comms:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	gmail := provider.New("gmail", true)             // public provider
+	uni := provider.New("charlie-university", false) // serves only its members
+	gmail.AddSubscriber(provider.Subscriber{
+		Account: "bob", Name: "Bob B.", Street: "7 Elm St",
+		Leases: []provider.IPLease{{IP: "10.0.0.7", From: time.Now().Add(-time.Hour)}},
+	})
+	uni.AddSubscriber(provider.Subscriber{Account: "alice", Name: "Alice A."})
+
+	engine := legal.NewEngine()
+	show := func(p *provider.Provider, account, msgID, stage string) error {
+		role, err := p.RoleFor(account, msgID)
+		if err != nil {
+			return err
+		}
+		action := legal.Action{
+			Name:           "compel-" + stage,
+			Actor:          legal.ActorGovernment,
+			Timing:         legal.TimingStored,
+			Data:           legal.DataContent,
+			Source:         legal.SourceProviderStored,
+			ProviderRole:   role,
+			ProviderPublic: p.Public,
+		}
+		r, err := engine.Evaluate(action)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-34s provider is %-33s → %s under the %s\n",
+			stage+":", role.String()+",", r.Required, r.Regime)
+		return nil
+	}
+
+	fmt.Println("Alice (alice@cs.charlie.edu) emails Bob (bob@gmail.com):")
+	id, err := gmail.Deliver("alice@cs.charlie.edu", "bob", "lunch?", []byte("noon at the usual place"))
+	if err != nil {
+		return err
+	}
+	if err := show(gmail, "bob", id, "unopened at gmail"); err != nil {
+		return err
+	}
+	if err := gmail.Open("bob", id); err != nil {
+		return err
+	}
+	if err := show(gmail, "bob", id, "opened, left stored at gmail"); err != nil {
+		return err
+	}
+
+	fmt.Println("\nBob replies to Alice at the university server:")
+	id2, err := uni.Deliver("bob@gmail.com", "alice", "re: lunch?", []byte("see you then"))
+	if err != nil {
+		return err
+	}
+	if err := show(uni, "alice", id2, "unopened at university"); err != nil {
+		return err
+	}
+	if err := uni.Open("alice", id2); err != nil {
+		return err
+	}
+	if err := show(uni, "alice", id2, "opened at university"); err != nil {
+		return err
+	}
+	fmt.Println("  (the opened email has dropped out of the SCA: the university is neither")
+	fmt.Println("   ECS nor RCS for it, so the Fourth Amendment alone governs access)")
+
+	fmt.Println("\n§ 2703 compelled-disclosure ladder at gmail:")
+	for _, tier := range []provider.Tier{
+		provider.TierBasicSubscriber, provider.TierRecords, provider.TierContent,
+	} {
+		fmt.Printf("  %-28s requires at least: %s\n", tier, tier.RequiredProcess())
+	}
+	if _, err := gmail.Compel(legal.ProcessSubpoena, provider.TierContent, "bob"); err != nil {
+		fmt.Printf("  compelling content with a subpoena fails: %v\n", err)
+	}
+	d, err := gmail.Compel(legal.ProcessSearchWarrant, provider.TierContent, "bob")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  with a warrant, %d message(s) disclosed (\"a warrant can disclose everything\")\n", len(d.Messages))
+
+	fmt.Println("\n§ 2702 voluntary disclosure:")
+	if _, err := gmail.VoluntaryDisclose(provider.TierContent, provider.RecipientGovernment, provider.BasisNone, "bob"); err != nil {
+		fmt.Printf("  gmail (public) volunteering content to the government: %v\n", err)
+	}
+	if _, err := uni.VoluntaryDisclose(provider.TierContent, provider.RecipientGovernment, provider.BasisNone, "alice"); err == nil {
+		fmt.Println("  the university (non-public) may disclose freely — § 2702 does not restrain it")
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+// tor-watermark: the paper's Section IV-B investigation as a narrated
+// example — law enforcement runs a seized contraband server, watermarks
+// its response rate with a long PN code, and confirms the suspect at the
+// far end of a Tor-like circuit by despreading packet counts collected at
+// the suspect's ISP under a court order (rates are non-content, so no
+// Title III wiretap order is needed).
+//
+// Run with:
+//
+//	go run ./examples/tor-watermark
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lawgate"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tor-watermark:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The legal posture first: rate collection needs a court order —
+	// and specifically NOT a wiretap order.
+	engine := lawgate.NewEngine()
+	for _, cs := range lawgate.CaseStudies() {
+		if cs.ID != "IV-B-1" {
+			continue
+		}
+		r, err := engine.Evaluate(cs.Action)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Legal check (%s): requires %s under the %s\n", cs.ID, r.Required, r.Regime)
+		fmt.Printf("  (they do not collect entire packets, so they do not need a wiretap order)\n\n")
+	}
+
+	// The guilty trial: the suspect really is downloading.
+	cfg := lawgate.DefaultWatermarkConfig()
+	guilty, err := lawgate.RunWatermarkTraceback(cfg)
+	if err != nil {
+		return err
+	}
+	g := guilty.Experiment
+	fmt.Println("Trial 1 — suspect IS the downloader:")
+	fmt.Printf("  DSSS: detected=%v  Z=%.1f  BER=%.2f  (threshold Z≥4)\n",
+		g.Detected, g.Watermark.Z, g.Watermark.BER)
+	fmt.Printf("  naive baseline correlation: %.2f (detected=%v)\n", g.BaselineCorr, g.BaselineDetected)
+	fmt.Printf("  packets observed: %d at suspect ISP, %d at server\n", g.SuspectPackets, g.ServerPackets)
+	fmt.Printf("  held process for the rate meter: %s\n\n", g.RequiredProcess)
+
+	// The innocent trial: someone else downloads; the suspect's wire
+	// carries only unrelated traffic.
+	cfg.Guilty = false
+	cfg.Seed = 99
+	innocent, err := lawgate.RunWatermarkTraceback(cfg)
+	if err != nil {
+		return err
+	}
+	i := innocent.Experiment
+	fmt.Println("Trial 2 — suspect is INNOCENT (decoy downloads instead):")
+	fmt.Printf("  DSSS: detected=%v  Z=%.1f\n", i.Detected, i.Watermark.Z)
+	fmt.Printf("  no probable cause accrues; held process stays at: %s\n\n",
+		innocent.Case.HeldProcess())
+
+	fmt.Println("Guilty-trial case narrative:")
+	for _, line := range guilty.Case.Narrative() {
+		fmt.Println(" ", line)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module lawgate
+
+go 1.22

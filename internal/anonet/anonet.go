@@ -1,0 +1,375 @@
+package anonet
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// Network errors.
+var (
+	// ErrUnknownCircuit: no route state for the circuit.
+	ErrUnknownCircuit = errors.New("anonet: unknown circuit")
+	// ErrBadCircuit: circuit construction parameters are invalid.
+	ErrBadCircuit = errors.New("anonet: invalid circuit")
+	// ErrNotConnected: required underlying links are missing.
+	ErrNotConnected = errors.New("anonet: nodes not connected")
+	// ErrDuplicate: the node ID is already registered.
+	ErrDuplicate = errors.New("anonet: duplicate node")
+)
+
+// flowFor names the netsim flow carrying a circuit's traffic.
+func flowFor(circ CircuitID) netsim.FlowID {
+	return netsim.FlowID(fmt.Sprintf("anon-c%d", circ))
+}
+
+// circFromFlow recovers the circuit ID from a flow name.
+func circFromFlow(f netsim.FlowID) (CircuitID, bool) {
+	s := string(f)
+	if !strings.HasPrefix(s, "anon-c") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(s[len("anon-c"):], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return CircuitID(n), true
+}
+
+// Anonet is an anonymity overlay on a simulated network.
+type Anonet struct {
+	net      *netsim.Network
+	relays   map[netsim.NodeID]*Relay
+	clients  map[netsim.NodeID]*Client
+	servers  map[netsim.NodeID]*Server
+	nextCirc CircuitID
+}
+
+// New builds an empty anonymity overlay on net.
+func New(net *netsim.Network) *Anonet {
+	return &Anonet{
+		net:     net,
+		relays:  make(map[netsim.NodeID]*Relay),
+		clients: make(map[netsim.NodeID]*Client),
+		servers: make(map[netsim.NodeID]*Server),
+	}
+}
+
+// Net returns the carrying network.
+func (a *Anonet) Net() *netsim.Network { return a.net }
+
+// route is one relay's per-circuit state.
+type route struct {
+	prev, next netsim.NodeID // next is empty at the exit
+	key        LayerKey
+	exitSeq    uint64 // backward cell sequence, assigned by the exit
+}
+
+// Relay is one onion router.
+type Relay struct {
+	// ID is the relay's node.
+	ID netsim.NodeID
+
+	a      *Anonet
+	routes map[CircuitID]*route
+	// Relayed counts cells forwarded in either direction.
+	Relayed int64
+}
+
+// AddRelay registers a relay node.
+func (a *Anonet) AddRelay(id netsim.NodeID) (*Relay, error) {
+	if a.taken(id) {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	r := &Relay{ID: id, a: a, routes: make(map[CircuitID]*route)}
+	if err := a.net.AddNode(id, netsim.HandlerFunc(r.handle)); err != nil {
+		return nil, err
+	}
+	a.relays[id] = r
+	return r, nil
+}
+
+// Client is an anonymity-network user.
+type Client struct {
+	// ID is the client's node.
+	ID netsim.NodeID
+	// OnData receives decrypted backward traffic per circuit.
+	OnData func(circ CircuitID, data []byte, at time.Duration)
+
+	a        *Anonet
+	circuits map[CircuitID]*Circuit
+}
+
+// AddClient registers a client node.
+func (a *Anonet) AddClient(id netsim.NodeID) (*Client, error) {
+	if a.taken(id) {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	c := &Client{ID: id, a: a, circuits: make(map[CircuitID]*Circuit)}
+	if err := a.net.AddNode(id, netsim.HandlerFunc(c.handle)); err != nil {
+		return nil, err
+	}
+	a.clients[id] = c
+	return c, nil
+}
+
+// Server is a destination outside the anonymity network.
+type Server struct {
+	// ID is the server's node.
+	ID netsim.NodeID
+	// OnRequest receives plaintext application data forwarded by an
+	// exit; from and flow identify the return path for Reply.
+	OnRequest func(from netsim.NodeID, flow netsim.FlowID, data []byte)
+
+	a *Anonet
+}
+
+// AddServer registers a server node.
+func (a *Anonet) AddServer(id netsim.NodeID) (*Server, error) {
+	if a.taken(id) {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, id)
+	}
+	s := &Server{ID: id, a: a}
+	if err := a.net.AddNode(id, netsim.HandlerFunc(s.handle)); err != nil {
+		return nil, err
+	}
+	a.servers[id] = s
+	return s, nil
+}
+
+func (a *Anonet) taken(id netsim.NodeID) bool {
+	if _, ok := a.relays[id]; ok {
+		return true
+	}
+	if _, ok := a.clients[id]; ok {
+		return true
+	}
+	_, ok := a.servers[id]
+	return ok
+}
+
+// Circuit is a client's view of a telescoped path.
+type Circuit struct {
+	// ID is the network-wide circuit identifier.
+	ID CircuitID
+	// Hops are the relays in path order (entry first).
+	Hops []netsim.NodeID
+
+	keys   []LayerKey
+	fwdSeq uint64
+}
+
+// BuildCircuit telescopes a circuit from the client through the given
+// relays (entry first). The underlying links client-entry and
+// relay-relay must already exist. Key establishment is simulated
+// out-of-band: fresh keys are drawn from the simulator's seeded RNG and
+// installed at each relay, standing in for the Diffie-Hellman handshakes
+// of the real protocol.
+func (a *Anonet) BuildCircuit(client *Client, relays ...netsim.NodeID) (*Circuit, error) {
+	if client == nil || len(relays) == 0 {
+		return nil, fmt.Errorf("%w: need a client and at least one relay", ErrBadCircuit)
+	}
+	prev := client.ID
+	for _, id := range relays {
+		if _, ok := a.relays[id]; !ok {
+			return nil, fmt.Errorf("%w: %q is not a relay", ErrBadCircuit, id)
+		}
+		if !a.net.Linked(prev, id) {
+			return nil, fmt.Errorf("%w: %q-%q", ErrNotConnected, prev, id)
+		}
+		prev = id
+	}
+	a.nextCirc++
+	circ := &Circuit{ID: a.nextCirc, Hops: append([]netsim.NodeID(nil), relays...)}
+	rng := a.net.Sim().Rand()
+	prev = client.ID
+	for i, id := range relays {
+		var key LayerKey
+		for j := range key {
+			key[j] = byte(rng.Intn(256))
+		}
+		circ.keys = append(circ.keys, key)
+		rt := &route{prev: prev, key: key}
+		if i+1 < len(relays) {
+			rt.next = relays[i+1]
+		}
+		a.relays[id].routes[circ.ID] = rt
+		prev = id
+	}
+	client.circuits[circ.ID] = circ
+	return circ, nil
+}
+
+// CloseCircuit tears a circuit down: every relay forgets its per-circuit
+// route state and the client drops its keys. Traffic still in flight is
+// dropped at the first relay that no longer recognizes the circuit.
+func (a *Anonet) CloseCircuit(client *Client, circ *Circuit) error {
+	if _, ok := client.circuits[circ.ID]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownCircuit, circ.ID)
+	}
+	for _, hop := range circ.Hops {
+		if r, ok := a.relays[hop]; ok {
+			delete(r.routes, circ.ID)
+		}
+	}
+	delete(client.circuits, circ.ID)
+	return nil
+}
+
+// Send transmits application data through the circuit to a destination
+// server adjacent to the exit. The data is wrapped in one encryption layer
+// per hop.
+func (c *Client) Send(circ *Circuit, dst netsim.NodeID, data []byte) error {
+	if _, ok := c.circuits[circ.ID]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownCircuit, circ.ID)
+	}
+	inner, err := relayPayload{Dst: string(dst), Data: data}.marshal()
+	if err != nil {
+		return err
+	}
+	circ.fwdSeq++
+	seq := circ.fwdSeq
+	onion := inner
+	for i := len(circ.keys) - 1; i >= 0; i-- {
+		onion, err = applyLayer(circ.keys[i], circ.ID, seq, false, onion)
+		if err != nil {
+			return err
+		}
+	}
+	wire, err := cell{Circ: circ.ID, Seq: seq, Data: onion}.marshal()
+	if err != nil {
+		return err
+	}
+	return c.a.net.Send(&netsim.Packet{
+		Header: netsim.Header{
+			Src: c.ID, Dst: circ.Hops[0],
+			Flow: flowFor(circ.ID), Proto: netsim.ProtoTCP,
+		},
+		Payload:   wire,
+		Encrypted: true,
+	})
+}
+
+// handle processes backward cells arriving at the client.
+func (c *Client) handle(_ *netsim.Network, pkt *netsim.Packet) {
+	cl, err := unmarshalCell(pkt.Payload)
+	if err != nil {
+		return
+	}
+	circ, ok := c.circuits[cl.Circ]
+	if !ok {
+		return
+	}
+	data := cl.Data
+	for _, k := range circ.keys {
+		data, err = applyLayer(k, cl.Circ, cl.Seq, true, data)
+		if err != nil {
+			return
+		}
+	}
+	if c.OnData != nil {
+		c.OnData(cl.Circ, data, pkt.DeliveredAt)
+	}
+}
+
+// handle processes cells at a relay: forward cells shed one layer and move
+// toward the exit; backward traffic gains one layer and moves toward the
+// client; the exit bridges to plaintext.
+func (r *Relay) handle(_ *netsim.Network, pkt *netsim.Packet) {
+	rtCirc, fromServer := circFromFlow(pkt.Header.Flow)
+	if !fromServer {
+		return
+	}
+	rt, ok := r.routes[rtCirc]
+	if !ok {
+		return
+	}
+	isExit := rt.next == ""
+
+	// Backward plaintext from an adjacent server, at the exit only.
+	if isExit && pkt.Header.Src != rt.prev {
+		rt.exitSeq++
+		enc, err := applyLayer(rt.key, rtCirc, rt.exitSeq, true, pkt.Payload)
+		if err != nil {
+			return
+		}
+		r.sendCell(rt.prev, cell{Circ: rtCirc, Seq: rt.exitSeq, Data: enc})
+		return
+	}
+
+	cl, err := unmarshalCell(pkt.Payload)
+	if err != nil {
+		return
+	}
+	switch pkt.Header.Src {
+	case rt.prev: // forward direction
+		data, err := applyLayer(rt.key, cl.Circ, cl.Seq, false, cl.Data)
+		if err != nil {
+			return
+		}
+		if !isExit {
+			r.sendCell(rt.next, cell{Circ: cl.Circ, Seq: cl.Seq, Data: data})
+			return
+		}
+		rp, err := unmarshalRelayPayload(data)
+		if err != nil {
+			return
+		}
+		r.Relayed++
+		_ = r.a.net.Send(&netsim.Packet{
+			Header: netsim.Header{
+				Src: r.ID, Dst: netsim.NodeID(rp.Dst),
+				Flow: flowFor(cl.Circ), Proto: netsim.ProtoTCP,
+			},
+			Payload: rp.Data,
+		})
+	case rt.next: // backward direction: add this relay's layer
+		data, err := applyLayer(rt.key, cl.Circ, cl.Seq, true, cl.Data)
+		if err != nil {
+			return
+		}
+		r.sendCell(rt.prev, cell{Circ: cl.Circ, Seq: cl.Seq, Data: data})
+	}
+}
+
+func (r *Relay) sendCell(to netsim.NodeID, cl cell) {
+	wire, err := cl.marshal()
+	if err != nil {
+		return
+	}
+	r.Relayed++
+	_ = r.a.net.Send(&netsim.Packet{
+		Header: netsim.Header{
+			Src: r.ID, Dst: to,
+			Flow: flowFor(cl.Circ), Proto: netsim.ProtoTCP,
+		},
+		Payload:   wire,
+		Encrypted: true,
+	})
+}
+
+// handle delivers plaintext requests to the server's application handler.
+func (s *Server) handle(_ *netsim.Network, pkt *netsim.Packet) {
+	if s.OnRequest != nil {
+		s.OnRequest(pkt.Header.Src, pkt.Header.Flow, pkt.Payload)
+	}
+}
+
+// Reply sends one plaintext packet back toward the exit that forwarded a
+// request; the exit wraps it into the circuit. Replies must fit one cell.
+func (s *Server) Reply(to netsim.NodeID, flow netsim.FlowID, data []byte) error {
+	if len(data) > cellDataCap {
+		return fmt.Errorf("%w: reply %d bytes", ErrCellTooLarge, len(data))
+	}
+	return s.a.net.Send(&netsim.Packet{
+		Header: netsim.Header{
+			Src: s.ID, Dst: to,
+			Flow: flow, Proto: netsim.ProtoTCP,
+		},
+		Payload: data,
+	})
+}

@@ -1,0 +1,94 @@
+package anonet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lawgate/internal/netsim"
+)
+
+// Directory errors.
+var (
+	// ErrNotEnoughRelays: the directory cannot supply a path of the
+	// requested length.
+	ErrNotEnoughRelays = errors.New("anonet: not enough relays for path")
+	// ErrUnknownRelay: the relay is not registered with the overlay.
+	ErrUnknownRelay = errors.New("anonet: unknown relay")
+)
+
+// RelayInfo is a directory entry: a relay and its advertised bandwidth,
+// used as the selection weight (clients prefer fast relays, as in Tor).
+type RelayInfo struct {
+	// ID is the relay's node.
+	ID netsim.NodeID
+	// BandwidthKBps is the advertised capacity; selection probability
+	// is proportional to it.
+	BandwidthKBps int
+}
+
+// Directory is a consensus view of available relays.
+type Directory struct {
+	entries []RelayInfo
+}
+
+// NewDirectory builds a directory over registered relays. Entries naming
+// unknown relays are rejected; non-positive bandwidths are treated as 1.
+func (a *Anonet) NewDirectory(entries []RelayInfo) (*Directory, error) {
+	d := &Directory{entries: make([]RelayInfo, 0, len(entries))}
+	for _, e := range entries {
+		if _, ok := a.relays[e.ID]; !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownRelay, e.ID)
+		}
+		if e.BandwidthKBps <= 0 {
+			e.BandwidthKBps = 1
+		}
+		d.entries = append(d.entries, e)
+	}
+	sort.Slice(d.entries, func(i, j int) bool { return d.entries[i].ID < d.entries[j].ID })
+	return d, nil
+}
+
+// Len returns the number of directory entries.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// SelectPath samples n distinct relays, each draw weighted by advertised
+// bandwidth, in path order (entry first).
+func (d *Directory) SelectPath(r *rand.Rand, n int) ([]netsim.NodeID, error) {
+	if n <= 0 || n > len(d.entries) {
+		return nil, fmt.Errorf("%w: want %d of %d", ErrNotEnoughRelays, n, len(d.entries))
+	}
+	remaining := append([]RelayInfo(nil), d.entries...)
+	path := make([]netsim.NodeID, 0, n)
+	for len(path) < n {
+		total := 0
+		for _, e := range remaining {
+			total += e.BandwidthKBps
+		}
+		pick := r.Intn(total)
+		idx := 0
+		for i, e := range remaining {
+			pick -= e.BandwidthKBps
+			if pick < 0 {
+				idx = i
+				break
+			}
+		}
+		path = append(path, remaining[idx].ID)
+		remaining = append(remaining[:idx], remaining[idx+1:]...)
+	}
+	return path, nil
+}
+
+// BuildRandomCircuit selects a bandwidth-weighted path of length n from
+// the directory and telescopes a circuit through it. The underlying links
+// must exist; a path whose links are missing fails with ErrNotConnected,
+// and the caller may retry (real clients do the same on extend failures).
+func (a *Anonet) BuildRandomCircuit(client *Client, d *Directory, n int) (*Circuit, error) {
+	path, err := d.SelectPath(a.net.Sim().Rand(), n)
+	if err != nil {
+		return nil, err
+	}
+	return a.BuildCircuit(client, path...)
+}

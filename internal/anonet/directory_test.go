@@ -1,0 +1,162 @@
+package anonet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+func directoryRig(t *testing.T, relayCount int) (*Anonet, *Client, []RelayInfo) {
+	t.Helper()
+	sim := netsim.NewSimulator(17)
+	net := netsim.NewNetwork(sim)
+	a := New(net)
+	client, err := a.AddClient("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]RelayInfo, 0, relayCount)
+	ids := make([]netsim.NodeID, 0, relayCount)
+	for i := 0; i < relayCount; i++ {
+		id := netsim.NodeID(string(rune('a' + i)))
+		if _, err := a.AddRelay(id); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, RelayInfo{ID: id, BandwidthKBps: (i + 1) * 100})
+		ids = append(ids, id)
+	}
+	// Full mesh incl. client so any selected path telescopes.
+	nodes := append([]netsim.NodeID{"client"}, ids...)
+	for i := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if err := net.Connect(nodes[i], nodes[j], netsim.Link{Latency: time.Millisecond}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return a, client, entries
+}
+
+func TestDirectorySelectPathDistinct(t *testing.T) {
+	a, _, entries := directoryRig(t, 6)
+	d, err := a.NewDirectory(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 6 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		path, err := d.SelectPath(r, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[netsim.NodeID]bool{}
+		for _, id := range path {
+			if seen[id] {
+				t.Fatalf("duplicate hop %q in %v", id, path)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestDirectoryWeightedSelection(t *testing.T) {
+	// One relay with overwhelming weight must appear as a hop in almost
+	// every sampled 1-relay path.
+	a, _, _ := directoryRig(t, 3)
+	d, err := a.NewDirectory([]RelayInfo{
+		{ID: "a", BandwidthKBps: 1},
+		{ID: "b", BandwidthKBps: 1},
+		{ID: "c", BandwidthKBps: 10000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	heavy := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		path, err := d.SelectPath(r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if path[0] == "c" {
+			heavy++
+		}
+	}
+	if heavy < trials*95/100 {
+		t.Errorf("heavy relay selected %d/%d times; weighting ineffective", heavy, trials)
+	}
+}
+
+func TestDirectoryErrors(t *testing.T) {
+	a, _, entries := directoryRig(t, 3)
+	if _, err := a.NewDirectory([]RelayInfo{{ID: "ghost"}}); !errors.Is(err, ErrUnknownRelay) {
+		t.Errorf("unknown relay err = %v", err)
+	}
+	d, err := a.NewDirectory(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	if _, err := d.SelectPath(r, 0); !errors.Is(err, ErrNotEnoughRelays) {
+		t.Errorf("n=0 err = %v", err)
+	}
+	if _, err := d.SelectPath(r, 4); !errors.Is(err, ErrNotEnoughRelays) {
+		t.Errorf("n>len err = %v", err)
+	}
+}
+
+func TestDirectoryZeroBandwidthNormalized(t *testing.T) {
+	a, _, _ := directoryRig(t, 2)
+	d, err := a.NewDirectory([]RelayInfo{
+		{ID: "a", BandwidthKBps: 0},
+		{ID: "b", BandwidthKBps: -5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(4))
+	if _, err := d.SelectPath(r, 2); err != nil {
+		t.Fatalf("selection with normalized weights: %v", err)
+	}
+}
+
+func TestBuildRandomCircuitEndToEnd(t *testing.T) {
+	a, client, entries := directoryRig(t, 5)
+	d, err := a.NewDirectory(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := a.AddServer("dest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := a.BuildRandomCircuit(client, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circ.Hops) != 3 {
+		t.Fatalf("hops = %v", circ.Hops)
+	}
+	// The exit must be able to reach the server.
+	if err := a.Net().Connect(circ.Hops[2], "dest", netsim.Link{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	server.OnRequest = func(from netsim.NodeID, flow netsim.FlowID, data []byte) {
+		got = data
+	}
+	if err := client.Send(circ, "dest", []byte("via random path")); err != nil {
+		t.Fatal(err)
+	}
+	a.Net().Sim().Run()
+	if string(got) != "via random path" {
+		t.Errorf("server received %q", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package attribution implements the identification goals of paper
+// § III-A-2: a technique assisting law enforcement should (i) prove the
+// action of a particular individual rather than anyone with access to the
+// computer, (ii) confirm that a virus or other malware was not responsible
+// for the crime (rebutting the trojan defense), and (iii) show the
+// defendant had knowledge of the subject (browsing history and cookies —
+// the paper's methamphetamine-laboratory example).
+//
+// The Analyzer consumes artifacts extracted from a device examination —
+// login sessions, file events, browsing records, resident processes — and
+// produces findings plus court.Facts ready to support process
+// applications.
+package attribution
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"lawgate/internal/court"
+)
+
+// LoginRecord is one user session on the examined machine.
+type LoginRecord struct {
+	// User is the account.
+	User string
+	// At is the session start; Duration its length.
+	At       time.Time
+	Duration time.Duration
+}
+
+// covers reports whether the session was active at t.
+func (l LoginRecord) covers(t time.Time) bool {
+	return !t.Before(l.At) && !t.After(l.At.Add(l.Duration))
+}
+
+// FileEventKind classifies a file event.
+type FileEventKind int
+
+// File event kinds.
+const (
+	// EventCreated is file creation.
+	EventCreated FileEventKind = iota + 1
+	// EventModified is modification.
+	EventModified
+	// EventOpened is an open/read.
+	EventOpened
+)
+
+// String returns the kind name.
+func (k FileEventKind) String() string {
+	switch k {
+	case EventCreated:
+		return "created"
+	case EventModified:
+		return "modified"
+	case EventOpened:
+		return "opened"
+	default:
+		return fmt.Sprintf("FileEventKind(%d)", int(k))
+	}
+}
+
+// FileEvent is one filesystem event attributed to an account.
+type FileEvent struct {
+	// Path is the file concerned.
+	Path string
+	// Owner is the acting account.
+	Owner string
+	// At is the event time; Kind the event class.
+	At   time.Time
+	Kind FileEventKind
+}
+
+// BrowsingRecord is one history/cookie artifact.
+type BrowsingRecord struct {
+	// User is the account.
+	User string
+	// URL is the visited resource.
+	URL string
+	// At is the visit time.
+	At time.Time
+	// Terms are extracted search terms or page keywords.
+	Terms []string
+}
+
+// ProcessRecord is one resident program found on the machine.
+type ProcessRecord struct {
+	// Name is the executable name.
+	Name string
+	// SHA256 is the hex content hash, matched against known malware.
+	SHA256 string
+	// Autostart marks persistence (run keys, services).
+	Autostart bool
+}
+
+// Evidence is the artifact set extracted from one machine.
+type Evidence struct {
+	// Users are the accounts present on the machine.
+	Users []string
+	// Logins, Files, Browsing, Processes are the artifact streams.
+	Logins    []LoginRecord
+	Files     []FileEvent
+	Browsing  []BrowsingRecord
+	Processes []ProcessRecord
+}
+
+// ActorFinding attributes one contraband file to an account.
+type ActorFinding struct {
+	// Path is the contraband file.
+	Path string
+	// User is the account that created it, or "" if no creation event
+	// exists.
+	User string
+	// Exclusive reports whether no other account had an active session
+	// at creation time — the paper's goal (i): prove the action of a
+	// particular individual "rather than allowing for the possibility
+	// that someone else with access to the computer did so".
+	Exclusive bool
+	// OthersPresent lists other accounts with overlapping sessions.
+	OthersPresent []string
+}
+
+// MalwareFinding flags one suspicious resident program.
+type MalwareFinding struct {
+	// Name and SHA256 identify the program.
+	Name, SHA256 string
+	// Known marks a hash-set match; Autostart marks persistence of an
+	// unrecognized program.
+	Known     bool
+	Autostart bool
+}
+
+// KnowledgeFinding ties browsing activity to the crime's subject.
+type KnowledgeFinding struct {
+	// User is the account; URL the visited resource.
+	User, URL string
+	// MatchedTerms are the subject terms found.
+	MatchedTerms []string
+	// At is the visit time.
+	At time.Time
+}
+
+// Report is the full attribution analysis.
+type Report struct {
+	// Actors holds goal (i): who put the contraband there.
+	Actors []ActorFinding
+	// Malware holds goal (ii): MalwareClean is true when nothing
+	// suspicious resides on the machine, rebutting the trojan defense.
+	Malware      []MalwareFinding
+	MalwareClean bool
+	// Knowledge holds goal (iii): subject-matter awareness.
+	Knowledge []KnowledgeFinding
+	// Facts are court-ready facts derived from the findings.
+	Facts []court.Fact
+}
+
+// Analyzer performs attribution analysis. KnownMalware maps hex SHA-256 to
+// a family name.
+type Analyzer struct {
+	// KnownMalware is the malware hash set.
+	KnownMalware map[string]string
+}
+
+// Analyze runs the three § III-A-2 analyses over the evidence:
+// contrabandPaths are the files to attribute, and subjectTerms describe
+// the crime's subject matter for the knowledge analysis.
+func (a *Analyzer) Analyze(ev Evidence, contrabandPaths []string, subjectTerms []string) Report {
+	var rep Report
+
+	// Goal (i): attribute each contraband file's creation.
+	for _, path := range contrabandPaths {
+		finding := ActorFinding{Path: path}
+		var created *FileEvent
+		for i := range ev.Files {
+			e := &ev.Files[i]
+			if e.Path == path && e.Kind == EventCreated {
+				created = e
+				break
+			}
+		}
+		if created != nil {
+			finding.User = created.Owner
+			finding.Exclusive = true
+			for _, l := range ev.Logins {
+				if l.User != created.Owner && l.covers(created.At) {
+					finding.Exclusive = false
+					finding.OthersPresent = append(finding.OthersPresent, l.User)
+				}
+			}
+			sort.Strings(finding.OthersPresent)
+			finding.OthersPresent = dedupe(finding.OthersPresent)
+		}
+		rep.Actors = append(rep.Actors, finding)
+	}
+
+	// Goal (ii): the trojan-defense check.
+	rep.MalwareClean = true
+	for _, p := range ev.Processes {
+		family, known := a.KnownMalware[p.SHA256]
+		if known {
+			rep.Malware = append(rep.Malware, MalwareFinding{
+				Name: p.Name + " (" + family + ")", SHA256: p.SHA256, Known: true, Autostart: p.Autostart,
+			})
+			rep.MalwareClean = false
+			continue
+		}
+		if p.Autostart && !recognized(p.Name) {
+			rep.Malware = append(rep.Malware, MalwareFinding{
+				Name: p.Name, SHA256: p.SHA256, Autostart: true,
+			})
+			rep.MalwareClean = false
+		}
+	}
+
+	// Goal (iii): subject-matter knowledge.
+	for _, b := range ev.Browsing {
+		var matched []string
+		for _, term := range subjectTerms {
+			for _, have := range b.Terms {
+				if strings.EqualFold(term, have) {
+					matched = append(matched, have)
+				}
+			}
+		}
+		if len(matched) > 0 {
+			rep.Knowledge = append(rep.Knowledge, KnowledgeFinding{
+				User: b.User, URL: b.URL, MatchedTerms: matched, At: b.At,
+			})
+		}
+	}
+
+	rep.Facts = a.deriveFacts(rep)
+	return rep
+}
+
+// deriveFacts converts findings into court-ready facts: an exclusive,
+// malware-clean attribution is direct evidence of the individual's act;
+// knowledge findings evidence intent.
+func (a *Analyzer) deriveFacts(rep Report) []court.Fact {
+	var facts []court.Fact
+	for _, f := range rep.Actors {
+		if f.User == "" {
+			continue
+		}
+		if f.Exclusive && rep.MalwareClean {
+			facts = append(facts, court.Fact{
+				Kind: court.FactDirectObservation,
+				Description: fmt.Sprintf(
+					"forensic artifacts place %s alone at the machine when %s was created; no malware present",
+					f.User, f.Path),
+			})
+		} else {
+			facts = append(facts, court.Fact{
+				Kind: court.FactAccountMembership,
+				Description: fmt.Sprintf(
+					"account %s created %s, but attribution is not exclusive", f.User, f.Path),
+			})
+		}
+	}
+	for _, k := range rep.Knowledge {
+		facts = append(facts, court.Fact{
+			Kind: court.FactIntentEvidence,
+			Description: fmt.Sprintf(
+				"browsing history shows %s researched %s (%s)",
+				k.User, strings.Join(k.MatchedTerms, ", "), k.URL),
+		})
+	}
+	return facts
+}
+
+// recognized whitelists ordinary system components for the autostart
+// heuristic.
+func recognized(name string) bool {
+	switch strings.ToLower(name) {
+	case "explorer.exe", "init", "systemd", "launchd", "svchost.exe":
+		return true
+	default:
+		return false
+	}
+}
+
+func dedupe(in []string) []string {
+	out := in[:0]
+	var last string
+	for i, s := range in {
+		if i == 0 || s != last {
+			out = append(out, s)
+		}
+		last = s
+	}
+	return out
+}

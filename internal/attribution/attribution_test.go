@@ -1,0 +1,167 @@
+package attribution
+
+import (
+	"testing"
+	"time"
+
+	"lawgate/internal/court"
+	"lawgate/internal/legal"
+)
+
+var t0 = time.Date(2012, time.February, 10, 20, 0, 0, 0, time.UTC)
+
+func soloEvidence() Evidence {
+	return Evidence{
+		Users: []string{"dad", "teen"},
+		Logins: []LoginRecord{
+			{User: "dad", At: t0, Duration: 2 * time.Hour},
+			{User: "teen", At: t0.Add(5 * time.Hour), Duration: time.Hour},
+		},
+		Files: []FileEvent{
+			{Path: "c:/stash/img1.jpg", Owner: "dad", At: t0.Add(30 * time.Minute), Kind: EventCreated},
+			{Path: "c:/stash/img1.jpg", Owner: "dad", At: t0.Add(40 * time.Minute), Kind: EventOpened},
+		},
+		Browsing: []BrowsingRecord{
+			{User: "dad", URL: "http://example.com/howto", At: t0.Add(20 * time.Minute),
+				Terms: []string{"methamphetamine", "laboratory"}},
+			{User: "teen", URL: "http://example.com/games", At: t0.Add(5*time.Hour + 10*time.Minute),
+				Terms: []string{"games"}},
+		},
+		Processes: []ProcessRecord{
+			{Name: "explorer.exe", SHA256: "aaaa", Autostart: true},
+			{Name: "editor.exe", SHA256: "bbbb"},
+		},
+	}
+}
+
+func TestExclusiveAttribution(t *testing.T) {
+	a := &Analyzer{}
+	rep := a.Analyze(soloEvidence(), []string{"c:/stash/img1.jpg"}, []string{"methamphetamine"})
+	if len(rep.Actors) != 1 {
+		t.Fatalf("actors = %d", len(rep.Actors))
+	}
+	f := rep.Actors[0]
+	if f.User != "dad" || !f.Exclusive || len(f.OthersPresent) != 0 {
+		t.Errorf("finding = %+v", f)
+	}
+	if !rep.MalwareClean {
+		t.Errorf("machine should be malware-clean: %+v", rep.Malware)
+	}
+}
+
+func TestSharedSessionDefeatsExclusivity(t *testing.T) {
+	ev := soloEvidence()
+	// A second user logged in across the creation time.
+	ev.Logins = append(ev.Logins, LoginRecord{User: "teen", At: t0, Duration: time.Hour})
+	a := &Analyzer{}
+	rep := a.Analyze(ev, []string{"c:/stash/img1.jpg"}, nil)
+	f := rep.Actors[0]
+	if f.Exclusive {
+		t.Error("overlapping session must defeat exclusivity")
+	}
+	if len(f.OthersPresent) != 1 || f.OthersPresent[0] != "teen" {
+		t.Errorf("others = %v", f.OthersPresent)
+	}
+}
+
+func TestNoCreationEvent(t *testing.T) {
+	a := &Analyzer{}
+	rep := a.Analyze(soloEvidence(), []string{"c:/other/unknown.bin"}, nil)
+	f := rep.Actors[0]
+	if f.User != "" || f.Exclusive {
+		t.Errorf("unattributable file produced %+v", f)
+	}
+	// No fact derived for an unattributable file.
+	for _, fact := range rep.Facts {
+		if fact.Kind == court.FactDirectObservation {
+			t.Errorf("unattributable file yielded direct-observation fact: %+v", fact)
+		}
+	}
+}
+
+func TestKnownMalwareDetected(t *testing.T) {
+	ev := soloEvidence()
+	ev.Processes = append(ev.Processes, ProcessRecord{Name: "svc32.exe", SHA256: "deadbeef", Autostart: true})
+	a := &Analyzer{KnownMalware: map[string]string{"deadbeef": "ZeusVariant"}}
+	rep := a.Analyze(ev, []string{"c:/stash/img1.jpg"}, nil)
+	if rep.MalwareClean {
+		t.Fatal("known malware must defeat the clean finding")
+	}
+	var found bool
+	for _, m := range rep.Malware {
+		if m.Known && m.SHA256 == "deadbeef" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("malware findings = %+v", rep.Malware)
+	}
+	// With malware present, attribution downgrades to non-exclusive
+	// fact quality.
+	for _, fact := range rep.Facts {
+		if fact.Kind == court.FactDirectObservation {
+			t.Error("malware-present machine must not yield direct-observation facts")
+		}
+	}
+}
+
+func TestUnknownAutostartFlagged(t *testing.T) {
+	ev := soloEvidence()
+	ev.Processes = append(ev.Processes, ProcessRecord{Name: "updater.exe", SHA256: "cccc", Autostart: true})
+	a := &Analyzer{}
+	rep := a.Analyze(ev, nil, nil)
+	if rep.MalwareClean {
+		t.Error("unrecognized autostart program must be flagged")
+	}
+}
+
+func TestKnowledgeFindings(t *testing.T) {
+	a := &Analyzer{}
+	rep := a.Analyze(soloEvidence(), nil, []string{"methamphetamine", "precursors"})
+	if len(rep.Knowledge) != 1 {
+		t.Fatalf("knowledge findings = %d", len(rep.Knowledge))
+	}
+	k := rep.Knowledge[0]
+	if k.User != "dad" || len(k.MatchedTerms) != 1 || k.MatchedTerms[0] != "methamphetamine" {
+		t.Errorf("finding = %+v", k)
+	}
+	// Case-insensitive matching.
+	rep = a.Analyze(soloEvidence(), nil, []string{"METHAMPHETAMINE"})
+	if len(rep.Knowledge) != 1 {
+		t.Error("term matching must be case-insensitive")
+	}
+}
+
+func TestDerivedFactsSupportWarrant(t *testing.T) {
+	// The full § III-A-2 package: exclusive attribution on a clean
+	// machine plus knowledge evidence reaches probable cause.
+	a := &Analyzer{}
+	rep := a.Analyze(soloEvidence(), []string{"c:/stash/img1.jpg"}, []string{"methamphetamine"})
+	if len(rep.Facts) < 2 {
+		t.Fatalf("facts = %d", len(rep.Facts))
+	}
+	now := t0.Add(24 * time.Hour)
+	if got := court.AssessShowing(rep.Facts, now); got != legal.ShowingProbableCause {
+		t.Errorf("showing = %v, want probable cause", got)
+	}
+}
+
+func TestNonExclusiveFactsFallShort(t *testing.T) {
+	ev := soloEvidence()
+	ev.Logins = append(ev.Logins, LoginRecord{User: "teen", At: t0, Duration: time.Hour})
+	a := &Analyzer{}
+	rep := a.Analyze(ev, []string{"c:/stash/img1.jpg"}, nil)
+	now := t0.Add(24 * time.Hour)
+	if got := court.AssessShowing(rep.Facts, now); got >= legal.ShowingProbableCause {
+		t.Errorf("non-exclusive attribution alone gave %v", got)
+	}
+}
+
+func TestFileEventKindString(t *testing.T) {
+	if EventCreated.String() != "created" || EventModified.String() != "modified" || EventOpened.String() != "opened" {
+		t.Error("kind names wrong")
+	}
+	if FileEventKind(9).String() != "FileEventKind(9)" {
+		t.Errorf("placeholder = %q", FileEventKind(9).String())
+	}
+}

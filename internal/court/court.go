@@ -1,0 +1,187 @@
+package court
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+// Application errors.
+var (
+	// ErrInsufficientShowing: the offered facts do not meet the showing
+	// the requested process demands.
+	ErrInsufficientShowing = errors.New("court: insufficient showing")
+	// ErrLacksParticularity: a warrant application must particularly
+	// describe the place to be searched and the things to be seized.
+	ErrLacksParticularity = errors.New("court: application lacks particularity")
+	// ErrMultipleLocations: one warrant covers one location; data in
+	// multiple locations needs multiple warrants (paper § III-A-2-a).
+	ErrMultipleLocations = errors.New("court: one warrant per location required")
+	// ErrInvalidProcess: the requested process level is unknown or is
+	// ProcessNone.
+	ErrInvalidProcess = errors.New("court: invalid process requested")
+)
+
+// Application is a request for legal process.
+type Application struct {
+	// Process is the process level sought.
+	Process legal.Process
+	// Facts support the application.
+	Facts []Fact
+	// Place particularly describes the place to be searched
+	// (warrant-tier applications only).
+	Place string
+	// Things particularly describes the categories to be seized
+	// (warrant-tier applications only).
+	Things []string
+	// Applicant names the requesting officer or unit.
+	Applicant string
+}
+
+// Order is issued process: a subpoena, court order, search warrant, or
+// wiretap order.
+type Order struct {
+	// Serial is the court-assigned identifier.
+	Serial string
+	// Process is the granted process level.
+	Process legal.Process
+	// ShowingFound is the showing the court found the facts to support.
+	ShowingFound legal.Showing
+	// IssuedAt and ExpiresAt bound the order's life; warrants expire
+	// (paper § III-A-2-b: "a search warrant may expire and revoke after
+	// a specific time period").
+	IssuedAt  time.Time
+	ExpiresAt time.Time
+	// Place and Things carry the warrant's particularity.
+	Place  string
+	Things []string
+	// Applicant echoes the application.
+	Applicant string
+}
+
+// Expired reports whether the order has lapsed at time now.
+func (o *Order) Expired(now time.Time) bool {
+	return now.After(o.ExpiresAt)
+}
+
+// Covers reports whether a category of things falls within the order's
+// scope. Subpoenas and court orders have no Things particularity and cover
+// whatever they compelled; warrants cover only listed categories.
+func (o *Order) Covers(category string) bool {
+	if o.Process < legal.ProcessSearchWarrant {
+		return true
+	}
+	for _, t := range o.Things {
+		if t == category {
+			return true
+		}
+	}
+	return false
+}
+
+// Court issues process upon a sufficient showing. A Court is safe for
+// concurrent use.
+type Court struct {
+	mu              sync.Mutex
+	clock           func() time.Time
+	warrantLifetime time.Duration
+	serial          int
+}
+
+// CourtOption configures a Court.
+type CourtOption func(*Court)
+
+// WithCourtClock substitutes the time source.
+func WithCourtClock(clock func() time.Time) CourtOption {
+	return func(c *Court) { c.clock = clock }
+}
+
+// WithWarrantLifetime sets how long issued process remains valid
+// (default 14 days, the federal execution window).
+func WithWarrantLifetime(d time.Duration) CourtOption {
+	return func(c *Court) { c.warrantLifetime = d }
+}
+
+// NewCourt returns a Court with a 14-day default process lifetime.
+func NewCourt(opts ...CourtOption) *Court {
+	c := &Court{
+		clock:           time.Now,
+		warrantLifetime: 14 * 24 * time.Hour,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Apply adjudicates an application. It returns the issued Order, or an
+// error explaining the denial:
+//
+//   - ErrInvalidProcess for a malformed request;
+//   - ErrInsufficientShowing when the facts (after discarding stale ones)
+//     do not reach the required showing;
+//   - ErrLacksParticularity for a warrant application without place and
+//     things.
+func (c *Court) Apply(app Application) (*Order, error) {
+	if !app.Process.Valid() || app.Process == legal.ProcessNone {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidProcess, app.Process)
+	}
+	now := c.now()
+	found := AssessShowing(app.Facts, now)
+	need := legal.RequiredShowing(app.Process)
+	if !found.Sufficient(app.Process) {
+		return nil, fmt.Errorf("%w: %v requires %v, facts support only %v",
+			ErrInsufficientShowing, app.Process, need, found)
+	}
+	if app.Process >= legal.ProcessSearchWarrant {
+		if app.Place == "" || len(app.Things) == 0 {
+			return nil, fmt.Errorf("%w: place=%q, %d thing categories",
+				ErrLacksParticularity, app.Place, len(app.Things))
+		}
+	}
+	c.mu.Lock()
+	c.serial++
+	serial := fmt.Sprintf("ORD-%04d", c.serial)
+	c.mu.Unlock()
+	return &Order{
+		Serial:       serial,
+		Process:      app.Process,
+		ShowingFound: found,
+		IssuedAt:     now,
+		ExpiresAt:    now.Add(c.warrantLifetime),
+		Place:        app.Place,
+		Things:       append([]string(nil), app.Things...),
+		Applicant:    app.Applicant,
+	}, nil
+}
+
+// ApplyMulti issues one warrant per location, per the paper's
+// multi-location rule: "agents should obtain multiple warrants if they
+// have reason to believe that a network search will retrieve data stored
+// in multiple locations". All-or-nothing: if any location's application
+// fails, no orders are returned.
+func (c *Court) ApplyMulti(app Application, locations []string) ([]*Order, error) {
+	if len(locations) == 0 {
+		return nil, fmt.Errorf("%w: no locations", ErrMultipleLocations)
+	}
+	orders := make([]*Order, 0, len(locations))
+	for _, loc := range locations {
+		perLoc := app
+		perLoc.Place = loc
+		o, err := c.Apply(perLoc)
+		if err != nil {
+			return nil, fmt.Errorf("location %q: %w", loc, err)
+		}
+		orders = append(orders, o)
+	}
+	return orders, nil
+}
+
+func (c *Court) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clock()
+}

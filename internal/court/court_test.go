@@ -1,0 +1,220 @@
+package court
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+func newTestCourt(opts ...CourtOption) *Court {
+	base := []CourtOption{WithCourtClock(func() time.Time { return testNow })}
+	return NewCourt(append(base, opts...)...)
+}
+
+func warrantApp() Application {
+	return Application{
+		Process:   legal.ProcessSearchWarrant,
+		Facts:     []Fact{fact(FactIPAttribution)},
+		Place:     "123 Main St, apartment 4",
+		Things:    []string{"child-pornography-images", "p2p-client-logs"},
+		Applicant: "agent-a",
+	}
+}
+
+func TestApplyWarrantGranted(t *testing.T) {
+	c := newTestCourt()
+	o, err := c.Apply(warrantApp())
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if o.Process != legal.ProcessSearchWarrant {
+		t.Errorf("Process = %v", o.Process)
+	}
+	if o.ShowingFound != legal.ShowingProbableCause {
+		t.Errorf("ShowingFound = %v, want probable cause", o.ShowingFound)
+	}
+	if o.Serial == "" {
+		t.Error("order must carry a serial")
+	}
+	if !o.ExpiresAt.After(o.IssuedAt) {
+		t.Error("order must expire after issuance")
+	}
+	if o.Expired(testNow) {
+		t.Error("fresh order must not be expired")
+	}
+	if !o.Expired(testNow.Add(15 * 24 * time.Hour)) {
+		t.Error("order must expire after its lifetime")
+	}
+}
+
+func TestApplyInsufficientShowing(t *testing.T) {
+	c := newTestCourt()
+	app := warrantApp()
+	app.Facts = []Fact{fact(FactInformantTip)} // mere suspicion
+	_, err := c.Apply(app)
+	if !errors.Is(err, ErrInsufficientShowing) {
+		t.Fatalf("err = %v, want ErrInsufficientShowing", err)
+	}
+}
+
+func TestApplySubpoenaOnMereSuspicion(t *testing.T) {
+	// Paper § II-A: "Merely a suspicion is enough to apply for a
+	// subpoena."
+	c := newTestCourt()
+	o, err := c.Apply(Application{
+		Process: legal.ProcessSubpoena,
+		Facts:   []Fact{fact(FactInformantTip)},
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if o.Process != legal.ProcessSubpoena {
+		t.Errorf("Process = %v", o.Process)
+	}
+}
+
+func TestApplyCourtOrderNeedsArticulableFacts(t *testing.T) {
+	c := newTestCourt()
+	_, err := c.Apply(Application{
+		Process: legal.ProcessCourtOrder,
+		Facts:   []Fact{fact(FactInformantTip)},
+	})
+	if !errors.Is(err, ErrInsufficientShowing) {
+		t.Fatalf("tip alone must not support a court order; err = %v", err)
+	}
+	o, err := c.Apply(Application{
+		Process: legal.ProcessCourtOrder,
+		Facts:   []Fact{fact(FactAnomalousTraffic)},
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if o.ShowingFound != legal.ShowingArticulableFacts {
+		t.Errorf("ShowingFound = %v", o.ShowingFound)
+	}
+}
+
+func TestApplyParticularityRequired(t *testing.T) {
+	c := newTestCourt()
+	app := warrantApp()
+	app.Place = ""
+	if _, err := c.Apply(app); !errors.Is(err, ErrLacksParticularity) {
+		t.Errorf("missing place: err = %v, want ErrLacksParticularity", err)
+	}
+	app = warrantApp()
+	app.Things = nil
+	if _, err := c.Apply(app); !errors.Is(err, ErrLacksParticularity) {
+		t.Errorf("missing things: err = %v, want ErrLacksParticularity", err)
+	}
+	// Subpoenas need no particularity.
+	if _, err := c.Apply(Application{
+		Process: legal.ProcessSubpoena,
+		Facts:   []Fact{fact(FactInformantTip)},
+	}); err != nil {
+		t.Errorf("subpoena without particularity should issue: %v", err)
+	}
+}
+
+func TestApplyInvalidProcess(t *testing.T) {
+	c := newTestCourt()
+	for _, p := range []legal.Process{legal.ProcessNone, legal.Process(0), legal.Process(42)} {
+		if _, err := c.Apply(Application{Process: p}); !errors.Is(err, ErrInvalidProcess) {
+			t.Errorf("process %d: err = %v, want ErrInvalidProcess", int(p), err)
+		}
+	}
+}
+
+func TestApplyStaleFactsDenied(t *testing.T) {
+	c := newTestCourt()
+	app := warrantApp()
+	app.Facts = []Fact{{
+		Kind:       FactIPAttribution,
+		ObservedAt: testNow.Add(-30 * 24 * time.Hour),
+		Perishable: true,
+		ShelfLife:  24 * time.Hour,
+	}}
+	if _, err := c.Apply(app); !errors.Is(err, ErrInsufficientShowing) {
+		t.Errorf("stale facts must be disregarded; err = %v", err)
+	}
+}
+
+func TestApplyMulti(t *testing.T) {
+	c := newTestCourt()
+	app := warrantApp()
+	orders, err := c.ApplyMulti(app, []string{"office-server-room", "home-study", "colo-rack-12"})
+	if err != nil {
+		t.Fatalf("ApplyMulti: %v", err)
+	}
+	if len(orders) != 3 {
+		t.Fatalf("got %d orders, want 3", len(orders))
+	}
+	places := map[string]bool{}
+	serials := map[string]bool{}
+	for _, o := range orders {
+		places[o.Place] = true
+		if serials[o.Serial] {
+			t.Errorf("duplicate serial %q", o.Serial)
+		}
+		serials[o.Serial] = true
+	}
+	if len(places) != 3 {
+		t.Errorf("orders must cover distinct places; got %v", places)
+	}
+}
+
+func TestApplyMultiAllOrNothing(t *testing.T) {
+	c := newTestCourt()
+	app := warrantApp()
+	app.Things = nil // will fail particularity at every location
+	if _, err := c.ApplyMulti(app, []string{"a", "b"}); err == nil {
+		t.Error("ApplyMulti must fail when any application fails")
+	}
+	if _, err := c.ApplyMulti(app, nil); !errors.Is(err, ErrMultipleLocations) {
+		t.Error("ApplyMulti with no locations must fail")
+	}
+}
+
+func TestOrderSerialsIncrease(t *testing.T) {
+	c := newTestCourt()
+	o1, err := c.Apply(warrantApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := c.Apply(warrantApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Serial == o2.Serial {
+		t.Errorf("serials must differ: %q vs %q", o1.Serial, o2.Serial)
+	}
+}
+
+func TestWarrantLifetimeOption(t *testing.T) {
+	c := newTestCourt(WithWarrantLifetime(48 * time.Hour))
+	o, err := c.Apply(warrantApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.ExpiresAt.Sub(o.IssuedAt); got != 48*time.Hour {
+		t.Errorf("lifetime = %v, want 48h", got)
+	}
+}
+
+func TestOrderCovers(t *testing.T) {
+	o := &Order{
+		Process: legal.ProcessSearchWarrant,
+		Things:  []string{"drug-ledgers"},
+	}
+	if !o.Covers("drug-ledgers") {
+		t.Error("warrant must cover a listed category")
+	}
+	if o.Covers("firearms") {
+		t.Error("warrant must not cover an unlisted category")
+	}
+	sub := &Order{Process: legal.ProcessSubpoena}
+	if !sub.Covers("anything") {
+		t.Error("sub-warrant process has no Things particularity")
+	}
+}

@@ -1,0 +1,9 @@
+// Package court simulates the judicial side of the paper's Section III:
+// applications for subpoenas, court orders, and search warrants; the
+// evidentiary showings each requires (mere suspicion, specific and
+// articulable facts, probable cause); probable-cause assessment from typed
+// investigative facts, including the paper's recurring scenarios (probable
+// cause through an IP address, through online account information, and the
+// staleness doctrine); and warrant execution with particularity, scope,
+// expiry, multi-location, and plain-view handling.
+package court

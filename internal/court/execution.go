@@ -1,0 +1,78 @@
+package court
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+// Execution errors.
+var (
+	// ErrOrderExpired: the order lapsed before execution.
+	ErrOrderExpired = errors.New("court: order expired")
+	// ErrWrongPlace: the warrant does not cover the searched place.
+	ErrWrongPlace = errors.New("court: place outside warrant")
+	// ErrNotAWarrant: search execution requires warrant-tier process.
+	ErrNotAWarrant = errors.New("court: execution requires a warrant")
+)
+
+// SearchItem is one object encountered while executing a search.
+type SearchItem struct {
+	// Name labels the item.
+	Name string
+	// Category is the item's evidentiary category, matched against the
+	// warrant's Things.
+	Category string
+	// Incriminating reports whether the item evidences some crime.
+	Incriminating bool
+	// ImmediatelyApparent reports whether the incriminating character is
+	// apparent without further examination — the plain-view requirement.
+	ImmediatelyApparent bool
+}
+
+// ExecutionResult partitions the encountered items.
+type ExecutionResult struct {
+	// Seized items fell within the warrant's scope.
+	Seized []SearchItem
+	// PlainView items fell outside the scope but were lawfully seized
+	// under the plain-view doctrine (paper § III-B-e: "agents examine a
+	// computer pursuant to a search warrant and discover evidence of a
+	// separate crime").
+	PlainView []SearchItem
+	// Left items were outside the scope and not plainly incriminating;
+	// they must be left alone (the business-records caution of
+	// § III-A-2-a).
+	Left []SearchItem
+}
+
+// ExecuteSearch executes a warrant at a place over the listed items at
+// time now. It fails with ErrNotAWarrant for sub-warrant process,
+// ErrOrderExpired after expiry, and ErrWrongPlace for a place the warrant
+// does not name.
+func ExecuteSearch(o *Order, now time.Time, place string, items []SearchItem) (ExecutionResult, error) {
+	if o == nil || o.Process < legal.ProcessSearchWarrant {
+		return ExecutionResult{}, ErrNotAWarrant
+	}
+	if o.Expired(now) {
+		return ExecutionResult{}, fmt.Errorf("%w: expired %s, executed %s",
+			ErrOrderExpired, o.ExpiresAt.Format(time.RFC3339), now.Format(time.RFC3339))
+	}
+	if o.Place != place {
+		return ExecutionResult{}, fmt.Errorf("%w: warrant names %q, searched %q",
+			ErrWrongPlace, o.Place, place)
+	}
+	var res ExecutionResult
+	for _, it := range items {
+		switch {
+		case o.Covers(it.Category):
+			res.Seized = append(res.Seized, it)
+		case it.Incriminating && it.ImmediatelyApparent:
+			res.PlainView = append(res.PlainView, it)
+		default:
+			res.Left = append(res.Left, it)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package court
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+func issuedWarrant(t *testing.T) *Order {
+	t.Helper()
+	c := newTestCourt()
+	o, err := c.Apply(warrantApp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestExecuteSearchScope(t *testing.T) {
+	o := issuedWarrant(t)
+	items := []SearchItem{
+		{Name: "image-001.jpg", Category: "child-pornography-images"},
+		{Name: "oneswarm.log", Category: "p2p-client-logs"},
+		{Name: "ledger.xls", Category: "business-records"},
+		{Name: "meth-lab-howto.html", Category: "browsing-history", Incriminating: true, ImmediatelyApparent: true},
+		{Name: "stego.bin", Category: "misc", Incriminating: true, ImmediatelyApparent: false},
+	}
+	res, err := ExecuteSearch(o, testNow.Add(time.Hour), o.Place, items)
+	if err != nil {
+		t.Fatalf("ExecuteSearch: %v", err)
+	}
+	if len(res.Seized) != 2 {
+		t.Errorf("Seized = %d items, want 2", len(res.Seized))
+	}
+	if len(res.PlainView) != 1 || res.PlainView[0].Name != "meth-lab-howto.html" {
+		t.Errorf("PlainView = %v", res.PlainView)
+	}
+	// The hidden-incriminating item and the innocuous business record
+	// must both be left: incriminating character not immediately
+	// apparent is not plain view.
+	if len(res.Left) != 2 {
+		t.Errorf("Left = %d items, want 2: %v", len(res.Left), res.Left)
+	}
+}
+
+func TestExecuteSearchExpired(t *testing.T) {
+	o := issuedWarrant(t)
+	_, err := ExecuteSearch(o, testNow.Add(30*24*time.Hour), o.Place, nil)
+	if !errors.Is(err, ErrOrderExpired) {
+		t.Fatalf("err = %v, want ErrOrderExpired", err)
+	}
+}
+
+func TestExecuteSearchWrongPlace(t *testing.T) {
+	o := issuedWarrant(t)
+	_, err := ExecuteSearch(o, testNow.Add(time.Hour), "456 Other Ave", nil)
+	if !errors.Is(err, ErrWrongPlace) {
+		t.Fatalf("err = %v, want ErrWrongPlace", err)
+	}
+}
+
+func TestExecuteSearchRequiresWarrant(t *testing.T) {
+	sub := &Order{Process: legal.ProcessSubpoena, ExpiresAt: testNow.Add(time.Hour)}
+	if _, err := ExecuteSearch(sub, testNow, "", nil); !errors.Is(err, ErrNotAWarrant) {
+		t.Fatalf("err = %v, want ErrNotAWarrant", err)
+	}
+	if _, err := ExecuteSearch(nil, testNow, "", nil); !errors.Is(err, ErrNotAWarrant) {
+		t.Fatalf("nil order: err = %v, want ErrNotAWarrant", err)
+	}
+}
+
+func TestExecuteSearchEmptyItems(t *testing.T) {
+	o := issuedWarrant(t)
+	res, err := ExecuteSearch(o, testNow.Add(time.Hour), o.Place, nil)
+	if err != nil {
+		t.Fatalf("ExecuteSearch: %v", err)
+	}
+	if len(res.Seized)+len(res.PlainView)+len(res.Left) != 0 {
+		t.Errorf("empty search must partition nothing: %+v", res)
+	}
+}
+
+func TestExecutionPartitionsEveryItem(t *testing.T) {
+	o := issuedWarrant(t)
+	items := make([]SearchItem, 0, 30)
+	for i := 0; i < 30; i++ {
+		items = append(items, SearchItem{
+			Name:                "f",
+			Category:            []string{"child-pornography-images", "x", "y"}[i%3],
+			Incriminating:       i%2 == 0,
+			ImmediatelyApparent: i%4 == 0,
+		})
+	}
+	res, err := ExecuteSearch(o, testNow.Add(time.Hour), o.Place, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Seized) + len(res.PlainView) + len(res.Left); got != len(items) {
+		t.Errorf("partition lost items: %d of %d", got, len(items))
+	}
+}

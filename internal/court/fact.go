@@ -1,0 +1,141 @@
+package court
+
+import (
+	"fmt"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+// FactKind classifies an investigative fact by its doctrinal weight,
+// following the probable-cause scenarios of paper § III-A-1.
+type FactKind int
+
+// Fact kinds.
+const (
+	// FactIPAttribution: an attacker's IP address obtained from a victim
+	// or provider and resolved to a subscriber. "Typically, such kind of
+	// probable cause is sufficient to obtain a search warrant", even if
+	// the suspect ran an unsecured wireless connection.
+	FactIPAttribution FactKind = iota + 1
+	// FactAccountMembership: membership in an illicit site or group.
+	// Membership alone does not always support a warrant (United States
+	// v. Coreas); it needs intent evidence alongside.
+	FactAccountMembership
+	// FactIntentEvidence: evidence of the suspect's intent or knowledge
+	// (browsing history, search queries, cookies).
+	FactIntentEvidence
+	// FactDirectObservation: an officer directly observed criminal
+	// conduct.
+	FactDirectObservation
+	// FactInformantTip: an informant's tip; mere suspicion on its own.
+	FactInformantTip
+	// FactAnomalousTraffic: suspicious network activity; specific and
+	// articulable facts.
+	FactAnomalousTraffic
+	// FactProviderRecord: provider records linking an account to
+	// activity; specific and articulable facts.
+	FactProviderRecord
+	// FactTimingCorrelation: a statistical traffic-analysis result (the
+	// Section-IV techniques); specific and articulable facts supporting
+	// further process.
+	FactTimingCorrelation
+)
+
+var factKindNames = map[FactKind]string{
+	FactIPAttribution:     "IP attribution",
+	FactAccountMembership: "account membership",
+	FactIntentEvidence:    "intent evidence",
+	FactDirectObservation: "direct observation",
+	FactInformantTip:      "informant tip",
+	FactAnomalousTraffic:  "anomalous traffic",
+	FactProviderRecord:    "provider record",
+	FactTimingCorrelation: "timing correlation",
+}
+
+// String returns the human-readable kind.
+func (k FactKind) String() string {
+	if s, ok := factKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("FactKind(%d)", int(k))
+}
+
+// Valid reports whether k is a defined fact kind.
+func (k FactKind) Valid() bool {
+	_, ok := factKindNames[k]
+	return ok
+}
+
+// Fact is one investigative fact offered in support of an application.
+type Fact struct {
+	// Kind is the doctrinal classification.
+	Kind FactKind
+	// Description is free-form detail.
+	Description string
+	// ObservedAt is when the fact was established.
+	ObservedAt time.Time
+	// Perishable marks information that can go stale. Per the paper,
+	// most computer-crime information "is sufficient to establish the
+	// probable cause no matter how old it is" (collections endure,
+	// deleted files are recoverable), but "there are still a few cases
+	// where some information may be stale".
+	Perishable bool
+	// ShelfLife bounds a perishable fact's useful age.
+	ShelfLife time.Duration
+}
+
+// Stale reports whether the fact is too old to support a showing at time
+// now. Non-perishable facts never go stale.
+func (f Fact) Stale(now time.Time) bool {
+	if !f.Perishable {
+		return false
+	}
+	return now.Sub(f.ObservedAt) > f.ShelfLife
+}
+
+// AssessShowing computes the strongest showing a set of facts supports at
+// time now, per the paper's § III-A-1 scenarios:
+//
+//   - IP attribution or direct observation establishes probable cause;
+//   - account membership plus intent evidence establishes probable cause,
+//     while membership alone supports only articulable facts (Coreas);
+//   - provider records, anomalous traffic, and timing correlations
+//     support articulable facts;
+//   - an informant tip alone supports mere suspicion;
+//   - stale perishable facts are disregarded.
+func AssessShowing(facts []Fact, now time.Time) legal.Showing {
+	var (
+		membership bool
+		intent     bool
+	)
+	best := legal.ShowingNone
+	raise := func(s legal.Showing) {
+		if s > best {
+			best = s
+		}
+	}
+	for _, f := range facts {
+		if !f.Kind.Valid() || f.Stale(now) {
+			continue
+		}
+		switch f.Kind {
+		case FactIPAttribution, FactDirectObservation:
+			raise(legal.ShowingProbableCause)
+		case FactAccountMembership:
+			membership = true
+			raise(legal.ShowingArticulableFacts)
+		case FactIntentEvidence:
+			intent = true
+			raise(legal.ShowingArticulableFacts)
+		case FactAnomalousTraffic, FactProviderRecord, FactTimingCorrelation:
+			raise(legal.ShowingArticulableFacts)
+		case FactInformantTip:
+			raise(legal.ShowingMereSuspicion)
+		}
+	}
+	if membership && intent {
+		raise(legal.ShowingProbableCause)
+	}
+	return best
+}

@@ -1,0 +1,157 @@
+package court
+
+import (
+	"testing"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+var testNow = time.Date(2012, time.March, 15, 12, 0, 0, 0, time.UTC)
+
+func fact(kind FactKind) Fact {
+	return Fact{Kind: kind, ObservedAt: testNow.Add(-24 * time.Hour)}
+}
+
+func TestAssessShowingScenarios(t *testing.T) {
+	tests := []struct {
+		name  string
+		facts []Fact
+		want  legal.Showing
+	}{
+		{
+			name:  "no facts",
+			facts: nil,
+			want:  legal.ShowingNone,
+		},
+		{
+			name:  "informant tip alone is mere suspicion",
+			facts: []Fact{fact(FactInformantTip)},
+			want:  legal.ShowingMereSuspicion,
+		},
+		{
+			name:  "IP attribution alone is probable cause (paper III-A-1-a)",
+			facts: []Fact{fact(FactIPAttribution)},
+			want:  legal.ShowingProbableCause,
+		},
+		{
+			name:  "direct observation is probable cause",
+			facts: []Fact{fact(FactDirectObservation)},
+			want:  legal.ShowingProbableCause,
+		},
+		{
+			name:  "membership alone is only articulable facts (Coreas)",
+			facts: []Fact{fact(FactAccountMembership)},
+			want:  legal.ShowingArticulableFacts,
+		},
+		{
+			name:  "membership plus intent is probable cause (paper III-A-1-b)",
+			facts: []Fact{fact(FactAccountMembership), fact(FactIntentEvidence)},
+			want:  legal.ShowingProbableCause,
+		},
+		{
+			name:  "intent evidence alone is articulable facts",
+			facts: []Fact{fact(FactIntentEvidence)},
+			want:  legal.ShowingArticulableFacts,
+		},
+		{
+			name:  "anomalous traffic is articulable facts",
+			facts: []Fact{fact(FactAnomalousTraffic)},
+			want:  legal.ShowingArticulableFacts,
+		},
+		{
+			name:  "provider record is articulable facts",
+			facts: []Fact{fact(FactProviderRecord)},
+			want:  legal.ShowingArticulableFacts,
+		},
+		{
+			name:  "timing correlation is articulable facts (Section IV-B)",
+			facts: []Fact{fact(FactTimingCorrelation)},
+			want:  legal.ShowingArticulableFacts,
+		},
+		{
+			name:  "strongest fact wins",
+			facts: []Fact{fact(FactInformantTip), fact(FactAnomalousTraffic), fact(FactIPAttribution)},
+			want:  legal.ShowingProbableCause,
+		},
+		{
+			name:  "invalid kinds are ignored",
+			facts: []Fact{{Kind: FactKind(99), ObservedAt: testNow}},
+			want:  legal.ShowingNone,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := AssessShowing(tt.facts, testNow); got != tt.want {
+				t.Errorf("AssessShowing = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	// Paper § III-A-1-c: most information supports probable cause "no
+	// matter how old it is"; only designated perishable facts go stale.
+	ancient := Fact{
+		Kind:       FactIPAttribution,
+		ObservedAt: testNow.Add(-5 * 365 * 24 * time.Hour),
+	}
+	if ancient.Stale(testNow) {
+		t.Error("non-perishable facts never go stale")
+	}
+	if got := AssessShowing([]Fact{ancient}, testNow); got != legal.ShowingProbableCause {
+		t.Errorf("old non-perishable IP attribution should still be probable cause, got %v", got)
+	}
+
+	perished := Fact{
+		Kind:       FactAnomalousTraffic,
+		ObservedAt: testNow.Add(-72 * time.Hour),
+		Perishable: true,
+		ShelfLife:  24 * time.Hour,
+	}
+	if !perished.Stale(testNow) {
+		t.Error("perishable fact past its shelf life must be stale")
+	}
+	if got := AssessShowing([]Fact{perished}, testNow); got != legal.ShowingNone {
+		t.Errorf("stale facts must be disregarded; got %v", got)
+	}
+
+	fresh := perished
+	fresh.ObservedAt = testNow.Add(-1 * time.Hour)
+	if fresh.Stale(testNow) {
+		t.Error("fresh perishable fact must not be stale")
+	}
+}
+
+func TestStaleMembershipBlocksProbableCause(t *testing.T) {
+	// Membership plus intent is probable cause, but if the intent
+	// evidence went stale only membership remains.
+	membership := fact(FactAccountMembership)
+	staleIntent := Fact{
+		Kind:       FactIntentEvidence,
+		ObservedAt: testNow.Add(-48 * time.Hour),
+		Perishable: true,
+		ShelfLife:  time.Hour,
+	}
+	got := AssessShowing([]Fact{membership, staleIntent}, testNow)
+	if got != legal.ShowingArticulableFacts {
+		t.Errorf("AssessShowing = %v, want articulable facts", got)
+	}
+}
+
+func TestFactKindString(t *testing.T) {
+	for k := FactIPAttribution; k <= FactTimingCorrelation; k++ {
+		if !k.Valid() {
+			t.Errorf("kind %d should be valid", int(k))
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d has empty string", int(k))
+		}
+	}
+	if FactKind(0).Valid() {
+		t.Error("FactKind(0) should be invalid")
+	}
+	if FactKind(99).String() != "FactKind(99)" {
+		t.Errorf("placeholder = %q", FactKind(99).String())
+	}
+}

@@ -1,0 +1,433 @@
+package disk
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newFS(t *testing.T, blocks int) *FS {
+	t.Helper()
+	im, err := NewImage(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Format(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestImageBasics(t *testing.T) {
+	im, err := NewImage(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Blocks() != 16 || im.Size() != 16*BlockSize {
+		t.Errorf("geometry: %d blocks, %d bytes", im.Blocks(), im.Size())
+	}
+	if err := im.WriteBlock(3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := im.ReadBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b[:5]) != "hello" {
+		t.Errorf("block content: %q", b[:5])
+	}
+	if _, err := im.ReadBlock(16); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("oob read err = %v", err)
+	}
+	if err := im.WriteBlock(-1, nil); !errors.Is(err, ErrBadBlock) {
+		t.Errorf("oob write err = %v", err)
+	}
+	if err := im.WriteBlock(0, make([]byte, BlockSize+1)); !errors.Is(err, ErrBadSize) {
+		t.Errorf("oversize write err = %v", err)
+	}
+	if _, err := NewImage(0); !errors.Is(err, ErrBadSize) {
+		t.Errorf("zero image err = %v", err)
+	}
+}
+
+func TestImageWriteBlockZeroPads(t *testing.T) {
+	im, err := NewImage(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteBlock(1, bytes.Repeat([]byte{0xAA}, BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteBlock(1, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := im.ReadBlock(1)
+	if b[5] != 0 || b[BlockSize-1] != 0 {
+		t.Error("short write must zero the rest of the block")
+	}
+}
+
+func TestImageDuplicate(t *testing.T) {
+	im, err := NewImage(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := im.WriteBlock(2, []byte("evidence")); err != nil {
+		t.Fatal(err)
+	}
+	cp, hash, err := im.Duplicate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hash != im.Hash() || hash != cp.Hash() {
+		t.Error("duplicate hash mismatch")
+	}
+	// Post-copy mutation must not affect the duplicate.
+	if err := im.WriteBlock(2, []byte("tampered")); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cp.ReadBlock(2)
+	if string(b[:8]) != "evidence" {
+		t.Error("duplicate must be independent of the original")
+	}
+	if im.Hash() == cp.Hash() {
+		t.Error("hashes must diverge after mutation")
+	}
+}
+
+func TestFSCreateReadRoundTrip(t *testing.T) {
+	fs := newFS(t, 128)
+	content := bytes.Repeat([]byte("abc123"), 300) // spans multiple blocks
+	if err := fs.Create("evidence.bin", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("evidence.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Error("round trip mismatch")
+	}
+	files, err := fs.List(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0].Name != "evidence.bin" || files[0].Size != len(content) {
+		t.Errorf("List = %+v", files)
+	}
+}
+
+func TestFSCreateErrors(t *testing.T) {
+	fs := newFS(t, 64)
+	if err := fs.Create("", nil); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("empty name err = %v", err)
+	}
+	if err := fs.Create(string(bytes.Repeat([]byte("x"), 40)), nil); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("long name err = %v", err)
+	}
+	if err := fs.Create("big", make([]byte, MaxFileSize+1)); !errors.Is(err, ErrFileTooLarge) {
+		t.Errorf("oversize err = %v", err)
+	}
+	if err := fs.Create("dup", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("dup", []byte("y")); !errors.Is(err, ErrFileExists) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	if _, err := fs.Read("missing"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("missing read err = %v", err)
+	}
+	if err := fs.Delete("missing"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("missing delete err = %v", err)
+	}
+}
+
+func TestFSNoSpace(t *testing.T) {
+	// Image with very few data blocks.
+	fs := newFS(t, dataStart+2)
+	if err := fs.Create("a", make([]byte, 2*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("b", []byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Errorf("no-space err = %v", err)
+	}
+}
+
+func TestFSDeleteAndRecover(t *testing.T) {
+	fs := newFS(t, 128)
+	secret := []byte("deleted contraband content")
+	if err := fs.Create("secret.txt", secret); err != nil {
+		t.Fatal(err)
+	}
+	free0, err := fs.FreeBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("secret.txt"); err != nil {
+		t.Fatal(err)
+	}
+	free1, err := fs.FreeBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free1 != free0+1 {
+		t.Errorf("free blocks %d -> %d, want +1", free0, free1)
+	}
+	// Gone from the live listing, present with includeDeleted.
+	live, _ := fs.List(false)
+	if len(live) != 0 {
+		t.Errorf("live files after delete: %v", live)
+	}
+	all, _ := fs.List(true)
+	if len(all) != 1 || !all[0].Deleted {
+		t.Errorf("deleted listing: %+v", all)
+	}
+	if _, err := fs.Read("secret.txt"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("read deleted err = %v", err)
+	}
+	// Residue recoverable.
+	got, err := fs.Recover("secret.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Error("recovered content mismatch")
+	}
+	if _, err := fs.Recover("never-existed"); !errors.Is(err, ErrFileNotFound) {
+		t.Errorf("recover missing err = %v", err)
+	}
+}
+
+func TestFSDeletedBlocksReused(t *testing.T) {
+	fs := newFS(t, 64)
+	if err := fs.Create("old", bytes.Repeat([]byte("O"), BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("old"); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the freed block with new content.
+	if err := fs.Create("new", bytes.Repeat([]byte("N"), BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	// The residue is overwritten — recovery now returns the new data,
+	// reflecting real deleted-file forensics.
+	got, err := fs.Recover("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'N' {
+		t.Error("expected residue to be overwritten by reuse")
+	}
+}
+
+func TestMount(t *testing.T) {
+	im, err := NewImage(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Mount(im); !errors.Is(err, ErrNotFormatted) {
+		t.Errorf("unformatted mount err = %v", err)
+	}
+	if _, err := Format(im); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Mount(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Create("f", []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	fs3, err := Mount(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs3.Read("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persisted" {
+		t.Error("data must survive remount")
+	}
+	small, err := NewImage(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(small); !errors.Is(err, ErrBadSize) {
+		t.Errorf("tiny format err = %v", err)
+	}
+}
+
+func TestCarve(t *testing.T) {
+	fs := newFS(t, 256)
+	jpeg := append(append([]byte{0xFF, 0xD8, 0xFF, 0xE0}, bytes.Repeat([]byte{0x42}, 100)...), 0xFF, 0xD9)
+	pdf := append([]byte("%PDF-1.4 content here "), []byte("%%EOF")...)
+	if err := fs.Create("photo.jpg", jpeg); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("doc.pdf", pdf); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the JPEG: carving must still find it in the residue.
+	if err := fs.Delete("photo.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	carved := Carve(fs.Image(), StandardSignatures())
+	byFormat := map[string]int{}
+	for _, c := range carved {
+		byFormat[c.Format]++
+	}
+	if byFormat["jpeg"] != 1 {
+		t.Errorf("carved %d jpegs, want 1", byFormat["jpeg"])
+	}
+	if byFormat["pdf"] != 1 {
+		t.Errorf("carved %d pdfs, want 1", byFormat["pdf"])
+	}
+	for _, c := range carved {
+		if c.Format == "jpeg" && !bytes.Equal(c.Data, jpeg) {
+			t.Error("carved jpeg differs from original")
+		}
+	}
+}
+
+func TestCarveHeaderWithoutFooter(t *testing.T) {
+	im, err := NewImage(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A JPEG header with no terminator must not be carved.
+	if err := im.WriteBlock(2, []byte{0xFF, 0xD8, 0xFF, 0x00, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	carved := Carve(im, StandardSignatures())
+	if len(carved) != 0 {
+		t.Errorf("carved %d objects from headerless junk", len(carved))
+	}
+}
+
+func TestHashSearch(t *testing.T) {
+	fs := newFS(t, 256)
+	contraband := append(append([]byte{0xFF, 0xD8, 0xFF}, bytes.Repeat([]byte{7}, 64)...), 0xFF, 0xD9)
+	innocuous := []byte("family vacation notes")
+	if err := fs.Create("a.jpg", contraband); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("notes.txt", innocuous); err != nil {
+		t.Fatal(err)
+	}
+	known := HashSet{}
+	known.Add("known-contraband-001", contraband)
+	hits, err := HashSearch(fs, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Label != "known-contraband-001" || hits[0].File != "a.jpg" {
+		t.Errorf("hits = %+v", hits)
+	}
+	// After deletion the hash search still finds it via recovery.
+	if err := fs.Delete("a.jpg"); err != nil {
+		t.Fatal(err)
+	}
+	hits, err = HashSearch(fs, known)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || !hits[0].Deleted {
+		t.Errorf("post-delete hits = %+v", hits)
+	}
+}
+
+func TestKeywordSearch(t *testing.T) {
+	fs := newFS(t, 128)
+	if err := fs.Create("howto.html", []byte("how to build a methamphetamine laboratory")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("recipe.txt", []byte("chocolate cake instructions")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := KeywordSearch(fs, []byte("methamphetamine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "howto.html" {
+		t.Errorf("keyword hits = %v", got)
+	}
+	none, err := KeywordSearch(fs, []byte("absent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("unexpected hits = %v", none)
+	}
+}
+
+// Property: create/read round trips for arbitrary contents and the free
+// block count is consistent with the bytes stored.
+func TestFSRoundTripProperty(t *testing.T) {
+	f := func(content []byte) bool {
+		if len(content) > MaxFileSize {
+			content = content[:MaxFileSize]
+		}
+		fs := newFS(&testing.T{}, 128)
+		if err := fs.Create("f", content); err != nil {
+			return false
+		}
+		got, err := fs.Read("f")
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got, content) {
+			return false
+		}
+		free, err := fs.FreeBlocks()
+		if err != nil {
+			return false
+		}
+		used := (len(content) + BlockSize - 1) / BlockSize
+		return free == (128-dataStart)-used
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Errorf("round-trip property violated: %v", err)
+	}
+}
+
+func TestInodeMarshalRoundTrip(t *testing.T) {
+	in := inode{live: true, deleted: false, name: "some-file.dat", size: 4097}
+	in.ptrs[0], in.ptrs[1], in.ptrs[11] = 10, 11, 21
+	got := unmarshalInode(in.marshal())
+	if got.live != in.live || got.deleted != in.deleted || got.name != in.name || got.size != in.size {
+		t.Errorf("round trip = %+v, want %+v", got, in)
+	}
+	if got.ptrs != in.ptrs {
+		t.Errorf("ptrs = %v, want %v", got.ptrs, in.ptrs)
+	}
+}
+
+func TestCarveFragmentationLimitation(t *testing.T) {
+	// Interleave two files block by block so the JPEG's body is split
+	// by foreign data: header and footer both exist, but the carved
+	// object spans the interloper — the classic fragmentation
+	// limitation of signature carving, preserved (not hidden) by this
+	// implementation.
+	fs := newFS(t, 64)
+	jpegHead := append([]byte{0xFF, 0xD8, 0xFF, 0xE0}, bytes.Repeat([]byte{0x01}, BlockSize-4)...)
+	if err := fs.Create("part1", jpegHead); err != nil { // occupies one block
+		t.Fatal(err)
+	}
+	if err := fs.Create("interloper", bytes.Repeat([]byte{0x77}, BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("part2", append(bytes.Repeat([]byte{0x02}, 60), 0xFF, 0xD9)); err != nil {
+		t.Fatal(err)
+	}
+	carved := Carve(fs.Image(), StandardSignatures())
+	if len(carved) != 1 {
+		t.Fatalf("carved %d objects", len(carved))
+	}
+	if !bytes.Contains(carved[0].Data, []byte{0x77, 0x77}) {
+		t.Error("fragmented carve should include the interloper's bytes — documenting the limitation")
+	}
+}

@@ -1,0 +1,160 @@
+package disk
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Signature is a file-format magic-number pair used for carving.
+type Signature struct {
+	// Name labels the format.
+	Name string
+	// Header and Footer delimit an instance in the bitstream; a nil
+	// footer carves a fixed MaxLen run.
+	Header, Footer []byte
+	// MaxLen bounds a carved object.
+	MaxLen int
+}
+
+// StandardSignatures returns carving signatures for the formats the
+// paper's scenarios involve.
+func StandardSignatures() []Signature {
+	return []Signature{
+		{Name: "jpeg", Header: []byte{0xFF, 0xD8, 0xFF}, Footer: []byte{0xFF, 0xD9}, MaxLen: 1 << 20},
+		{Name: "png", Header: []byte{0x89, 'P', 'N', 'G'}, Footer: []byte("IEND"), MaxLen: 1 << 20},
+		{Name: "pdf", Header: []byte("%PDF"), Footer: []byte("%%EOF"), MaxLen: 1 << 20},
+	}
+}
+
+// Carved is one object recovered by signature scanning.
+type Carved struct {
+	// Format is the signature name.
+	Format string
+	// Offset is the byte offset in the image.
+	Offset int
+	// Data is the carved object, header through footer inclusive.
+	Data []byte
+}
+
+// Carve scans the raw image for signature instances — the technique that
+// recovers deleted content with no filesystem help. Overlapping instances
+// of one format are carved left to right without rescanning inside a hit.
+func Carve(im *Image, sigs []Signature) []Carved {
+	raw := im.Raw()
+	var out []Carved
+	for _, sig := range sigs {
+		pos := 0
+		for {
+			i := bytes.Index(raw[pos:], sig.Header)
+			if i < 0 {
+				break
+			}
+			start := pos + i
+			end := -1
+			if sig.Footer != nil {
+				limit := start + sig.MaxLen
+				if limit > len(raw) {
+					limit = len(raw)
+				}
+				if j := bytes.Index(raw[start+len(sig.Header):limit], sig.Footer); j >= 0 {
+					end = start + len(sig.Header) + j + len(sig.Footer)
+				}
+			}
+			if end < 0 {
+				pos = start + len(sig.Header)
+				continue
+			}
+			out = append(out, Carved{
+				Format: sig.Name,
+				Offset: start,
+				Data:   append([]byte(nil), raw[start:end]...),
+			})
+			pos = end
+		}
+	}
+	return out
+}
+
+// HashSet is a known-file hash database (hex SHA-256 → label), as used in
+// contraband hash searches.
+type HashSet map[string]string
+
+// Add registers content under a label and returns its hex hash.
+func (h HashSet) Add(label string, content []byte) string {
+	sum := sha256.Sum256(content)
+	k := hex.EncodeToString(sum[:])
+	h[k] = label
+	return k
+}
+
+// HashHit is one known-file match found on a drive.
+type HashHit struct {
+	// Label is the hash-set entry matched.
+	Label string
+	// File is the matching file's name; empty for carved-only hits.
+	File string
+	// Deleted marks a hit in deleted-but-recoverable content.
+	Deleted bool
+}
+
+// HashSearch runs the scene-18 examination: hash every live file, every
+// recoverable deleted file, and every carved object on the filesystem,
+// returning matches against the known set. Crist holds this to be a
+// search requiring a warrant; the caller is responsible for holding one
+// (the investigation package enforces it).
+func HashSearch(fs *FS, known HashSet) ([]HashHit, error) {
+	var hits []HashHit
+	seen := make(map[string]bool)
+	files, err := fs.List(true)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		var content []byte
+		if f.Deleted {
+			content, err = fs.Recover(f.Name)
+		} else {
+			content, err = fs.Read(f.Name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(content)
+		k := hex.EncodeToString(sum[:])
+		if label, ok := known[k]; ok {
+			hits = append(hits, HashHit{Label: label, File: f.Name, Deleted: f.Deleted})
+			seen[k] = true
+		}
+	}
+	for _, c := range Carve(fs.Image(), StandardSignatures()) {
+		sum := sha256.Sum256(c.Data)
+		k := hex.EncodeToString(sum[:])
+		if label, ok := known[k]; ok && !seen[k] {
+			hits = append(hits, HashHit{Label: label, Deleted: true})
+			seen[k] = true
+		}
+	}
+	return hits, nil
+}
+
+// KeywordSearch returns the names of live files containing the keyword —
+// the scoped, warrant-respecting examination of § III-A-2-a, which looks
+// only at responsive categories instead of hashing the entire drive.
+func KeywordSearch(fs *FS, keyword []byte) ([]string, error) {
+	files, err := fs.List(false)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, f := range files {
+		content, err := fs.Read(f.Name)
+		if err != nil {
+			return nil, err
+		}
+		if bytes.Contains(content, keyword) {
+			out = append(out, f.Name)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,371 @@
+package disk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Filesystem geometry. Block 0 is the superblock, block 1 the allocation
+// bitmap, blocks 2..2+inodeBlocks-1 the inode table, and the rest data.
+const (
+	fsMagic        = 0x4C474654 // "LGFT"
+	inodeSize      = 64
+	inodesPerBlock = BlockSize / inodeSize
+	inodeBlocks    = 8 // 64 inodes
+	// MaxInodes is the filesystem's file capacity.
+	MaxInodes = inodesPerBlock * inodeBlocks
+	// maxName bounds file names.
+	maxName = 31
+	// directPtrs is the number of direct block pointers per inode.
+	directPtrs = 12
+	// MaxFileSize is the largest storable file.
+	MaxFileSize = directPtrs * BlockSize
+
+	superBlock  = 0
+	bitmapBlock = 1
+	inodeStart  = 2
+	dataStart   = inodeStart + inodeBlocks
+)
+
+// Filesystem errors.
+var (
+	// ErrNotFormatted: the image does not carry this filesystem.
+	ErrNotFormatted = errors.New("disk: image not formatted")
+	// ErrFileExists: create collides with a live file.
+	ErrFileExists = errors.New("disk: file exists")
+	// ErrFileNotFound: no live file with that name.
+	ErrFileNotFound = errors.New("disk: file not found")
+	// ErrNoSpace: out of inodes or data blocks.
+	ErrNoSpace = errors.New("disk: no space")
+	// ErrNameTooLong: file name exceeds the limit.
+	ErrNameTooLong = errors.New("disk: name too long")
+	// ErrFileTooLarge: content exceeds MaxFileSize.
+	ErrFileTooLarge = errors.New("disk: file too large")
+)
+
+// inode is the on-disk file record. Deleted files keep their name, size,
+// and pointers (only the live flag drops) until the inode is reused —
+// the residue deleted-file recovery depends on.
+type inode struct {
+	live    bool
+	deleted bool
+	name    string
+	size    int
+	ptrs    [directPtrs]uint16
+}
+
+func (in inode) marshal() []byte {
+	b := make([]byte, inodeSize)
+	if in.live {
+		b[0] = 1
+	}
+	if in.deleted {
+		b[1] = 1
+	}
+	b[2] = byte(len(in.name))
+	copy(b[3:3+maxName], in.name)
+	binary.BigEndian.PutUint32(b[35:39], uint32(in.size))
+	for i, p := range in.ptrs {
+		binary.BigEndian.PutUint16(b[39+2*i:], p)
+	}
+	return b
+}
+
+func unmarshalInode(b []byte) inode {
+	var in inode
+	in.live = b[0] == 1
+	in.deleted = b[1] == 1
+	n := int(b[2])
+	if n > maxName {
+		n = maxName
+	}
+	in.name = string(b[3 : 3+n])
+	in.size = int(binary.BigEndian.Uint32(b[35:39]))
+	for i := range in.ptrs {
+		in.ptrs[i] = binary.BigEndian.Uint16(b[39+2*i:])
+	}
+	return in
+}
+
+// FS is a minimal flat filesystem over an Image.
+type FS struct {
+	im *Image
+}
+
+// Format initializes the filesystem on an image (at least dataStart+1
+// blocks) and returns a handle.
+func Format(im *Image) (*FS, error) {
+	if im.Blocks() <= dataStart {
+		return nil, fmt.Errorf("%w: need > %d blocks", ErrBadSize, dataStart)
+	}
+	sb := make([]byte, BlockSize)
+	binary.BigEndian.PutUint32(sb[0:4], fsMagic)
+	binary.BigEndian.PutUint32(sb[4:8], uint32(im.Blocks()))
+	if err := im.WriteBlock(superBlock, sb); err != nil {
+		return nil, err
+	}
+	if err := im.WriteBlock(bitmapBlock, nil); err != nil {
+		return nil, err
+	}
+	for i := 0; i < inodeBlocks; i++ {
+		if err := im.WriteBlock(inodeStart+i, nil); err != nil {
+			return nil, err
+		}
+	}
+	return &FS{im: im}, nil
+}
+
+// Mount opens an already formatted image.
+func Mount(im *Image) (*FS, error) {
+	sb, err := im.ReadBlock(superBlock)
+	if err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(sb[0:4]) != fsMagic {
+		return nil, ErrNotFormatted
+	}
+	return &FS{im: im}, nil
+}
+
+// Image returns the underlying image.
+func (fs *FS) Image() *Image { return fs.im }
+
+// FileInfo describes a live or recoverable file.
+type FileInfo struct {
+	// Name is the file name.
+	Name string
+	// Size is the content length.
+	Size int
+	// Deleted marks a recoverable deleted file.
+	Deleted bool
+}
+
+func (fs *FS) readInode(i int) (inode, error) {
+	blk, err := fs.im.ReadBlock(inodeStart + i/inodesPerBlock)
+	if err != nil {
+		return inode{}, err
+	}
+	off := (i % inodesPerBlock) * inodeSize
+	return unmarshalInode(blk[off : off+inodeSize]), nil
+}
+
+func (fs *FS) writeInode(i int, in inode) error {
+	blkIdx := inodeStart + i/inodesPerBlock
+	blk, err := fs.im.ReadBlock(blkIdx)
+	if err != nil {
+		return err
+	}
+	off := (i % inodesPerBlock) * inodeSize
+	copy(blk[off:off+inodeSize], in.marshal())
+	return fs.im.WriteBlock(blkIdx, blk)
+}
+
+// bitmap helpers: bit set means the data block is allocated.
+func (fs *FS) bitmap() ([]byte, error) { return fs.im.ReadBlock(bitmapBlock) }
+
+func (fs *FS) setBit(bm []byte, block int, used bool) {
+	idx := block - dataStart
+	if used {
+		bm[idx/8] |= 1 << (idx % 8)
+	} else {
+		bm[idx/8] &^= 1 << (idx % 8)
+	}
+}
+
+func (fs *FS) bitSet(bm []byte, block int) bool {
+	idx := block - dataStart
+	return bm[idx/8]&(1<<(idx%8)) != 0
+}
+
+// allocBlocks finds n free data blocks.
+func (fs *FS) allocBlocks(bm []byte, n int) ([]uint16, error) {
+	var out []uint16
+	for b := dataStart; b < fs.im.Blocks() && len(out) < n; b++ {
+		if !fs.bitSet(bm, b) {
+			out = append(out, uint16(b))
+		}
+	}
+	if len(out) < n {
+		return nil, fmt.Errorf("%w: need %d data blocks", ErrNoSpace, n)
+	}
+	return out, nil
+}
+
+// Create writes a new file. Names must be unique among live files.
+func (fs *FS) Create(name string, content []byte) error {
+	if len(name) > maxName || name == "" {
+		return fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	if len(content) > MaxFileSize {
+		return fmt.Errorf("%w: %d bytes", ErrFileTooLarge, len(content))
+	}
+	// Prefer never-used inodes over deleted ones so deletion residue
+	// survives as long as possible, mirroring real filesystems' lazy
+	// reuse.
+	virgin, recycled := -1, -1
+	for i := 0; i < MaxInodes; i++ {
+		in, err := fs.readInode(i)
+		if err != nil {
+			return err
+		}
+		if in.live && in.name == name {
+			return fmt.Errorf("%w: %q", ErrFileExists, name)
+		}
+		if in.live {
+			continue
+		}
+		if in.deleted {
+			if recycled == -1 {
+				recycled = i
+			}
+		} else if virgin == -1 {
+			virgin = i
+		}
+	}
+	free := virgin
+	if free == -1 {
+		free = recycled
+	}
+	if free == -1 {
+		return fmt.Errorf("%w: out of inodes", ErrNoSpace)
+	}
+	bm, err := fs.bitmap()
+	if err != nil {
+		return err
+	}
+	nBlocks := (len(content) + BlockSize - 1) / BlockSize
+	ptrs, err := fs.allocBlocks(bm, nBlocks)
+	if err != nil {
+		return err
+	}
+	in := inode{live: true, name: name, size: len(content)}
+	for i, p := range ptrs {
+		chunk := content[i*BlockSize:]
+		if len(chunk) > BlockSize {
+			chunk = chunk[:BlockSize]
+		}
+		if err := fs.im.WriteBlock(int(p), chunk); err != nil {
+			return err
+		}
+		fs.setBit(bm, int(p), true)
+		in.ptrs[i] = p
+	}
+	if err := fs.im.WriteBlock(bitmapBlock, bm); err != nil {
+		return err
+	}
+	return fs.writeInode(free, in)
+}
+
+// Read returns a live file's content.
+func (fs *FS) Read(name string) ([]byte, error) {
+	for i := 0; i < MaxInodes; i++ {
+		in, err := fs.readInode(i)
+		if err != nil {
+			return nil, err
+		}
+		if in.live && in.name == name {
+			return fs.contents(in)
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrFileNotFound, name)
+}
+
+func (fs *FS) contents(in inode) ([]byte, error) {
+	out := make([]byte, 0, in.size)
+	remaining := in.size
+	for i := 0; remaining > 0 && i < directPtrs; i++ {
+		blk, err := fs.im.ReadBlock(int(in.ptrs[i]))
+		if err != nil {
+			return nil, err
+		}
+		n := remaining
+		if n > BlockSize {
+			n = BlockSize
+		}
+		out = append(out, blk[:n]...)
+		remaining -= n
+	}
+	return out, nil
+}
+
+// Delete removes a live file: the inode flips to deleted and the data
+// blocks return to the free pool, but neither the inode record nor the
+// data is zeroed — the file remains recoverable until overwritten, per
+// the paper's staleness note ("It is also good for investigators to
+// recover the deleted files").
+func (fs *FS) Delete(name string) error {
+	for i := 0; i < MaxInodes; i++ {
+		in, err := fs.readInode(i)
+		if err != nil {
+			return err
+		}
+		if !in.live || in.name != name {
+			continue
+		}
+		bm, err := fs.bitmap()
+		if err != nil {
+			return err
+		}
+		nBlocks := (in.size + BlockSize - 1) / BlockSize
+		for j := 0; j < nBlocks; j++ {
+			fs.setBit(bm, int(in.ptrs[j]), false)
+		}
+		if err := fs.im.WriteBlock(bitmapBlock, bm); err != nil {
+			return err
+		}
+		in.live = false
+		in.deleted = true
+		return fs.writeInode(i, in)
+	}
+	return fmt.Errorf("%w: %q", ErrFileNotFound, name)
+}
+
+// List returns live files, and deleted-but-recoverable files when
+// includeDeleted is set.
+func (fs *FS) List(includeDeleted bool) ([]FileInfo, error) {
+	var out []FileInfo
+	for i := 0; i < MaxInodes; i++ {
+		in, err := fs.readInode(i)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case in.live:
+			out = append(out, FileInfo{Name: in.name, Size: in.size})
+		case in.deleted && includeDeleted:
+			out = append(out, FileInfo{Name: in.name, Size: in.size, Deleted: true})
+		}
+	}
+	return out, nil
+}
+
+// Recover returns a deleted file's residual content, valid while its
+// blocks remain unallocated.
+func (fs *FS) Recover(name string) ([]byte, error) {
+	for i := 0; i < MaxInodes; i++ {
+		in, err := fs.readInode(i)
+		if err != nil {
+			return nil, err
+		}
+		if in.deleted && !in.live && in.name == name {
+			return fs.contents(in)
+		}
+	}
+	return nil, fmt.Errorf("%w: %q (deleted)", ErrFileNotFound, name)
+}
+
+// FreeBlocks reports how many data blocks remain unallocated.
+func (fs *FS) FreeBlocks() (int, error) {
+	bm, err := fs.bitmap()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for b := dataStart; b < fs.im.Blocks(); b++ {
+		if !fs.bitSet(bm, b) {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,123 @@
+package evidence
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testClock() func() time.Time {
+	t0 := time.Date(2012, time.March, 1, 9, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Minute)
+	}
+}
+
+func TestCustodyAppendAndVerify(t *testing.T) {
+	var log CustodyLog
+	clock := testClock()
+	log.Append(clock(), "agent-smith", EventAcquired, "EV-0001", "seized laptop")
+	log.Append(clock(), "agent-smith", EventImaged, "EV-0001", "created image")
+	log.Append(clock(), "lab-tech", EventTransferred, "EV-0001", "to lab")
+	if log.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", log.Len())
+	}
+	if err := log.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	entries := log.Entries()
+	if entries[0].PrevHash != "" {
+		t.Error("first entry must have empty PrevHash")
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].PrevHash != entries[i-1].Hash {
+			t.Errorf("entry %d back-link broken", i)
+		}
+	}
+}
+
+func TestCustodyTamperDetected(t *testing.T) {
+	var log CustodyLog
+	clock := testClock()
+	for i := 0; i < 5; i++ {
+		log.Append(clock(), "agent", EventExamined, "EV-0001", "routine")
+	}
+	log.tamper(2, "altered note")
+	err := log.Verify()
+	if !errors.Is(err, ErrCustodyTampered) {
+		t.Fatalf("Verify after tamper = %v, want ErrCustodyTampered", err)
+	}
+}
+
+func TestCustodyEmptyVerifies(t *testing.T) {
+	var log CustodyLog
+	if err := log.Verify(); err != nil {
+		t.Fatalf("empty log must verify: %v", err)
+	}
+}
+
+func TestCustodyForItem(t *testing.T) {
+	var log CustodyLog
+	clock := testClock()
+	log.Append(clock(), "a", EventAcquired, "EV-0001", "")
+	log.Append(clock(), "a", EventAcquired, "EV-0002", "")
+	log.Append(clock(), "b", EventExamined, "EV-0001", "")
+	got := log.ForItem("EV-0001")
+	if len(got) != 2 {
+		t.Fatalf("ForItem returned %d entries, want 2", len(got))
+	}
+	if got[0].Event != EventAcquired || got[1].Event != EventExamined {
+		t.Errorf("ForItem order wrong: %v, %v", got[0].Event, got[1].Event)
+	}
+}
+
+func TestCustodyEntriesAreCopies(t *testing.T) {
+	var log CustodyLog
+	log.Append(time.Now(), "a", EventAcquired, "EV-0001", "original")
+	entries := log.Entries()
+	entries[0].Note = "mutated"
+	if log.Entries()[0].Note != "original" {
+		t.Error("Entries must return a copy")
+	}
+}
+
+func TestCustodyEventString(t *testing.T) {
+	for e := EventAcquired; e <= EventReturned; e++ {
+		if s := e.String(); s == "" || s[0] == 'C' {
+			t.Errorf("event %d has placeholder string %q", int(e), s)
+		}
+	}
+	if CustodyEvent(99).String() != "CustodyEvent(99)" {
+		t.Errorf("unexpected placeholder: %q", CustodyEvent(99).String())
+	}
+}
+
+// Property: any single-field mutation of any entry breaks verification.
+func TestCustodyTamperPropertyQuick(t *testing.T) {
+	build := func(notes []string) *CustodyLog {
+		var log CustodyLog
+		clock := testClock()
+		for _, n := range notes {
+			log.Append(clock(), "agent", EventExamined, "EV-0001", n)
+		}
+		return &log
+	}
+	f := func(raw []string, idx uint8, newNote string) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		log := build(raw)
+		i := int(idx) % len(raw)
+		if raw[i] == newNote {
+			return true // not a mutation
+		}
+		log.tamper(i, newNote)
+		return errors.Is(log.Verify(), ErrCustodyTampered)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("custody tamper property violated: %v", err)
+	}
+}

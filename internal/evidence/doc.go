@@ -1,0 +1,18 @@
+// Package evidence models digital evidence handling under the exclusionary
+// rule that motivates the paper: evidence gathered in violation of the
+// governing law "may be suppressed in court", and evidence derived from it
+// falls with it (fruit of the poisonous tree), unless a cleansing doctrine
+// — independent source, inevitable discovery, or attenuation — applies.
+//
+// The package provides:
+//
+//   - Item: an evidence item carrying its content hash, the acquisition
+//     Action that produced it, the legal process the investigator actually
+//     held, and derivation links to parent items;
+//   - Locker: an append-only evidence store whose Acquire method runs every
+//     acquisition through the legal engine and records it in a
+//     hash-chained chain of custody;
+//   - CustodyLog: a tamper-evident, SHA-256-chained custody record; and
+//   - Assess: suppression analysis that propagates taint through the
+//     derivation DAG.
+package evidence

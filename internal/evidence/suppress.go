@@ -1,0 +1,118 @@
+package evidence
+
+import "fmt"
+
+// Status is the suppression outcome for one item.
+type Status int
+
+// Suppression statuses.
+const (
+	// StatusAdmissible: lawfully acquired and untainted.
+	StatusAdmissible Status = iota + 1
+	// StatusSuppressed: the acquisition itself violated the governing
+	// law (the process held did not satisfy the process required).
+	StatusSuppressed
+	// StatusFruit: lawfully acquired in itself, but derived from
+	// suppressed evidence — fruit of the poisonous tree.
+	StatusFruit
+)
+
+var statusNames = map[Status]string{
+	StatusAdmissible: "admissible",
+	StatusSuppressed: "suppressed",
+	StatusFruit:      "suppressed (fruit of the poisonous tree)",
+}
+
+// String returns the human-readable status.
+func (s Status) String() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Assessment is the suppression analysis for one item.
+type Assessment struct {
+	// ItemID identifies the item.
+	ItemID ID
+	// Status is the outcome.
+	Status Status
+	// TaintSource, for StatusFruit, is the nearest suppressed ancestor.
+	TaintSource ID
+	// Reasons explains the outcome.
+	Reasons []string
+}
+
+// Admissible reports whether the item survives the hearing.
+func (a Assessment) Admissible() bool { return a.Status == StatusAdmissible }
+
+// Assess runs the exclusionary-rule analysis over the whole locker:
+//
+//  1. An item whose held process fails to satisfy its required process is
+//     suppressed.
+//  2. Taint propagates to descendants through the derivation DAG.
+//  3. A cleansing doctrine (independent source, inevitable discovery,
+//     attenuation) on an item blocks inherited taint at that item — but
+//     never cures an item's own unlawful acquisition.
+//
+// Results are returned in acquisition order.
+func (l *Locker) Assess() []Assessment {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	status := make(map[ID]*Assessment, len(l.order))
+	// Items are stored in acquisition order and parents must pre-exist,
+	// so a single forward pass is a valid topological traversal.
+	for _, id := range l.order {
+		it := l.items[id]
+		a := &Assessment{ItemID: id, Status: StatusAdmissible}
+		if !it.Held.Satisfies(it.Ruling.Required) {
+			a.Status = StatusSuppressed
+			a.Reasons = append(a.Reasons, fmt.Sprintf(
+				"acquisition required %s but investigator held %s (%s)",
+				it.Ruling.Required, it.Held, it.Ruling.Regime))
+		} else {
+			a.Reasons = append(a.Reasons, fmt.Sprintf(
+				"acquisition lawful: required %s, held %s", it.Ruling.Required, it.Held))
+			// Inherited taint.
+			for _, p := range it.Parents {
+				pa := status[p]
+				if pa == nil || pa.Status == StatusAdmissible {
+					continue
+				}
+				if it.Cleansing != CleansingNone {
+					a.Reasons = append(a.Reasons, fmt.Sprintf(
+						"parent %s suppressed, but taint purged by %s", p, it.Cleansing))
+					continue
+				}
+				a.Status = StatusFruit
+				a.TaintSource = p
+				a.Reasons = append(a.Reasons, fmt.Sprintf(
+					"derived from suppressed item %s", p))
+				break
+			}
+		}
+		status[id] = a
+	}
+
+	out := make([]Assessment, 0, len(l.order))
+	for _, id := range l.order {
+		out = append(out, *status[id])
+	}
+	return out
+}
+
+// AdmissibleItems returns copies of the items that survive Assess, in
+// acquisition order.
+func (l *Locker) AdmissibleItems() []*Item {
+	assessments := l.Assess()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []*Item
+	for _, a := range assessments {
+		if a.Admissible() {
+			out = append(out, cloneItem(l.items[a.ItemID]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package evidence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lawgate/internal/legal"
+)
+
+// buildChain acquires a linear chain of n items; item i is derived from
+// item i-1. The held slice gives the process held for each acquisition of
+// the warrant-required action.
+func buildChain(t *testing.T, held []legal.Process, cleansing []Cleansing) *Locker {
+	t.Helper()
+	l := NewLocker(WithClock(testClock()))
+	var prev ID
+	for i, h := range held {
+		req := AcquireRequest{
+			Description: "link",
+			Custodian:   "agent",
+			Action:      warrantRequiredAction("step"),
+			Held:        h,
+		}
+		if i > 0 {
+			req.Parents = []ID{prev}
+		}
+		if cleansing != nil {
+			req.Cleansing = cleansing[i]
+		}
+		it, err := l.Acquire(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = it.ID
+	}
+	return l
+}
+
+func TestAssessAllLawful(t *testing.T) {
+	l := buildChain(t, []legal.Process{
+		legal.ProcessSearchWarrant,
+		legal.ProcessSearchWarrant,
+		legal.ProcessSearchWarrant,
+	}, nil)
+	for _, a := range l.Assess() {
+		if !a.Admissible() {
+			t.Errorf("item %s: status %v, want admissible; reasons %v", a.ItemID, a.Status, a.Reasons)
+		}
+	}
+	if got := len(l.AdmissibleItems()); got != 3 {
+		t.Errorf("AdmissibleItems = %d, want 3", got)
+	}
+}
+
+func TestAssessDirectSuppression(t *testing.T) {
+	// Warrantless search of a device with REP: suppressed.
+	l := buildChain(t, []legal.Process{legal.ProcessNone}, nil)
+	as := l.Assess()
+	if as[0].Status != StatusSuppressed {
+		t.Errorf("status = %v, want suppressed", as[0].Status)
+	}
+}
+
+func TestAssessStrongerProcessSuffices(t *testing.T) {
+	// A wiretap order more than satisfies a warrant requirement.
+	l := buildChain(t, []legal.Process{legal.ProcessWiretapOrder}, nil)
+	if as := l.Assess(); !as[0].Admissible() {
+		t.Errorf("wiretap order should satisfy warrant requirement: %v", as[0].Reasons)
+	}
+}
+
+func TestAssessFruitOfThePoisonousTree(t *testing.T) {
+	// Illegal root, lawful descendants: all fall.
+	l := buildChain(t, []legal.Process{
+		legal.ProcessNone,          // illegal
+		legal.ProcessSearchWarrant, // lawful in itself
+		legal.ProcessSearchWarrant, // lawful in itself
+	}, nil)
+	as := l.Assess()
+	if as[0].Status != StatusSuppressed {
+		t.Fatalf("root status = %v, want suppressed", as[0].Status)
+	}
+	for _, a := range as[1:] {
+		if a.Status != StatusFruit {
+			t.Errorf("item %s: status = %v, want fruit", a.ItemID, a.Status)
+		}
+	}
+	// Taint source of the first fruit is the root.
+	if as[1].TaintSource != as[0].ItemID {
+		t.Errorf("taint source = %v, want %v", as[1].TaintSource, as[0].ItemID)
+	}
+	if got := len(l.AdmissibleItems()); got != 0 {
+		t.Errorf("AdmissibleItems = %d, want 0", got)
+	}
+}
+
+func TestAssessIndependentSourceBreaksTaint(t *testing.T) {
+	l := buildChain(t,
+		[]legal.Process{
+			legal.ProcessNone,          // illegal root
+			legal.ProcessSearchWarrant, // cleansed link
+			legal.ProcessSearchWarrant, // downstream of cleansed link
+		},
+		[]Cleansing{CleansingNone, CleansingIndependentSource, CleansingNone},
+	)
+	as := l.Assess()
+	if as[0].Status != StatusSuppressed {
+		t.Fatalf("root must be suppressed")
+	}
+	if !as[1].Admissible() {
+		t.Errorf("independent source must purge taint: %v", as[1].Reasons)
+	}
+	if !as[2].Admissible() {
+		t.Errorf("descendant of cleansed item must be admissible: %v", as[2].Reasons)
+	}
+}
+
+func TestCleansingDoesNotCureOwnIllegality(t *testing.T) {
+	l := NewLocker(WithClock(testClock()))
+	it, err := l.Acquire(AcquireRequest{
+		Description: "warrantless grab",
+		Action:      warrantRequiredAction("grab"),
+		Held:        legal.ProcessNone,
+		Cleansing:   CleansingInevitableDiscovery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := l.Assess()
+	if as[0].ItemID != it.ID || as[0].Status != StatusSuppressed {
+		t.Errorf("cleansing must not cure the item's own unlawful acquisition: %v", as[0])
+	}
+}
+
+func TestAssessDiamondDerivation(t *testing.T) {
+	// Diamond: root (illegal) -> a, b -> joined. Taint reaches joined via
+	// both paths; cleansing only one intermediate is not enough.
+	l := NewLocker(WithClock(testClock()))
+	root, err := l.Acquire(AcquireRequest{
+		Description: "root", Action: warrantRequiredAction("root"), Held: legal.ProcessNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.Acquire(AcquireRequest{
+		Description: "a", Action: warrantRequiredAction("a"),
+		Held: legal.ProcessSearchWarrant, Parents: []ID{root.ID},
+		Cleansing: CleansingAttenuation,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Acquire(AcquireRequest{
+		Description: "b", Action: warrantRequiredAction("b"),
+		Held: legal.ProcessSearchWarrant, Parents: []ID{root.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := l.Acquire(AcquireRequest{
+		Description: "joined", Action: warrantRequiredAction("joined"),
+		Held: legal.ProcessSearchWarrant, Parents: []ID{a.ID, b.ID},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := make(map[ID]Assessment)
+	for _, as := range l.Assess() {
+		status[as.ItemID] = as
+	}
+	if status[a.ID].Status != StatusAdmissible {
+		t.Errorf("a: %v, want admissible (attenuated)", status[a.ID].Status)
+	}
+	if status[b.ID].Status != StatusFruit {
+		t.Errorf("b: %v, want fruit", status[b.ID].Status)
+	}
+	if status[joined.ID].Status != StatusFruit {
+		t.Errorf("joined: %v, want fruit via b", status[joined.ID].Status)
+	}
+	if status[joined.ID].TaintSource != b.ID {
+		t.Errorf("joined taint source = %v, want %v", status[joined.ID].TaintSource, b.ID)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{StatusAdmissible, "admissible"},
+		{StatusSuppressed, "suppressed"},
+		{StatusFruit, "suppressed (fruit of the poisonous tree)"},
+		{Status(9), "Status(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Status(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+// Property: in a linear chain with no cleansing, every item at or after
+// the first illegal acquisition is inadmissible, and every item before it
+// is admissible.
+func TestTaintPropagationProperty(t *testing.T) {
+	f := func(lawfulMask uint8, n uint8) bool {
+		length := int(n)%6 + 1
+		held := make([]legal.Process, length)
+		firstBad := -1
+		for i := 0; i < length; i++ {
+			if lawfulMask&(1<<i) != 0 {
+				held[i] = legal.ProcessSearchWarrant
+			} else {
+				held[i] = legal.ProcessNone
+				if firstBad == -1 {
+					firstBad = i
+				}
+			}
+		}
+		l := NewLocker(WithClock(testClock()))
+		var prev ID
+		for i, h := range held {
+			req := AcquireRequest{
+				Description: "link",
+				Action:      warrantRequiredAction("step"),
+				Held:        h,
+			}
+			if i > 0 {
+				req.Parents = []ID{prev}
+			}
+			it, err := l.Acquire(req)
+			if err != nil {
+				return false
+			}
+			prev = it.ID
+		}
+		for i, a := range l.Assess() {
+			wantAdmissible := firstBad == -1 || i < firstBad
+			if a.Admissible() != wantAdmissible {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("taint propagation property violated: %v", err)
+	}
+}
+
+// Property: AdmissibleItems returns exactly the items Assess admits, in
+// acquisition order.
+func TestAdmissibleItemsConsistentWithAssess(t *testing.T) {
+	f := func(lawfulMask uint8, n uint8) bool {
+		length := int(n)%6 + 1
+		l := NewLocker(WithClock(testClock()))
+		var prev ID
+		for i := 0; i < length; i++ {
+			held := legal.ProcessNone
+			if lawfulMask&(1<<i) != 0 {
+				held = legal.ProcessSearchWarrant
+			}
+			req := AcquireRequest{
+				Description: "link",
+				Action:      warrantRequiredAction("step"),
+				Held:        held,
+			}
+			if i > 0 {
+				req.Parents = []ID{prev}
+			}
+			it, err := l.Acquire(req)
+			if err != nil {
+				return false
+			}
+			prev = it.ID
+		}
+		admitted := map[ID]bool{}
+		for _, a := range l.Assess() {
+			if a.Admissible() {
+				admitted[a.ItemID] = true
+			}
+		}
+		items := l.AdmissibleItems()
+		if len(items) != len(admitted) {
+			return false
+		}
+		var lastSeq ID
+		for _, it := range items {
+			if !admitted[it.ID] {
+				return false
+			}
+			if it.ID <= lastSeq {
+				return false // acquisition order preserved
+			}
+			lastSeq = it.ID
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("admissible-set consistency violated: %v", err)
+	}
+}

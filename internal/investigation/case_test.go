@@ -1,0 +1,220 @@
+package investigation
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lawgate/internal/court"
+	"lawgate/internal/legal"
+)
+
+var caseNow = time.Date(2012, time.May, 1, 9, 0, 0, 0, time.UTC)
+
+func caseClock() func() time.Time {
+	t := caseNow
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func warrantAction(name string) legal.Action {
+	return legal.Action{
+		Name:   name,
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceTargetDevice,
+	}
+}
+
+func TestCaseFactsAndShowing(t *testing.T) {
+	c := NewCase("test", WithCaseClock(caseClock()))
+	if c.Showing() != legal.ShowingNone {
+		t.Errorf("empty case showing = %v", c.Showing())
+	}
+	c.AddFact(court.Fact{Kind: court.FactInformantTip, Description: "tip", ObservedAt: caseNow})
+	if c.Showing() != legal.ShowingMereSuspicion {
+		t.Errorf("showing = %v, want mere suspicion", c.Showing())
+	}
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "ip", ObservedAt: caseNow})
+	if c.Showing() != legal.ShowingProbableCause {
+		t.Errorf("showing = %v, want probable cause", c.Showing())
+	}
+	if len(c.Facts()) != 2 {
+		t.Errorf("facts = %d", len(c.Facts()))
+	}
+}
+
+func TestCaseApplyForAndHeldProcess(t *testing.T) {
+	c := NewCase("test", WithCaseClock(caseClock()))
+	if c.HeldProcess() != legal.ProcessNone {
+		t.Errorf("initial held = %v", c.HeldProcess())
+	}
+	// No facts: even a subpoena needs mere suspicion.
+	if _, err := c.ApplyFor(legal.ProcessSubpoena, "", nil); !errors.Is(err, court.ErrInsufficientShowing) {
+		t.Errorf("empty-case subpoena err = %v", err)
+	}
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "ip", ObservedAt: caseNow})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "12 Oak St", []string{"computers"}); err != nil {
+		t.Fatalf("warrant: %v", err)
+	}
+	if c.HeldProcess() != legal.ProcessSearchWarrant {
+		t.Errorf("held = %v", c.HeldProcess())
+	}
+	if len(c.Orders()) != 1 {
+		t.Errorf("orders = %d", len(c.Orders()))
+	}
+}
+
+func TestCaseHeldProcessIgnoresExpired(t *testing.T) {
+	clock := caseClock()
+	c := NewCase("test", WithCaseClock(clock))
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "ip", ObservedAt: caseNow})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "12 Oak St", []string{"computers"}); err != nil {
+		t.Fatal(err)
+	}
+	// Exhaust the clock past the 14-day lifetime.
+	for i := 0; i < 15*24*60; i++ {
+		clock()
+	}
+	if c.HeldProcess() != legal.ProcessNone {
+		t.Errorf("expired warrant still counted: held = %v", c.HeldProcess())
+	}
+}
+
+func TestCaseAcquirePermissiveCollectsTainted(t *testing.T) {
+	c := NewCase("test", WithCaseClock(caseClock()))
+	item, err := c.Acquire("warrantless grab", []byte("data"), warrantAction("grab"))
+	if err != nil {
+		t.Fatalf("permissive acquire: %v", err)
+	}
+	if item.LawfullyAcquired() {
+		t.Error("warrantless device search must be unlawful")
+	}
+	hearing := c.SuppressionHearing()
+	if len(hearing) != 1 || hearing[0].Admissible() {
+		t.Errorf("hearing = %+v, want suppression", hearing)
+	}
+}
+
+func TestCaseAcquireStrictRefuses(t *testing.T) {
+	c := NewCase("test", WithCaseClock(caseClock()), WithStrictAcquisition())
+	if _, err := c.Acquire("grab", nil, warrantAction("grab")); !errors.Is(err, ErrNoOrder) {
+		t.Fatalf("strict acquire err = %v, want ErrNoOrder", err)
+	}
+	// With a warrant it proceeds.
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "ip", ObservedAt: caseNow})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "12 Oak St", []string{"computers"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("grab", nil, warrantAction("grab")); err != nil {
+		t.Fatalf("strict acquire with warrant: %v", err)
+	}
+}
+
+func TestCaseAcquireRejectsInvalidAction(t *testing.T) {
+	c := NewCase("test", WithCaseClock(caseClock()))
+	if _, err := c.Acquire("bad", nil, legal.Action{Name: "bad"}); err == nil {
+		t.Error("invalid action must be rejected")
+	}
+}
+
+func TestCaseCustodyAndReport(t *testing.T) {
+	c := NewCase("custody-case", WithCaseClock(caseClock()))
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "ip trace", ObservedAt: caseNow})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "12 Oak St", []string{"computers"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("laptop", []byte("contents"), warrantAction("seize")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyCustody(); err != nil {
+		t.Errorf("custody: %v", err)
+	}
+	report := c.Report()
+	for _, want := range []string{"CASE: custody-case", "ip trace", "EV-0001", "GRANTED", "search warrant"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(c.Narrative()) == 0 {
+		t.Error("narrative empty")
+	}
+	if len(c.Evidence()) != 1 {
+		t.Errorf("evidence = %d", len(c.Evidence()))
+	}
+}
+
+func TestCaseEvaluatePassThrough(t *testing.T) {
+	c := NewCase("test")
+	r, err := c.Evaluate(warrantAction("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Required != legal.ProcessSearchWarrant {
+		t.Errorf("required = %v", r.Required)
+	}
+}
+
+func TestAcquireUnderScopeAndExpiry(t *testing.T) {
+	c := NewCase("scope", WithCaseClock(caseClock()))
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "ip", ObservedAt: caseNow})
+	o, err := c.ApplyFor(legal.ProcessSearchWarrant, "12 Oak St", []string{"computers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Covered category: lawful.
+	it, err := c.AcquireUnder(o, "computers", "in-scope", nil, warrantAction("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.LawfullyAcquired() {
+		t.Error("in-scope acquisition under a live warrant must be lawful")
+	}
+	// Out-of-scope category: the order contributes nothing.
+	it, err = c.AcquireUnder(o, "firearms", "out-of-scope", nil, warrantAction("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.LawfullyAcquired() {
+		t.Error("out-of-scope acquisition must be unlawful")
+	}
+	// Nil order.
+	it, err = c.AcquireUnder(nil, "computers", "no-order", nil, warrantAction("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.LawfullyAcquired() {
+		t.Error("acquisition relying on no order must be unlawful")
+	}
+}
+
+func TestAcquireUnderExpiredOrder(t *testing.T) {
+	clock := caseClock()
+	c := NewCase("expiry", WithCaseClock(clock))
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "ip", ObservedAt: caseNow})
+	o, err := c.ApplyFor(legal.ProcessSearchWarrant, "12 Oak St", []string{"computers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15*24*60; i++ {
+		clock()
+	}
+	it, err := c.AcquireUnder(o, "computers", "late", nil, warrantAction("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.LawfullyAcquired() {
+		t.Error("acquisition under an expired warrant must be unlawful")
+	}
+}
+
+func TestAcquireUnderStrictRefusal(t *testing.T) {
+	c := NewCase("strict", WithCaseClock(caseClock()), WithStrictAcquisition())
+	if _, err := c.AcquireUnder(nil, "x", "refused", nil, warrantAction("a")); !errors.Is(err, ErrNoOrder) {
+		t.Fatalf("err = %v, want ErrNoOrder", err)
+	}
+}

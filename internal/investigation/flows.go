@@ -1,0 +1,329 @@
+package investigation
+
+import (
+	"fmt"
+	"time"
+
+	"lawgate/internal/court"
+	"lawgate/internal/evidence"
+	"lawgate/internal/legal"
+	"lawgate/internal/netsim"
+	"lawgate/internal/p2p"
+	"lawgate/internal/provider"
+	"lawgate/internal/watermark"
+)
+
+// P2PTracebackConfig parameterizes the Section IV-A flow.
+type P2PTracebackConfig struct {
+	// Seed drives the simulation.
+	Seed int64
+	// Neighbors and Sources shape the overlay around the investigator.
+	Neighbors, Sources int
+	// Probes is the per-neighbor query count.
+	Probes int
+}
+
+// P2PTracebackResult is the IV-A flow's outcome.
+type P2PTracebackResult struct {
+	// Case carries the facts, orders, evidence, and narrative.
+	Case *Case
+	// Verdicts maps each neighbor to its classification.
+	Verdicts map[netsim.NodeID]p2p.Verdict
+	// Identified lists subscribers resolved by subpoena for neighbors
+	// classified as sources.
+	Identified []provider.Subscriber
+	// Hearing is the final suppression analysis.
+	Hearing []evidence.Assessment
+}
+
+// RunP2PTraceback executes the paper's Section IV-A investigation end to
+// end: join the anonymous filesharing overlay as an ordinary peer (no
+// process required — Table 1 scene 10), classify neighbors as sources via
+// the timing attack, subpoena the ISP to resolve each source to a
+// subscriber, and obtain a search warrant on the resulting probable cause.
+func RunP2PTraceback(cfg P2PTracebackConfig, opts ...CaseOption) (*P2PTracebackResult, error) {
+	if cfg.Neighbors <= 0 || cfg.Probes <= 0 || cfg.Sources < 0 || cfg.Sources > cfg.Neighbors {
+		return nil, fmt.Errorf("investigation: invalid p2p traceback config %+v", cfg)
+	}
+	c := NewCase("p2p-traceback", opts...)
+	c.AddFact(court.Fact{
+		Kind:        court.FactInformantTip,
+		Description: "tip: contraband circulating on an anonymous filesharing network",
+		ObservedAt:  c.clock(),
+	})
+
+	// Build the overlay.
+	sim := netsim.NewSimulator(cfg.Seed)
+	net := netsim.NewNetwork(sim)
+	overlay := p2p.NewOverlay(net, p2p.DefaultConfig(p2p.ModeAnonymous))
+	inv, err := p2p.NewInvestigator(overlay, "leo")
+	if err != nil {
+		return nil, err
+	}
+
+	// The ISP that will later resolve peers to subscribers.
+	isp := provider.New("metro-isp", true, provider.WithProviderClock(c.clock))
+
+	truth := make(map[netsim.NodeID]bool, cfg.Neighbors)
+	neighbors := make([]netsim.NodeID, 0, cfg.Neighbors)
+	for i := 0; i < cfg.Neighbors; i++ {
+		id := netsim.NodeID(fmt.Sprintf("peer-%02d", i))
+		isSource := i < cfg.Sources
+		truth[id] = isSource
+		var keys []p2p.ContentKey
+		if isSource {
+			keys = []p2p.ContentKey{p2p.ContrabandKey}
+		}
+		if _, err := overlay.AddPeer(id, keys...); err != nil {
+			return nil, err
+		}
+		if err := inv.Befriend(id); err != nil {
+			return nil, err
+		}
+		if !isSource {
+			hidden := netsim.NodeID(fmt.Sprintf("hidden-%02d", i))
+			if _, err := overlay.AddPeer(hidden, p2p.ContrabandKey); err != nil {
+				return nil, err
+			}
+			if err := overlay.Befriend(id, hidden); err != nil {
+				return nil, err
+			}
+		}
+		neighbors = append(neighbors, id)
+		isp.AddSubscriber(provider.Subscriber{
+			Account: string(id),
+			Name:    fmt.Sprintf("Subscriber %02d", i),
+			Street:  fmt.Sprintf("%d Overlay Ave", 100+i),
+			Leases:  []provider.IPLease{{IP: "10.1.0." + fmt.Sprint(10+i), From: c.clock().Add(-24 * time.Hour)}},
+		})
+	}
+
+	// Step 1: joining and observing the overlay is free of process —
+	// verify with the engine and book the observation.
+	joinAction := legal.Action{
+		Name:     "join-anonymous-p2p",
+		Actor:    legal.ActorGovernment,
+		Timing:   legal.TimingRealTime,
+		Data:     legal.DataPublic,
+		Source:   legal.SourcePublicService,
+		Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic, legal.ExposureDelivered},
+	}
+	if _, err := c.Acquire("overlay membership observations", []byte("peer list and shared-file names"), joinAction); err != nil {
+		return nil, err
+	}
+
+	// Step 2: the timing attack.
+	for round := 0; round < cfg.Probes; round++ {
+		for _, id := range neighbors {
+			if err := inv.Probe(id, p2p.ContrabandKey); err != nil {
+				return nil, err
+			}
+			sim.Run()
+		}
+	}
+	cls := p2p.AutoClassifier(overlay.Config())
+	verdicts := make(map[netsim.NodeID]p2p.Verdict, len(neighbors))
+	var sources []netsim.NodeID
+	for _, id := range neighbors {
+		v, err := cls.Classify(inv.MeasurementsFor(id))
+		if err != nil {
+			return nil, err
+		}
+		verdicts[id] = v
+		if v == p2p.VerdictSource {
+			sources = append(sources, id)
+			c.AddFact(court.Fact{
+				Kind:        court.FactTimingCorrelation,
+				Description: fmt.Sprintf("neighbor %s classified as a source (median RTT %v)", id, p2p.MedianRTT(inv.MeasurementsFor(id))),
+				ObservedAt:  c.clock(),
+			})
+		}
+	}
+	timing, err := c.Acquire("timing-attack measurements", []byte(fmt.Sprintf("%d probes over %d neighbors", cfg.Probes*len(neighbors), len(neighbors))), joinAction)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3: subpoena the ISP for each source's subscriber record, then
+	// seek a warrant on the IP-attribution probable cause.
+	res := &P2PTracebackResult{Case: c, Verdicts: verdicts}
+	if len(sources) > 0 {
+		if _, err := c.ApplyFor(legal.ProcessSubpoena, "", nil); err != nil {
+			return nil, err
+		}
+		for _, id := range sources {
+			sub, err := isp.SubscriberByIP(c.HeldProcess(), "10.1.0."+fmt.Sprint(10+indexOf(neighbors, id)), c.clock())
+			if err != nil {
+				return nil, err
+			}
+			res.Identified = append(res.Identified, sub)
+			c.AddFact(court.Fact{
+				Kind:        court.FactIPAttribution,
+				Description: fmt.Sprintf("source %s resolved to %s, %s", id, sub.Name, sub.Street),
+				ObservedAt:  c.clock(),
+			})
+			subAction := legal.Action{
+				Name:           "compel-subscriber-record",
+				Actor:          legal.ActorGovernment,
+				Timing:         legal.TimingStored,
+				Data:           legal.DataBasicSubscriber,
+				Source:         legal.SourceProviderStored,
+				ProviderRole:   legal.ProviderECS,
+				ProviderPublic: true,
+			}
+			if _, err := c.Acquire(
+				fmt.Sprintf("subscriber record for %s", id),
+				[]byte(sub.Name+" / "+sub.Street),
+				subAction, timing.ID); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := c.ApplyFor(legal.ProcessSearchWarrant,
+			res.Identified[0].Street,
+			[]string{"computers", "storage-media"}); err != nil {
+			return nil, err
+		}
+		seize := legal.Action{
+			Name:   "seize-and-examine-source-computer",
+			Actor:  legal.ActorGovernment,
+			Timing: legal.TimingStored,
+			Data:   legal.DataDeviceContents,
+			Source: legal.SourceTargetDevice,
+		}
+		if _, err := c.Acquire("suspect computer contents", []byte("contraband library"), seize, timing.ID); err != nil {
+			return nil, err
+		}
+	}
+	res.Hearing = c.SuppressionHearing()
+	return res, nil
+}
+
+func indexOf(ids []netsim.NodeID, id netsim.NodeID) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// WatermarkTracebackResult is the IV-B flow's outcome.
+type WatermarkTracebackResult struct {
+	// Case carries the narrative and evidence.
+	Case *Case
+	// Experiment is the DSSS trial at the suspect's ISP.
+	Experiment watermark.ExperimentResult
+	// Hearing is the final suppression analysis.
+	Hearing []evidence.Assessment
+}
+
+// RunWatermarkTraceback executes the paper's Section IV-B situation one:
+// law enforcement runs a seized contraband server, obtains a court order
+// for a rate meter at the suspect's ISP (non-content — no wiretap order
+// needed), watermarks the server's responses with a long PN code, confirms
+// the suspect by despreading the counts, and converts the correlation into
+// a warrant.
+func RunWatermarkTraceback(ec watermark.ExperimentConfig, opts ...CaseOption) (*WatermarkTracebackResult, error) {
+	c := NewCase("watermark-traceback", opts...)
+	c.AddFact(court.Fact{
+		Kind:        court.FactDirectObservation,
+		Description: "seized web server hosts contraband; an anonymized account is downloading it",
+		ObservedAt:  c.clock(),
+	})
+	c.AddFact(court.Fact{
+		Kind:        court.FactProviderRecord,
+		Description: "ISP records place the suspect's circuit behind the anonymity network entry",
+		ObservedAt:  c.clock(),
+	})
+
+	// The rate collection needs pen/trap-class process: apply for it.
+	if _, err := c.ApplyFor(legal.ProcessCourtOrder, "", nil); err != nil {
+		return nil, err
+	}
+	ec.HeldProcess = c.HeldProcess()
+	res, err := watermark.RunExperiment(ec)
+	if err != nil {
+		return nil, err
+	}
+	rate := legal.Action{
+		Name:   "rate-meter-at-suspect-isp",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingRealTime,
+		Data:   legal.DataAddressing,
+		Source: legal.SourceThirdPartyNetwork,
+	}
+	counts, err := c.Acquire("packet-rate series at suspect ISP",
+		[]byte(fmt.Sprintf("%d packets binned", res.SuspectPackets)), rate)
+	if err != nil {
+		return nil, err
+	}
+	out := &WatermarkTracebackResult{Case: c, Experiment: res}
+	if res.Detected {
+		c.AddFact(court.Fact{
+			Kind: court.FactTimingCorrelation,
+			Description: fmt.Sprintf("DSSS watermark detected at suspect (Z=%.1f, BER=%.2f)",
+				res.Watermark.Z, res.Watermark.BER),
+			ObservedAt: c.clock(),
+		})
+		c.AddFact(court.Fact{
+			Kind:        court.FactIPAttribution,
+			Description: "suspect's IP confirmed as the watermarked flow's endpoint; subscriber resolved",
+			ObservedAt:  c.clock(),
+		})
+		if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "suspect residence",
+			[]string{"computers", "storage-media"}); err != nil {
+			return nil, err
+		}
+		seize := legal.Action{
+			Name:   "seize-suspect-computer",
+			Actor:  legal.ActorGovernment,
+			Timing: legal.TimingStored,
+			Data:   legal.DataDeviceContents,
+			Source: legal.SourceTargetDevice,
+		}
+		if _, err := c.Acquire("suspect computer contents", []byte("anonymity client + contraband"), seize, counts.ID); err != nil {
+			return nil, err
+		}
+	}
+	out.Hearing = c.SuppressionHearing()
+	return out, nil
+}
+
+// KylloDemoResult is the illegal-technique demonstration's outcome.
+type KylloDemoResult struct {
+	// Case carries the narrative.
+	Case *Case
+	// Hearing shows the direct suppression and the derivative fall.
+	Hearing []evidence.Assessment
+}
+
+// RunKylloDemo reproduces the paper's motivating failure (§ III-B-a): a
+// specialized-technology scan of a home interior without a warrant is
+// suppressed, and the evidence derived from it falls as fruit of the
+// poisonous tree.
+func RunKylloDemo(opts ...CaseOption) (*KylloDemoResult, error) {
+	c := NewCase("kyllo-demo", opts...)
+	scan := legal.Action{
+		Name:   "thermal-imager-scan",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceTargetDevice,
+		Tech:   &legal.SpecializedTech{GeneralPublicUse: false, RevealsHomeInterior: true},
+	}
+	heat, err := c.Acquire("thermal image of residence", []byte("heat blooms over garage"), scan)
+	if err != nil {
+		return nil, err
+	}
+	followUp := legal.Action{
+		Name:   "entry-based-on-scan",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceSeizedDevice,
+	}
+	if _, err := c.Acquire("grow-lab equipment inventory", []byte("lamps, ledgers"), followUp, heat.ID); err != nil {
+		return nil, err
+	}
+	return &KylloDemoResult{Case: c, Hearing: c.SuppressionHearing()}, nil
+}

@@ -1,0 +1,103 @@
+package investigation
+
+import (
+	"time"
+
+	"lawgate/internal/attribution"
+	"lawgate/internal/legal"
+)
+
+// AttributionResult is the § III-A-2 flow's outcome.
+type AttributionResult struct {
+	// Case carries the narrative.
+	Case *Case
+	// Report is the attribution analysis.
+	Report attribution.Report
+	// WarrantIssued reports whether the derived facts carried a warrant
+	// application.
+	WarrantIssued bool
+}
+
+// RunAttributionExam demonstrates the paper's § III-A-2 identification
+// goals feeding the process pipeline: artifacts from a consent search of a
+// shared family computer are analyzed to (i) attribute the contraband to a
+// particular user, (ii) rule out malware, and (iii) establish knowledge;
+// the derived facts then support — or, when attribution is not exclusive,
+// fail to support — a warrant against that individual.
+//
+// exclusive controls whether the machine's login records place the
+// suspect alone at the keyboard at creation time.
+func RunAttributionExam(exclusive bool, opts ...CaseOption) (*AttributionResult, error) {
+	c := NewCase("attribution-exam", opts...)
+
+	// The machine enters the case by co-user consent (paper § III-B-c-i:
+	// a co-user may consent to search of the space they control).
+	consentSearch := legal.Action{
+		Name:    "consent-search-family-computer",
+		Actor:   legal.ActorGovernment,
+		Timing:  legal.TimingStored,
+		Data:    legal.DataDeviceContents,
+		Source:  legal.SourceTargetDevice,
+		Consent: &legal.Consent{Scope: legal.ConsentCoUserSharedSpace},
+	}
+	machine, err := c.Acquire("family computer artifacts", []byte("logins, files, browsing, processes"), consentSearch)
+	if err != nil {
+		return nil, err
+	}
+
+	// The extracted artifacts.
+	t0 := time.Date(2012, time.February, 10, 20, 0, 0, 0, time.UTC)
+	ev := attribution.Evidence{
+		Users: []string{"suspect", "housemate"},
+		Logins: []attribution.LoginRecord{
+			{User: "suspect", At: t0, Duration: 2 * time.Hour},
+		},
+		Files: []attribution.FileEvent{
+			{Path: "c:/stash/contraband.jpg", Owner: "suspect",
+				At: t0.Add(30 * time.Minute), Kind: attribution.EventCreated},
+		},
+		Browsing: []attribution.BrowsingRecord{
+			{User: "suspect", URL: "http://example.net/howto",
+				At:    t0.Add(10 * time.Minute),
+				Terms: []string{"methamphetamine", "laboratory"}},
+		},
+		Processes: []attribution.ProcessRecord{
+			{Name: "explorer.exe", SHA256: "aaaa", Autostart: true},
+		},
+	}
+	if !exclusive {
+		ev.Logins = append(ev.Logins, attribution.LoginRecord{
+			User: "housemate", At: t0, Duration: 3 * time.Hour,
+		})
+	}
+
+	analyzer := &attribution.Analyzer{}
+	rep := analyzer.Analyze(ev,
+		[]string{"c:/stash/contraband.jpg"},
+		[]string{"methamphetamine"})
+	for _, f := range rep.Facts {
+		f.ObservedAt = c.clock()
+		c.AddFact(f)
+	}
+	c.Logf("attribution: %d actor findings, malware clean=%v, %d knowledge findings",
+		len(rep.Actors), rep.MalwareClean, len(rep.Knowledge))
+
+	res := &AttributionResult{Case: c, Report: rep}
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant,
+		"suspect bedroom", []string{"computers", "storage-media"}); err == nil {
+		res.WarrantIssued = true
+		seize := legal.Action{
+			Name:   "seize-personal-devices",
+			Actor:  legal.ActorGovernment,
+			Timing: legal.TimingStored,
+			Data:   legal.DataDeviceContents,
+			Source: legal.SourceTargetDevice,
+		}
+		if _, err := c.Acquire("suspect personal devices", []byte("phones, drives"), seize, machine.ID); err != nil {
+			return nil, err
+		}
+	} else {
+		c.Logf("warrant application denied: %v", err)
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package investigation
+
+import (
+	"testing"
+
+	"lawgate/internal/legal"
+)
+
+func TestAttributionExamExclusive(t *testing.T) {
+	res, err := RunAttributionExam(true, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.WarrantIssued {
+		t.Fatal("exclusive attribution plus knowledge must carry a warrant")
+	}
+	if !res.Report.MalwareClean {
+		t.Error("machine should be malware-clean")
+	}
+	if len(res.Report.Actors) != 1 || !res.Report.Actors[0].Exclusive {
+		t.Errorf("actor findings = %+v", res.Report.Actors)
+	}
+	if res.Case.HeldProcess() != legal.ProcessSearchWarrant {
+		t.Errorf("held = %v", res.Case.HeldProcess())
+	}
+	for _, a := range res.Case.SuppressionHearing() {
+		if !a.Admissible() {
+			t.Errorf("item %s suppressed: %v", a.ItemID, a.Reasons)
+		}
+	}
+}
+
+func TestAttributionExamShared(t *testing.T) {
+	res, err := RunAttributionExam(false, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-exclusive attribution downgrades the actor fact to
+	// membership-grade; with the knowledge (intent) fact present, the
+	// paper's membership+intent rule still reaches probable cause — the
+	// warrant issues, but on that combined basis.
+	if len(res.Report.Actors) != 1 || res.Report.Actors[0].Exclusive {
+		t.Errorf("actor findings = %+v", res.Report.Actors)
+	}
+	if !res.WarrantIssued {
+		t.Error("membership + intent should still reach probable cause (paper § III-A-1-b)")
+	}
+}

@@ -1,0 +1,185 @@
+package investigation
+
+import (
+	"bytes"
+	"fmt"
+
+	"lawgate/internal/court"
+	"lawgate/internal/disk"
+	"lawgate/internal/evidence"
+	"lawgate/internal/legal"
+)
+
+// DriveExamResult is the seized-drive flow's outcome.
+type DriveExamResult struct {
+	// Case carries the narrative and evidence.
+	Case *Case
+	// ImageHash is the verified forensic-image hash.
+	ImageHash string
+	// Hits are the known-hash matches found on the drive.
+	Hits []disk.HashHit
+	// Execution partitions the encountered files under the second
+	// warrant's scope (in-scope / plain view / left).
+	Execution court.ExecutionResult
+	// Hearing is the final suppression analysis.
+	Hearing []evidence.Assessment
+}
+
+// RunDriveExam reproduces Table 1 scenes 18-19 end to end: a computer is
+// seized under a warrant, forensically imaged with hash verification, and
+// then hash-searched for known contraband. Per United States v. Crist,
+// hashing the *entire* drive for matter outside the original authority is
+// a new search: with withHashWarrant the examiners obtain a second warrant
+// and everything holds; without it, the hash search and its fruits are
+// suppressed while the lawfully seized items survive.
+func RunDriveExam(withHashWarrant bool, opts ...CaseOption) (*DriveExamResult, error) {
+	c := NewCase("drive-exam", opts...)
+
+	// Build the suspect's drive.
+	im, err := disk.NewImage(256)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := disk.Format(im)
+	if err != nil {
+		return nil, err
+	}
+	contraband := append(append([]byte{0xFF, 0xD8, 0xFF}, bytes.Repeat([]byte{0x11}, 200)...), 0xFF, 0xD9)
+	deletedContraband := append(append([]byte{0xFF, 0xD8, 0xFF}, bytes.Repeat([]byte{0x22}, 150)...), 0xFF, 0xD9)
+	files := []struct {
+		name    string
+		content []byte
+	}{
+		{"img0001.jpg", contraband},
+		{"img0002.jpg", deletedContraband},
+		{"history.html", []byte("searches: how to build a methamphetamine laboratory")},
+		{"ledger.xls", []byte("ordinary business records")},
+	}
+	for _, f := range files {
+		if err := fs.Create(f.name, f.content); err != nil {
+			return nil, err
+		}
+	}
+	if err := fs.Delete("img0002.jpg"); err != nil {
+		return nil, err
+	}
+	known := disk.HashSet{}
+	known.Add("ncmec-hash-0001", contraband)
+	known.Add("ncmec-hash-0002", deletedContraband)
+
+	// Seize the computer under a first warrant.
+	c.AddFact(court.Fact{
+		Kind:        court.FactIPAttribution,
+		Description: "download of known contraband attributed to the suspect's IP",
+		ObservedAt:  c.clock(),
+	})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "suspect residence", []string{"computers"}); err != nil {
+		return nil, err
+	}
+	seize := legal.Action{
+		Name:   "seize-computer",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceTargetDevice,
+	}
+	drive, err := c.Acquire("suspect hard drive", im.Raw(), seize)
+	if err != nil {
+		return nil, err
+	}
+
+	// Image it: a bit-for-bit duplicate, hash-verified, examined within
+	// the original authority (scene 19's posture — no further process).
+	dup, hash, err := im.Duplicate()
+	if err != nil {
+		return nil, err
+	}
+	c.Logf("forensic image created and verified: sha256 %s…", hash[:12])
+	within := legal.Action{
+		Name:   "image-drive",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceSeizedDevice,
+	}
+	image, err := c.Acquire("verified forensic image", dup.Raw(), within, drive.ID)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DriveExamResult{Case: c, ImageHash: hash}
+
+	// The exhaustive hash search is a new search (Crist). Obtain — or
+	// skip — the second warrant. The first warrant covers "computers",
+	// not "child-pornography-images": its scope cannot carry the hash
+	// search, which is exactly Crist's holding.
+	var hashWarrant *court.Order
+	if withHashWarrant {
+		c.AddFact(court.Fact{
+			Kind:        court.FactProviderRecord,
+			Description: "NCMEC hash set lists the downloaded files as known contraband",
+			ObservedAt:  c.clock(),
+		})
+		hashWarrant, err = c.ApplyFor(legal.ProcessSearchWarrant, "forensic image of suspect drive",
+			[]string{"child-pornography-images"})
+		if err != nil {
+			return nil, err
+		}
+	}
+	examFS, err := disk.Mount(dup)
+	if err != nil {
+		return nil, err
+	}
+	hits, err := disk.HashSearch(examFS, known)
+	if err != nil {
+		return nil, err
+	}
+	res.Hits = hits
+	hashSearch := legal.Action{
+		Name:                  "hash-entire-drive",
+		Actor:                 legal.ActorGovernment,
+		Timing:                legal.TimingStored,
+		Data:                  legal.DataDeviceContents,
+		Source:                legal.SourceSeizedDevice,
+		SearchBeyondAuthority: true,
+	}
+	hitItem, err := c.AcquireUnder(hashWarrant, "child-pornography-images",
+		fmt.Sprintf("hash-search results (%d known-file matches)", len(hits)),
+		[]byte(fmt.Sprintf("%+v", hits)), hashSearch, image.ID)
+	if err != nil {
+		return nil, err
+	}
+
+	// Execute the (second) warrant over the files encountered; plain
+	// view picks up the meth-lab browsing history, the ledger is left.
+	if withHashWarrant {
+		items := []court.SearchItem{
+			{Name: "img0001.jpg", Category: "child-pornography-images", Incriminating: true, ImmediatelyApparent: true},
+			{Name: "img0002.jpg (recovered)", Category: "child-pornography-images", Incriminating: true, ImmediatelyApparent: true},
+			{Name: "history.html", Category: "browsing-history", Incriminating: true, ImmediatelyApparent: true},
+			{Name: "ledger.xls", Category: "business-records"},
+		}
+		orders := c.Orders()
+		exec, err := court.ExecuteSearch(orders[len(orders)-1], c.clock(),
+			"forensic image of suspect drive", items)
+		if err != nil {
+			return nil, err
+		}
+		res.Execution = exec
+		for _, it := range exec.Seized {
+			if _, err := c.Acquire("seized: "+it.Name, []byte(it.Name), within, hitItem.ID); err != nil {
+				return nil, err
+			}
+		}
+		for _, it := range exec.PlainView {
+			if _, err := c.Acquire("plain view: "+it.Name, []byte(it.Name), within, image.ID); err != nil {
+				return nil, err
+			}
+		}
+		c.Logf("warrant execution: %d seized, %d plain view, %d left",
+			len(exec.Seized), len(exec.PlainView), len(exec.Left))
+	}
+
+	res.Hearing = c.SuppressionHearing()
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package investigation
+
+import (
+	"strings"
+	"testing"
+
+	"lawgate/internal/evidence"
+)
+
+func TestRunDriveExamWithWarrant(t *testing.T) {
+	res, err := RunDriveExam(true, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both contraband files found — the deleted one via recovery.
+	if len(res.Hits) != 2 {
+		t.Fatalf("hash hits = %d, want 2: %+v", len(res.Hits), res.Hits)
+	}
+	var deletedHit bool
+	for _, h := range res.Hits {
+		if h.Deleted {
+			deletedHit = true
+		}
+	}
+	if !deletedHit {
+		t.Error("deleted contraband must be found via recovery")
+	}
+	// Warrant execution: 2 in-scope images seized, browsing history in
+	// plain view, ledger left.
+	if len(res.Execution.Seized) != 2 {
+		t.Errorf("seized = %d, want 2", len(res.Execution.Seized))
+	}
+	if len(res.Execution.PlainView) != 1 || res.Execution.PlainView[0].Name != "history.html" {
+		t.Errorf("plain view = %+v", res.Execution.PlainView)
+	}
+	if len(res.Execution.Left) != 1 || res.Execution.Left[0].Name != "ledger.xls" {
+		t.Errorf("left = %+v", res.Execution.Left)
+	}
+	// With the second warrant everything is admissible.
+	for _, a := range res.Hearing {
+		if !a.Admissible() {
+			t.Errorf("item %s suppressed: %v", a.ItemID, a.Reasons)
+		}
+	}
+	if res.ImageHash == "" {
+		t.Error("image hash missing")
+	}
+	if err := res.Case.VerifyCustody(); err != nil {
+		t.Errorf("custody: %v", err)
+	}
+}
+
+func TestRunDriveExamWithoutWarrantSuppressed(t *testing.T) {
+	res, err := RunDriveExam(false, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hash search still *finds* the contraband (the paper's point
+	// is legal validity, not technical possibility)…
+	if len(res.Hits) != 2 {
+		t.Fatalf("hash hits = %d, want 2", len(res.Hits))
+	}
+	// …but the hash-search results are suppressed, while the lawfully
+	// seized drive and its image survive.
+	byDesc := map[string]evidence.Assessment{}
+	for _, a := range res.Hearing {
+		it, err := findItem(res.Case, a.ItemID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byDesc[it.Description] = a
+	}
+	for desc, a := range byDesc {
+		switch {
+		case strings.HasPrefix(desc, "hash-search results"):
+			if a.Status != evidence.StatusSuppressed {
+				t.Errorf("%q status = %v, want suppressed", desc, a.Status)
+			}
+		default:
+			if !a.Admissible() {
+				t.Errorf("%q status = %v, want admissible", desc, a.Status)
+			}
+		}
+	}
+}
+
+func findItem(c *Case, id evidence.ID) (*evidence.Item, error) {
+	for _, it := range c.Evidence() {
+		if it.ID == id {
+			return it, nil
+		}
+	}
+	return nil, evidence.ErrUnknownItem
+}

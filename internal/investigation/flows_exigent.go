@@ -1,0 +1,109 @@
+package investigation
+
+import (
+	"strings"
+
+	"lawgate/internal/court"
+	"lawgate/internal/evidence"
+	"lawgate/internal/legal"
+)
+
+// DeviceThreat records the device-destruction dangers of paper § III-B-b:
+// "incoming messages can delete stored information, or the batteries can
+// die thus erasing the information; … a 'destroy command' can be sent to
+// some devices …; or the device can be set to delete information stored on
+// the device after a certain period of time."
+type DeviceThreat struct {
+	// RemoteWipeObserved: a destroy command has been sent or is
+	// imminent.
+	RemoteWipeObserved bool
+	// BatteryCritical: the device is about to power off and lose state.
+	BatteryCritical bool
+	// AutoWipeTimer: a self-deletion timer is configured.
+	AutoWipeTimer bool
+}
+
+// Exigent reports whether any recognized destruction threat is present.
+func (t DeviceThreat) Exigent() bool {
+	return t.RemoteWipeObserved || t.BatteryCritical || t.AutoWipeTimer
+}
+
+// describe renders the threat for the narrative.
+func (t DeviceThreat) describe() string {
+	var parts []string
+	if t.RemoteWipeObserved {
+		parts = append(parts, "destroy command observed")
+	}
+	if t.BatteryCritical {
+		parts = append(parts, "battery critical")
+	}
+	if t.AutoWipeTimer {
+		parts = append(parts, "auto-wipe timer set")
+	}
+	if len(parts) == 0 {
+		return "no destruction threat"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExigentSeizureResult is the § III-B-b flow's outcome.
+type ExigentSeizureResult struct {
+	// Case carries the narrative.
+	Case *Case
+	// SeizureLawful reports whether the warrantless seizure held up.
+	SeizureLawful bool
+	// Hearing is the suppression analysis.
+	Hearing []evidence.Assessment
+}
+
+// RunExigentSeizure demonstrates the exigent-circumstances doctrine's
+// device-specific application, including its crucial limit: an imminent
+// destruction threat justifies a warrantless *seizure* to preserve the
+// evidence, but the subsequent *search* of the device's contents still
+// needs a warrant. Absent any threat, the same warrantless seizure is
+// suppressed and its fruits fall.
+func RunExigentSeizure(threat DeviceThreat, opts ...CaseOption) (*ExigentSeizureResult, error) {
+	c := NewCase("exigent-seizure", opts...)
+	c.Logf("threat assessment: %s", threat.describe())
+
+	seizeAction := legal.Action{
+		Name:   "seize-device-before-wipe",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceTargetDevice,
+	}
+	if threat.Exigent() {
+		seizeAction.Exigency = &legal.Exigency{Kind: legal.ExigencyEvidenceDestruction}
+	}
+	device, err := c.Acquire("suspect phone (seized)", []byte("device in evidence bag"), seizeAction)
+	if err != nil {
+		return nil, err
+	}
+	res := &ExigentSeizureResult{Case: c, SeizureLawful: device.LawfullyAcquired()}
+
+	// The search of the contents is a separate step: exigency preserved
+	// the device, it did not authorize reading it. Build probable cause
+	// and get the warrant.
+	c.AddFact(court.Fact{
+		Kind:        court.FactIPAttribution,
+		Description: "provider records attribute the criminal traffic to this device's number",
+		ObservedAt:  c.clock(),
+	})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "seized device", []string{"messages", "images"}); err != nil {
+		return nil, err
+	}
+	searchAction := legal.Action{
+		Name:                  "examine-seized-device-contents",
+		Actor:                 legal.ActorGovernment,
+		Timing:                legal.TimingStored,
+		Data:                  legal.DataDeviceContents,
+		Source:                legal.SourceSeizedDevice,
+		SearchBeyondAuthority: true, // the exigent seizure authorized preservation, not examination
+	}
+	if _, err := c.Acquire("device contents", []byte("messages, images"), searchAction, device.ID); err != nil {
+		return nil, err
+	}
+	res.Hearing = c.SuppressionHearing()
+	return res, nil
+}

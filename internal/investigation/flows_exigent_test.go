@@ -1,0 +1,68 @@
+package investigation
+
+import (
+	"strings"
+	"testing"
+
+	"lawgate/internal/evidence"
+)
+
+func TestExigentSeizureLawful(t *testing.T) {
+	threats := []DeviceThreat{
+		{RemoteWipeObserved: true},
+		{BatteryCritical: true},
+		{AutoWipeTimer: true},
+		{RemoteWipeObserved: true, BatteryCritical: true},
+	}
+	for _, threat := range threats {
+		res, err := RunExigentSeizure(threat, WithCaseClock(caseClock()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.SeizureLawful {
+			t.Errorf("threat %+v: warrantless seizure should be lawful", threat)
+		}
+		for _, a := range res.Hearing {
+			if !a.Admissible() {
+				t.Errorf("threat %+v: item %s suppressed: %v", threat, a.ItemID, a.Reasons)
+			}
+		}
+	}
+}
+
+func TestSeizureWithoutExigencySuppressed(t *testing.T) {
+	res, err := RunExigentSeizure(DeviceThreat{}, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeizureLawful {
+		t.Fatal("warrantless seizure without exigency must be unlawful")
+	}
+	if len(res.Hearing) != 2 {
+		t.Fatalf("hearing items = %d", len(res.Hearing))
+	}
+	if res.Hearing[0].Status != evidence.StatusSuppressed {
+		t.Errorf("seizure status = %v, want suppressed", res.Hearing[0].Status)
+	}
+	// The warranted search of the contents falls with the seizure —
+	// fruit of the poisonous tree.
+	if res.Hearing[1].Status != evidence.StatusFruit {
+		t.Errorf("contents status = %v, want fruit", res.Hearing[1].Status)
+	}
+}
+
+func TestDeviceThreatDescribe(t *testing.T) {
+	if got := (DeviceThreat{}).describe(); got != "no destruction threat" {
+		t.Errorf("describe = %q", got)
+	}
+	all := DeviceThreat{RemoteWipeObserved: true, BatteryCritical: true, AutoWipeTimer: true}
+	got := all.describe()
+	for _, want := range []string{"destroy command", "battery", "auto-wipe"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("describe %q missing %q", got, want)
+		}
+	}
+	if !all.Exigent() || (DeviceThreat{}).Exigent() {
+		t.Error("Exigent misreports")
+	}
+}

@@ -1,0 +1,140 @@
+package investigation
+
+import (
+	"strings"
+	"testing"
+
+	"lawgate/internal/evidence"
+	"lawgate/internal/legal"
+	"lawgate/internal/p2p"
+	"lawgate/internal/watermark"
+)
+
+func TestRunP2PTracebackEndToEnd(t *testing.T) {
+	res, err := RunP2PTraceback(P2PTracebackConfig{
+		Seed:      1,
+		Neighbors: 8,
+		Sources:   3,
+		Probes:    8,
+	}, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classification: exactly the 3 sources flagged.
+	sources := 0
+	for _, v := range res.Verdicts {
+		if v == p2p.VerdictSource {
+			sources++
+		}
+	}
+	if sources != 3 {
+		t.Errorf("classified %d sources, want 3", sources)
+	}
+	if len(res.Identified) != 3 {
+		t.Errorf("identified %d subscribers, want 3", len(res.Identified))
+	}
+	// Everything in this flow is admissible: the timing attack needed
+	// no process, the subscriber records were subpoenaed, the seizure
+	// had a warrant.
+	for _, a := range res.Hearing {
+		if !a.Admissible() {
+			t.Errorf("item %s suppressed: %v", a.ItemID, a.Reasons)
+		}
+	}
+	// Probable cause was actually reached and a warrant issued.
+	if res.Case.HeldProcess() != legal.ProcessSearchWarrant {
+		t.Errorf("held = %v, want warrant", res.Case.HeldProcess())
+	}
+	if err := res.Case.VerifyCustody(); err != nil {
+		t.Errorf("custody: %v", err)
+	}
+}
+
+func TestRunP2PTracebackNoSources(t *testing.T) {
+	res, err := RunP2PTraceback(P2PTracebackConfig{
+		Seed:      2,
+		Neighbors: 4,
+		Sources:   0,
+		Probes:    4,
+	}, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Identified) != 0 {
+		t.Errorf("identified %d subscribers from zero sources", len(res.Identified))
+	}
+	// No warrant: the case never got past the tip.
+	if res.Case.HeldProcess() != legal.ProcessNone {
+		t.Errorf("held = %v", res.Case.HeldProcess())
+	}
+}
+
+func TestRunP2PTracebackValidation(t *testing.T) {
+	if _, err := RunP2PTraceback(P2PTracebackConfig{}); err == nil {
+		t.Error("empty config must fail")
+	}
+	if _, err := RunP2PTraceback(P2PTracebackConfig{Neighbors: 2, Sources: 5, Probes: 1}); err == nil {
+		t.Error("sources > neighbors must fail")
+	}
+}
+
+func TestRunWatermarkTracebackEndToEnd(t *testing.T) {
+	ec := watermark.DefaultExperimentConfig()
+	res, err := RunWatermarkTraceback(ec, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Experiment.Detected {
+		t.Fatalf("watermark not detected: Z = %.2f", res.Experiment.Watermark.Z)
+	}
+	// The rate collection ran under a court order, not a wiretap order.
+	if res.Experiment.RequiredProcess != legal.ProcessCourtOrder {
+		t.Errorf("rate collection required %v", res.Experiment.RequiredProcess)
+	}
+	// Everything admissible; warrant obtained after detection.
+	for _, a := range res.Hearing {
+		if !a.Admissible() {
+			t.Errorf("item %s suppressed: %v", a.ItemID, a.Reasons)
+		}
+	}
+	if res.Case.HeldProcess() != legal.ProcessSearchWarrant {
+		t.Errorf("held = %v, want warrant", res.Case.HeldProcess())
+	}
+	report := res.Case.Report()
+	if !strings.Contains(report, "DSSS watermark detected") {
+		t.Error("report missing detection fact")
+	}
+}
+
+func TestRunWatermarkTracebackInnocent(t *testing.T) {
+	ec := watermark.DefaultExperimentConfig()
+	ec.Guilty = false
+	ec.Seed = 11
+	res, err := RunWatermarkTraceback(ec, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment.Detected {
+		t.Fatal("false positive on innocent suspect")
+	}
+	// Without detection there is no probable cause and no warrant.
+	if res.Case.HeldProcess() != legal.ProcessCourtOrder {
+		t.Errorf("held = %v, want only the court order", res.Case.HeldProcess())
+	}
+}
+
+func TestRunKylloDemoSuppression(t *testing.T) {
+	res, err := RunKylloDemo(WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hearing) != 2 {
+		t.Fatalf("hearing items = %d", len(res.Hearing))
+	}
+	if res.Hearing[0].Status != evidence.StatusSuppressed {
+		t.Errorf("thermal scan status = %v, want suppressed", res.Hearing[0].Status)
+	}
+	if res.Hearing[1].Status != evidence.StatusFruit {
+		t.Errorf("derived evidence status = %v, want fruit", res.Hearing[1].Status)
+	}
+}

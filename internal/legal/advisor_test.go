@@ -1,0 +1,248 @@
+package legal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdviseFullInterceptAtISP(t *testing.T) {
+	// Table 1 scene 8: full packet capture needs a wiretap order. The
+	// advisor must surface the § IV-B move (non-content collection) and
+	// the party-consent route.
+	e := NewEngine()
+	advice, err := e.Advise(Action{
+		Name:   "full-intercept",
+		Actor:  ActorGovernment,
+		Timing: TimingRealTime,
+		Data:   DataContent,
+		Source: SourceThirdPartyNetwork,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) < 2 {
+		t.Fatalf("advice entries = %d, want >= 2", len(advice))
+	}
+	var sawNonContent, sawConsent bool
+	for _, ad := range advice {
+		if ad.Ruling.Required >= ProcessWiretapOrder {
+			t.Errorf("advice %q does not lower the requirement: %v",
+				ad.Alternative.Name, ad.Ruling.Required)
+		}
+		if strings.Contains(ad.Alternative.Name, "non-content") {
+			sawNonContent = true
+			if ad.Ruling.Required != ProcessCourtOrder {
+				t.Errorf("non-content alternative requires %v, want court order", ad.Ruling.Required)
+			}
+		}
+		if strings.Contains(ad.Alternative.Name, "party-consent") {
+			sawConsent = true
+			if ad.Ruling.Required != ProcessNone {
+				t.Errorf("party-consent alternative requires %v, want none", ad.Ruling.Required)
+			}
+		}
+	}
+	if !sawNonContent || !sawConsent {
+		t.Errorf("missing expected routes: non-content=%v consent=%v", sawNonContent, sawConsent)
+	}
+	// Sorted ascending by required process.
+	for i := 1; i < len(advice); i++ {
+		if advice[i].Ruling.Required < advice[i-1].Ruling.Required {
+			t.Error("advice not sorted by required process")
+		}
+	}
+}
+
+func TestAdviseStoredProviderContent(t *testing.T) {
+	e := NewEngine()
+	advice, err := e.Advise(Action{
+		Name:           "compel-mailbox",
+		Actor:          ActorGovernment,
+		Timing:         TimingStored,
+		Data:           DataContent,
+		Source:         SourceProviderStored,
+		ProviderRole:   ProviderECS,
+		ProviderPublic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tiers []Process
+	for _, ad := range advice {
+		tiers = append(tiers, ad.Ruling.Required)
+	}
+	// Expect both the records tier (court order) and the subscriber
+	// tier (subpoena).
+	var sawOrder, sawSubpoena bool
+	for _, p := range tiers {
+		if p == ProcessCourtOrder {
+			sawOrder = true
+		}
+		if p == ProcessSubpoena {
+			sawSubpoena = true
+		}
+	}
+	if !sawOrder || !sawSubpoena {
+		t.Errorf("ladder advice missing: %v", tiers)
+	}
+}
+
+func TestAdviseVictimSystem(t *testing.T) {
+	e := NewEngine()
+	advice, err := e.Advise(Action{
+		Name:   "monitor-victim-host",
+		Actor:  ActorGovernment,
+		Timing: TimingRealTime,
+		Data:   DataContent,
+		Source: SourceVictimSystem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawVictim bool
+	for _, ad := range advice {
+		if strings.Contains(ad.Alternative.Name, "victim-authorization") {
+			sawVictim = true
+			if ad.Ruling.Required != ProcessNone {
+				t.Errorf("victim authorization requires %v", ad.Ruling.Required)
+			}
+			if !ad.Ruling.HasException(ExceptionTrespasser) {
+				t.Error("victim route must use the trespasser exception")
+			}
+		}
+	}
+	if !sawVictim {
+		t.Error("victim-authorization route missing")
+	}
+}
+
+func TestAdviseDeviceSearch(t *testing.T) {
+	e := NewEngine()
+	advice, err := e.Advise(Action{
+		Name:   "search-suspect-computer",
+		Actor:  ActorGovernment,
+		Timing: TimingStored,
+		Data:   DataDeviceContents,
+		Source: SourceTargetDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) == 0 {
+		t.Fatal("no advice for a warrant-tier device search")
+	}
+	var sawPublic, sawConsent bool
+	for _, ad := range advice {
+		if ad.Ruling.Required != ProcessNone {
+			t.Errorf("advice %q should reach ProcessNone, got %v", ad.Alternative.Name, ad.Ruling.Required)
+		}
+		if strings.Contains(ad.Alternative.Name, "public-exposure") {
+			sawPublic = true
+		}
+		if strings.Contains(ad.Alternative.Name, "+consent") {
+			sawConsent = true
+		}
+	}
+	if !sawPublic || !sawConsent {
+		t.Errorf("routes: public=%v consent=%v", sawPublic, sawConsent)
+	}
+}
+
+func TestAdviseNothingToAdvise(t *testing.T) {
+	e := NewEngine()
+	advice, err := e.Advise(Action{
+		Name:     "public-collection",
+		Actor:    ActorGovernment,
+		Timing:   TimingRealTime,
+		Data:     DataPublic,
+		Source:   SourcePublicService,
+		Exposure: []ExposureFact{ExposureKnowinglyPublic},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice) != 0 {
+		t.Errorf("process-free action yielded %d advice entries", len(advice))
+	}
+}
+
+func TestAdviseInvalidAction(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Advise(Action{Name: "bad"}); err == nil {
+		t.Error("invalid action must be rejected")
+	}
+}
+
+// Property: every advice entry strictly lowers the requirement and has a
+// non-empty explanation, across all Table-1-like action shapes.
+func TestAdviseAlwaysLowers(t *testing.T) {
+	e := NewEngine()
+	for actor := ActorGovernment; actor <= ActorProvider; actor++ {
+		for timing := TimingRealTime; timing <= TimingStored; timing++ {
+			for data := DataContent; data <= DataDeviceContents; data++ {
+				for src := SourceOwnNetwork; src <= SourceTargetDevice; src++ {
+					a := Action{
+						Name: "sweep", Actor: actor, Timing: timing,
+						Data: data, Source: src, ProviderRole: ProviderECS,
+					}
+					base, err := e.Evaluate(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					advice, err := e.Advise(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, ad := range advice {
+						if ad.Ruling.Required >= base.Required {
+							t.Fatalf("advice %q does not lower %v (base %v)",
+								ad.Alternative.Name, ad.Ruling.Required, base.Required)
+						}
+						if ad.Explanation == "" {
+							t.Fatalf("advice %q lacks explanation", ad.Alternative.Name)
+						}
+						if err := ad.Alternative.Validate(); err != nil {
+							t.Fatalf("advice %q invalid: %v", ad.Alternative.Name, err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: the advisor descends monotonically — re-advising any suggested
+// alternative only ever yields suggestions cheaper than that alternative,
+// so following advice can never cycle or climb back up the process
+// lattice.
+func TestAdviseMonotoneDescent(t *testing.T) {
+	e := NewEngine()
+	for actor := ActorGovernment; actor <= ActorProvider; actor++ {
+		for timing := TimingRealTime; timing <= TimingStored; timing++ {
+			for data := DataContent; data <= DataDeviceContents; data++ {
+				for src := SourceOwnNetwork; src <= SourceTargetDevice; src++ {
+					a := Action{
+						Name: "descent", Actor: actor, Timing: timing,
+						Data: data, Source: src, ProviderRole: ProviderECS,
+					}
+					first, err := e.Advise(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, ad := range first {
+						second, err := e.Advise(ad.Alternative)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, ad2 := range second {
+							if ad2.Ruling.Required >= ad.Ruling.Required {
+								t.Fatalf("advice climbed: %v -> %v (from %q)",
+									ad.Ruling.Required, ad2.Ruling.Required, ad.Alternative.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package legal
+
+// Citation is a reference to a legal authority: a constitutional provision,
+// a statute, or a case the paper relies on.
+type Citation struct {
+	// ID is a short stable identifier, e.g. "4A", "18USC2511", "Katz".
+	ID string
+	// Title is the full human-readable citation.
+	Title string
+}
+
+// The authorities cited by the paper, keyed by short ID. Exported as
+// functions rather than a mutable map to keep package state immutable.
+var citations = map[string]Citation{
+	"4A":         {ID: "4A", Title: "U.S. Const. amend. IV"},
+	"Title3":     {ID: "Title3", Title: "Wiretap Act (Title III), 18 U.S.C. §§ 2510-2522"},
+	"SCA":        {ID: "SCA", Title: "Stored Communications Act, 18 U.S.C. §§ 2701-2712"},
+	"PenTrap":    {ID: "PenTrap", Title: "Pen Register and Trap and Trace Devices statute, 18 U.S.C. §§ 3121-3127"},
+	"2702":       {ID: "2702", Title: "18 U.S.C. § 2702 (voluntary disclosure)"},
+	"2703":       {ID: "2703", Title: "18 U.S.C. § 2703 (required disclosure)"},
+	"2511_2_c":   {ID: "2511_2_c", Title: "18 U.S.C. § 2511(2)(c)-(d) (party consent)"},
+	"2511_2_g":   {ID: "2511_2_g", Title: "18 U.S.C. § 2511(2)(g)(i) (readily accessible to the general public)"},
+	"2511_2_i":   {ID: "2511_2_i", Title: "18 U.S.C. § 2511(2)(i) (computer trespasser)"},
+	"2511_2_a":   {ID: "2511_2_a", Title: "18 U.S.C. § 2511(2)(a)(i) (provider protection)"},
+	"3121c":      {ID: "3121c", Title: "18 U.S.C. § 3121(c) (limitation to non-content)"},
+	"3125":       {ID: "3125", Title: "18 U.S.C. § 3125 (emergency pen/trap)"},
+	"Katz":       {ID: "Katz", Title: "Katz v. United States, 389 U.S. 347 (1967)"},
+	"Kyllo":      {ID: "Kyllo", Title: "Kyllo v. United States, 533 U.S. 27 (2001)"},
+	"Gates":      {ID: "Gates", Title: "Illinois v. Gates, 462 U.S. 213 (1983)"},
+	"Knights":    {ID: "Knights", Title: "United States v. Knights, 534 U.S. 112 (2001)"},
+	"Matlock":    {ID: "Matlock", Title: "United States v. Matlock, 415 U.S. 164 (1974)"},
+	"Mincey":     {ID: "Mincey", Title: "Mincey v. Arizona, 437 U.S. 385 (1978)"},
+	"Crist":      {ID: "Crist", Title: "United States v. Crist, 627 F. Supp. 2d 575 (M.D. Pa. 2008)"},
+	"Sloane":     {ID: "Sloane", Title: "State v. Sloane, 939 A.2d 796 (N.J. 2008)"},
+	"Smith":      {ID: "Smith", Title: "Smith v. Maryland, 442 U.S. 735 (1979)"},
+	"Forrester":  {ID: "Forrester", Title: "United States v. Forrester, 512 F.3d 500 (9th Cir. 2008)"},
+	"Gorshkov":   {ID: "Gorshkov", Title: "United States v. Gorshkov, 2001 WL 1024026 (W.D. Wash. 2001)"},
+	"King":       {ID: "King", Title: "United States v. King, 509 F.3d 1338 (11th Cir. 2007)"},
+	"Megahed":    {ID: "Megahed", Title: "United States v. Megahed, 2009 WL 722481 (M.D. Fla. 2009)"},
+	"StreetView": {ID: "StreetView", Title: "In re Google Street View wireless data collection (EPIC)"},
+	"PlainView":  {ID: "PlainView", Title: "Plain view doctrine"},
+	"PrivSearch": {ID: "PrivSearch", Title: "Private search doctrine"},
+	"OConnor":    {ID: "OConnor", Title: "O'Connor v. Ortega, 480 U.S. 709 (1987)"},
+	"Ziegler":    {ID: "Ziegler", Title: "United States v. Ziegler, 474 F.3d 1184 (9th Cir. 2007)"},
+}
+
+// Cite returns the citation with the given short ID. Unknown IDs yield a
+// citation echoing the ID so rationale chains never silently drop
+// authority references.
+func Cite(id string) Citation {
+	if c, ok := citations[id]; ok {
+		return c
+	}
+	return Citation{ID: id, Title: id}
+}
+
+// KnownCitationIDs returns the short IDs of every authority in the catalog,
+// in unspecified order.
+func KnownCitationIDs() []string {
+	ids := make([]string, 0, len(citations))
+	for id := range citations {
+		ids = append(ids, id)
+	}
+	return ids
+}

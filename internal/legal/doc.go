@@ -1,0 +1,29 @@
+// Package legal implements the statutory and constitutional compliance
+// engine at the heart of lawgate. It encodes, as a deterministic rule
+// pipeline, the United States legal regime that the paper "When Digital
+// Forensic Research Meets Laws" (ICDCS 2012) identifies as governing
+// digital-forensic evidence acquisition:
+//
+//   - the Fourth Amendment and its "reasonable expectation of privacy"
+//     doctrine (Katz v. United States), including the Kyllo rule on
+//     specialized technology,
+//   - the Wiretap Act (Title III, 18 U.S.C. §§ 2510-2522) governing
+//     real-time interception of communication contents,
+//   - the Pen Register / Trap-and-Trace statute (18 U.S.C. §§ 3121-3127)
+//     governing real-time collection of addressing and other non-content
+//     information, and
+//   - the Stored Communications Act (18 U.S.C. §§ 2701-2712) governing
+//     access to communications and records stored with service providers.
+//
+// The central entry point is Engine.Evaluate, which takes a structured
+// description of an investigative step (an Action) and returns a Ruling:
+// the level of legal process required (none, subpoena, court order, search
+// warrant, or Title III wiretap order), the governing legal regime, the
+// exceptions that applied, and a human-readable rationale chain with
+// citations.
+//
+// The encoding follows the paper's statements of doctrine, including its
+// starred (*) judgments in Table 1, rather than attempting an independent
+// legal analysis. The engine is a model for reasoning about forensic
+// tooling, not legal advice.
+package legal

@@ -1,0 +1,681 @@
+package legal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustEvaluate(t *testing.T, a Action) Ruling {
+	t.Helper()
+	r, err := NewEngine().Evaluate(a)
+	if err != nil {
+		t.Fatalf("Evaluate(%q) error: %v", a.Name, err)
+	}
+	return r
+}
+
+func TestEvaluateRejectsInvalidAction(t *testing.T) {
+	_, err := NewEngine().Evaluate(Action{Name: "bad"})
+	if err == nil {
+		t.Fatal("Evaluate must reject an invalid action")
+	}
+}
+
+func TestPrivateSearchDoctrine(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "repairman-finds-contraband",
+		Actor:  ActorPrivate,
+		Timing: TimingStored,
+		Data:   DataDeviceContents,
+		Source: SourceTargetDevice,
+	})
+	if r.NeedsProcess() {
+		t.Errorf("private search requires no process; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionPrivateSearch) {
+		t.Error("ruling must record the private-search exception")
+	}
+	if r.Regime != RegimeNone {
+		t.Errorf("regime = %v, want %v", r.Regime, RegimeNone)
+	}
+}
+
+func TestGovernmentDirectedIsGovernment(t *testing.T) {
+	// A private party instigated by the government is bound like the
+	// government: the same acquisition that was free as a private search
+	// requires a warrant.
+	r := mustEvaluate(t, Action{
+		Name:   "directed-search",
+		Actor:  ActorGovernmentDirected,
+		Timing: TimingStored,
+		Data:   DataDeviceContents,
+		Source: SourceTargetDevice,
+	})
+	if r.Required != ProcessSearchWarrant {
+		t.Errorf("government-directed search of device contents: required = %v, want %v",
+			r.Required, ProcessSearchWarrant)
+	}
+}
+
+func TestProviderOwnNetworkException(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "admin-monitoring",
+		Actor:  ActorProvider,
+		Timing: TimingRealTime,
+		Data:   DataContent,
+		Source: SourceOwnNetwork,
+	})
+	if r.NeedsProcess() {
+		t.Errorf("provider self-monitoring requires no process; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionProviderProtection) {
+		t.Error("ruling must record the provider-protection exception")
+	}
+}
+
+func TestProviderOffNetworkIsPrivateParty(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "provider-elsewhere",
+		Actor:  ActorProvider,
+		Timing: TimingRealTime,
+		Data:   DataContent,
+		Source: SourceThirdPartyNetwork,
+	})
+	if r.NeedsProcess() {
+		t.Errorf("provider off own network is a private party; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionPrivateSearch) {
+		t.Error("ruling must record the private-search exception")
+	}
+}
+
+func TestPlainViewRequiresLawfulVantage(t *testing.T) {
+	base := Action{
+		Name:      "screen-glance",
+		Actor:     ActorGovernment,
+		Timing:    TimingStored,
+		Data:      DataDeviceContents,
+		Source:    SourceTargetDevice,
+		PlainView: true,
+	}
+	withVantage := base
+	withVantage.LawfulVantage = true
+	r := mustEvaluate(t, withVantage)
+	if r.NeedsProcess() {
+		t.Errorf("plain view from lawful vantage needs no process; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionPlainView) {
+		t.Error("ruling must record the plain-view exception")
+	}
+
+	r = mustEvaluate(t, base) // no lawful vantage
+	if !r.NeedsProcess() {
+		t.Error("plain view without lawful vantage must not excuse process")
+	}
+}
+
+func TestProbationException(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:            "parolee-search",
+		Actor:           ActorGovernment,
+		Timing:          TimingStored,
+		Data:            DataDeviceContents,
+		Source:          SourceTargetDevice,
+		ProbationSearch: true,
+	})
+	if r.NeedsProcess() {
+		t.Errorf("probation search needs no warrant; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionProbation) {
+		t.Error("ruling must record the probation exception")
+	}
+}
+
+func TestRealTimeContentRequiresWiretapOrder(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "full-packet-capture",
+		Actor:  ActorGovernment,
+		Timing: TimingRealTime,
+		Data:   DataContent,
+		Source: SourceThirdPartyNetwork,
+	})
+	if r.Required != ProcessWiretapOrder {
+		t.Errorf("required = %v, want %v", r.Required, ProcessWiretapOrder)
+	}
+	if r.Regime != RegimeWiretap {
+		t.Errorf("regime = %v, want %v", r.Regime, RegimeWiretap)
+	}
+}
+
+func TestRealTimeAddressingRequiresPenTrapOrder(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "pen-register",
+		Actor:  ActorGovernment,
+		Timing: TimingRealTime,
+		Data:   DataAddressing,
+		Source: SourceThirdPartyNetwork,
+	})
+	if r.Required != ProcessCourtOrder {
+		t.Errorf("required = %v, want %v", r.Required, ProcessCourtOrder)
+	}
+	if r.Regime != RegimePenTrap {
+		t.Errorf("regime = %v, want %v", r.Regime, RegimePenTrap)
+	}
+}
+
+func TestPartyConsentInterception(t *testing.T) {
+	// An undercover agent recording a conversation they are a party to.
+	r := mustEvaluate(t, Action{
+		Name:    "undercover-recording",
+		Actor:   ActorGovernment,
+		Timing:  TimingRealTime,
+		Data:    DataContent,
+		Source:  SourceThirdPartyNetwork,
+		Consent: &Consent{Scope: ConsentCommunicationParty},
+	})
+	if r.NeedsProcess() {
+		t.Errorf("party-consent interception needs no process; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionConsent) {
+		t.Error("ruling must record the consent exception")
+	}
+}
+
+func TestAllPartyConsentState(t *testing.T) {
+	// In an all-party-consent state, single-party consent fails and the
+	// interception requires a Title III order.
+	r := mustEvaluate(t, Action{
+		Name:   "one-party-in-all-party-state",
+		Actor:  ActorGovernment,
+		Timing: TimingRealTime,
+		Data:   DataContent,
+		Source: SourceThirdPartyNetwork,
+		Consent: &Consent{
+			Scope:              ConsentCommunicationParty,
+			AllPartiesRequired: true,
+		},
+	})
+	if r.Required != ProcessWiretapOrder {
+		t.Errorf("required = %v, want %v", r.Required, ProcessWiretapOrder)
+	}
+}
+
+func TestTrespasserException(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:    "honeypot-monitoring",
+		Actor:   ActorGovernment,
+		Timing:  TimingRealTime,
+		Data:    DataContent,
+		Source:  SourceVictimSystem,
+		Consent: &Consent{Scope: ConsentVictimTrespasser},
+	})
+	if r.NeedsProcess() {
+		t.Errorf("trespasser monitoring needs no process; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionTrespasser) {
+		t.Error("ruling must record the trespasser exception")
+	}
+}
+
+func TestEmergencyPenTrap(t *testing.T) {
+	base := Action{
+		Name:   "emergency-trap",
+		Actor:  ActorGovernment,
+		Timing: TimingRealTime,
+		Data:   DataAddressing,
+		Source: SourceThirdPartyNetwork,
+	}
+	unapproved := base
+	unapproved.Exigency = &Exigency{Kind: ExigencyEmergencyPenTrap}
+	r := mustEvaluate(t, unapproved)
+	if !r.NeedsProcess() {
+		t.Error("emergency pen/trap without approval must still require an order")
+	}
+
+	approved := base
+	approved.Exigency = &Exigency{Kind: ExigencyEmergencyPenTrap, Approved: true}
+	r = mustEvaluate(t, approved)
+	if r.NeedsProcess() {
+		t.Errorf("approved emergency pen/trap needs no prior order; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionEmergencyPenTrap) {
+		t.Error("ruling must record the emergency pen/trap exception")
+	}
+}
+
+func TestSCATiers(t *testing.T) {
+	tests := []struct {
+		name string
+		data DataClass
+		want Process
+	}{
+		{name: "stored content needs warrant", data: DataContent, want: ProcessSearchWarrant},
+		{name: "records need 2703(d) order", data: DataTransactionalRecords, want: ProcessCourtOrder},
+		{name: "basic subscriber info needs subpoena", data: DataBasicSubscriber, want: ProcessSubpoena},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := mustEvaluate(t, Action{
+				Name:           "sca-" + tt.name,
+				Actor:          ActorGovernment,
+				Timing:         TimingStored,
+				Data:           tt.data,
+				Source:         SourceProviderStored,
+				ProviderRole:   ProviderECS,
+				ProviderPublic: true,
+			})
+			if r.Required != tt.want {
+				t.Errorf("required = %v, want %v", r.Required, tt.want)
+			}
+			if r.Regime != RegimeSCA {
+				t.Errorf("regime = %v, want %v", r.Regime, RegimeSCA)
+			}
+		})
+	}
+}
+
+func TestSCAUserConsent(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:           "user-consents-disclosure",
+		Actor:          ActorGovernment,
+		Timing:         TimingStored,
+		Data:           DataContent,
+		Source:         SourceProviderStored,
+		ProviderRole:   ProviderRCS,
+		ProviderPublic: true,
+		Consent:        &Consent{Scope: ConsentOwnData},
+	})
+	if r.NeedsProcess() {
+		t.Errorf("user-consent disclosure needs no process; got %v", r.Required)
+	}
+}
+
+func TestSCAExigency(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:           "emergency-disclosure",
+		Actor:          ActorGovernment,
+		Timing:         TimingStored,
+		Data:           DataContent,
+		Source:         SourceProviderStored,
+		ProviderRole:   ProviderECS,
+		ProviderPublic: true,
+		Exigency:       &Exigency{Kind: ExigencyDanger},
+	})
+	if r.NeedsProcess() {
+		t.Errorf("SCA emergency disclosure needs no process; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionExigency) {
+		t.Error("ruling must record the exigency exception")
+	}
+}
+
+func TestNonCoveredProviderFallsToFourthAmendment(t *testing.T) {
+	// The university server in the paper's Alice/Bob example: neither
+	// ECS nor RCS for an opened email, so the Fourth Amendment governs.
+	r := mustEvaluate(t, Action{
+		Name:         "opened-university-email",
+		Actor:        ActorGovernment,
+		Timing:       TimingStored,
+		Data:         DataContent,
+		Source:       SourceProviderStored,
+		ProviderRole: ProviderNone,
+	})
+	if r.Regime != RegimeFourthAmendment {
+		t.Errorf("regime = %v, want %v", r.Regime, RegimeFourthAmendment)
+	}
+	if r.Required != ProcessSearchWarrant {
+		t.Errorf("required = %v, want %v", r.Required, ProcessSearchWarrant)
+	}
+}
+
+func TestSeizedDeviceWithinAuthority(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "mine-lawful-database",
+		Actor:  ActorGovernment,
+		Timing: TimingStored,
+		Data:   DataDeviceContents,
+		Source: SourceSeizedDevice,
+	})
+	if r.NeedsProcess() {
+		t.Errorf("examination within original authority needs no process; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionLawfulCustody) {
+		t.Error("ruling must record the lawful-custody exception")
+	}
+}
+
+func TestSeizedDeviceBeyondAuthority(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:                  "hash-whole-drive",
+		Actor:                 ActorGovernment,
+		Timing:                TimingStored,
+		Data:                  DataDeviceContents,
+		Source:                SourceSeizedDevice,
+		SearchBeyondAuthority: true,
+	})
+	if r.Required != ProcessSearchWarrant {
+		t.Errorf("required = %v, want %v", r.Required, ProcessSearchWarrant)
+	}
+}
+
+func TestRevokedConsentRequiresWarrant(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:    "revoked-consent",
+		Actor:   ActorGovernment,
+		Timing:  TimingStored,
+		Data:    DataDeviceContents,
+		Source:  SourceTargetDevice,
+		Consent: &Consent{Scope: ConsentOwnData, Revoked: true},
+	})
+	if r.Required != ProcessSearchWarrant {
+		t.Errorf("required = %v, want %v", r.Required, ProcessSearchWarrant)
+	}
+}
+
+func TestExigencyExcusesWarrant(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:     "destroy-command-imminent",
+		Actor:    ActorGovernment,
+		Timing:   TimingStored,
+		Data:     DataDeviceContents,
+		Source:   SourceTargetDevice,
+		Exigency: &Exigency{Kind: ExigencyEvidenceDestruction},
+	})
+	if r.NeedsProcess() {
+		t.Errorf("exigent circumstances excuse the warrant; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionExigency) {
+		t.Error("ruling must record the exigency exception")
+	}
+}
+
+func TestKylloRequiresWarrant(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "thermal-imaging",
+		Actor:  ActorGovernment,
+		Timing: TimingStored,
+		Data:   DataDeviceContents,
+		Source: SourceTargetDevice,
+		Tech:   &SpecializedTech{GeneralPublicUse: false, RevealsHomeInterior: true},
+	})
+	if r.Required != ProcessSearchWarrant {
+		t.Errorf("required = %v, want %v", r.Required, ProcessSearchWarrant)
+	}
+}
+
+func TestRulingDeterminism(t *testing.T) {
+	a := Action{
+		Name:     "determinism",
+		Actor:    ActorGovernment,
+		Timing:   TimingRealTime,
+		Data:     DataContent,
+		Source:   SourceWirelessBroadcast,
+		Exposure: []ExposureFact{ExposureKnowinglyPublic},
+	}
+	r1 := mustEvaluate(t, a)
+	r2 := mustEvaluate(t, a)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("Evaluate must be deterministic for identical actions")
+	}
+}
+
+func TestRulingCitationsDeduplicated(t *testing.T) {
+	r := mustEvaluate(t, Action{
+		Name:   "citation-dedup",
+		Actor:  ActorGovernment,
+		Timing: TimingStored,
+		Data:   DataDeviceContents,
+		Source: SourceTargetDevice,
+	})
+	seen := make(map[string]bool)
+	for _, c := range r.Citations {
+		if seen[c.ID] {
+			t.Errorf("citation %q duplicated", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestWirelessBroadcastStarredJudgments(t *testing.T) {
+	// Scenes 3-6 of Table 1: headers free, payloads need process,
+	// regardless of encryption.
+	for _, enc := range []bool{false, true} {
+		headers := mustEvaluate(t, Action{
+			Name:      "wardriving-headers",
+			Actor:     ActorGovernment,
+			Timing:    TimingRealTime,
+			Data:      DataAddressing,
+			Source:    SourceWirelessBroadcast,
+			Encrypted: enc,
+		})
+		if headers.NeedsProcess() {
+			t.Errorf("wireless headers (encrypted=%v) must need no process; got %v", enc, headers.Required)
+		}
+		payload := mustEvaluate(t, Action{
+			Name:      "wardriving-payload",
+			Actor:     ActorGovernment,
+			Timing:    TimingRealTime,
+			Data:      DataContent,
+			Source:    SourceWirelessBroadcast,
+			Encrypted: enc,
+		})
+		if !payload.NeedsProcess() {
+			t.Errorf("wireless payload (encrypted=%v) must need process", enc)
+		}
+	}
+}
+
+func TestRationaleNonEmpty(t *testing.T) {
+	// Every ruling must explain itself.
+	actions := []Action{
+		{Name: "a", Actor: ActorGovernment, Timing: TimingRealTime, Data: DataContent, Source: SourceThirdPartyNetwork},
+		{Name: "b", Actor: ActorPrivate, Timing: TimingStored, Data: DataDeviceContents, Source: SourceTargetDevice},
+		{Name: "c", Actor: ActorProvider, Timing: TimingRealTime, Data: DataAddressing, Source: SourceOwnNetwork},
+		{Name: "d", Actor: ActorGovernment, Timing: TimingStored, Data: DataBasicSubscriber, Source: SourceProviderStored, ProviderRole: ProviderECS},
+		{Name: "e", Actor: ActorGovernment, Timing: TimingRealTime, Data: DataPublic, Source: SourcePublicService},
+	}
+	for _, a := range actions {
+		r := mustEvaluate(t, a)
+		if len(r.Rationale) == 0 {
+			t.Errorf("action %q: empty rationale", a.Name)
+		}
+		if len(r.Citations) == 0 {
+			t.Errorf("action %q: no citations", a.Name)
+		}
+		if !r.Required.Valid() {
+			t.Errorf("action %q: invalid required process %d", a.Name, int(r.Required))
+		}
+	}
+}
+
+// Exhaustive smoke sweep: the engine must return a valid, well-formed
+// ruling for every combination of the core enum dimensions.
+func TestEvaluateExhaustiveSweep(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for actor := ActorGovernment; actor <= ActorProvider; actor++ {
+		for timing := TimingRealTime; timing <= TimingStored; timing++ {
+			for data := DataContent; data <= DataDeviceContents; data++ {
+				for src := SourceOwnNetwork; src <= SourceTargetDevice; src++ {
+					a := Action{
+						Name:         "sweep",
+						Actor:        actor,
+						Timing:       timing,
+						Data:         data,
+						Source:       src,
+						ProviderRole: ProviderECS,
+					}
+					r, err := e.Evaluate(a)
+					if err != nil {
+						t.Fatalf("sweep (%v,%v,%v,%v): %v", actor, timing, data, src, err)
+					}
+					if !r.Required.Valid() {
+						t.Fatalf("sweep (%v,%v,%v,%v): invalid process %d", actor, timing, data, src, int(r.Required))
+					}
+					if len(r.Rationale) == 0 {
+						t.Fatalf("sweep (%v,%v,%v,%v): empty rationale", actor, timing, data, src)
+					}
+					count++
+				}
+			}
+		}
+	}
+	if count != 4*2*6*9 {
+		t.Errorf("sweep covered %d combinations, want %d", count, 4*2*6*9)
+	}
+}
+
+func TestWorkplaceSearchOConnor(t *testing.T) {
+	base := Action{
+		Name:   "desk-computer-search",
+		Actor:  ActorGovernment,
+		Timing: TimingStored,
+		Data:   DataDeviceContents,
+		Source: SourceTargetDevice,
+	}
+	lawful := base
+	lawful.Workplace = &WorkplaceSearch{
+		GovernmentEmployer:   true,
+		WorkRelated:          true,
+		JustifiedAtInception: true,
+		PermissibleScope:     true,
+	}
+	r := mustEvaluate(t, lawful)
+	if r.NeedsProcess() {
+		t.Errorf("O'Connor-compliant workplace search needs no warrant; got %v", r.Required)
+	}
+	if !r.HasException(ExceptionWorkplace) {
+		t.Error("ruling must record the workplace exception")
+	}
+
+	// Each missing condition defeats the exception.
+	for _, mutate := range []func(*WorkplaceSearch){
+		func(w *WorkplaceSearch) { w.WorkRelated = false },
+		func(w *WorkplaceSearch) { w.JustifiedAtInception = false },
+		func(w *WorkplaceSearch) { w.PermissibleScope = false },
+	} {
+		failing := base
+		w := *lawful.Workplace
+		mutate(&w)
+		failing.Workplace = &w
+		r := mustEvaluate(t, failing)
+		if r.Required != ProcessSearchWarrant {
+			t.Errorf("deficient workplace search: required = %v, want warrant", r.Required)
+		}
+	}
+
+	// A non-government employer is outside O'Connor: the struct is
+	// ignored and the ordinary analysis runs (warrant, absent consent).
+	private := base
+	private.Workplace = &WorkplaceSearch{
+		WorkRelated: true, JustifiedAtInception: true, PermissibleScope: true,
+	}
+	r = mustEvaluate(t, private)
+	if r.Required != ProcessSearchWarrant {
+		t.Errorf("non-government workplace struct must not excuse process; got %v", r.Required)
+	}
+	// The private-employer route is consent (Ziegler).
+	viaConsent := base
+	viaConsent.Consent = &Consent{Scope: ConsentEmployerPrivate}
+	r = mustEvaluate(t, viaConsent)
+	if r.NeedsProcess() {
+		t.Errorf("private-employer consent must excuse the warrant; got %v", r.Required)
+	}
+}
+
+func TestContainerDoctrineToggle(t *testing.T) {
+	hashSearch := Action{
+		Name:                  "hash-whole-drive",
+		Actor:                 ActorGovernment,
+		Timing:                TimingStored,
+		Data:                  DataDeviceContents,
+		Source:                SourceSeizedDevice,
+		SearchBeyondAuthority: true,
+	}
+	// Default (per-file, Crist): a new warrant is needed — the Table 1
+	// scene 18 answer.
+	perFile, err := NewEngine().Evaluate(hashSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perFile.Required != ProcessSearchWarrant {
+		t.Errorf("per-file doctrine: required = %v, want warrant", perFile.Required)
+	}
+	// Single-container: the exhaustive exam rides the original
+	// authority.
+	single, err := NewEngine(WithContainerDoctrine(ContainerSingle)).Evaluate(hashSearch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.NeedsProcess() {
+		t.Errorf("single-container doctrine: required = %v, want none", single.Required)
+	}
+	if !single.HasException(ExceptionLawfulCustody) {
+		t.Error("single-container ruling must rest on lawful custody")
+	}
+	// The doctrine strings render.
+	if ContainerPerFile.String() != "per-file container" || ContainerSingle.String() != "single container" {
+		t.Error("doctrine names wrong")
+	}
+	if ContainerDoctrine(9).String() != "ContainerDoctrine(9)" {
+		t.Errorf("placeholder = %q", ContainerDoctrine(9).String())
+	}
+}
+
+func TestContainerDoctrineDoesNotAffectOtherScenes(t *testing.T) {
+	// Only the beyond-authority seized-device branch turns on the
+	// doctrine: every other action must rule identically under both.
+	perFile := NewEngine()
+	single := NewEngine(WithContainerDoctrine(ContainerSingle))
+	for actor := ActorGovernment; actor <= ActorProvider; actor++ {
+		for timing := TimingRealTime; timing <= TimingStored; timing++ {
+			for data := DataContent; data <= DataDeviceContents; data++ {
+				for src := SourceOwnNetwork; src <= SourceTargetDevice; src++ {
+					a := Action{
+						Name: "sweep", Actor: actor, Timing: timing,
+						Data: data, Source: src, ProviderRole: ProviderECS,
+					}
+					r1, err := perFile.Evaluate(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r2, err := single.Evaluate(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if r1.Required != r2.Required {
+						t.Fatalf("doctrine leaked into (%v,%v,%v,%v): %v vs %v",
+							actor, timing, data, src, r1.Required, r2.Required)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Every citation a ruling emits must resolve to a catalog entry with a
+// real title — rationale chains must never dangle.
+func TestRulingCitationsResolve(t *testing.T) {
+	e := NewEngine()
+	known := make(map[string]bool)
+	for _, id := range KnownCitationIDs() {
+		known[id] = true
+	}
+	r := rand.New(rand.NewSource(55))
+	for i := 0; i < 5000; i++ {
+		a := randomAction(r)
+		ruling, err := e.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range ruling.Citations {
+			if !known[c.ID] {
+				t.Fatalf("ruling cites unknown authority %q (action %+v)", c.ID, a)
+			}
+			if c.Title == c.ID {
+				t.Fatalf("citation %q has no expanded title", c.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package legal
+
+import "fmt"
+
+// ExceptionKind identifies a doctrine permitting acquisition without the
+// process that would otherwise be required (paper § III-B).
+type ExceptionKind int
+
+// Exception kinds.
+const (
+	// ExceptionNoREP: the government action is not a "search" because
+	// the target has no reasonable expectation of privacy.
+	ExceptionNoREP ExceptionKind = iota + 1
+	// ExceptionConsent: voluntary consent by someone with authority.
+	ExceptionConsent
+	// ExceptionExigency: exigent circumstances.
+	ExceptionExigency
+	// ExceptionEmergencyPenTrap: § 3125 emergency pen/trap.
+	ExceptionEmergencyPenTrap
+	// ExceptionPlainView: evidence in plain view from a lawful vantage.
+	ExceptionPlainView
+	// ExceptionProbation: diminished expectations on probation/parole.
+	ExceptionProbation
+	// ExceptionTrespasser: the computer-trespasser exception,
+	// § 2511(2)(i).
+	ExceptionTrespasser
+	// ExceptionPublicAccess: communications readily accessible to the
+	// general public, § 2511(2)(g)(i).
+	ExceptionPublicAccess
+	// ExceptionPrivateSearch: a private party's own search, outside the
+	// Fourth Amendment.
+	ExceptionPrivateSearch
+	// ExceptionProviderProtection: a provider monitoring its own system
+	// in the normal course or to protect its rights and property,
+	// § 2511(2)(a)(i).
+	ExceptionProviderProtection
+	// ExceptionLawfulCustody: examination of an item already lawfully
+	// obtained, within the scope of the original authority
+	// (State v. Sloane; the "restriction-less" examination rule).
+	ExceptionLawfulCustody
+	// ExceptionWorkplace: a government employer's warrantless search of
+	// an employee's workspace that is work-related, justified at its
+	// inception, and permissible in scope (O'Connor v. Ortega).
+	ExceptionWorkplace
+)
+
+var exceptionNames = map[ExceptionKind]string{
+	ExceptionNoREP:              "no reasonable expectation of privacy",
+	ExceptionConsent:            "consent",
+	ExceptionExigency:           "exigent circumstances",
+	ExceptionEmergencyPenTrap:   "emergency pen/trap",
+	ExceptionPlainView:          "plain view",
+	ExceptionProbation:          "probation/parole",
+	ExceptionTrespasser:         "computer trespasser",
+	ExceptionPublicAccess:       "readily accessible to the public",
+	ExceptionPrivateSearch:      "private search",
+	ExceptionProviderProtection: "provider protection",
+	ExceptionLawfulCustody:      "lawful custody",
+	ExceptionWorkplace:          "government workplace search",
+}
+
+// String returns the human-readable exception name.
+func (k ExceptionKind) String() string {
+	if s, ok := exceptionNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("ExceptionKind(%d)", int(k))
+}
+
+// Valid reports whether k is one of the defined exception kinds.
+func (k ExceptionKind) Valid() bool {
+	_, ok := exceptionNames[k]
+	return ok
+}

@@ -1,0 +1,192 @@
+package legal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomAction draws a structurally valid action from the seeded source,
+// spanning the engine's whole input space.
+func randomAction(r *rand.Rand) Action {
+	a := Action{
+		Name:         "fuzz",
+		Actor:        Actor(r.Intn(4) + 1),
+		Timing:       Timing(r.Intn(2) + 1),
+		Data:         DataClass(r.Intn(6) + 1),
+		Source:       Source(r.Intn(9) + 1),
+		Encrypted:    r.Intn(2) == 0,
+		ProviderRole: ProviderRole(r.Intn(3) + 1),
+	}
+	for f := ExposureKnowinglyPublic; f <= ExposureAbandoned; f++ {
+		if r.Intn(4) == 0 {
+			a.Exposure = append(a.Exposure, f)
+		}
+	}
+	if r.Intn(3) == 0 {
+		a.Consent = &Consent{
+			Scope:              ConsentScope(r.Intn(8) + 1),
+			Revoked:            r.Intn(5) == 0,
+			ExceedsScope:       r.Intn(5) == 0,
+			AllPartiesRequired: r.Intn(5) == 0,
+		}
+	}
+	if r.Intn(4) == 0 {
+		a.Exigency = &Exigency{
+			Kind:     ExigencyKind(r.Intn(5) + 1),
+			Approved: r.Intn(2) == 0,
+		}
+	}
+	if r.Intn(5) == 0 {
+		a.Tech = &SpecializedTech{
+			GeneralPublicUse:    r.Intn(2) == 0,
+			RevealsHomeInterior: r.Intn(2) == 0,
+		}
+	}
+	if r.Intn(6) == 0 {
+		a.Workplace = &WorkplaceSearch{
+			GovernmentEmployer:   r.Intn(2) == 0,
+			WorkRelated:          r.Intn(2) == 0,
+			JustifiedAtInception: r.Intn(2) == 0,
+			PermissibleScope:     r.Intn(2) == 0,
+		}
+	}
+	a.PlainView = r.Intn(6) == 0
+	a.LawfulVantage = r.Intn(2) == 0
+	a.ProbationSearch = r.Intn(8) == 0
+	a.InterceptsThirdParty = r.Intn(4) == 0
+	a.SearchBeyondAuthority = r.Intn(4) == 0
+	return a
+}
+
+// Invariant: the engine never fails and never produces an invalid process
+// or an empty rationale on any structurally valid action.
+func TestEngineFuzzTotality(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		a := randomAction(r)
+		ruling, err := e.Evaluate(a)
+		if err != nil {
+			t.Fatalf("iteration %d: %v (action %+v)", i, err, a)
+		}
+		if !ruling.Required.Valid() {
+			t.Fatalf("iteration %d: invalid process %d", i, int(ruling.Required))
+		}
+		if len(ruling.Rationale) == 0 {
+			t.Fatalf("iteration %d: empty rationale", i)
+		}
+		if len(ruling.Citations) == 0 {
+			t.Fatalf("iteration %d: no citations", i)
+		}
+	}
+}
+
+// Invariant: adding an effective party consent to a real-time interception
+// never increases the required process.
+func TestConsentNeverRaisesRequirement(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		a := randomAction(r)
+		a.Consent = nil
+		base, err := e.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withConsent := a
+		withConsent.Consent = &Consent{Scope: ConsentCommunicationParty}
+		after, err := e.Evaluate(withConsent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Required > base.Required {
+			t.Fatalf("consent raised requirement: %v -> %v (action %+v)",
+				base.Required, after.Required, a)
+		}
+	}
+}
+
+// Invariant: a probation search by the government never needs process.
+func TestProbationAlwaysFree(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 5000; i++ {
+		a := randomAction(r)
+		a.Actor = ActorGovernment
+		a.ProbationSearch = true
+		ruling, err := e.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ruling.NeedsProcess() {
+			t.Fatalf("probation search required %v (action %+v)", ruling.Required, a)
+		}
+	}
+}
+
+// Invariant: private actors never need process — the Fourth Amendment
+// does not restrain private searches.
+func TestPrivateActorAlwaysFree(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		a := randomAction(r)
+		a.Actor = ActorPrivate
+		ruling, err := e.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ruling.NeedsProcess() {
+			t.Fatalf("private search required %v (action %+v)", ruling.Required, a)
+		}
+	}
+}
+
+// Invariant: the required process never exceeds the wiretap tier, and
+// content interception is never cheaper than addressing interception for
+// otherwise identical government actions.
+func TestContentAtLeastAsProtectedAsAddressing(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 5000; i++ {
+		a := randomAction(r)
+		a.Actor = ActorGovernment
+		a.Timing = TimingRealTime
+		a.Data = DataAddressing
+		addressing, err := e.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asContent := a
+		asContent.Data = DataContent
+		content, err := e.Evaluate(asContent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if content.Required < addressing.Required {
+			t.Fatalf("content cheaper than addressing: %v < %v (action %+v)",
+				content.Required, addressing.Required, a)
+		}
+	}
+}
+
+// Invariant: rulings depend only on the action — engines are stateless and
+// interchangeable.
+func TestEngineStateless(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	e1, e2 := NewEngine(), NewEngine()
+	for i := 0; i < 2000; i++ {
+		a := randomAction(r)
+		r1, err := e1.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := e2.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Required != r2.Required || r1.Regime != r2.Regime {
+			t.Fatalf("engines disagree on %+v", a)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package legal
+
+import "fmt"
+
+// Process identifies a level of legal process an investigator may hold or be
+// required to obtain before an acquisition. The levels form a total order of
+// ascending difficulty, mirroring Section II-A of the paper: a subpoena is
+// easier to obtain than a court order, which is easier than a search
+// warrant; a Title III wiretap order is modeled as the strictest tier.
+type Process int
+
+// Process levels, in ascending order of the showing required to obtain them.
+const (
+	// ProcessNone means the acquisition may proceed without any
+	// warrant, court order, or subpoena.
+	ProcessNone Process = iota + 1
+	// ProcessSubpoena compels production of evidence or testimony; per
+	// the paper, "merely a suspicion is enough to apply for a subpoena".
+	ProcessSubpoena
+	// ProcessCourtOrder is an order under 18 U.S.C. § 2703(d) or a
+	// pen/trap order under § 3123; it requires "specific and articulable
+	// facts".
+	ProcessCourtOrder
+	// ProcessSearchWarrant authorizes a search or seizure and requires
+	// probable cause supported by oath or affirmation.
+	ProcessSearchWarrant
+	// ProcessWiretapOrder is a Title III interception order, the most
+	// demanding process tier, required for real-time acquisition of
+	// communication contents.
+	ProcessWiretapOrder
+)
+
+var processNames = map[Process]string{
+	ProcessNone:          "none",
+	ProcessSubpoena:      "subpoena",
+	ProcessCourtOrder:    "court order",
+	ProcessSearchWarrant: "search warrant",
+	ProcessWiretapOrder:  "wiretap order",
+}
+
+// String returns the human-readable name of the process level.
+func (p Process) String() string {
+	if s, ok := processNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("Process(%d)", int(p))
+}
+
+// Valid reports whether p is one of the defined process levels.
+func (p Process) Valid() bool {
+	_, ok := processNames[p]
+	return ok
+}
+
+// Satisfies reports whether holding process p satisfies a requirement of
+// process req. The process lattice is totally ordered: any stronger process
+// satisfies a weaker requirement (a search warrant can do everything a
+// subpoena can, per § 2703's disclosure hierarchy).
+func (p Process) Satisfies(req Process) bool {
+	return p >= req
+}
+
+// Showing is the evidentiary basis an applicant presents to a court. The
+// levels mirror the paper's Section III-A-1: mere suspicion suffices for a
+// subpoena, "specific and articulable facts" for a court order, and
+// probable cause for a search warrant or wiretap order.
+type Showing int
+
+// Showing levels, in ascending order of strength.
+const (
+	// ShowingNone is the absence of any articulated basis.
+	ShowingNone Showing = iota + 1
+	// ShowingMereSuspicion is an unparticularized hunch; enough for a
+	// subpoena.
+	ShowingMereSuspicion
+	// ShowingArticulableFacts is "specific and articulable facts showing
+	// that there are reasonable grounds to believe" the information is
+	// relevant and material to an ongoing criminal investigation.
+	ShowingArticulableFacts
+	// ShowingProbableCause is "a fair probability that contraband or
+	// evidence of a crime will be found in a particular place"
+	// (Illinois v. Gates).
+	ShowingProbableCause
+)
+
+var showingNames = map[Showing]string{
+	ShowingNone:             "no showing",
+	ShowingMereSuspicion:    "mere suspicion",
+	ShowingArticulableFacts: "specific and articulable facts",
+	ShowingProbableCause:    "probable cause",
+}
+
+// String returns the human-readable name of the showing.
+func (s Showing) String() string {
+	if n, ok := showingNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Showing(%d)", int(s))
+}
+
+// Valid reports whether s is one of the defined showing levels.
+func (s Showing) Valid() bool {
+	_, ok := showingNames[s]
+	return ok
+}
+
+// RequiredShowing returns the minimum showing a court demands before
+// issuing process p. ProcessNone requires no showing.
+func RequiredShowing(p Process) Showing {
+	switch p {
+	case ProcessNone:
+		return ShowingNone
+	case ProcessSubpoena:
+		return ShowingMereSuspicion
+	case ProcessCourtOrder:
+		return ShowingArticulableFacts
+	case ProcessSearchWarrant, ProcessWiretapOrder:
+		return ShowingProbableCause
+	default:
+		return ShowingProbableCause
+	}
+}
+
+// Sufficient reports whether showing s suffices to obtain process p.
+func (s Showing) Sufficient(p Process) bool {
+	return s >= RequiredShowing(p)
+}

@@ -1,0 +1,167 @@
+package legal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestProcessOrdering(t *testing.T) {
+	ordered := []Process{
+		ProcessNone,
+		ProcessSubpoena,
+		ProcessCourtOrder,
+		ProcessSearchWarrant,
+		ProcessWiretapOrder,
+	}
+	for i, lo := range ordered {
+		for j, hi := range ordered {
+			got := hi.Satisfies(lo)
+			want := j >= i
+			if got != want {
+				t.Errorf("%v.Satisfies(%v) = %v, want %v", hi, lo, got, want)
+			}
+		}
+	}
+}
+
+func TestProcessString(t *testing.T) {
+	tests := []struct {
+		p    Process
+		want string
+	}{
+		{ProcessNone, "none"},
+		{ProcessSubpoena, "subpoena"},
+		{ProcessCourtOrder, "court order"},
+		{ProcessSearchWarrant, "search warrant"},
+		{ProcessWiretapOrder, "wiretap order"},
+		{Process(99), "Process(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("Process(%d).String() = %q, want %q", int(tt.p), got, tt.want)
+		}
+	}
+}
+
+func TestProcessValid(t *testing.T) {
+	for p := ProcessNone; p <= ProcessWiretapOrder; p++ {
+		if !p.Valid() {
+			t.Errorf("process %v should be valid", p)
+		}
+	}
+	for _, p := range []Process{0, -1, 6, 100} {
+		if p.Valid() {
+			t.Errorf("process %d should be invalid", int(p))
+		}
+	}
+}
+
+func TestRequiredShowing(t *testing.T) {
+	tests := []struct {
+		p    Process
+		want Showing
+	}{
+		{ProcessNone, ShowingNone},
+		{ProcessSubpoena, ShowingMereSuspicion},
+		{ProcessCourtOrder, ShowingArticulableFacts},
+		{ProcessSearchWarrant, ShowingProbableCause},
+		{ProcessWiretapOrder, ShowingProbableCause},
+	}
+	for _, tt := range tests {
+		if got := RequiredShowing(tt.p); got != tt.want {
+			t.Errorf("RequiredShowing(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestShowingSufficient(t *testing.T) {
+	// Probable cause opens every door; mere suspicion only a subpoena.
+	if !ShowingProbableCause.Sufficient(ProcessWiretapOrder) {
+		t.Error("probable cause must suffice for a wiretap order")
+	}
+	if !ShowingProbableCause.Sufficient(ProcessSubpoena) {
+		t.Error("probable cause must suffice for a subpoena")
+	}
+	if ShowingMereSuspicion.Sufficient(ProcessSearchWarrant) {
+		t.Error("mere suspicion must not suffice for a search warrant")
+	}
+	if !ShowingMereSuspicion.Sufficient(ProcessSubpoena) {
+		t.Error("mere suspicion must suffice for a subpoena (paper § II-A)")
+	}
+	if ShowingArticulableFacts.Sufficient(ProcessSearchWarrant) {
+		t.Error("articulable facts must not suffice for a warrant")
+	}
+	if !ShowingArticulableFacts.Sufficient(ProcessCourtOrder) {
+		t.Error("articulable facts must suffice for a court order")
+	}
+}
+
+func TestShowingString(t *testing.T) {
+	tests := []struct {
+		s    Showing
+		want string
+	}{
+		{ShowingNone, "no showing"},
+		{ShowingMereSuspicion, "mere suspicion"},
+		{ShowingArticulableFacts, "specific and articulable facts"},
+		{ShowingProbableCause, "probable cause"},
+		{Showing(42), "Showing(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Showing(%d).String() = %q, want %q", int(tt.s), got, tt.want)
+		}
+	}
+}
+
+// Property: the Satisfies relation is a total order — reflexive,
+// antisymmetric on valid values, transitive.
+func TestProcessSatisfiesIsTotalOrder(t *testing.T) {
+	clamp := func(x uint8) Process {
+		return Process(int(x)%5) + ProcessNone
+	}
+	reflexive := func(x uint8) bool {
+		p := clamp(x)
+		return p.Satisfies(p)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("Satisfies not reflexive: %v", err)
+	}
+	transitive := func(x, y, z uint8) bool {
+		a, b, c := clamp(x), clamp(y), clamp(z)
+		if a.Satisfies(b) && b.Satisfies(c) {
+			return a.Satisfies(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Errorf("Satisfies not transitive: %v", err)
+	}
+	total := func(x, y uint8) bool {
+		a, b := clamp(x), clamp(y)
+		return a.Satisfies(b) || b.Satisfies(a)
+	}
+	if err := quick.Check(total, nil); err != nil {
+		t.Errorf("Satisfies not total: %v", err)
+	}
+}
+
+// Property: a stronger showing never loses access to a process a weaker
+// showing could obtain.
+func TestShowingMonotonicity(t *testing.T) {
+	f := func(s uint8, p uint8) bool {
+		show := Showing(int(s)%4) + ShowingNone
+		proc := Process(int(p)%5) + ProcessNone
+		if show.Sufficient(proc) {
+			for stronger := show; stronger <= ShowingProbableCause; stronger++ {
+				if !stronger.Sufficient(proc) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("showing monotonicity violated: %v", err)
+	}
+}

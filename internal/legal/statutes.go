@@ -1,0 +1,199 @@
+package legal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrUnknownSection is returned when a section ID does not resolve.
+var ErrUnknownSection = errors.New("legal: unknown statutory section")
+
+// SectionRole classifies what a statutory section does.
+type SectionRole int
+
+// Section roles.
+const (
+	// RoleDefinition defines a statutory term.
+	RoleDefinition SectionRole = iota + 1
+	// RoleProhibition forbids conduct.
+	RoleProhibition
+	// RoleException carves conduct out of a prohibition.
+	RoleException
+	// RoleProcedure sets out the process for authorized conduct.
+	RoleProcedure
+)
+
+// String returns the role name.
+func (r SectionRole) String() string {
+	switch r {
+	case RoleDefinition:
+		return "definition"
+	case RoleProhibition:
+		return "prohibition"
+	case RoleException:
+		return "exception"
+	case RoleProcedure:
+		return "procedure"
+	default:
+		return fmt.Sprintf("SectionRole(%d)", int(r))
+	}
+}
+
+// Section is one statutory provision the paper relies on, as structured
+// metadata: the engine's rationale strings cite these provisions, and this
+// catalog lets tooling resolve them.
+type Section struct {
+	// ID is the conventional citation, e.g. "18 U.S.C. § 2511(2)(i)".
+	ID string
+	// Regime is the body of law the section belongs to.
+	Regime Regime
+	// Role classifies the provision.
+	Role SectionRole
+	// Title is a short name.
+	Title string
+	// Summary restates the provision as the paper uses it.
+	Summary string
+}
+
+// sections is the catalog, in citation order.
+var sections = []Section{
+	{
+		ID: "U.S. Const. amend. IV", Regime: RegimeFourthAmendment, Role: RoleProhibition,
+		Title:   "Fourth Amendment",
+		Summary: "no unreasonable searches and seizures; warrants only on probable cause, supported by oath, particularly describing the place and things",
+	},
+	{
+		ID: "18 U.S.C. § 2510(1)", Regime: RegimeWiretap, Role: RoleDefinition,
+		Title:   "wire communication",
+		Summary: "defines wire communications, the Wiretap Act's original subject",
+	},
+	{
+		ID: "18 U.S.C. § 2510(12)", Regime: RegimeWiretap, Role: RoleDefinition,
+		Title:   "electronic communication",
+		Summary: "defines the electronic communications the ECPA extended Title III to",
+	},
+	{
+		ID: "18 U.S.C. § 2510(15)", Regime: RegimeSCA, Role: RoleDefinition,
+		Title:   "electronic communication service",
+		Summary: "any service providing users the ability to send or receive wire or electronic communications",
+	},
+	{
+		ID: "18 U.S.C. § 2511(1)", Regime: RegimeWiretap, Role: RoleProhibition,
+		Title:   "interception prohibited",
+		Summary: "prohibits intentional real-time acquisition of communication contents by any person",
+	},
+	{
+		ID: "18 U.S.C. § 2511(2)(a)(i)", Regime: RegimeWiretap, Role: RoleException,
+		Title:   "provider protection",
+		Summary: "providers may intercept in the normal course of business or to protect their rights and property",
+	},
+	{
+		ID: "18 U.S.C. § 2511(2)(c)-(d)", Regime: RegimeWiretap, Role: RoleException,
+		Title:   "party consent",
+		Summary: "interception with the consent of a party to the communication is not unlawful",
+	},
+	{
+		ID: "18 U.S.C. § 2511(2)(g)(i)", Regime: RegimeWiretap, Role: RoleException,
+		Title:   "readily accessible to the public",
+		Summary: "any person may intercept communications on a system configured to be readily accessible to the general public",
+	},
+	{
+		ID: "18 U.S.C. § 2511(2)(i)", Regime: RegimeWiretap, Role: RoleException,
+		Title:   "computer trespasser",
+		Summary: "a victim may authorize persons acting under color of law to monitor a trespasser on the victim's system",
+	},
+	{
+		ID: "18 U.S.C. § 2701", Regime: RegimeSCA, Role: RoleProhibition,
+		Title:   "unlawful access to stored communications",
+		Summary: "prohibits unauthorized access to facilities through which electronic communication services are provided",
+	},
+	{
+		ID: "18 U.S.C. § 2702", Regime: RegimeSCA, Role: RoleProhibition,
+		Title:   "voluntary disclosure",
+		Summary: "public providers may not volunteer content to anyone or records to the government, absent consent, emergency, or self-protection",
+	},
+	{
+		ID: "18 U.S.C. § 2703", Regime: RegimeSCA, Role: RoleProcedure,
+		Title:   "required disclosure",
+		Summary: "the compelled-disclosure ladder: subpoena for basic subscriber information, § 2703(d) order for records, warrant for contents",
+	},
+	{
+		ID: "18 U.S.C. § 2703(f)", Regime: RegimeSCA, Role: RoleProcedure,
+		Title:   "preservation",
+		Summary: "providers shall preserve records pending process for 90 days on a governmental request",
+	},
+	{
+		ID: "18 U.S.C. § 2711(2)", Regime: RegimeSCA, Role: RoleDefinition,
+		Title:   "remote computing service",
+		Summary: "computer storage or processing services provided to the public by an electronic communications system",
+	},
+	{
+		ID: "18 U.S.C. § 3121", Regime: RegimePenTrap, Role: RoleProhibition,
+		Title:   "pen/trap prohibition",
+		Summary: "no pen register or trap-and-trace installation without a court order; collection must avoid contents (§ 3121(c))",
+	},
+	{
+		ID: "18 U.S.C. § 3123", Regime: RegimePenTrap, Role: RoleProcedure,
+		Title:   "pen/trap order",
+		Summary: "courts issue pen/trap orders on certification that the information is relevant to an ongoing investigation",
+	},
+	{
+		ID: "18 U.S.C. § 3125", Regime: RegimePenTrap, Role: RoleException,
+		Title:   "emergency pen/trap",
+		Summary: "emergency installation without an order on high-level approval: danger of death, organized crime, national security, or attacks on protected computers",
+	},
+	{
+		ID: "18 U.S.C. § 3127(3)", Regime: RegimePenTrap, Role: RoleDefinition,
+		Title:   "pen register",
+		Summary: "a device recording outgoing dialing, routing, addressing, or signaling information",
+	},
+	{
+		ID: "18 U.S.C. § 3127(4)", Regime: RegimePenTrap, Role: RoleDefinition,
+		Title:   "trap and trace device",
+		Summary: "a device capturing incoming electronic impulses identifying the source of a communication",
+	},
+}
+
+// Sections returns the full catalog, in citation order. The slice is
+// freshly allocated.
+func Sections() []Section {
+	out := make([]Section, len(sections))
+	copy(out, sections)
+	return out
+}
+
+// SectionsFor returns the catalog entries belonging to one regime.
+func SectionsFor(r Regime) []Section {
+	var out []Section
+	for _, s := range sections {
+		if s.Regime == r {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FindSection resolves a citation by exact ID or by unique substring
+// (e.g. "2511(2)(i)").
+func FindSection(id string) (Section, error) {
+	for _, s := range sections {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	var matches []Section
+	for _, s := range sections {
+		if strings.Contains(s.ID, id) {
+			matches = append(matches, s)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return Section{}, fmt.Errorf("%w: %q", ErrUnknownSection, id)
+	default:
+		return Section{}, fmt.Errorf("%w: %q is ambiguous (%d matches)", ErrUnknownSection, id, len(matches))
+	}
+}

@@ -1,0 +1,105 @@
+package legal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSectionsCatalogShape(t *testing.T) {
+	all := Sections()
+	if len(all) < 15 {
+		t.Fatalf("catalog has %d sections", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.ID == "" || s.Title == "" || s.Summary == "" {
+			t.Errorf("section %+v has empty fields", s)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate section %q", s.ID)
+		}
+		seen[s.ID] = true
+		if strings.HasPrefix(s.Role.String(), "SectionRole(") {
+			t.Errorf("section %q has invalid role %d", s.ID, int(s.Role))
+		}
+	}
+	// The slice is a copy.
+	all[0].Title = "mutated"
+	if Sections()[0].Title == "mutated" {
+		t.Error("Sections must return a copy")
+	}
+}
+
+func TestSectionsForEveryStatutoryRegime(t *testing.T) {
+	for _, r := range []Regime{RegimeWiretap, RegimeSCA, RegimePenTrap, RegimeFourthAmendment} {
+		got := SectionsFor(r)
+		if len(got) == 0 {
+			t.Errorf("no sections for regime %v", r)
+		}
+		for _, s := range got {
+			if s.Regime != r {
+				t.Errorf("section %q leaked into regime %v", s.ID, r)
+			}
+		}
+	}
+	if got := SectionsFor(RegimeNone); len(got) != 0 {
+		t.Errorf("RegimeNone has %d sections", len(got))
+	}
+}
+
+func TestEachRegimeHasProhibitionAndReliefValve(t *testing.T) {
+	// Every statutory regime the paper covers pairs a prohibition with
+	// either an exception or a procedure to proceed lawfully.
+	for _, r := range []Regime{RegimeWiretap, RegimeSCA, RegimePenTrap} {
+		var prohibition, relief bool
+		for _, s := range SectionsFor(r) {
+			switch s.Role {
+			case RoleProhibition:
+				prohibition = true
+			case RoleException, RoleProcedure:
+				relief = true
+			}
+		}
+		if !prohibition || !relief {
+			t.Errorf("regime %v: prohibition=%v relief=%v", r, prohibition, relief)
+		}
+	}
+}
+
+func TestFindSection(t *testing.T) {
+	s, err := FindSection("18 U.S.C. § 2703")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Role != RoleProcedure {
+		t.Errorf("§ 2703 role = %v", s.Role)
+	}
+	// Unique substring.
+	s, err = FindSection("2511(2)(i)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Title != "computer trespasser" {
+		t.Errorf("substring match = %q", s.Title)
+	}
+	// Ambiguous substring.
+	if _, err := FindSection("2511"); !errors.Is(err, ErrUnknownSection) {
+		t.Errorf("ambiguous err = %v", err)
+	}
+	// Missing.
+	if _, err := FindSection("§ 9999"); !errors.Is(err, ErrUnknownSection) {
+		t.Errorf("missing err = %v", err)
+	}
+}
+
+func TestSectionRoleString(t *testing.T) {
+	for r := RoleDefinition; r <= RoleProcedure; r++ {
+		if r.String() == "" {
+			t.Errorf("role %d empty", int(r))
+		}
+	}
+	if SectionRole(9).String() != "SectionRole(9)" {
+		t.Errorf("placeholder = %q", SectionRole(9).String())
+	}
+}

@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Network errors.
+var (
+	// ErrUnknownNode: the named node is not in the network.
+	ErrUnknownNode = errors.New("netsim: unknown node")
+	// ErrNoLink: the two nodes are not directly connected.
+	ErrNoLink = errors.New("netsim: no link between nodes")
+	// ErrDuplicateNode: the node ID is already taken.
+	ErrDuplicateNode = errors.New("netsim: duplicate node")
+)
+
+// Handler receives packets delivered to a node.
+type Handler interface {
+	// HandlePacket is invoked when a packet arrives at the node.
+	HandlePacket(net *Network, pkt *Packet)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(net *Network, pkt *Packet)
+
+// HandlePacket implements Handler.
+func (f HandlerFunc) HandlePacket(net *Network, pkt *Packet) { f(net, pkt) }
+
+var _ Handler = (HandlerFunc)(nil)
+
+// Link models a bidirectional connection.
+type Link struct {
+	// Latency is the base one-way delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the independent per-packet drop probability in [0, 1].
+	Loss float64
+	// BandwidthBps, when positive, models serialization: a packet
+	// occupies the link for SizeBytes×8/BandwidthBps and packets queue
+	// FIFO per direction. Zero means infinite bandwidth.
+	BandwidthBps int64
+}
+
+// serialization returns how long a packet of the given size occupies the
+// link, or zero for an unconstrained link.
+func (l Link) serialization(sizeBytes int) time.Duration {
+	if l.BandwidthBps <= 0 {
+		return 0
+	}
+	return time.Duration(int64(sizeBytes) * 8 * int64(time.Second) / l.BandwidthBps)
+}
+
+// Direction distinguishes tap observations.
+type Direction int
+
+// Tap directions.
+const (
+	// DirOutbound is a packet leaving the tapped node.
+	DirOutbound Direction = iota + 1
+	// DirInbound is a packet arriving at the tapped node.
+	DirInbound
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case DirOutbound:
+		return "outbound"
+	case DirInbound:
+		return "inbound"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Tap passively observes traffic at a node. Taps receive clones of packets
+// so observation cannot perturb delivery.
+type Tap interface {
+	// Observe is invoked for each packet crossing the tapped node.
+	Observe(dir Direction, at time.Duration, pkt *Packet)
+}
+
+// Network is a set of nodes joined by links, driven by a Simulator. Not
+// safe for concurrent use (simulations are single-loop).
+type Network struct {
+	sim    *Simulator
+	nodes  map[NodeID]Handler
+	links  map[linkKey]Link
+	taps   map[NodeID][]Tap
+	busy   map[dirKey]time.Duration // per-direction link occupancy
+	nextID int64
+
+	// Delivered counts packets delivered; Dropped counts loss.
+	Delivered, Dropped int64
+}
+
+type linkKey struct{ a, b NodeID }
+
+// dirKey identifies one direction of a link for serialization queueing.
+type dirKey struct {
+	link linkKey
+	src  NodeID
+}
+
+func keyFor(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a: a, b: b}
+}
+
+// NewNetwork returns an empty network on the given simulator.
+func NewNetwork(sim *Simulator) *Network {
+	return &Network{
+		sim:   sim,
+		nodes: make(map[NodeID]Handler),
+		links: make(map[linkKey]Link),
+		taps:  make(map[NodeID][]Tap),
+		busy:  make(map[dirKey]time.Duration),
+	}
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *Simulator { return n.sim }
+
+// AddNode registers a node. A nil handler registers a sink that discards
+// deliveries.
+func (n *Network) AddNode(id NodeID, h Handler) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateNode, id)
+	}
+	if h == nil {
+		h = HandlerFunc(func(*Network, *Packet) {})
+	}
+	n.nodes[id] = h
+	return nil
+}
+
+// Connect joins two nodes with a bidirectional link.
+func (n *Network) Connect(a, b NodeID, link Link) error {
+	for _, id := range []NodeID{a, b} {
+		if _, ok := n.nodes[id]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+		}
+	}
+	n.links[keyFor(a, b)] = link
+	return nil
+}
+
+// Linked reports whether a and b are directly connected.
+func (n *Network) Linked(a, b NodeID) bool {
+	_, ok := n.links[keyFor(a, b)]
+	return ok
+}
+
+// Neighbors returns the nodes directly linked to id, in unspecified order.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	var out []NodeID
+	for k := range n.links {
+		switch id {
+		case k.a:
+			out = append(out, k.b)
+		case k.b:
+			out = append(out, k.a)
+		}
+	}
+	return out
+}
+
+// AttachTap registers a passive observer at a node.
+func (n *Network) AttachTap(id NodeID, t Tap) error {
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, id)
+	}
+	n.taps[id] = append(n.taps[id], t)
+	return nil
+}
+
+// Send transmits a packet from pkt.Header.Src to pkt.Header.Dst over their
+// direct link. The packet is stamped, observed by taps at both ends,
+// subjected to loss, and delivered after latency plus jitter. Send assigns
+// pkt.ID and appends the source hop; the caller retains ownership of pkt
+// (the delivered packet is a clone).
+func (n *Network) Send(pkt *Packet) error {
+	src, dst := pkt.Header.Src, pkt.Header.Dst
+	if _, ok := n.nodes[src]; !ok {
+		return fmt.Errorf("%w: src %q", ErrUnknownNode, src)
+	}
+	handler, ok := n.nodes[dst]
+	if !ok {
+		return fmt.Errorf("%w: dst %q", ErrUnknownNode, dst)
+	}
+	link, ok := n.links[keyFor(src, dst)]
+	if !ok {
+		return fmt.Errorf("%w: %q-%q", ErrNoLink, src, dst)
+	}
+
+	n.nextID++
+	pkt.ID = n.nextID
+	pkt.SentAt = n.sim.Now()
+	pkt.Hops = append(pkt.Hops, src)
+	if pkt.Header.SizeBytes == 0 {
+		pkt.Header.SizeBytes = len(pkt.Payload) + 40 // headers
+	}
+
+	n.observe(src, DirOutbound, pkt)
+
+	if link.Loss > 0 && n.sim.Rand().Float64() < link.Loss {
+		n.Dropped++
+		return nil
+	}
+	// Serialization: a constrained link transmits one packet at a time
+	// per direction; later packets queue behind earlier departures.
+	departure := n.sim.Now()
+	if tx := link.serialization(pkt.Header.SizeBytes); tx > 0 {
+		key := dirKey{link: keyFor(src, dst), src: src}
+		start := departure
+		if n.busy[key] > start {
+			start = n.busy[key]
+		}
+		departure = start + tx
+		n.busy[key] = departure
+	}
+	delay := departure - n.sim.Now() + link.Latency
+	if link.Jitter > 0 {
+		delay += time.Duration(n.sim.Rand().Int63n(int64(link.Jitter)))
+	}
+	delivered := pkt.Clone()
+	return n.sim.Schedule(delay, func() {
+		delivered.DeliveredAt = n.sim.Now()
+		delivered.Hops = append(delivered.Hops, dst)
+		n.Delivered++
+		n.observe(dst, DirInbound, delivered)
+		handler.HandlePacket(n, delivered)
+	})
+}
+
+func (n *Network) observe(id NodeID, dir Direction, pkt *Packet) {
+	taps := n.taps[id]
+	if len(taps) == 0 {
+		return
+	}
+	snapshot := pkt.Clone()
+	for _, t := range taps {
+		t.Observe(dir, n.sim.Now(), snapshot)
+	}
+}

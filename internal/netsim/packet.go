@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID names a node in the simulated network.
+type NodeID string
+
+// FlowID names a flow (a conversation) across packets.
+type FlowID string
+
+// Protocol is the transport protocol of a packet.
+type Protocol int
+
+// Transport protocols.
+const (
+	// ProtoTCP is TCP.
+	ProtoTCP Protocol = iota + 1
+	// ProtoUDP is UDP.
+	ProtoUDP
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Header carries the packet's addressing information — everything the
+// Pen/Trap statute reaches: link/IP/transport headers and size, but not
+// payload.
+type Header struct {
+	// Src and Dst are the endpoints.
+	Src, Dst NodeID
+	// SrcPort and DstPort are transport ports.
+	SrcPort, DstPort int
+	// Proto is the transport protocol.
+	Proto Protocol
+	// Flow groups packets into a conversation.
+	Flow FlowID
+	// SizeBytes is the total on-wire size, payload included; packet
+	// size is non-content information per the paper (§ II-B-c).
+	SizeBytes int
+}
+
+// Packet is one simulated datagram. Header fields are addressing
+// information; Payload is content; Encrypted marks payload ciphertext.
+type Packet struct {
+	// ID is unique per network.
+	ID int64
+	// Header is the addressing information.
+	Header Header
+	// Payload is the content.
+	Payload []byte
+	// Encrypted reports whether Payload is ciphertext.
+	Encrypted bool
+	// SentAt and DeliveredAt are stamped by the network.
+	SentAt, DeliveredAt time.Duration
+	// Hops lists the nodes traversed, in order.
+	Hops []NodeID
+}
+
+// Clone returns a deep copy of the packet; forwarding nodes clone before
+// mutating headers so taps see consistent snapshots.
+func (p *Packet) Clone() *Packet {
+	cp := *p
+	cp.Payload = append([]byte(nil), p.Payload...)
+	cp.Hops = append([]NodeID(nil), p.Hops...)
+	return &cp
+}

@@ -1,0 +1,117 @@
+package netsim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastEvent = errors.New("netsim: event scheduled in the past")
+
+// event is one pending callback.
+type event struct {
+	at  time.Duration
+	seq int64 // tie-break: same-time events fire in scheduling order
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+// Simulator is a deterministic discrete-event scheduler with a virtual
+// clock. It is not safe for concurrent use: simulations are single-loop by
+// design so results are reproducible.
+type Simulator struct {
+	now   time.Duration
+	queue eventHeap
+	seq   int64
+	rng   *rand.Rand
+	steps int64
+}
+
+// NewSimulator returns a simulator whose randomness derives entirely from
+// seed.
+func NewSimulator(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's seeded random source.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() int64 { return s.steps }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run delay after the current virtual time. A
+// negative delay returns ErrPastEvent.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) error {
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt queues fn to run at absolute virtual time at.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) error {
+	if at < s.now {
+		return ErrPastEvent
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	return nil
+}
+
+// Step executes the next event, advancing the clock to its time. It
+// reports whether an event was executed.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.at
+	s.steps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock
+// to the deadline. Events scheduled past the deadline remain queued.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}

@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestCBRPattern(t *testing.T) {
+	c := &CBR{Gap: 10 * time.Millisecond, Size: 1000}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		if g := c.NextGap(r); g != 10*time.Millisecond {
+			t.Fatalf("gap = %v", g)
+		}
+		if s := c.PacketSize(r); s != 1000 {
+			t.Fatalf("size = %d", s)
+		}
+	}
+}
+
+func TestPoissonPatternMean(t *testing.T) {
+	p := &Poisson{MeanGap: 10 * time.Millisecond, Size: 500}
+	r := rand.New(rand.NewSource(2))
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.NextGap(r)
+	}
+	mean := float64(sum) / n
+	want := float64(10 * time.Millisecond)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("mean gap = %v, want ~10ms", time.Duration(mean))
+	}
+}
+
+func TestParetoDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	const n = 50000
+	var sum float64
+	min := time.Duration(math.MaxInt64)
+	for i := 0; i < n; i++ {
+		v := pareto(r, 100*time.Millisecond, 2.5)
+		sum += float64(v)
+		if v < min {
+			min = v
+		}
+	}
+	mean := sum / n
+	want := float64(100 * time.Millisecond)
+	if math.Abs(mean-want)/want > 0.10 {
+		t.Errorf("pareto mean = %v, want ~100ms", time.Duration(mean))
+	}
+	// Scale parameter: xm = mean*(a-1)/a = 60ms; no draw may fall below.
+	if min < 59*time.Millisecond {
+		t.Errorf("pareto min = %v, below scale parameter", min)
+	}
+}
+
+func TestParetoOnOffAlternates(t *testing.T) {
+	p := &ParetoOnOff{
+		Gap:     time.Millisecond,
+		Size:    100,
+		MeanOn:  20 * time.Millisecond,
+		MeanOff: 50 * time.Millisecond,
+		Shape:   1.5,
+	}
+	r := rand.New(rand.NewSource(4))
+	longGaps := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if p.NextGap(r) > p.Gap {
+			longGaps++
+		}
+	}
+	if longGaps == 0 {
+		t.Error("ON/OFF pattern never produced an OFF gap")
+	}
+	if longGaps == n {
+		t.Error("ON/OFF pattern never stayed in an ON burst")
+	}
+}
+
+func TestFlowDelivery(t *testing.T) {
+	n, delivered := twoNodeNet(t, Link{Latency: time.Millisecond})
+	f := &Flow{
+		Net: n, Src: "alice", Dst: "bob", ID: "web",
+		Pattern: &CBR{Gap: 10 * time.Millisecond, Size: 1200},
+		Until:   time.Second,
+		Payload: func(i int) []byte { return []byte{byte(i)} },
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim().Run()
+	// Packets at t=10ms..1000ms inclusive: 100 packets.
+	if f.Sent() != 100 {
+		t.Errorf("Sent = %d, want 100", f.Sent())
+	}
+	if len(*delivered) != 100 {
+		t.Fatalf("delivered %d", len(*delivered))
+	}
+	for i, p := range *delivered {
+		if p.Header.Flow != "web" {
+			t.Fatalf("packet %d flow = %q", i, p.Header.Flow)
+		}
+		if p.Header.Proto != ProtoTCP {
+			t.Fatalf("packet %d proto = %v", i, p.Header.Proto)
+		}
+		if int(p.Payload[0]) != i {
+			t.Fatalf("packet %d payload = %d: misordered", i, p.Payload[0])
+		}
+	}
+}
+
+func TestFlowRespectsDeadline(t *testing.T) {
+	n, _ := twoNodeNet(t, Link{Latency: time.Millisecond})
+	f := &Flow{
+		Net: n, Src: "alice", Dst: "bob", ID: "f",
+		Pattern: &CBR{Gap: 7 * time.Millisecond, Size: 100},
+		Until:   50 * time.Millisecond,
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim().Run()
+	// Gaps at 7,14,...,49 → 7 packets.
+	if f.Sent() != 7 {
+		t.Errorf("Sent = %d, want 7", f.Sent())
+	}
+	if got := n.Sim().Now(); got > 51*time.Millisecond {
+		t.Errorf("simulation ran past deadline: %v", got)
+	}
+}
+
+func TestFlowStartErrors(t *testing.T) {
+	f := &Flow{}
+	if err := f.Start(); err == nil {
+		t.Error("Start without net/pattern must fail")
+	}
+}
+
+func TestFlowDefaultsProtocol(t *testing.T) {
+	n, delivered := twoNodeNet(t, Link{})
+	f := &Flow{
+		Net: n, Src: "alice", Dst: "bob", ID: "f",
+		Pattern: &CBR{Gap: time.Millisecond, Size: 10},
+		Until:   3 * time.Millisecond,
+		Proto:   ProtoUDP,
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim().Run()
+	if len(*delivered) == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if (*delivered)[0].Header.Proto != ProtoUDP {
+		t.Errorf("proto = %v, want udp", (*delivered)[0].Header.Proto)
+	}
+}
+
+func TestParetoOnOffFlowThroughNetwork(t *testing.T) {
+	// Drive a bursty web-like flow end to end: packets arrive in ON
+	// bursts separated by OFF gaps, and every emitted packet is
+	// delivered (no loss configured).
+	n, delivered := twoNodeNet(t, Link{Latency: time.Millisecond})
+	f := &Flow{
+		Net: n, Src: "alice", Dst: "bob", ID: "web-burst",
+		Pattern: &ParetoOnOff{
+			Gap:     2 * time.Millisecond,
+			Size:    800,
+			MeanOn:  30 * time.Millisecond,
+			MeanOff: 80 * time.Millisecond,
+			Shape:   1.5,
+		},
+		Until: 3 * time.Second,
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim().Run()
+	if f.Sent() == 0 {
+		t.Fatal("bursty flow sent nothing")
+	}
+	if len(*delivered) != f.Sent() {
+		t.Fatalf("delivered %d of %d", len(*delivered), f.Sent())
+	}
+	// Burstiness: inter-arrival gaps must include both the ON-period
+	// constant gap and much longer OFF gaps.
+	var shortGaps, longGaps int
+	for i := 1; i < len(*delivered); i++ {
+		gap := (*delivered)[i].DeliveredAt - (*delivered)[i-1].DeliveredAt
+		if gap <= 3*time.Millisecond {
+			shortGaps++
+		}
+		if gap >= 20*time.Millisecond {
+			longGaps++
+		}
+	}
+	if shortGaps == 0 || longGaps == 0 {
+		t.Errorf("burst structure missing: short=%d long=%d", shortGaps, longGaps)
+	}
+}
+
+func TestFlowConservation(t *testing.T) {
+	// Sent packets either deliver or drop; nothing vanishes.
+	n, delivered := twoNodeNet(t, Link{Latency: time.Millisecond, Loss: 0.3})
+	f := &Flow{
+		Net: n, Src: "alice", Dst: "bob", ID: "lossy",
+		Pattern: &CBR{Gap: time.Millisecond, Size: 100},
+		Until:   time.Second,
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim().Run()
+	if int64(len(*delivered))+n.Dropped != int64(f.Sent()) {
+		t.Errorf("conservation violated: %d delivered + %d dropped != %d sent",
+			len(*delivered), n.Dropped, f.Sent())
+	}
+}

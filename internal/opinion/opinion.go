@@ -1,0 +1,124 @@
+// Package opinion renders a case's suppression hearing as a structured
+// judicial opinion in Markdown. The paper defines computer forensics as
+// collecting and presenting evidence "sufficiently reliable to stand up in
+// court and convincing"; this package is the presentation end of that
+// pipeline — every admission or suppression is explained from the ruling
+// the engine made at acquisition time, with its authorities.
+package opinion
+
+import (
+	"fmt"
+	"strings"
+
+	"lawgate/internal/evidence"
+	"lawgate/internal/investigation"
+)
+
+// Write composes the opinion for the case under the given caption (e.g.
+// "United States v. Doe, No. 12-cr-0217").
+func Write(c *investigation.Case, caption string) string {
+	var b strings.Builder
+	items := c.Evidence()
+	assessments := c.Assess()
+	byID := make(map[evidence.ID]evidence.Assessment, len(assessments))
+	for _, a := range assessments {
+		byID[a.ItemID] = a
+	}
+
+	fmt.Fprintf(&b, "# %s\n\n", caption)
+	fmt.Fprintf(&b, "## Memorandum and Order on the Motion to Suppress\n\n")
+
+	// I. Background.
+	fmt.Fprintf(&b, "### I. Background\n\n")
+	facts := c.Facts()
+	if len(facts) == 0 {
+		b.WriteString("The investigation proceeded without articulated facts of record.\n\n")
+	} else {
+		b.WriteString("The investigation rested on the following facts:\n\n")
+		for i, f := range facts {
+			fmt.Fprintf(&b, "%d. (%s) %s\n", i+1, f.Kind, f.Description)
+		}
+		b.WriteString("\n")
+	}
+
+	// II. Process obtained.
+	fmt.Fprintf(&b, "### II. Process Obtained\n\n")
+	orders := c.Orders()
+	if len(orders) == 0 {
+		b.WriteString("No warrant, court order, or subpoena issued in this matter.\n\n")
+	} else {
+		for _, o := range orders {
+			fmt.Fprintf(&b, "- %s: a %s issued on a showing of %s", o.Serial, o.Process, o.ShowingFound)
+			if o.Place != "" {
+				fmt.Fprintf(&b, ", particularly describing %q", o.Place)
+			}
+			if len(o.Things) > 0 {
+				fmt.Fprintf(&b, " and the things to be seized (%s)", strings.Join(o.Things, "; "))
+			}
+			b.WriteString(".\n")
+		}
+		b.WriteString("\n")
+	}
+
+	// III. Discussion, item by item.
+	fmt.Fprintf(&b, "### III. Discussion\n\n")
+	if len(items) == 0 {
+		b.WriteString("No evidence was offered.\n\n")
+	}
+	for _, it := range items {
+		a := byID[it.ID]
+		fmt.Fprintf(&b, "**Exhibit %s — %s.** ", it.ID, it.Description)
+		fmt.Fprintf(&b, "The government acquired this item by %q, an acquisition governed by the %s and requiring %s; the government held %s. ",
+			it.Acquisition.Name, it.Ruling.Regime, article(it.Ruling.Required.String()), article(it.Held.String()))
+		switch a.Status {
+		case evidence.StatusAdmissible:
+			b.WriteString("The acquisition was lawful")
+			if len(it.Parents) > 0 {
+				b.WriteString(" and no taint reaches it through its derivation")
+			}
+			b.WriteString(". The motion is **DENIED** as to this exhibit.")
+		case evidence.StatusSuppressed:
+			b.WriteString("The acquisition violated the governing law. The exhibit is **SUPPRESSED**.")
+		case evidence.StatusFruit:
+			fmt.Fprintf(&b, "Although lawful in itself, the exhibit derives from suppressed exhibit %s and falls with it as fruit of the poisonous tree. The exhibit is **SUPPRESSED**.", a.TaintSource)
+		}
+		if cites := citeLine(it); cites != "" {
+			fmt.Fprintf(&b, " *See* %s.", cites)
+		}
+		b.WriteString("\n\n")
+	}
+
+	// IV. Disposition.
+	fmt.Fprintf(&b, "### IV. Disposition\n\n")
+	admitted, suppressed := 0, 0
+	for _, a := range assessments {
+		if a.Admissible() {
+			admitted++
+		} else {
+			suppressed++
+		}
+	}
+	fmt.Fprintf(&b, "Of %d exhibits, %d are admitted and %d are suppressed.\n", len(assessments), admitted, suppressed)
+	fmt.Fprintf(&b, "\nSO ORDERED.\n")
+	return b.String()
+}
+
+// citeLine joins an item's ruling citations.
+func citeLine(it *evidence.Item) string {
+	if len(it.Ruling.Citations) == 0 {
+		return ""
+	}
+	titles := make([]string, 0, len(it.Ruling.Citations))
+	for _, c := range it.Ruling.Citations {
+		titles = append(titles, c.Title)
+	}
+	return strings.Join(titles, "; ")
+}
+
+// article prefixes a process name with its indefinite article.
+func article(process string) string {
+	if process == "none" {
+		return "no process"
+	}
+	return "a " + process
+}

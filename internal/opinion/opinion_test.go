@@ -1,0 +1,132 @@
+package opinion
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lawgate/internal/court"
+	"lawgate/internal/investigation"
+	"lawgate/internal/legal"
+)
+
+func testClock() func() time.Time {
+	t := time.Date(2012, time.May, 1, 9, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func deviceAction(name string) legal.Action {
+	return legal.Action{
+		Name:   name,
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceTargetDevice,
+	}
+}
+
+func TestWriteMixedOutcomes(t *testing.T) {
+	c := investigation.NewCase("mixed", investigation.WithCaseClock(testClock()))
+	c.AddFact(court.Fact{Kind: court.FactIPAttribution, Description: "attack traced to the suspect's IP"})
+	if _, err := c.ApplyFor(legal.ProcessSearchWarrant, "12 Oak St", []string{"computers"}); err != nil {
+		t.Fatal(err)
+	}
+	lawful, err := c.Acquire("laptop", []byte("disk"), deviceAction("seize-laptop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = lawful
+	// A Kyllo scan conducted in reliance on no order (the laptop warrant
+	// does not reach the home's interior): suppressed, with a derived
+	// item falling.
+	scan := deviceAction("thermal-scan")
+	scan.Tech = &legal.SpecializedTech{RevealsHomeInterior: true}
+	tainted, err := c.AcquireUnder(nil, "", "thermal image", []byte("heat"), scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Acquire("follow-up inventory", []byte("items"), legal.Action{
+		Name:   "follow-up",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceSeizedDevice,
+	}, tainted.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	op := Write(c, "United States v. Doe, No. 12-cr-0217")
+	for _, want := range []string{
+		"# United States v. Doe",
+		"### I. Background",
+		"attack traced to the suspect's IP",
+		"### II. Process Obtained",
+		"search warrant issued on a showing of probable cause",
+		`"12 Oak St"`,
+		"### III. Discussion",
+		"**Exhibit EV-0001",
+		"**DENIED**",
+		"**SUPPRESSED**",
+		"fruit of the poisonous tree",
+		"Kyllo v. United States",
+		"### IV. Disposition",
+		"1 are admitted and 2 are suppressed",
+		"SO ORDERED.",
+	} {
+		if !strings.Contains(op, want) {
+			t.Errorf("opinion missing %q", want)
+		}
+	}
+}
+
+func TestWriteEmptyCase(t *testing.T) {
+	c := investigation.NewCase("empty", investigation.WithCaseClock(testClock()))
+	op := Write(c, "In re Nothing")
+	for _, want := range []string{
+		"without articulated facts",
+		"No warrant, court order, or subpoena issued",
+		"No evidence was offered",
+		"0 exhibits",
+	} {
+		if !strings.Contains(op, want) {
+			t.Errorf("opinion missing %q", want)
+		}
+	}
+}
+
+func TestWriteFlowsIntegration(t *testing.T) {
+	// The Kyllo demo's opinion must suppress both exhibits.
+	res, err := investigation.RunKylloDemo(investigation.WithCaseClock(testClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := Write(res.Case, "United States v. Kyllo-Redux")
+	if !strings.Contains(op, "0 are admitted and 2 are suppressed") {
+		t.Errorf("kyllo opinion disposition wrong:\n%s", op)
+	}
+
+	// The drive exam with a second warrant admits everything.
+	drive, err := investigation.RunDriveExam(true, investigation.WithCaseClock(testClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op = Write(drive.Case, "United States v. Crist-Compliant")
+	if !strings.Contains(op, "0 are suppressed") {
+		t.Errorf("drive opinion disposition wrong")
+	}
+	if !strings.Contains(op, "hash-search results") {
+		t.Error("drive opinion missing the hash-search exhibit")
+	}
+}
+
+func TestArticle(t *testing.T) {
+	if article("none") != "no process" {
+		t.Errorf("article(none) = %q", article("none"))
+	}
+	if article("subpoena") != "a subpoena" {
+		t.Errorf("article(subpoena) = %q", article("subpoena"))
+	}
+}

@@ -1,0 +1,149 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// ErrBadExperiment is returned for invalid experiment parameters.
+var ErrBadExperiment = errors.New("p2p: invalid experiment config")
+
+// ExperimentConfig parameterizes the Section IV-A reproduction: an
+// investigator with a mix of source and forwarder neighbors, probed k
+// times each.
+type ExperimentConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Neighbors is the investigator's neighbor count.
+	Neighbors int
+	// Sources of those neighbors hold the queried content locally; the
+	// rest are forwarders one hop from a hidden source.
+	Sources int
+	// Probes is the number of timed queries per neighbor.
+	Probes int
+	// Overlay carries the protocol parameters (anonymous mode delays).
+	Overlay Config
+}
+
+// ExperimentResult is the classification quality of one run.
+type ExperimentResult struct {
+	// Confusion counts: a "positive" is classifying a neighbor as a
+	// source.
+	TruePos, FalsePos, TrueNeg, FalseNeg int
+	// Unresponsive neighbors (counted as negatives).
+	NoResponse int
+	// Threshold is the classifier's decision boundary.
+	Threshold time.Duration
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was flagged.
+func (r ExperimentResult) Precision() float64 {
+	if r.TruePos+r.FalsePos == 0 {
+		return 1
+	}
+	return float64(r.TruePos) / float64(r.TruePos+r.FalsePos)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there were no sources.
+func (r ExperimentResult) Recall() float64 {
+	if r.TruePos+r.FalseNeg == 0 {
+		return 1
+	}
+	return float64(r.TruePos) / float64(r.TruePos+r.FalseNeg)
+}
+
+// Accuracy returns the fraction of neighbors classified correctly.
+func (r ExperimentResult) Accuracy() float64 {
+	total := r.TruePos + r.FalsePos + r.TrueNeg + r.FalseNeg
+	if total == 0 {
+		return 0
+	}
+	return float64(r.TruePos+r.TrueNeg) / float64(total)
+}
+
+// ContrabandKey is the content key the experiments query for.
+const ContrabandKey ContentKey = "contraband-file-0001"
+
+// RunExperiment builds the IV-A topology — the investigator linked to
+// Neighbors peers, of which Sources share ContrabandKey and the rest each
+// forward to a hidden second-hop source — probes every neighbor Probes
+// times, classifies with the auto-derived threshold, and scores against
+// ground truth.
+func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
+	if ec.Neighbors <= 0 || ec.Sources < 0 || ec.Sources > ec.Neighbors || ec.Probes <= 0 {
+		return ExperimentResult{}, fmt.Errorf("%w: %+v", ErrBadExperiment, ec)
+	}
+	sim := netsim.NewSimulator(ec.Seed)
+	net := netsim.NewNetwork(sim)
+	o := NewOverlay(net, ec.Overlay)
+
+	inv, err := NewInvestigator(o, "investigator")
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+
+	truth := make(map[netsim.NodeID]bool, ec.Neighbors)
+	neighbors := make([]netsim.NodeID, 0, ec.Neighbors)
+	for i := 0; i < ec.Neighbors; i++ {
+		id := netsim.NodeID(fmt.Sprintf("peer-%02d", i))
+		isSource := i < ec.Sources
+		truth[id] = isSource
+		var keys []ContentKey
+		if isSource {
+			keys = []ContentKey{ContrabandKey}
+		}
+		if _, err := o.AddPeer(id, keys...); err != nil {
+			return ExperimentResult{}, err
+		}
+		if err := inv.Befriend(id); err != nil {
+			return ExperimentResult{}, err
+		}
+		if !isSource {
+			hidden := netsim.NodeID(fmt.Sprintf("hidden-%02d", i))
+			if _, err := o.AddPeer(hidden, ContrabandKey); err != nil {
+				return ExperimentResult{}, err
+			}
+			if err := o.Befriend(id, hidden); err != nil {
+				return ExperimentResult{}, err
+			}
+		}
+		neighbors = append(neighbors, id)
+	}
+
+	// Probe each neighbor k times, draining the simulator between
+	// probes so measurements never interleave.
+	for round := 0; round < ec.Probes; round++ {
+		for _, id := range neighbors {
+			if err := inv.Probe(id, ContrabandKey); err != nil {
+				return ExperimentResult{}, err
+			}
+			sim.Run()
+		}
+	}
+
+	cls := AutoClassifier(ec.Overlay)
+	res := ExperimentResult{Threshold: cls.Threshold}
+	for _, id := range neighbors {
+		verdict, err := cls.Classify(inv.MeasurementsFor(id))
+		if err != nil {
+			return ExperimentResult{}, fmt.Errorf("classifying %q: %w", id, err)
+		}
+		switch {
+		case verdict == VerdictSource && truth[id]:
+			res.TruePos++
+		case verdict == VerdictSource && !truth[id]:
+			res.FalsePos++
+		case verdict != VerdictSource && truth[id]:
+			res.FalseNeg++
+		default:
+			res.TrueNeg++
+		}
+		if verdict == VerdictNoResponse {
+			res.NoResponse++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunExperimentValidation(t *testing.T) {
+	bad := []ExperimentConfig{
+		{Neighbors: 0, Sources: 0, Probes: 1},
+		{Neighbors: 4, Sources: 5, Probes: 1},
+		{Neighbors: 4, Sources: -1, Probes: 1},
+		{Neighbors: 4, Sources: 2, Probes: 0},
+	}
+	for _, ec := range bad {
+		ec.Overlay = DefaultConfig(ModeAnonymous)
+		if _, err := RunExperiment(ec); !errors.Is(err, ErrBadExperiment) {
+			t.Errorf("config %+v: err = %v, want ErrBadExperiment", ec, err)
+		}
+	}
+}
+
+func TestExperimentPerfectSeparation(t *testing.T) {
+	// With OneSwarm default parameters the source/forwarder RTT ranges
+	// do not overlap, so even modest probing classifies perfectly —
+	// the CCS'11 result the paper endorses.
+	res, err := RunExperiment(ExperimentConfig{
+		Seed:      1,
+		Neighbors: 12,
+		Sources:   5,
+		Probes:    8,
+		Overlay:   DefaultConfig(ModeAnonymous),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy() != 1.0 {
+		t.Errorf("accuracy = %.3f, want 1.0 (TP=%d FP=%d TN=%d FN=%d)",
+			res.Accuracy(), res.TruePos, res.FalsePos, res.TrueNeg, res.FalseNeg)
+	}
+	if res.TruePos != 5 || res.TrueNeg != 7 {
+		t.Errorf("confusion: TP=%d TN=%d, want 5/7", res.TruePos, res.TrueNeg)
+	}
+}
+
+func TestExperimentMoreProbesNeverHurt(t *testing.T) {
+	// Overlapping delay ranges: single probes misclassify sometimes;
+	// the min-statistic improves with more probes.
+	cfg := DefaultConfig(ModeAnonymous)
+	cfg.DelayMin = 60 * time.Millisecond // forwarder min = 2*60 < source max 300: overlap
+	base := ExperimentConfig{
+		Seed:      7,
+		Neighbors: 16,
+		Sources:   8,
+		Overlay:   cfg,
+	}
+	few := base
+	few.Probes = 1
+	many := base
+	many.Probes = 16
+	resFew, err := RunExperiment(few)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMany, err := RunExperiment(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMany.Accuracy() < resFew.Accuracy() {
+		t.Errorf("accuracy with 16 probes (%.3f) below 1 probe (%.3f)",
+			resMany.Accuracy(), resFew.Accuracy())
+	}
+	// Forwarders are never mistaken for sources: a forwarded response
+	// accumulates two artificial delays, keeping even its minimum RTT
+	// above the threshold.
+	if resMany.FalsePos != 0 {
+		t.Errorf("false positives = %d with 16 probes", resMany.FalsePos)
+	}
+}
+
+func TestExperimentAllSourcesAllForwarders(t *testing.T) {
+	cfg := DefaultConfig(ModeAnonymous)
+	all, err := RunExperiment(ExperimentConfig{
+		Seed: 3, Neighbors: 6, Sources: 6, Probes: 4, Overlay: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.TruePos != 6 || all.FalsePos+all.FalseNeg+all.TrueNeg != 0 {
+		t.Errorf("all-sources confusion: %+v", all)
+	}
+	none, err := RunExperiment(ExperimentConfig{
+		Seed: 3, Neighbors: 6, Sources: 0, Probes: 4, Overlay: cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.TrueNeg != 6 || none.TruePos+none.FalsePos+none.FalseNeg != 0 {
+		t.Errorf("no-sources confusion: %+v", none)
+	}
+	if none.Precision() != 1 || none.Recall() != 1 {
+		t.Errorf("degenerate precision/recall = %v/%v", none.Precision(), none.Recall())
+	}
+}
+
+func TestExperimentDeterministic(t *testing.T) {
+	ec := ExperimentConfig{
+		Seed: 99, Neighbors: 10, Sources: 4, Probes: 4,
+		Overlay: DefaultConfig(ModeAnonymous),
+	}
+	a, err := RunExperiment(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed must reproduce: %+v vs %+v", a, b)
+	}
+}
+
+func TestExperimentResultMetrics(t *testing.T) {
+	r := ExperimentResult{TruePos: 3, FalsePos: 1, TrueNeg: 5, FalseNeg: 1}
+	if got := r.Precision(); got != 0.75 {
+		t.Errorf("precision = %v", got)
+	}
+	if got := r.Recall(); got != 0.75 {
+		t.Errorf("recall = %v", got)
+	}
+	if got := r.Accuracy(); got != 0.8 {
+		t.Errorf("accuracy = %v", got)
+	}
+	var zero ExperimentResult
+	if zero.Accuracy() != 0 {
+		t.Error("zero result accuracy must be 0")
+	}
+}

@@ -1,0 +1,223 @@
+package p2p
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// ErrNoProbes is returned when classification is attempted with no
+// measurements.
+var ErrNoProbes = errors.New("p2p: no probe measurements")
+
+// Verdict is the investigator's classification of a neighbor.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictSource: the neighbor holds the queried content locally.
+	VerdictSource Verdict = iota + 1
+	// VerdictForwarder: the neighbor merely relays toward a source.
+	VerdictForwarder
+	// VerdictNoResponse: the neighbor never answered.
+	VerdictNoResponse
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSource:
+		return "source"
+	case VerdictForwarder:
+		return "forwarder"
+	case VerdictNoResponse:
+		return "no-response"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Measurement is one probe's outcome.
+type Measurement struct {
+	// Neighbor is the probed peer.
+	Neighbor netsim.NodeID
+	// QID matches the query.
+	QID int64
+	// SentAt and RespondedAt bound the round trip; Responded is false
+	// on timeout.
+	SentAt, RespondedAt time.Duration
+	Responded           bool
+}
+
+// RTT returns the measured round-trip time.
+func (m Measurement) RTT() time.Duration { return m.RespondedAt - m.SentAt }
+
+// Investigator is a law-enforcement peer that joined the overlay as an
+// ordinary participant (Table 1 scenes 9-10: collecting what the protocol
+// exposes requires no process).
+type Investigator struct {
+	overlay *Overlay
+	self    *Peer
+	pending map[int64]*Measurement
+	done    []Measurement
+	// identified collects source identities exposed by plain-mode
+	// responses (Table 1 scene 9: names and shared-file lists are
+	// public information in a conventional overlay).
+	identified map[netsim.NodeID]bool
+}
+
+// NewInvestigator joins the overlay at the given node ID. The investigator
+// shares nothing.
+func NewInvestigator(o *Overlay, id netsim.NodeID) (*Investigator, error) {
+	self, err := o.AddPeer(id)
+	if err != nil {
+		return nil, err
+	}
+	inv := &Investigator{
+		overlay:    o,
+		self:       self,
+		pending:    make(map[int64]*Measurement),
+		identified: make(map[netsim.NodeID]bool),
+	}
+	self.OnResponse = inv.onResponse
+	return inv, nil
+}
+
+// ID returns the investigator's node ID.
+func (inv *Investigator) ID() netsim.NodeID { return inv.self.ID }
+
+// Befriend links the investigator to a peer.
+func (inv *Investigator) Befriend(peer netsim.NodeID) error {
+	return inv.overlay.Befriend(inv.self.ID, peer)
+}
+
+// Probe sends one timed query for key to a neighbor. The measurement
+// completes when the response arrives (drive the simulator to flush).
+func (inv *Investigator) Probe(neighbor netsim.NodeID, key ContentKey) error {
+	qid, err := inv.overlay.Query(inv.self.ID, neighbor, key)
+	if err != nil {
+		return err
+	}
+	inv.pending[qid] = &Measurement{
+		Neighbor: neighbor,
+		QID:      qid,
+		SentAt:   inv.overlay.Net().Sim().Now(),
+	}
+	return nil
+}
+
+func (inv *Investigator) onResponse(_ netsim.NodeID, m message, at time.Duration) {
+	if m.Source != "" {
+		inv.identified[m.Source] = true
+	}
+	meas, ok := inv.pending[m.QID]
+	if !ok {
+		return
+	}
+	meas.Responded = true
+	meas.RespondedAt = at
+	inv.done = append(inv.done, *meas)
+	delete(inv.pending, m.QID)
+}
+
+// Measurements returns completed probe measurements.
+func (inv *Investigator) Measurements() []Measurement {
+	out := make([]Measurement, len(inv.done))
+	copy(out, inv.done)
+	return out
+}
+
+// MeasurementsFor returns completed measurements for one neighbor.
+func (inv *Investigator) MeasurementsFor(neighbor netsim.NodeID) []Measurement {
+	var out []Measurement
+	for _, m := range inv.done {
+		if m.Neighbor == neighbor {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Outstanding returns the number of probes still awaiting responses.
+func (inv *Investigator) Outstanding() int { return len(inv.pending) }
+
+// IdentifiedSources returns peers whose identity a plain-mode overlay
+// exposed in responses, in sorted order. In anonymous mode responses carry
+// no identity, so the timing attack is needed instead — the contrast that
+// motivates Section IV-A.
+func (inv *Investigator) IdentifiedSources() []netsim.NodeID {
+	out := make([]netsim.NodeID, 0, len(inv.identified))
+	for id := range inv.identified {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Classifier turns RTT measurements into verdicts using a decision
+// threshold on the minimum observed RTT: sources answer after one
+// artificial delay, forwarders after at least two, so the minimum of k
+// probes concentrates below or above the boundary.
+type Classifier struct {
+	// Threshold separates source RTTs (below) from forwarder RTTs
+	// (at or above).
+	Threshold time.Duration
+}
+
+// AutoClassifier derives the decision threshold from the overlay's
+// (public, protocol-specified) parameters. Because Classify uses the
+// minimum RTT over k probes — which concentrates toward each class's RTT
+// floor as k grows — the threshold is the midpoint between the two floors:
+// the minimum source RTT (2 link latencies + lookup + min delay) and the
+// minimum forwarder RTT (4 link latencies + lookup + 2 min delays, since a
+// forwarded query accumulates at least two artificial delays).
+func AutoClassifier(cfg Config) Classifier {
+	srcMin := 2*cfg.LinkLatency + cfg.LookupDelay + cfg.DelayMin
+	fwdMin := 4*cfg.LinkLatency + cfg.LookupDelay + 2*cfg.DelayMin
+	return Classifier{Threshold: (srcMin + fwdMin) / 2}
+}
+
+// Classify renders a verdict from a neighbor's measurements.
+func (c Classifier) Classify(ms []Measurement) (Verdict, error) {
+	if len(ms) == 0 {
+		return 0, ErrNoProbes
+	}
+	best := time.Duration(0)
+	responded := false
+	for _, m := range ms {
+		if !m.Responded {
+			continue
+		}
+		rtt := m.RTT()
+		if !responded || rtt < best {
+			best = rtt
+			responded = true
+		}
+	}
+	if !responded {
+		return VerdictNoResponse, nil
+	}
+	if best < c.Threshold {
+		return VerdictSource, nil
+	}
+	return VerdictForwarder, nil
+}
+
+// MedianRTT returns the median round trip among responded measurements,
+// or zero when none responded.
+func MedianRTT(ms []Measurement) time.Duration {
+	var rtts []time.Duration
+	for _, m := range ms {
+		if m.Responded {
+			rtts = append(rtts, m.RTT())
+		}
+	}
+	if len(rtts) == 0 {
+		return 0
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	return rtts[len(rtts)/2]
+}

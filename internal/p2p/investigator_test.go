@@ -1,0 +1,210 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// buildHunt creates: investigator linked to a direct source and to a
+// forwarder that fronts a hidden source.
+func buildHunt(t *testing.T, mode Mode) (*Overlay, *Investigator) {
+	t.Helper()
+	sim := netsim.NewSimulator(23)
+	o := NewOverlay(netsim.NewNetwork(sim), DefaultConfig(mode))
+	inv, err := NewInvestigator(o, "leo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("src", ContrabandKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("fwd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("hidden", ContrabandKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Befriend("src"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Befriend("fwd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("fwd", "hidden"); err != nil {
+		t.Fatal(err)
+	}
+	return o, inv
+}
+
+func TestInvestigatorProbeMeasuresRTT(t *testing.T) {
+	o, inv := buildHunt(t, ModeAnonymous)
+	for i := 0; i < 4; i++ {
+		if err := inv.Probe("src", ContrabandKey); err != nil {
+			t.Fatal(err)
+		}
+		o.Net().Sim().Run()
+	}
+	ms := inv.MeasurementsFor("src")
+	if len(ms) != 4 {
+		t.Fatalf("measurements = %d, want 4", len(ms))
+	}
+	cfg := o.Config()
+	for _, m := range ms {
+		if !m.Responded {
+			t.Fatal("probe must have been answered")
+		}
+		rtt := m.RTT()
+		lo := 2*cfg.LinkLatency + cfg.LookupDelay + cfg.DelayMin
+		hi := 2*cfg.LinkLatency + cfg.LookupDelay + cfg.DelayMax
+		if rtt < lo || rtt > hi {
+			t.Errorf("source RTT %v outside [%v, %v]", rtt, lo, hi)
+		}
+	}
+	if inv.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", inv.Outstanding())
+	}
+}
+
+func TestInvestigatorDistinguishesSourceFromForwarder(t *testing.T) {
+	o, inv := buildHunt(t, ModeAnonymous)
+	for i := 0; i < 8; i++ {
+		for _, id := range []netsim.NodeID{"src", "fwd"} {
+			if err := inv.Probe(id, ContrabandKey); err != nil {
+				t.Fatal(err)
+			}
+			o.Net().Sim().Run()
+		}
+	}
+	cls := AutoClassifier(o.Config())
+	v, err := cls.Classify(inv.MeasurementsFor("src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != VerdictSource {
+		t.Errorf("src classified %v, want source", v)
+	}
+	v, err = cls.Classify(inv.MeasurementsFor("fwd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != VerdictForwarder {
+		t.Errorf("fwd classified %v, want forwarder", v)
+	}
+}
+
+func TestClassifyNoProbes(t *testing.T) {
+	cls := Classifier{Threshold: time.Second}
+	if _, err := cls.Classify(nil); !errors.Is(err, ErrNoProbes) {
+		t.Errorf("err = %v, want ErrNoProbes", err)
+	}
+}
+
+func TestClassifyNoResponse(t *testing.T) {
+	cls := Classifier{Threshold: time.Second}
+	v, err := cls.Classify([]Measurement{{Neighbor: "x", Responded: false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != VerdictNoResponse {
+		t.Errorf("verdict = %v, want no-response", v)
+	}
+}
+
+func TestNeighborWithoutFileNoResponse(t *testing.T) {
+	// A neighbor with no route to any source never responds.
+	sim := netsim.NewSimulator(5)
+	o := NewOverlay(netsim.NewNetwork(sim), DefaultConfig(ModeAnonymous))
+	inv, err := NewInvestigator(o, "leo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("deadend"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Befriend("deadend"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Probe("deadend", ContrabandKey); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if got := len(inv.MeasurementsFor("deadend")); got != 0 {
+		t.Errorf("completed measurements = %d, want 0", got)
+	}
+	if inv.Outstanding() != 1 {
+		t.Errorf("outstanding = %d, want 1", inv.Outstanding())
+	}
+}
+
+func TestMedianRTT(t *testing.T) {
+	ms := []Measurement{
+		{Responded: true, SentAt: 0, RespondedAt: 30 * time.Millisecond},
+		{Responded: true, SentAt: 0, RespondedAt: 10 * time.Millisecond},
+		{Responded: true, SentAt: 0, RespondedAt: 20 * time.Millisecond},
+		{Responded: false},
+	}
+	if got := MedianRTT(ms); got != 20*time.Millisecond {
+		t.Errorf("median = %v, want 20ms", got)
+	}
+	if got := MedianRTT(nil); got != 0 {
+		t.Errorf("median of none = %v, want 0", got)
+	}
+}
+
+func TestAutoClassifierThreshold(t *testing.T) {
+	cfg := DefaultConfig(ModeAnonymous)
+	cls := AutoClassifier(cfg)
+	srcMin := 2*cfg.LinkLatency + cfg.LookupDelay + cfg.DelayMin
+	fwdMin := 4*cfg.LinkLatency + cfg.LookupDelay + 2*cfg.DelayMin
+	if cls.Threshold <= srcMin || cls.Threshold >= fwdMin {
+		t.Errorf("threshold %v outside floor interval (%v, %v)", cls.Threshold, srcMin, fwdMin)
+	}
+}
+
+func TestPlainModeIdentifiesSourcesDirectly(t *testing.T) {
+	// Scene 9: in a conventional overlay the responses name the source;
+	// the investigator needs no timing analysis at all — including for
+	// sources hidden behind a forwarder.
+	sim := netsim.NewSimulator(31)
+	o := NewOverlay(netsim.NewNetwork(sim), DefaultConfig(ModePlain))
+	inv, err := NewInvestigator(o, "leo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("fwd"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("hidden", ContrabandKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Befriend("fwd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("fwd", "hidden"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.Probe("fwd", ContrabandKey); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	got := inv.IdentifiedSources()
+	if len(got) != 1 || got[0] != "hidden" {
+		t.Errorf("identified = %v, want [hidden]", got)
+	}
+}
+
+func TestAnonymousModeIdentifiesNothing(t *testing.T) {
+	o, inv := buildHunt(t, ModeAnonymous)
+	for _, id := range []netsim.NodeID{"src", "fwd"} {
+		if err := inv.Probe(id, ContrabandKey); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o.Net().Sim().Run()
+	if got := inv.IdentifiedSources(); len(got) != 0 {
+		t.Errorf("anonymous overlay exposed identities: %v", got)
+	}
+}

@@ -1,0 +1,312 @@
+// Package p2p implements the Section IV-A substrate: a peer-to-peer
+// filesharing overlay in two modes — plain (Gnutella-like, responses
+// identify the sharing peer: Table 1 scene 9) and anonymous
+// (OneSwarm-like: queries are forwarded friend-to-friend, responses are
+// relayed back along the reverse path, and every peer inserts a random
+// artificial delay to frustrate timing analysis: scene 10).
+//
+// It also implements the investigation the paper analyses (Prusty, Levine,
+// Liberatore, CCS'11): an investigator joins the overlay as an ordinary
+// peer, probes each neighbor with queries, and classifies neighbors as
+// sources or mere forwarders from the response-delay distribution. The
+// paper's legal holding — the technique needs no warrant, court order, or
+// subpoena — is verified against the legal engine in the scenario package
+// and exercised end-to-end in the investigation package.
+package p2p
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// Overlay errors.
+var (
+	// ErrUnknownPeer: the peer is not in the overlay.
+	ErrUnknownPeer = errors.New("p2p: unknown peer")
+	// ErrDuplicatePeer: the peer ID is taken.
+	ErrDuplicatePeer = errors.New("p2p: duplicate peer")
+	// ErrNotFriends: the two peers are not connected.
+	ErrNotFriends = errors.New("p2p: peers are not friends")
+)
+
+// ContentKey identifies a shared file.
+type ContentKey string
+
+// Mode selects the overlay's privacy posture.
+type Mode int
+
+// Overlay modes.
+const (
+	// ModePlain is a conventional overlay: responses identify the
+	// source peer and carry no artificial delay.
+	ModePlain Mode = iota + 1
+	// ModeAnonymous is a OneSwarm-like overlay: responses are relayed
+	// by forwarders, never identify the source, and every responding or
+	// forwarding peer inserts a uniform random artificial delay.
+	ModeAnonymous
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModePlain:
+		return "plain"
+	case ModeAnonymous:
+		return "anonymous"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes an overlay.
+type Config struct {
+	// Mode selects plain or anonymous behaviour.
+	Mode Mode
+	// LookupDelay is the local library-lookup processing time at a
+	// source.
+	LookupDelay time.Duration
+	// DelayMin and DelayMax bound the anonymous mode's artificial
+	// per-peer delay (OneSwarm uses roughly 150-300 ms).
+	DelayMin, DelayMax time.Duration
+	// TTL bounds query forwarding depth.
+	TTL int
+	// LinkLatency is the default latency for friendship links.
+	LinkLatency time.Duration
+}
+
+// DefaultConfig returns OneSwarm-like parameters.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:        mode,
+		LookupDelay: 2 * time.Millisecond,
+		DelayMin:    150 * time.Millisecond,
+		DelayMax:    300 * time.Millisecond,
+		TTL:         4,
+		LinkLatency: 10 * time.Millisecond,
+	}
+}
+
+// message is the overlay wire format, carried as packet payload.
+type message struct {
+	Kind string     `json:"kind"` // "query" or "response"
+	QID  int64      `json:"qid"`
+	Key  ContentKey `json:"key"`
+	TTL  int        `json:"ttl"`
+	// Source identifies the sharing peer; populated only in plain mode
+	// (the overlay's "public information" of Table 1 scene 9).
+	Source netsim.NodeID `json:"source,omitempty"`
+}
+
+func encode(m message) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// message contains only marshalable fields; unreachable.
+		panic(fmt.Sprintf("p2p: encoding message: %v", err))
+	}
+	return b
+}
+
+func decode(b []byte) (message, error) {
+	var m message
+	if err := json.Unmarshal(b, &m); err != nil {
+		return message{}, fmt.Errorf("p2p: decoding message: %w", err)
+	}
+	return m, nil
+}
+
+// Peer is one overlay participant.
+type Peer struct {
+	// ID names the peer's network node.
+	ID netsim.NodeID
+	// Library is the set of content keys the peer shares.
+	Library map[ContentKey]bool
+
+	overlay   *Overlay
+	seen      map[int64]bool          // queries already handled
+	backRoute map[int64]netsim.NodeID // reverse path for responses
+	// OnResponse, if set, receives responses addressed to this peer
+	// (used by the investigator).
+	OnResponse func(from netsim.NodeID, m message, at time.Duration)
+}
+
+// Shares reports whether the peer's library holds key.
+func (p *Peer) Shares(key ContentKey) bool { return p.Library[key] }
+
+// Overlay is the filesharing network.
+type Overlay struct {
+	net    *netsim.Network
+	cfg    Config
+	peers  map[netsim.NodeID]*Peer
+	nextID int64
+}
+
+// NewOverlay builds an overlay on the given network.
+func NewOverlay(net *netsim.Network, cfg Config) *Overlay {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 4
+	}
+	return &Overlay{net: net, cfg: cfg, peers: make(map[netsim.NodeID]*Peer)}
+}
+
+// Net returns the carrying network.
+func (o *Overlay) Net() *netsim.Network { return o.net }
+
+// Config returns the overlay parameters.
+func (o *Overlay) Config() Config { return o.cfg }
+
+// AddPeer registers a peer sharing the given keys.
+func (o *Overlay) AddPeer(id netsim.NodeID, keys ...ContentKey) (*Peer, error) {
+	if _, ok := o.peers[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicatePeer, id)
+	}
+	p := &Peer{
+		ID:        id,
+		Library:   make(map[ContentKey]bool, len(keys)),
+		overlay:   o,
+		seen:      make(map[int64]bool),
+		backRoute: make(map[int64]netsim.NodeID),
+	}
+	for _, k := range keys {
+		p.Library[k] = true
+	}
+	if err := o.net.AddNode(id, netsim.HandlerFunc(p.handle)); err != nil {
+		return nil, err
+	}
+	o.peers[id] = p
+	return p, nil
+}
+
+// Peer returns the registered peer.
+func (o *Overlay) Peer(id netsim.NodeID) (*Peer, error) {
+	p, ok := o.peers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownPeer, id)
+	}
+	return p, nil
+}
+
+// Befriend links two peers with the overlay's default latency.
+func (o *Overlay) Befriend(a, b netsim.NodeID) error {
+	for _, id := range []netsim.NodeID{a, b} {
+		if _, ok := o.peers[id]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownPeer, id)
+		}
+	}
+	return o.net.Connect(a, b, netsim.Link{Latency: o.cfg.LinkLatency})
+}
+
+// Query sends a query for key from peer `from` to its friend `to`,
+// returning the query ID used to match the response.
+func (o *Overlay) Query(from, to netsim.NodeID, key ContentKey) (int64, error) {
+	origin, ok := o.peers[from]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownPeer, from)
+	}
+	if _, ok := o.peers[to]; !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	if !o.net.Linked(from, to) {
+		return 0, fmt.Errorf("%w: %q-%q", ErrNotFriends, from, to)
+	}
+	o.nextID++
+	qid := o.nextID
+	// The originator must never treat its own flooded query as fresh.
+	origin.seen[qid] = true
+	m := message{Kind: "query", QID: qid, Key: key, TTL: o.cfg.TTL}
+	return qid, o.send(from, to, m)
+}
+
+func (o *Overlay) send(from, to netsim.NodeID, m message) error {
+	payload := encode(m)
+	return o.net.Send(&netsim.Packet{
+		Header: netsim.Header{
+			Src: from, Dst: to,
+			Flow:  netsim.FlowID(fmt.Sprintf("p2p-q%d", m.QID)),
+			Proto: netsim.ProtoTCP,
+		},
+		Payload:   payload,
+		Encrypted: o.cfg.Mode == ModeAnonymous,
+	})
+}
+
+// artificialDelay draws the anonymous mode's per-peer delay.
+func (o *Overlay) artificialDelay() time.Duration {
+	if o.cfg.Mode != ModeAnonymous {
+		return 0
+	}
+	span := o.cfg.DelayMax - o.cfg.DelayMin
+	if span <= 0 {
+		return o.cfg.DelayMin
+	}
+	return o.cfg.DelayMin + time.Duration(o.net.Sim().Rand().Int63n(int64(span)))
+}
+
+// handle processes a delivered overlay packet at peer p.
+func (p *Peer) handle(_ *netsim.Network, pkt *netsim.Packet) {
+	m, err := decode(pkt.Payload)
+	if err != nil {
+		return // malformed traffic is dropped silently, like real peers
+	}
+	from := pkt.Header.Src
+	switch m.Kind {
+	case "query":
+		p.handleQuery(from, m)
+	case "response":
+		p.handleResponse(from, m, pkt.DeliveredAt)
+	}
+}
+
+func (p *Peer) handleQuery(from netsim.NodeID, m message) {
+	o := p.overlay
+	if p.seen[m.QID] {
+		return
+	}
+	p.seen[m.QID] = true
+	p.backRoute[m.QID] = from
+
+	if p.Shares(m.Key) {
+		resp := message{Kind: "response", QID: m.QID, Key: m.Key}
+		if o.cfg.Mode == ModePlain {
+			resp.Source = p.ID
+		}
+		delay := o.cfg.LookupDelay + o.artificialDelay()
+		_ = o.net.Sim().Schedule(delay, func() {
+			_ = o.send(p.ID, from, resp)
+		})
+		return
+	}
+	if m.TTL <= 1 {
+		return
+	}
+	fwd := m
+	fwd.TTL--
+	delay := o.artificialDelay()
+	for _, friend := range o.net.Neighbors(p.ID) {
+		if friend == from {
+			continue
+		}
+		friend := friend
+		_ = o.net.Sim().Schedule(delay, func() {
+			_ = o.send(p.ID, friend, fwd)
+		})
+	}
+}
+
+func (p *Peer) handleResponse(from netsim.NodeID, m message, at time.Duration) {
+	if back, ok := p.backRoute[m.QID]; ok {
+		// Relay toward the querier; forwarders pass responses through
+		// without additional artificial delay (the delay was inserted
+		// on the query path).
+		_ = p.overlay.send(p.ID, back, m)
+		delete(p.backRoute, m.QID)
+		return
+	}
+	// The response reached its querier.
+	if p.OnResponse != nil {
+		p.OnResponse(from, m, at)
+	}
+}

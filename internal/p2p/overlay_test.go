@@ -1,0 +1,299 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+func newTestOverlay(t *testing.T, mode Mode) *Overlay {
+	t.Helper()
+	sim := netsim.NewSimulator(11)
+	return NewOverlay(netsim.NewNetwork(sim), DefaultConfig(mode))
+}
+
+func TestOverlayAddPeerAndBefriend(t *testing.T) {
+	o := newTestOverlay(t, ModePlain)
+	if _, err := o.AddPeer("a", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("a"); !errors.Is(err, ErrDuplicatePeer) {
+		t.Errorf("duplicate peer err = %v", err)
+	}
+	if _, err := o.AddPeer("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("a", "ghost"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("befriend unknown err = %v", err)
+	}
+	p, err := o.Peer("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Shares("file-1") || p.Shares("file-2") {
+		t.Error("library membership wrong")
+	}
+	if _, err := o.Peer("ghost"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("unknown peer err = %v", err)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	o := newTestOverlay(t, ModePlain)
+	if _, err := o.AddPeer("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Query("a", "b", "k"); !errors.Is(err, ErrNotFriends) {
+		t.Errorf("unlinked query err = %v", err)
+	}
+	if _, err := o.Query("ghost", "b", "k"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("unknown from err = %v", err)
+	}
+	if _, err := o.Query("a", "ghost", "k"); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("unknown to err = %v", err)
+	}
+}
+
+// direct source response in plain mode: identified and fast.
+func TestPlainModeDirectResponse(t *testing.T) {
+	o := newTestOverlay(t, ModePlain)
+	querier, err := o.AddPeer("querier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("source", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("querier", "source"); err != nil {
+		t.Fatal(err)
+	}
+	var got []message
+	var at time.Duration
+	querier.OnResponse = func(_ netsim.NodeID, m message, t time.Duration) {
+		got = append(got, m)
+		at = t
+	}
+	if _, err := o.Query("querier", "source", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	o.Net().Sim().Run()
+	if len(got) != 1 {
+		t.Fatalf("responses = %d, want 1", len(got))
+	}
+	if got[0].Source != "source" {
+		t.Errorf("plain mode must identify the source; got %q", got[0].Source)
+	}
+	// RTT = 2 link latencies + lookup, no artificial delay.
+	cfg := o.Config()
+	want := 2*cfg.LinkLatency + cfg.LookupDelay
+	if at != want {
+		t.Errorf("response at %v, want %v", at, want)
+	}
+}
+
+func TestAnonymousModeHidesSourceAndDelays(t *testing.T) {
+	o := newTestOverlay(t, ModeAnonymous)
+	querier, err := o.AddPeer("querier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("source", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("querier", "source"); err != nil {
+		t.Fatal(err)
+	}
+	var got []message
+	var at time.Duration
+	querier.OnResponse = func(_ netsim.NodeID, m message, t time.Duration) {
+		got = append(got, m)
+		at = t
+	}
+	if _, err := o.Query("querier", "source", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	o.Net().Sim().Run()
+	if len(got) != 1 {
+		t.Fatalf("responses = %d, want 1", len(got))
+	}
+	if got[0].Source != "" {
+		t.Errorf("anonymous mode must not identify the source; got %q", got[0].Source)
+	}
+	cfg := o.Config()
+	lo := 2*cfg.LinkLatency + cfg.LookupDelay + cfg.DelayMin
+	hi := 2*cfg.LinkLatency + cfg.LookupDelay + cfg.DelayMax
+	if at < lo || at > hi {
+		t.Errorf("anonymous RTT %v outside [%v, %v]", at, lo, hi)
+	}
+}
+
+func TestForwardingReachesHiddenSource(t *testing.T) {
+	// querier - forwarder - hidden. The forwarder holds nothing.
+	o := newTestOverlay(t, ModeAnonymous)
+	querier, err := o.AddPeer("querier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("forwarder"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("hidden", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("querier", "forwarder"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("forwarder", "hidden"); err != nil {
+		t.Fatal(err)
+	}
+	responses := 0
+	var from netsim.NodeID
+	querier.OnResponse = func(f netsim.NodeID, _ message, _ time.Duration) {
+		responses++
+		from = f
+	}
+	if _, err := o.Query("querier", "forwarder", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	o.Net().Sim().Run()
+	if responses != 1 {
+		t.Fatalf("responses = %d, want 1", responses)
+	}
+	// The response arrives from the forwarder, not the hidden source:
+	// anonymity preserved at the overlay level.
+	if from != "forwarder" {
+		t.Errorf("response relayed by %q, want forwarder", from)
+	}
+}
+
+func TestTTLBoundsFlooding(t *testing.T) {
+	// A chain longer than the TTL: the query dies before the source.
+	cfg := DefaultConfig(ModeAnonymous)
+	cfg.TTL = 2
+	sim := netsim.NewSimulator(11)
+	o := NewOverlay(netsim.NewNetwork(sim), cfg)
+	querier, err := o.AddPeer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q - f1 - f2 - src: TTL 2 reaches f2 (TTL=1 there) and stops.
+	prev := netsim.NodeID("q")
+	for _, id := range []netsim.NodeID{"f1", "f2"} {
+		if _, err := o.AddPeer(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.Befriend(prev, id); err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	if _, err := o.AddPeer("src", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("f2", "src"); err != nil {
+		t.Fatal(err)
+	}
+	responses := 0
+	querier.OnResponse = func(netsim.NodeID, message, time.Duration) { responses++ }
+	if _, err := o.Query("q", "f1", "file-1"); err != nil {
+		t.Fatal(err)
+	}
+	o.Net().Sim().Run()
+	if responses != 0 {
+		t.Errorf("TTL 2 must not reach a 3-hop source; got %d responses", responses)
+	}
+}
+
+func TestDuplicateQuerySuppression(t *testing.T) {
+	// Triangle: q, a, b all connected; a and b both share the file.
+	// Flooding must not multiply responses beyond one per responder.
+	o := newTestOverlay(t, ModePlain)
+	querier, err := o.AddPeer("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("a", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("b", "f"); err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]netsim.NodeID{{"q", "a"}, {"q", "b"}, {"a", "b"}} {
+		if err := o.Befriend(pair[0], pair[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	responses := 0
+	querier.OnResponse = func(netsim.NodeID, message, time.Duration) { responses++ }
+	if _, err := o.Query("q", "a", "f"); err != nil {
+		t.Fatal(err)
+	}
+	o.Net().Sim().Run()
+	// a responds; a does not forward (it has the file). So exactly 1.
+	if responses != 1 {
+		t.Errorf("responses = %d, want 1", responses)
+	}
+}
+
+func TestAnonymousTrafficEncrypted(t *testing.T) {
+	o := newTestOverlay(t, ModeAnonymous)
+	if _, err := o.AddPeer("a", "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AddPeer("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Befriend("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	var sawEncrypted bool
+	if err := o.Net().AttachTap("b", tapFunc(func(_ netsim.Direction, _ time.Duration, p *netsim.Packet) {
+		sawEncrypted = p.Encrypted
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Query("b", "a", "f"); err != nil {
+		t.Fatal(err)
+	}
+	o.Net().Sim().Run()
+	if !sawEncrypted {
+		t.Error("anonymous overlay traffic must be flagged encrypted")
+	}
+}
+
+type tapFunc func(netsim.Direction, time.Duration, *netsim.Packet)
+
+func (f tapFunc) Observe(d netsim.Direction, at time.Duration, p *netsim.Packet) { f(d, at, p) }
+
+func TestModeString(t *testing.T) {
+	if ModePlain.String() != "plain" || ModeAnonymous.String() != "anonymous" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() != "Mode(9)" {
+		t.Errorf("placeholder = %q", Mode(9).String())
+	}
+	if Verdict(9).String() != "Verdict(9)" {
+		t.Errorf("placeholder = %q", Verdict(9).String())
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decode([]byte("{not json")); err == nil {
+		t.Error("decode must reject malformed payloads")
+	}
+	m, err := decode(encode(message{Kind: "query", QID: 7, Key: "k", TTL: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.QID != 7 || m.Kind != "query" || m.Key != "k" || m.TTL != 3 {
+		t.Errorf("round trip = %+v", m)
+	}
+}

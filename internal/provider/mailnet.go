@@ -1,0 +1,191 @@
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+// Mail-network errors.
+var (
+	// ErrUnknownProvider: the domain is not registered.
+	ErrUnknownProvider = errors.New("provider: unknown provider domain")
+	// ErrUnknownTransit: no in-transit message with that ID.
+	ErrUnknownTransit = errors.New("provider: unknown in-transit message")
+	// ErrInterceptForbidden: the interception lacks the Title III
+	// process it requires.
+	ErrInterceptForbidden = errors.New("provider: interception requires a wiretap order")
+)
+
+// MailNet federates providers: mail sent across it spends a transit
+// period between the origin and destination providers, during which the
+// Wiretap Act — not the SCA — governs access (paper § III-A-3: the
+// Pen/Trap and Wiretap statutes "regulate the real-time data transmission
+// over the Internet outside a person's computer").
+type MailNet struct {
+	mu        sync.Mutex
+	clock     func() time.Time
+	latency   time.Duration
+	providers map[string]*Provider
+	transit   map[string]*TransitMessage
+	nextID    int
+	engine    *legal.Engine
+}
+
+// TransitMessage is a message between providers.
+type TransitMessage struct {
+	// ID identifies the transit record.
+	ID string
+	// From is the full origin address; ToDomain/ToAccount the
+	// destination.
+	From, ToDomain, ToAccount string
+	// Subject and Body are content; the envelope fields above are
+	// addressing.
+	Subject string
+	Body    []byte
+	// DepartedAt and ArrivesAt bound the transit window.
+	DepartedAt, ArrivesAt time.Time
+}
+
+// MailNetOption configures a MailNet.
+type MailNetOption func(*MailNet)
+
+// WithMailClock substitutes the time source.
+func WithMailClock(clock func() time.Time) MailNetOption {
+	return func(m *MailNet) { m.clock = clock }
+}
+
+// WithMailLatency sets the transit duration (default one minute).
+func WithMailLatency(d time.Duration) MailNetOption {
+	return func(m *MailNet) { m.latency = d }
+}
+
+// NewMailNet returns an empty federation.
+func NewMailNet(opts ...MailNetOption) *MailNet {
+	m := &MailNet{
+		clock:     time.Now,
+		latency:   time.Minute,
+		providers: make(map[string]*Provider),
+		transit:   make(map[string]*TransitMessage),
+		engine:    legal.NewEngine(),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Register attaches a provider under a mail domain.
+func (m *MailNet) Register(domain string, p *Provider) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.providers[domain] = p
+}
+
+// Send originates a message; it enters transit and must be Flushed (time
+// advanced past ArrivesAt) to land in the destination mailbox.
+func (m *MailNet) Send(from, toDomain, toAccount, subject string, body []byte) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.providers[toDomain]; !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownProvider, toDomain)
+	}
+	m.nextID++
+	now := m.clock()
+	tm := &TransitMessage{
+		ID:         fmt.Sprintf("transit-%04d", m.nextID),
+		From:       from,
+		ToDomain:   toDomain,
+		ToAccount:  toAccount,
+		Subject:    subject,
+		Body:       append([]byte(nil), body...),
+		DepartedAt: now,
+		ArrivesAt:  now.Add(m.latency),
+	}
+	m.transit[tm.ID] = tm
+	return tm.ID, nil
+}
+
+// Flush delivers every transit message whose arrival time has passed,
+// returning the provider-assigned message IDs keyed by transit ID.
+func (m *MailNet) Flush() (map[string]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clock()
+	delivered := make(map[string]string)
+	for id, tm := range m.transit {
+		if now.Before(tm.ArrivesAt) {
+			continue
+		}
+		p := m.providers[tm.ToDomain]
+		msgID, err := p.Deliver(tm.From, tm.ToAccount, tm.Subject, tm.Body)
+		if err != nil {
+			return nil, fmt.Errorf("provider: delivering %s: %w", id, err)
+		}
+		delivered[id] = msgID
+		delete(m.transit, id)
+	}
+	return delivered, nil
+}
+
+// InTransit reports how many messages are currently between providers.
+func (m *MailNet) InTransit() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.transit)
+}
+
+// InterceptEnvelope collects a transit message's addressing information —
+// FROM/TO, sizes, times. Non-content: a pen/trap order suffices.
+func (m *MailNet) InterceptEnvelope(held legal.Process, transitID string) (from, to string, size int, err error) {
+	ruling, err := m.engine.Evaluate(legal.Action{
+		Name:   "intercept-envelope",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingRealTime,
+		Data:   legal.DataAddressing,
+		Source: legal.SourceThirdPartyNetwork,
+	})
+	if err != nil {
+		return "", "", 0, err
+	}
+	if !held.Satisfies(ruling.Required) {
+		return "", "", 0, fmt.Errorf("%w: envelope interception requires %s", ErrInsufficientProcess, ruling.Required)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tm, ok := m.transit[transitID]
+	if !ok {
+		return "", "", 0, fmt.Errorf("%w: %q", ErrUnknownTransit, transitID)
+	}
+	return tm.From, tm.ToDomain + ":" + tm.ToAccount, len(tm.Body), nil
+}
+
+// InterceptContent acquires a transit message's subject and body — a
+// real-time content interception demanding a Title III order.
+func (m *MailNet) InterceptContent(held legal.Process, transitID string) (TransitMessage, error) {
+	ruling, err := m.engine.Evaluate(legal.Action{
+		Name:   "intercept-content",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingRealTime,
+		Data:   legal.DataContent,
+		Source: legal.SourceThirdPartyNetwork,
+	})
+	if err != nil {
+		return TransitMessage{}, err
+	}
+	if !held.Satisfies(ruling.Required) {
+		return TransitMessage{}, fmt.Errorf("%w: held %s", ErrInterceptForbidden, held)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tm, ok := m.transit[transitID]
+	if !ok {
+		return TransitMessage{}, fmt.Errorf("%w: %q", ErrUnknownTransit, transitID)
+	}
+	cp := *tm
+	cp.Body = append([]byte(nil), tm.Body...)
+	return cp, nil
+}

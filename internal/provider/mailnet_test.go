@@ -1,0 +1,155 @@
+package provider
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+func newMailNet(t *testing.T) (*MailNet, *Provider, *Provider) {
+	t.Helper()
+	gmail := newGmail(t)
+	uni := newUniversity(t)
+	m := NewMailNet(WithMailClock(fixedClock()), WithMailLatency(30*time.Second))
+	m.Register("gmail.com", gmail)
+	m.Register("cs.charlie.edu", uni)
+	return m, gmail, uni
+}
+
+func TestMailTransitAndDelivery(t *testing.T) {
+	m, gmail, _ := newMailNet(t)
+	id, err := m.Send("alice@cs.charlie.edu", "gmail.com", "bob", "lunch?", []byte("noon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InTransit() != 1 {
+		t.Fatalf("in transit = %d", m.InTransit())
+	}
+	// The fixed clock advances one minute per call, so the 30-second
+	// transit has elapsed by the next observation.
+	delivered, err := m.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgID, ok := delivered[id]
+	if !ok {
+		t.Fatalf("transit %s not delivered: %v", id, delivered)
+	}
+	if m.InTransit() != 0 {
+		t.Errorf("in transit after flush = %d", m.InTransit())
+	}
+	msg, err := gmail.Message("bob", msgID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.State != StateStoredUnopened || string(msg.Body) != "noon" {
+		t.Errorf("delivered message = %+v", msg)
+	}
+	// Post-delivery, the SCA role analysis applies as usual.
+	role, err := gmail.RoleFor("bob", msgID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != legal.ProviderECS {
+		t.Errorf("role = %v, want ECS", role)
+	}
+}
+
+func TestMailFlushBeforeArrival(t *testing.T) {
+	gmail := newGmail(t)
+	m := NewMailNet(WithMailClock(fixedClock()), WithMailLatency(24*time.Hour))
+	m.Register("gmail.com", gmail)
+	if _, err := m.Send("x@y", "gmail.com", "bob", "s", nil); err != nil {
+		t.Fatal(err)
+	}
+	delivered, err := m.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delivered) != 0 || m.InTransit() != 1 {
+		t.Error("message delivered before its arrival time")
+	}
+}
+
+func TestMailUnknownDomain(t *testing.T) {
+	m, _, _ := newMailNet(t)
+	if _, err := m.Send("a@b", "nowhere.example", "x", "s", nil); !errors.Is(err, ErrUnknownProvider) {
+		t.Errorf("err = %v, want ErrUnknownProvider", err)
+	}
+}
+
+func TestEnvelopeInterception(t *testing.T) {
+	m, _, _ := newMailNet(t)
+	id, err := m.Send("alice@cs.charlie.edu", "gmail.com", "bob", "secret subject", []byte("secret body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without process: refused.
+	if _, _, _, err := m.InterceptEnvelope(legal.ProcessNone, id); !errors.Is(err, ErrInsufficientProcess) {
+		t.Errorf("no-process envelope err = %v", err)
+	}
+	// A pen/trap order suffices for the envelope.
+	from, to, size, err := m.InterceptEnvelope(legal.ProcessCourtOrder, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "alice@cs.charlie.edu" || to != "gmail.com:bob" || size != len("secret body") {
+		t.Errorf("envelope = %q -> %q (%d bytes)", from, to, size)
+	}
+	if _, _, _, err := m.InterceptEnvelope(legal.ProcessCourtOrder, "transit-9999"); !errors.Is(err, ErrUnknownTransit) {
+		t.Errorf("unknown transit err = %v", err)
+	}
+}
+
+func TestContentInterceptionNeedsTitleIII(t *testing.T) {
+	m, _, _ := newMailNet(t)
+	id, err := m.Send("alice@cs.charlie.edu", "gmail.com", "bob", "secret subject", []byte("secret body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a search warrant is not enough in real time.
+	if _, err := m.InterceptContent(legal.ProcessSearchWarrant, id); !errors.Is(err, ErrInterceptForbidden) {
+		t.Errorf("warrant content err = %v", err)
+	}
+	tm, err := m.InterceptContent(legal.ProcessWiretapOrder, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Subject != "secret subject" || string(tm.Body) != "secret body" {
+		t.Errorf("intercepted = %+v", tm)
+	}
+	// The interception is a copy; transit continues and delivery still
+	// happens.
+	if m.InTransit() != 1 {
+		t.Error("interception must not remove the message from transit")
+	}
+	if _, err := m.InterceptContent(legal.ProcessWiretapOrder, "transit-9999"); !errors.Is(err, ErrUnknownTransit) {
+		t.Errorf("unknown transit err = %v", err)
+	}
+}
+
+// The statutory regime shifts across the message lifecycle: Title III in
+// transit, SCA warrant once stored — the same content, two regimes, per
+// paper § III-A-3.
+func TestRegimeShiftAcrossLifecycle(t *testing.T) {
+	m, gmail, _ := newMailNet(t)
+	id, err := m.Send("alice@cs.charlie.edu", "gmail.com", "bob", "s", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In transit: wiretap order required (warrant refused above-style).
+	if _, err := m.InterceptContent(legal.ProcessSearchWarrant, id); !errors.Is(err, ErrInterceptForbidden) {
+		t.Fatalf("in-transit warrant err = %v", err)
+	}
+	delivered, err := m.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stored: a warrant now suffices under § 2703.
+	if _, err := gmail.Compel(legal.ProcessSearchWarrant, TierContent, "bob"); err != nil {
+		t.Fatalf("stored compel: %v", err)
+	}
+	_ = delivered
+}

@@ -1,0 +1,490 @@
+// Package provider simulates Internet service providers as the Stored
+// Communications Act sees them: subscriber records with IP-lease history
+// (the "probable cause through an IP address" flow of § III-A-1-a), a
+// message store whose provider role transitions exactly as the paper's
+// Alice/Bob example describes (ECS while a message is in transit or
+// unretrieved; RCS once a public provider stores an opened message;
+// neither for a non-public provider, dropping the message out of the SCA),
+// compelled disclosure under § 2703's process tiers, and voluntary
+// disclosure under § 2702's restraints and exceptions.
+package provider
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+// Provider errors.
+var (
+	// ErrUnknownAccount: no such subscriber.
+	ErrUnknownAccount = errors.New("provider: unknown account")
+	// ErrUnknownMessage: no such message.
+	ErrUnknownMessage = errors.New("provider: unknown message")
+	// ErrInsufficientProcess: the process offered does not reach the
+	// tier compelled (§ 2703).
+	ErrInsufficientProcess = errors.New("provider: insufficient process for tier")
+	// ErrDisclosureForbidden: § 2702 forbids the voluntary disclosure.
+	ErrDisclosureForbidden = errors.New("provider: voluntary disclosure forbidden")
+	// ErrNoLease: no subscriber held the IP at the given time.
+	ErrNoLease = errors.New("provider: no subscriber held that address at that time")
+)
+
+// Tier identifies what class of stored information is sought, mirroring
+// § 2703's ladder.
+type Tier int
+
+// Disclosure tiers.
+const (
+	// TierBasicSubscriber: name, address, session logs, assigned IPs —
+	// a subpoena suffices.
+	TierBasicSubscriber Tier = iota + 1
+	// TierRecords: other non-content transactional records — a
+	// § 2703(d) court order.
+	TierRecords
+	// TierContent: contents of communications — a search warrant
+	// ("a search warrant can disclose everything").
+	TierContent
+)
+
+var tierNames = map[Tier]string{
+	TierBasicSubscriber: "basic subscriber information",
+	TierRecords:         "transactional records",
+	TierContent:         "content",
+}
+
+// String returns the tier name.
+func (t Tier) String() string {
+	if s, ok := tierNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Tier(%d)", int(t))
+}
+
+// RequiredProcess returns the § 2703 process the tier demands.
+func (t Tier) RequiredProcess() legal.Process {
+	switch t {
+	case TierBasicSubscriber:
+		return legal.ProcessSubpoena
+	case TierRecords:
+		return legal.ProcessCourtOrder
+	case TierContent:
+		return legal.ProcessSearchWarrant
+	default:
+		return legal.ProcessSearchWarrant
+	}
+}
+
+// IPLease records a subscriber's tenure on an address.
+type IPLease struct {
+	// IP is the leased address.
+	IP string
+	// From and To bound the lease; a zero To means the lease is open.
+	From, To time.Time
+}
+
+// active reports whether the lease covers time at.
+func (l IPLease) active(at time.Time) bool {
+	if at.Before(l.From) {
+		return false
+	}
+	return l.To.IsZero() || !at.After(l.To)
+}
+
+// Subscriber is one customer's basic subscriber information.
+type Subscriber struct {
+	// Account is the login or account identifier.
+	Account string
+	// Name and Street are identifying information.
+	Name, Street string
+	// Leases is the IP assignment history.
+	Leases []IPLease
+}
+
+// MessageState tracks a stored communication's lifecycle.
+type MessageState int
+
+// Message states.
+const (
+	// StateStoredUnopened: delivered to the mailbox, not yet retrieved;
+	// the provider is an ECS with respect to it.
+	StateStoredUnopened MessageState = iota + 1
+	// StateOpenedStored: retrieved and left in storage.
+	StateOpenedStored
+	// StateDeleted: removed by the user.
+	StateDeleted
+)
+
+var messageStateNames = map[MessageState]string{
+	StateStoredUnopened: "stored-unopened",
+	StateOpenedStored:   "opened-stored",
+	StateDeleted:        "deleted",
+}
+
+// String returns the state name.
+func (s MessageState) String() string {
+	if n, ok := messageStateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("MessageState(%d)", int(s))
+}
+
+// Message is one stored communication.
+type Message struct {
+	// ID is provider-assigned.
+	ID string
+	// From and To are addresses.
+	From, To string
+	// Subject is content for Title III purposes; Body is content.
+	Subject string
+	Body    []byte
+	// State is the lifecycle position.
+	State MessageState
+	// ArrivedAt and OpenedAt are lifecycle timestamps.
+	ArrivedAt, OpenedAt time.Time
+}
+
+// Recipient identifies who receives a voluntary disclosure.
+type Recipient int
+
+// Disclosure recipients.
+const (
+	// RecipientGovernment is a government entity.
+	RecipientGovernment Recipient = iota + 1
+	// RecipientPrivate is a non-government entity.
+	RecipientPrivate
+)
+
+// Basis is the claimed ground for a voluntary disclosure (§ 2702's
+// exceptions).
+type Basis int
+
+// Voluntary-disclosure bases.
+const (
+	// BasisNone: no exception claimed.
+	BasisNone Basis = iota + 1
+	// BasisUserConsent: the user consented.
+	BasisUserConsent
+	// BasisEmergency: an emergency involving danger of death or serious
+	// injury.
+	BasisEmergency
+	// BasisProtectRights: protection of the provider's rights and
+	// property.
+	BasisProtectRights
+)
+
+// Provider simulates one service provider. Safe for concurrent use.
+type Provider struct {
+	// Name labels the provider.
+	Name string
+	// Public reports whether services are offered to the public; the
+	// SCA's RCS definition and § 2702's restraints reach only public
+	// providers.
+	Public bool
+
+	mu          sync.Mutex
+	clock       func() time.Time
+	subscribers map[string]*Subscriber
+	mailboxes   map[string][]*Message
+	preserved   map[string]preservation
+	nextMsg     int
+}
+
+// preservation is a § 2703(f) snapshot of an account pending process.
+type preservation struct {
+	until    time.Time
+	messages []Message
+}
+
+// Option configures a Provider.
+type Option func(*Provider)
+
+// WithProviderClock substitutes the time source.
+func WithProviderClock(clock func() time.Time) Option {
+	return func(p *Provider) { p.clock = clock }
+}
+
+// New returns a provider. public marks providers offering services to the
+// public (a commercial webmail service) as opposed to, say, a university
+// serving only its members.
+func New(name string, public bool, opts ...Option) *Provider {
+	p := &Provider{
+		Name:        name,
+		Public:      public,
+		clock:       time.Now,
+		subscribers: make(map[string]*Subscriber),
+		mailboxes:   make(map[string][]*Message),
+		preserved:   make(map[string]preservation),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// AddSubscriber registers a customer.
+func (p *Provider) AddSubscriber(s Subscriber) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cp := s
+	cp.Leases = append([]IPLease(nil), s.Leases...)
+	p.subscribers[s.Account] = &cp
+	if _, ok := p.mailboxes[s.Account]; !ok {
+		p.mailboxes[s.Account] = nil
+	}
+}
+
+// Deliver places a message in the recipient account's mailbox in the
+// stored-unopened state and returns its ID.
+func (p *Provider) Deliver(from, toAccount, subject string, body []byte) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.subscribers[toAccount]; !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownAccount, toAccount)
+	}
+	p.nextMsg++
+	m := &Message{
+		ID:        fmt.Sprintf("%s-msg-%04d", p.Name, p.nextMsg),
+		From:      from,
+		To:        toAccount,
+		Subject:   subject,
+		Body:      append([]byte(nil), body...),
+		State:     StateStoredUnopened,
+		ArrivedAt: p.clock(),
+	}
+	p.mailboxes[toAccount] = append(p.mailboxes[toAccount], m)
+	return m.ID, nil
+}
+
+// Open marks a message retrieved by its owner, transitioning it to
+// opened-stored.
+func (p *Provider) Open(account, msgID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, err := p.findLocked(account, msgID)
+	if err != nil {
+		return err
+	}
+	if m.State == StateStoredUnopened {
+		m.State = StateOpenedStored
+		m.OpenedAt = p.clock()
+	}
+	return nil
+}
+
+// Delete marks a message deleted by its owner.
+func (p *Provider) Delete(account, msgID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, err := p.findLocked(account, msgID)
+	if err != nil {
+		return err
+	}
+	m.State = StateDeleted
+	return nil
+}
+
+// Message returns a copy of the message.
+func (p *Provider) Message(account, msgID string) (Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, err := p.findLocked(account, msgID)
+	if err != nil {
+		return Message{}, err
+	}
+	return cloneMessage(m), nil
+}
+
+// RoleFor returns the provider's SCA role with respect to the message,
+// per the paper's Alice/Bob example:
+//
+//   - stored-unopened → ECS;
+//   - opened-stored at a public provider → RCS;
+//   - opened-stored at a non-public provider → neither (the message
+//     "drops out of the SCA" and the Fourth Amendment alone governs);
+//   - deleted → neither.
+func (p *Provider) RoleFor(account, msgID string) (legal.ProviderRole, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, err := p.findLocked(account, msgID)
+	if err != nil {
+		return 0, err
+	}
+	switch m.State {
+	case StateStoredUnopened:
+		return legal.ProviderECS, nil
+	case StateOpenedStored:
+		if p.Public {
+			return legal.ProviderRCS, nil
+		}
+		return legal.ProviderNone, nil
+	default:
+		return legal.ProviderNone, nil
+	}
+}
+
+// DefaultPreservation is the § 2703(f) retention window: "records …
+// shall be retained for a period of 90 days".
+const DefaultPreservation = 90 * 24 * time.Hour
+
+// Preserve executes a § 2703(f) preservation request: the provider
+// snapshots the account's current undeleted messages and retains the
+// snapshot for the given duration (DefaultPreservation when zero) pending
+// the government's process. No process is required for the request itself;
+// preserved copies survive later user deletion and are produced by Compel
+// at the content tier.
+func (p *Provider) Preserve(account string, retain time.Duration) error {
+	if retain <= 0 {
+		retain = DefaultPreservation
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.subscribers[account]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAccount, account)
+	}
+	snap := preservation{until: p.clock().Add(retain)}
+	for _, m := range p.mailboxes[account] {
+		if m.State != StateDeleted {
+			snap.messages = append(snap.messages, cloneMessage(m))
+		}
+	}
+	p.preserved[account] = snap
+	return nil
+}
+
+// Disclosure is what a provider hands over.
+type Disclosure struct {
+	// Tier echoes what was compelled or volunteered.
+	Tier Tier
+	// Subscriber is populated for the basic-subscriber tier.
+	Subscriber *Subscriber
+	// Records is populated for the records tier.
+	Records []string
+	// Messages is populated for the content tier.
+	Messages []Message
+}
+
+// Compel is § 2703 required disclosure: the government presents process;
+// the provider verifies it reaches the tier. A stronger process unlocks
+// every lower tier ("a search warrant can disclose everything").
+func (p *Provider) Compel(process legal.Process, tier Tier, account string) (Disclosure, error) {
+	if need := tier.RequiredProcess(); !process.Satisfies(need) {
+		return Disclosure{}, fmt.Errorf("%w: %s requires %s, presented %s",
+			ErrInsufficientProcess, tier, need, process)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sub, ok := p.subscribers[account]
+	if !ok {
+		return Disclosure{}, fmt.Errorf("%w: %q", ErrUnknownAccount, account)
+	}
+	d := Disclosure{Tier: tier}
+	switch tier {
+	case TierBasicSubscriber:
+		cp := *sub
+		cp.Leases = append([]IPLease(nil), sub.Leases...)
+		d.Subscriber = &cp
+	case TierRecords:
+		for _, m := range p.mailboxes[account] {
+			d.Records = append(d.Records, fmt.Sprintf(
+				"msg %s: %s -> %s at %s (%d bytes)",
+				m.ID, m.From, m.To, m.ArrivedAt.Format(time.RFC3339), len(m.Body)))
+		}
+	case TierContent:
+		have := make(map[string]bool)
+		for _, m := range p.mailboxes[account] {
+			if m.State != StateDeleted {
+				d.Messages = append(d.Messages, cloneMessage(m))
+				have[m.ID] = true
+			}
+		}
+		// A live § 2703(f) preservation produces messages the user
+		// has since deleted.
+		if snap, ok := p.preserved[account]; ok && !p.clock().After(snap.until) {
+			for _, m := range snap.messages {
+				if !have[m.ID] {
+					cp := m
+					cp.Body = append([]byte(nil), m.Body...)
+					d.Messages = append(d.Messages, cp)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// VoluntaryDisclose applies § 2702: a public provider may not volunteer
+// content to anyone, or records to the government, absent an exception
+// (user consent, emergency, protection of its rights); it may give
+// non-content to non-government entities. Providers not serving the
+// public "may freely disclose both contents and non-content records."
+func (p *Provider) VoluntaryDisclose(tier Tier, to Recipient, basis Basis, account string) (Disclosure, error) {
+	if p.Public && !p.volExceptionApplies(basis) {
+		forbidden := tier == TierContent ||
+			(to == RecipientGovernment && (tier == TierRecords || tier == TierBasicSubscriber))
+		if forbidden {
+			return Disclosure{}, fmt.Errorf("%w: public provider, %s to %s without exception",
+				ErrDisclosureForbidden, tier, recipientName(to))
+		}
+	}
+	// Disclosure content mirrors Compel's, bypassing the process check.
+	return p.Compel(legal.ProcessWiretapOrder, tier, account)
+}
+
+func (p *Provider) volExceptionApplies(b Basis) bool {
+	switch b {
+	case BasisUserConsent, BasisEmergency, BasisProtectRights:
+		return true
+	default:
+		return false
+	}
+}
+
+func recipientName(r Recipient) string {
+	if r == RecipientGovernment {
+		return "government"
+	}
+	return "private party"
+}
+
+// SubscriberByIP resolves which subscriber held an address at a time —
+// the step a subpoena compels in the paper's IP-attribution scenario.
+func (p *Provider) SubscriberByIP(process legal.Process, ip string, at time.Time) (Subscriber, error) {
+	if !process.Satisfies(legal.ProcessSubpoena) {
+		return Subscriber{}, fmt.Errorf("%w: IP attribution requires at least a subpoena",
+			ErrInsufficientProcess)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.subscribers {
+		for _, l := range s.Leases {
+			if l.IP == ip && l.active(at) {
+				cp := *s
+				cp.Leases = append([]IPLease(nil), s.Leases...)
+				return cp, nil
+			}
+		}
+	}
+	return Subscriber{}, fmt.Errorf("%w: %s at %s", ErrNoLease, ip, at.Format(time.RFC3339))
+}
+
+func (p *Provider) findLocked(account, msgID string) (*Message, error) {
+	if _, ok := p.subscribers[account]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAccount, account)
+	}
+	for _, m := range p.mailboxes[account] {
+		if m.ID == msgID {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q in %q", ErrUnknownMessage, msgID, account)
+}
+
+func cloneMessage(m *Message) Message {
+	cp := *m
+	cp.Body = append([]byte(nil), m.Body...)
+	return cp
+}

@@ -1,0 +1,412 @@
+package provider
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+var pNow = time.Date(2012, time.April, 2, 10, 0, 0, 0, time.UTC)
+
+func fixedClock() func() time.Time {
+	t := pNow
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func newGmail(t *testing.T) *Provider {
+	t.Helper()
+	p := New("gmail", true, WithProviderClock(fixedClock()))
+	p.AddSubscriber(Subscriber{
+		Account: "bob",
+		Name:    "Bob B.",
+		Street:  "7 Elm St",
+		Leases: []IPLease{
+			{IP: "10.0.0.7", From: pNow.Add(-24 * time.Hour), To: pNow.Add(24 * time.Hour)},
+			{IP: "10.0.0.9", From: pNow.Add(48 * time.Hour)},
+		},
+	})
+	return p
+}
+
+func newUniversity(t *testing.T) *Provider {
+	t.Helper()
+	p := New("charlie-university", false, WithProviderClock(fixedClock()))
+	p.AddSubscriber(Subscriber{Account: "alice", Name: "Alice A."})
+	return p
+}
+
+func TestAliceBobLifecycle(t *testing.T) {
+	// The paper's § III-A-3 example, end to end.
+	gmail := newGmail(t)
+	uni := newUniversity(t)
+
+	// Alice -> Bob at gmail: ECS until Bob opens it, then RCS.
+	id, err := gmail.Deliver("alice@cs.charlie.edu", "bob", "hi", []byte("lunch?"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	role, err := gmail.RoleFor("bob", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != legal.ProviderECS {
+		t.Errorf("unopened at public provider: role = %v, want ECS", role)
+	}
+	if err := gmail.Open("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	role, err = gmail.RoleFor("bob", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != legal.ProviderRCS {
+		t.Errorf("opened at public provider: role = %v, want RCS", role)
+	}
+
+	// Bob -> Alice at the university: ECS until Alice opens it, then
+	// NEITHER — the message drops out of the SCA.
+	id2, err := uni.Deliver("bob@gmail.com", "alice", "re: hi", []byte("yes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	role, err = uni.RoleFor("alice", id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != legal.ProviderECS {
+		t.Errorf("unopened at university: role = %v, want ECS", role)
+	}
+	if err := uni.Open("alice", id2); err != nil {
+		t.Fatal(err)
+	}
+	role, err = uni.RoleFor("alice", id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != legal.ProviderNone {
+		t.Errorf("opened at non-public provider: role = %v, want neither", role)
+	}
+}
+
+func TestRoleForDeleted(t *testing.T) {
+	gmail := newGmail(t)
+	id, err := gmail.Deliver("x", "bob", "s", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gmail.Delete("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	role, err := gmail.RoleFor("bob", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if role != legal.ProviderNone {
+		t.Errorf("deleted message role = %v, want neither", role)
+	}
+}
+
+func TestMessageStateTransitions(t *testing.T) {
+	gmail := newGmail(t)
+	id, err := gmail.Deliver("x@y", "bob", "s", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := gmail.Message("bob", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.State != StateStoredUnopened || m.ArrivedAt.IsZero() {
+		t.Errorf("fresh message: %+v", m)
+	}
+	if err := gmail.Open("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = gmail.Message("bob", id)
+	if m.State != StateOpenedStored || m.OpenedAt.IsZero() {
+		t.Errorf("opened message: %+v", m)
+	}
+	// Re-opening is a no-op.
+	openedAt := m.OpenedAt
+	if err := gmail.Open("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	m, _ = gmail.Message("bob", id)
+	if !m.OpenedAt.Equal(openedAt) {
+		t.Error("re-open must not update OpenedAt")
+	}
+}
+
+func TestCompelTiers(t *testing.T) {
+	gmail := newGmail(t)
+	if _, err := gmail.Deliver("x@y", "bob", "s", []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		tier    Tier
+		process legal.Process
+		wantErr bool
+	}{
+		{TierBasicSubscriber, legal.ProcessSubpoena, false},
+		{TierBasicSubscriber, legal.ProcessNone, true},
+		{TierRecords, legal.ProcessCourtOrder, false},
+		{TierRecords, legal.ProcessSubpoena, true},
+		{TierContent, legal.ProcessSearchWarrant, false},
+		{TierContent, legal.ProcessCourtOrder, true},
+		// "A search warrant can disclose everything."
+		{TierBasicSubscriber, legal.ProcessSearchWarrant, false},
+		{TierRecords, legal.ProcessSearchWarrant, false},
+	}
+	for _, tt := range tests {
+		_, err := gmail.Compel(tt.process, tt.tier, "bob")
+		if tt.wantErr && !errors.Is(err, ErrInsufficientProcess) {
+			t.Errorf("Compel(%v, %v): err = %v, want ErrInsufficientProcess", tt.process, tt.tier, err)
+		}
+		if !tt.wantErr && err != nil {
+			t.Errorf("Compel(%v, %v): %v", tt.process, tt.tier, err)
+		}
+	}
+}
+
+func TestCompelPayloads(t *testing.T) {
+	gmail := newGmail(t)
+	id, err := gmail.Deliver("x@y", "bob", "s", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gmail.Compel(legal.ProcessSubpoena, TierBasicSubscriber, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Subscriber == nil || d.Subscriber.Name != "Bob B." {
+		t.Errorf("BSI disclosure: %+v", d.Subscriber)
+	}
+	d, err = gmail.Compel(legal.ProcessCourtOrder, TierRecords, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Records) != 1 {
+		t.Errorf("records disclosure: %v", d.Records)
+	}
+	d, err = gmail.Compel(legal.ProcessSearchWarrant, TierContent, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Messages) != 1 || string(d.Messages[0].Body) != "body" {
+		t.Errorf("content disclosure: %+v", d.Messages)
+	}
+	// Deleted messages are not disclosed.
+	if err := gmail.Delete("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	d, err = gmail.Compel(legal.ProcessSearchWarrant, TierContent, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Messages) != 0 {
+		t.Errorf("deleted message disclosed: %+v", d.Messages)
+	}
+	if _, err := gmail.Compel(legal.ProcessSearchWarrant, TierContent, "ghost"); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("unknown account err = %v", err)
+	}
+}
+
+func TestVoluntaryDisclosurePublicProvider(t *testing.T) {
+	gmail := newGmail(t)
+	if _, err := gmail.Deliver("x@y", "bob", "s", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Content to anyone without an exception: forbidden.
+	if _, err := gmail.VoluntaryDisclose(TierContent, RecipientGovernment, BasisNone, "bob"); !errors.Is(err, ErrDisclosureForbidden) {
+		t.Errorf("content to government: err = %v", err)
+	}
+	if _, err := gmail.VoluntaryDisclose(TierContent, RecipientPrivate, BasisNone, "bob"); !errors.Is(err, ErrDisclosureForbidden) {
+		t.Errorf("content to private party: err = %v", err)
+	}
+	// Records to government without exception: forbidden; to private
+	// parties: allowed ("any public providers can disclose non-content
+	// information to non government entities").
+	if _, err := gmail.VoluntaryDisclose(TierRecords, RecipientGovernment, BasisNone, "bob"); !errors.Is(err, ErrDisclosureForbidden) {
+		t.Errorf("records to government: err = %v", err)
+	}
+	if _, err := gmail.VoluntaryDisclose(TierRecords, RecipientPrivate, BasisNone, "bob"); err != nil {
+		t.Errorf("records to private party: %v", err)
+	}
+	// Exceptions open the door.
+	for _, basis := range []Basis{BasisUserConsent, BasisEmergency, BasisProtectRights} {
+		if _, err := gmail.VoluntaryDisclose(TierContent, RecipientGovernment, basis, "bob"); err != nil {
+			t.Errorf("content with basis %d: %v", int(basis), err)
+		}
+	}
+}
+
+func TestVoluntaryDisclosureNonPublicProvider(t *testing.T) {
+	// "Providers not available 'to the public' may freely disclose both
+	// contents and non-content records."
+	uni := newUniversity(t)
+	if _, err := uni.Deliver("x@y", "alice", "s", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uni.VoluntaryDisclose(TierContent, RecipientGovernment, BasisNone, "alice"); err != nil {
+		t.Errorf("non-public provider content disclosure: %v", err)
+	}
+}
+
+func TestSubscriberByIP(t *testing.T) {
+	gmail := newGmail(t)
+	s, err := gmail.SubscriberByIP(legal.ProcessSubpoena, "10.0.0.7", pNow)
+	if err != nil {
+		t.Fatalf("SubscriberByIP: %v", err)
+	}
+	if s.Account != "bob" || s.Street != "7 Elm St" {
+		t.Errorf("subscriber = %+v", s)
+	}
+	// Open-ended lease matches any later time.
+	if _, err := gmail.SubscriberByIP(legal.ProcessSubpoena, "10.0.0.9", pNow.Add(100*24*time.Hour)); err != nil {
+		t.Errorf("open lease: %v", err)
+	}
+	// Outside the lease window.
+	if _, err := gmail.SubscriberByIP(legal.ProcessSubpoena, "10.0.0.7", pNow.Add(100*24*time.Hour)); !errors.Is(err, ErrNoLease) {
+		t.Errorf("expired lease err = %v", err)
+	}
+	// Without process.
+	if _, err := gmail.SubscriberByIP(legal.ProcessNone, "10.0.0.7", pNow); !errors.Is(err, ErrInsufficientProcess) {
+		t.Errorf("no process err = %v", err)
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	gmail := newGmail(t)
+	if _, err := gmail.Deliver("x", "ghost", "s", nil); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("deliver unknown err = %v", err)
+	}
+	if err := gmail.Open("bob", "nope"); !errors.Is(err, ErrUnknownMessage) {
+		t.Errorf("open unknown err = %v", err)
+	}
+	if _, err := gmail.Message("ghost", "m"); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("message unknown account err = %v", err)
+	}
+}
+
+func TestDisclosureCopies(t *testing.T) {
+	gmail := newGmail(t)
+	id, err := gmail.Deliver("x@y", "bob", "s", []byte("body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := gmail.Compel(legal.ProcessSearchWarrant, TierContent, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Messages[0].Body[0] = 'X'
+	m, _ := gmail.Message("bob", id)
+	if string(m.Body) != "body" {
+		t.Error("disclosure must not alias provider storage")
+	}
+	d2, err := gmail.Compel(legal.ProcessSubpoena, TierBasicSubscriber, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Subscriber.Leases[0].IP = "tampered"
+	s, _ := gmail.SubscriberByIP(legal.ProcessSubpoena, "10.0.0.7", pNow)
+	if s.Account != "bob" {
+		t.Error("disclosure must not alias subscriber leases")
+	}
+}
+
+func TestTierStrings(t *testing.T) {
+	for tier := TierBasicSubscriber; tier <= TierContent; tier++ {
+		if tier.String() == "" {
+			t.Errorf("tier %d empty string", int(tier))
+		}
+		if !tier.RequiredProcess().Valid() {
+			t.Errorf("tier %d invalid required process", int(tier))
+		}
+	}
+	if Tier(9).String() != "Tier(9)" {
+		t.Errorf("placeholder = %q", Tier(9).String())
+	}
+	if Tier(9).RequiredProcess() != legal.ProcessSearchWarrant {
+		t.Error("unknown tier must default to the strictest stored-data process")
+	}
+	if MessageState(9).String() != "MessageState(9)" {
+		t.Errorf("placeholder = %q", MessageState(9).String())
+	}
+}
+
+func TestPreservationSurvivesDeletion(t *testing.T) {
+	gmail := newGmail(t)
+	id, err := gmail.Deliver("x@y", "bob", "incriminating", []byte("evidence body"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// § 2703(f) request lands before the user deletes.
+	if err := gmail.Preserve("bob", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmail.Delete("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	// Without preservation the deleted message would be gone (see
+	// TestCompelPayloads); with it, the warrant still produces it.
+	d, err := gmail.Compel(legal.ProcessSearchWarrant, TierContent, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Messages) != 1 || string(d.Messages[0].Body) != "evidence body" {
+		t.Errorf("preserved disclosure = %+v", d.Messages)
+	}
+}
+
+func TestPreservationExpires(t *testing.T) {
+	gmail := newGmail(t)
+	id, err := gmail.Deliver("x@y", "bob", "s", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny retention: the fixed clock advances one minute per call, so
+	// a 30-second window lapses before Compel runs.
+	if err := gmail.Preserve("bob", 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmail.Delete("bob", id); err != nil {
+		t.Fatal(err)
+	}
+	d, err := gmail.Compel(legal.ProcessSearchWarrant, TierContent, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Messages) != 0 {
+		t.Errorf("expired preservation still disclosed: %+v", d.Messages)
+	}
+}
+
+func TestPreservationNoDuplicates(t *testing.T) {
+	gmail := newGmail(t)
+	if _, err := gmail.Deliver("x@y", "bob", "s", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := gmail.Preserve("bob", 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := gmail.Compel(legal.ProcessSearchWarrant, TierContent, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Messages) != 1 {
+		t.Errorf("live + preserved message double-counted: %d", len(d.Messages))
+	}
+}
+
+func TestPreserveUnknownAccount(t *testing.T) {
+	gmail := newGmail(t)
+	if err := gmail.Preserve("ghost", 0); !errors.Is(err, ErrUnknownAccount) {
+		t.Errorf("err = %v, want ErrUnknownAccount", err)
+	}
+}

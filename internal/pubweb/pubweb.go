@@ -1,0 +1,206 @@
+// Package pubweb models the public services of Table 1 scenes 11 and 17:
+// a public website ("anybody can access the website") whose content law
+// enforcement may crawl without process, and a public chat room ("with or
+// without registration") whose messages carry no expectation of privacy.
+// The package supplies the Action constructors that make the legality
+// machine-checkable alongside the collection itself.
+package pubweb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+// Substrate errors.
+var (
+	// ErrNoPage: the path is not published.
+	ErrNoPage = errors.New("pubweb: no such page")
+	// ErrNotRegistered: posting requires registration first.
+	ErrNotRegistered = errors.New("pubweb: user not registered")
+	// ErrPrivateSite: the site requires credentials; its content is not
+	// public and the scene-11 rationale does not apply.
+	ErrPrivateSite = errors.New("pubweb: site requires credentials")
+)
+
+// Page is one published document.
+type Page struct {
+	// Path is the page address.
+	Path string
+	// Content is the page body.
+	Content []byte
+	// Links are paths this page references, for crawling.
+	Links []string
+}
+
+// Website is a set of linked pages.
+type Website struct {
+	// Name labels the site.
+	Name string
+	// RequiresAuth marks a members-only site: NOT scene 11; fetching
+	// needs authorization and the engine's provider/SCA analysis
+	// applies instead.
+	RequiresAuth bool
+
+	pages map[string]*Page
+}
+
+// NewWebsite returns an empty site.
+func NewWebsite(name string, requiresAuth bool) *Website {
+	return &Website{Name: name, RequiresAuth: requiresAuth, pages: make(map[string]*Page)}
+}
+
+// Publish adds or replaces a page.
+func (w *Website) Publish(path string, content []byte, links ...string) {
+	w.pages[path] = &Page{
+		Path:    path,
+		Content: append([]byte(nil), content...),
+		Links:   append([]string(nil), links...),
+	}
+}
+
+// Fetch retrieves a page as an anonymous visitor. Members-only sites
+// refuse (ErrPrivateSite).
+func (w *Website) Fetch(path string) (Page, error) {
+	if w.RequiresAuth {
+		return Page{}, fmt.Errorf("%w: %s", ErrPrivateSite, w.Name)
+	}
+	p, ok := w.pages[path]
+	if !ok {
+		return Page{}, fmt.Errorf("%w: %q", ErrNoPage, path)
+	}
+	cp := *p
+	cp.Content = append([]byte(nil), p.Content...)
+	cp.Links = append([]string(nil), p.Links...)
+	return cp, nil
+}
+
+// Crawl collects the site breadth-first from the start path, returning
+// pages in visit order. Broken links are skipped, cycles are handled.
+func (w *Website) Crawl(start string) ([]Page, error) {
+	if w.RequiresAuth {
+		return nil, fmt.Errorf("%w: %s", ErrPrivateSite, w.Name)
+	}
+	seen := map[string]bool{}
+	queue := []string{start}
+	var out []Page
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		p, err := w.Fetch(path)
+		if errors.Is(err, ErrNoPage) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		queue = append(queue, p.Links...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrNoPage, start)
+	}
+	return out, nil
+}
+
+// CollectAction is the legal.Action a public-site crawl constitutes:
+// public information on a public service — no process (scene 11).
+func (w *Website) CollectAction() legal.Action {
+	return legal.Action{
+		Name:     "collect-" + w.Name,
+		Actor:    legal.ActorGovernment,
+		Timing:   legal.TimingStored,
+		Data:     legal.DataPublic,
+		Source:   legal.SourcePublicService,
+		Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic},
+	}
+}
+
+// Post is one chat message.
+type Post struct {
+	// User is the posting account.
+	User string
+	// At is the post time.
+	At time.Time
+	// Text is the message.
+	Text string
+}
+
+// ChatRoom is a public room: anyone may read the log; posting may require
+// registration, which per the scene-17 answer changes nothing about the
+// log's public character.
+type ChatRoom struct {
+	// Name labels the room.
+	Name string
+	// RequiresRegistration gates posting (not reading).
+	RequiresRegistration bool
+
+	clock   func() time.Time
+	members map[string]bool
+	posts   []Post
+}
+
+// NewChatRoom returns an empty room.
+func NewChatRoom(name string, requiresRegistration bool, clock func() time.Time) *ChatRoom {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &ChatRoom{
+		Name:                 name,
+		RequiresRegistration: requiresRegistration,
+		clock:                clock,
+		members:              make(map[string]bool),
+	}
+}
+
+// Register enrolls a user.
+func (c *ChatRoom) Register(user string) {
+	c.members[user] = true
+}
+
+// Members returns registered users, sorted.
+func (c *ChatRoom) Members() []string {
+	out := make([]string, 0, len(c.members))
+	for m := range c.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Say posts a message; registration is enforced when required.
+func (c *ChatRoom) Say(user, text string) error {
+	if c.RequiresRegistration && !c.members[user] {
+		return fmt.Errorf("%w: %q in %s", ErrNotRegistered, user, c.Name)
+	}
+	c.posts = append(c.posts, Post{User: user, At: c.clock(), Text: text})
+	return nil
+}
+
+// Log returns the room's public message log.
+func (c *ChatRoom) Log() []Post {
+	out := make([]Post, len(c.posts))
+	copy(out, c.posts)
+	return out
+}
+
+// CollectAction is the legal.Action collecting the room's content
+// constitutes: public content readily accessible to anyone — no process
+// (scene 17), registration requirement notwithstanding.
+func (c *ChatRoom) CollectAction() legal.Action {
+	return legal.Action{
+		Name:     "collect-" + c.Name,
+		Actor:    legal.ActorGovernment,
+		Timing:   legal.TimingRealTime,
+		Data:     legal.DataPublic,
+		Source:   legal.SourcePublicService,
+		Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic},
+	}
+}

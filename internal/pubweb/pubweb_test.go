@@ -1,0 +1,168 @@
+package pubweb
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+func publicSite() *Website {
+	w := NewWebsite("forum", false)
+	w.Publish("/", []byte("index"), "/rules", "/gallery")
+	w.Publish("/rules", []byte("rules"), "/")
+	w.Publish("/gallery", []byte("gallery"), "/gallery/1", "/missing")
+	w.Publish("/gallery/1", []byte("image-page"))
+	w.Publish("/orphan", []byte("unlinked"))
+	return w
+}
+
+func TestFetch(t *testing.T) {
+	w := publicSite()
+	p, err := w.Fetch("/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Content) != "rules" {
+		t.Errorf("content = %q", p.Content)
+	}
+	if _, err := w.Fetch("/nope"); !errors.Is(err, ErrNoPage) {
+		t.Errorf("missing page err = %v", err)
+	}
+}
+
+func TestFetchReturnsCopies(t *testing.T) {
+	w := publicSite()
+	p, err := w.Fetch("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Content[0] = 'X'
+	p.Links[0] = "/mutated"
+	again, _ := w.Fetch("/")
+	if string(again.Content) != "index" || again.Links[0] != "/rules" {
+		t.Error("Fetch must return copies")
+	}
+}
+
+func TestCrawl(t *testing.T) {
+	w := publicSite()
+	pages, err := w.Crawl("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reachable: /, /rules, /gallery, /gallery/1 — not /orphan, and the
+	// broken /missing link is skipped.
+	if len(pages) != 4 {
+		t.Fatalf("crawled %d pages: %+v", len(pages), pages)
+	}
+	if pages[0].Path != "/" {
+		t.Errorf("first page = %q", pages[0].Path)
+	}
+	for _, p := range pages {
+		if p.Path == "/orphan" {
+			t.Error("crawl reached an unlinked page")
+		}
+	}
+	if _, err := w.Crawl("/void"); !errors.Is(err, ErrNoPage) {
+		t.Errorf("empty crawl err = %v", err)
+	}
+}
+
+func TestPrivateSiteRefuses(t *testing.T) {
+	w := NewWebsite("members-only", true)
+	w.Publish("/", []byte("secret"))
+	if _, err := w.Fetch("/"); !errors.Is(err, ErrPrivateSite) {
+		t.Errorf("fetch err = %v", err)
+	}
+	if _, err := w.Crawl("/"); !errors.Is(err, ErrPrivateSite) {
+		t.Errorf("crawl err = %v", err)
+	}
+}
+
+func TestScene11CollectNeedsNoProcess(t *testing.T) {
+	w := publicSite()
+	r, err := legal.NewEngine().Evaluate(w.CollectAction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NeedsProcess() {
+		t.Errorf("public website collection requires %v", r.Required)
+	}
+}
+
+func fixedClock() func() time.Time {
+	t := time.Date(2012, time.March, 3, 12, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Minute)
+		return t
+	}
+}
+
+func TestChatRoomOpenPosting(t *testing.T) {
+	c := NewChatRoom("open-room", false, fixedClock())
+	if err := c.Say("anon", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	log := c.Log()
+	if len(log) != 1 || log[0].User != "anon" || log[0].Text != "hello" {
+		t.Errorf("log = %+v", log)
+	}
+	if log[0].At.IsZero() {
+		t.Error("post must be timestamped")
+	}
+}
+
+func TestChatRoomRegistrationGate(t *testing.T) {
+	c := NewChatRoom("reg-room", true, fixedClock())
+	if err := c.Say("drifter", "hi"); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("unregistered post err = %v", err)
+	}
+	c.Register("member")
+	if err := c.Say("member", "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Members(); len(got) != 1 || got[0] != "member" {
+		t.Errorf("members = %v", got)
+	}
+	// The log stays publicly readable regardless.
+	if len(c.Log()) != 1 {
+		t.Error("log must be readable without registration")
+	}
+}
+
+func TestScene17CollectNeedsNoProcess(t *testing.T) {
+	for _, reg := range []bool{false, true} {
+		c := NewChatRoom("room", reg, fixedClock())
+		r, err := legal.NewEngine().Evaluate(c.CollectAction())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NeedsProcess() {
+			t.Errorf("chat collection (registration=%v) requires %v", reg, r.Required)
+		}
+	}
+}
+
+func TestLogReturnsCopy(t *testing.T) {
+	c := NewChatRoom("room", false, fixedClock())
+	if err := c.Say("a", "original"); err != nil {
+		t.Fatal(err)
+	}
+	log := c.Log()
+	log[0].Text = "mutated"
+	if c.Log()[0].Text != "original" {
+		t.Error("Log must return a copy")
+	}
+}
+
+func TestDefaultClock(t *testing.T) {
+	c := NewChatRoom("room", false, nil)
+	if err := c.Say("a", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Log()[0].At.IsZero() {
+		t.Error("default clock must stamp posts")
+	}
+}

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"time"
+
+	"lawgate/internal/evidence"
+	"lawgate/internal/investigation"
+)
+
+// EvidenceView is a serialization-friendly projection of one evidence item
+// together with its suppression outcome.
+type EvidenceView struct {
+	ID          string   `json:"id"`
+	Description string   `json:"description"`
+	SHA256      string   `json:"sha256"`
+	Size        int      `json:"size"`
+	Acquisition string   `json:"acquisition"`
+	Required    string   `json:"required"`
+	Held        string   `json:"held"`
+	Status      string   `json:"status"`
+	TaintSource string   `json:"taintSource,omitempty"`
+	Parents     []string `json:"parents,omitempty"`
+}
+
+// CustodyView is one chain-of-custody entry.
+type CustodyView struct {
+	Seq       int       `json:"seq"`
+	At        time.Time `json:"at"`
+	Custodian string    `json:"custodian"`
+	Event     string    `json:"event"`
+	ItemID    string    `json:"itemId"`
+	Note      string    `json:"note,omitempty"`
+	Hash      string    `json:"hash"`
+}
+
+// CaseView is a full machine-readable case export: facts, orders,
+// evidence with outcomes, and the custody chain.
+type CaseView struct {
+	Name          string         `json:"name"`
+	Showing       string         `json:"showing"`
+	HeldProcess   string         `json:"heldProcess"`
+	Facts         []string       `json:"facts"`
+	Orders        []string       `json:"orders"`
+	Evidence      []EvidenceView `json:"evidence"`
+	Custody       []CustodyView  `json:"custody"`
+	CustodyIntact bool           `json:"custodyIntact"`
+	AdmissibleOf  int            `json:"admissible"`
+	TotalExhibits int            `json:"totalExhibits"`
+}
+
+// CaseReport projects a case for export.
+func CaseReport(c *investigation.Case) CaseView {
+	v := CaseView{
+		Name:        c.Name,
+		Showing:     c.Showing().String(),
+		HeldProcess: c.HeldProcess().String(),
+	}
+	for _, f := range c.Facts() {
+		v.Facts = append(v.Facts, f.Kind.String()+": "+f.Description)
+	}
+	for _, o := range c.Orders() {
+		v.Orders = append(v.Orders, o.Serial+": "+o.Process.String())
+	}
+	byID := make(map[evidence.ID]evidence.Assessment)
+	for _, a := range c.Assess() {
+		byID[a.ItemID] = a
+		v.TotalExhibits++
+		if a.Admissible() {
+			v.AdmissibleOf++
+		}
+	}
+	for _, it := range c.Evidence() {
+		a := byID[it.ID]
+		ev := EvidenceView{
+			ID:          string(it.ID),
+			Description: it.Description,
+			SHA256:      it.SHA256,
+			Size:        it.Size,
+			Acquisition: it.Acquisition.Name,
+			Required:    it.Ruling.Required.String(),
+			Held:        it.Held.String(),
+			Status:      a.Status.String(),
+			TaintSource: string(a.TaintSource),
+		}
+		for _, p := range it.Parents {
+			ev.Parents = append(ev.Parents, string(p))
+		}
+		v.Evidence = append(v.Evidence, ev)
+	}
+	for _, e := range c.Custody() {
+		v.Custody = append(v.Custody, CustodyView{
+			Seq:       e.Seq,
+			At:        e.At,
+			Custodian: e.Custodian,
+			Event:     e.Event.String(),
+			ItemID:    string(e.ItemID),
+			Note:      e.Note,
+			Hash:      e.Hash,
+		})
+	}
+	v.CustodyIntact = c.VerifyCustody() == nil
+	return v
+}

@@ -1,0 +1,145 @@
+// Package report renders lawgate results — engine rulings, the Table 1
+// reproduction, case-study checks — as JSON for machine consumption and
+// Markdown for documents like EXPERIMENTS.md. The views are flat,
+// string-typed projections so downstream tooling never needs the legal
+// package's enums.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/scenario"
+)
+
+// RulingView is a serialization-friendly projection of a legal.Ruling.
+type RulingView struct {
+	Action       string   `json:"action"`
+	Required     string   `json:"required"`
+	Regime       string   `json:"regime"`
+	NeedsProcess bool     `json:"needsProcess"`
+	Exceptions   []string `json:"exceptions,omitempty"`
+	Rationale    []string `json:"rationale"`
+	Citations    []string `json:"citations"`
+}
+
+// FromRuling projects a ruling.
+func FromRuling(r legal.Ruling) RulingView {
+	v := RulingView{
+		Action:       r.Action.Name,
+		Required:     r.Required.String(),
+		Regime:       r.Regime.String(),
+		NeedsProcess: r.NeedsProcess(),
+		Rationale:    append([]string(nil), r.Rationale...),
+	}
+	for _, e := range r.Exceptions {
+		v.Exceptions = append(v.Exceptions, e.String())
+	}
+	for _, c := range r.Citations {
+		v.Citations = append(v.Citations, c.Title)
+	}
+	return v
+}
+
+// SceneView is one Table 1 row: the paper's answer next to the engine's.
+type SceneView struct {
+	Number      int    `json:"number"`
+	Description string `json:"description"`
+	PaperAnswer string `json:"paperAnswer"`
+	EngineNeeds bool   `json:"engineNeedsProcess"`
+	Required    string `json:"required"`
+	Regime      string `json:"regime"`
+	Match       bool   `json:"match"`
+}
+
+// Table1Report evaluates every scene and pairs it with the paper's answer.
+func Table1Report(engine *legal.Engine) ([]SceneView, error) {
+	scenes := scenario.Table1()
+	out := make([]SceneView, 0, len(scenes))
+	for _, s := range scenes {
+		r, err := engine.Evaluate(s.Action)
+		if err != nil {
+			return nil, fmt.Errorf("report: scene %d: %w", s.Number, err)
+		}
+		out = append(out, SceneView{
+			Number:      s.Number,
+			Description: s.Description,
+			PaperAnswer: s.Answer(),
+			EngineNeeds: r.NeedsProcess(),
+			Required:    r.Required.String(),
+			Regime:      r.Regime.String(),
+			Match:       r.NeedsProcess() == s.PaperNeeds,
+		})
+	}
+	return out, nil
+}
+
+// CaseStudyView is one Section IV check.
+type CaseStudyView struct {
+	ID            string `json:"id"`
+	Description   string `json:"description"`
+	PaperRequires string `json:"paperRequires"`
+	EngineRequire string `json:"engineRequires"`
+	Match         bool   `json:"match"`
+}
+
+// CaseStudiesReport evaluates the Section IV situations.
+func CaseStudiesReport(engine *legal.Engine) ([]CaseStudyView, error) {
+	studies := scenario.CaseStudies()
+	out := make([]CaseStudyView, 0, len(studies))
+	for _, cs := range studies {
+		r, err := engine.Evaluate(cs.Action)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", cs.ID, err)
+		}
+		out = append(out, CaseStudyView{
+			ID:            cs.ID,
+			Description:   cs.Description,
+			PaperRequires: cs.PaperProcess.String(),
+			EngineRequire: r.Required.String(),
+			Match:         r.Required == cs.PaperProcess,
+		})
+	}
+	return out, nil
+}
+
+// WriteJSON writes v as indented JSON.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Table1Markdown renders the Table 1 report as a Markdown table.
+func Table1Markdown(views []SceneView) string {
+	var b strings.Builder
+	b.WriteString("| # | Paper | Engine | Regime | Required | Match |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, v := range views {
+		engine := "No need"
+		if v.EngineNeeds {
+			engine = "Need"
+		}
+		match := "OK"
+		if !v.Match {
+			match = "MISMATCH"
+		}
+		fmt.Fprintf(&b, "| %d | %s | %s | %s | %s | %s |\n",
+			v.Number, v.PaperAnswer, engine, v.Regime, v.Required, match)
+	}
+	return b.String()
+}
+
+// Matches counts matching rows.
+func Matches(views []SceneView) int {
+	n := 0
+	for _, v := range views {
+		if v.Match {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lawgate/internal/investigation"
+	"lawgate/internal/legal"
+)
+
+func TestTable1Report(t *testing.T) {
+	views, err := Table1Report(legal.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 20 {
+		t.Fatalf("views = %d", len(views))
+	}
+	if got := Matches(views); got != 20 {
+		t.Errorf("matches = %d, want 20", got)
+	}
+	for _, v := range views {
+		if v.Description == "" || v.PaperAnswer == "" || v.Required == "" || v.Regime == "" {
+			t.Errorf("scene %d has empty fields: %+v", v.Number, v)
+		}
+	}
+}
+
+func TestCaseStudiesReport(t *testing.T) {
+	views, err := CaseStudiesReport(legal.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 3 {
+		t.Fatalf("views = %d", len(views))
+	}
+	for _, v := range views {
+		if !v.Match {
+			t.Errorf("%s: paper %s vs engine %s", v.ID, v.PaperRequires, v.EngineRequire)
+		}
+	}
+}
+
+func TestFromRuling(t *testing.T) {
+	r, err := legal.NewEngine().Evaluate(legal.Action{
+		Name:   "wiretap",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingRealTime,
+		Data:   legal.DataContent,
+		Source: legal.SourceThirdPartyNetwork,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := FromRuling(r)
+	if v.Action != "wiretap" || v.Required != "wiretap order" || !v.NeedsProcess {
+		t.Errorf("view = %+v", v)
+	}
+	if len(v.Rationale) == 0 || len(v.Citations) == 0 {
+		t.Error("rationale/citations missing")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	views, err := Table1Report(legal.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, views); err != nil {
+		t.Fatal(err)
+	}
+	var back []SceneView
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != 20 || back[0].Number != 1 {
+		t.Errorf("round trip = %d views", len(back))
+	}
+	// Field tags in effect.
+	if !strings.Contains(buf.String(), `"paperAnswer"`) {
+		t.Error("JSON missing tagged field names")
+	}
+}
+
+func TestTable1Markdown(t *testing.T) {
+	views, err := Table1Report(legal.NewEngine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Table1Markdown(views)
+	if !strings.HasPrefix(md, "| # | Paper | Engine |") {
+		t.Errorf("markdown header: %q", md[:40])
+	}
+	if got := strings.Count(md, "\n"); got != 22 { // header + separator + 20 rows
+		t.Errorf("markdown lines = %d, want 22", got)
+	}
+	if strings.Contains(md, "MISMATCH") {
+		t.Error("markdown reports a mismatch")
+	}
+}
+
+func TestCaseReport(t *testing.T) {
+	res, err := investigation.RunKylloDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := CaseReport(res.Case)
+	if v.Name != "kyllo-demo" {
+		t.Errorf("name = %q", v.Name)
+	}
+	if v.TotalExhibits != 2 || v.AdmissibleOf != 0 {
+		t.Errorf("exhibits = %d/%d admissible", v.AdmissibleOf, v.TotalExhibits)
+	}
+	if !v.CustodyIntact {
+		t.Error("custody must verify")
+	}
+	if len(v.Custody) != 2 {
+		t.Errorf("custody entries = %d", len(v.Custody))
+	}
+	// The derived item names its taint source.
+	var sawFruit bool
+	for _, ev := range v.Evidence {
+		if ev.TaintSource != "" {
+			sawFruit = true
+			if len(ev.Parents) == 0 {
+				t.Error("fruit item must list parents")
+			}
+		}
+	}
+	if !sawFruit {
+		t.Error("no fruit item in kyllo report")
+	}
+	// Round-trips through JSON with tagged fields.
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"custodyIntact"`) {
+		t.Error("JSON missing tagged field")
+	}
+	var back CaseView
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalExhibits != 2 {
+		t.Errorf("round trip exhibits = %d", back.TotalExhibits)
+	}
+}

@@ -1,0 +1,297 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"lawgate/internal/anonet"
+	"lawgate/internal/capture"
+	"lawgate/internal/legal"
+	"lawgate/internal/netsim"
+	"lawgate/internal/provider"
+)
+
+// These tests run Table 1 scenes against the actual substrates, not just
+// the rule engine: the capture gate must arm or refuse devices exactly as
+// the scene's answer demands, and the provider must disclose or refuse at
+// the tiers the SCA sets.
+
+func campusNet(t *testing.T) *netsim.Network {
+	t.Helper()
+	sim := netsim.NewSimulator(3)
+	n := netsim.NewNetwork(sim)
+	for _, id := range []netsim.NodeID{"student", "campus-router", "internet"} {
+		if err := n.AddNode(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("student", "campus-router", netsim.Link{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("campus-router", "internet", netsim.Link{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// Scenes 1-2: campus IT logging its own network needs nothing — headers
+// or full content alike (provider exception; policy eliminates REP).
+func TestScene1And2CampusMonitoring(t *testing.T) {
+	n := campusNet(t)
+	gate := capture.NewGate(true)
+	placement := capture.Placement{
+		Node:   "campus-router",
+		Actor:  legal.ActorProvider,
+		Source: legal.SourceOwnNetwork,
+	}
+	headers, err := capture.New(capture.HeaderSniffer, placement, legal.ProcessNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(n, headers); err != nil {
+		t.Errorf("scene 1: campus header logging must arm freely: %v", err)
+	}
+	full, err := capture.New(capture.FullWiretap, placement, legal.ProcessNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(n, full); err != nil {
+		t.Errorf("scene 2: campus full logging must arm freely: %v", err)
+	}
+	// Both devices actually capture.
+	if err := n.Send(&netsim.Packet{
+		Header:  netsim.Header{Src: "student", Dst: "campus-router", Flow: "web"},
+		Payload: []byte("page request"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n.Sim().Run()
+	if len(headers.Records()) != 1 || len(full.Records()) != 1 {
+		t.Errorf("capture counts: headers=%d full=%d", len(headers.Records()), len(full.Records()))
+	}
+}
+
+// Scenes 7-8: the same devices operated by the government at an ISP need a
+// pen/trap order (headers) and a Title III order (full packets).
+func TestScene7And8GovernmentAtISP(t *testing.T) {
+	n := campusNet(t)
+	gate := capture.NewGate(true)
+	placement := capture.Placement{
+		Node:   "campus-router",
+		Actor:  legal.ActorGovernment,
+		Source: legal.SourceThirdPartyNetwork,
+	}
+	// Scene 7 without process: refused; with court order: armed.
+	headers, err := capture.New(capture.HeaderSniffer, placement, legal.ProcessNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(n, headers); !errors.Is(err, capture.ErrUnauthorized) {
+		t.Errorf("scene 7 without process: err = %v, want ErrUnauthorized", err)
+	}
+	headers, err = capture.New(capture.HeaderSniffer, placement, legal.ProcessCourtOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(n, headers); err != nil {
+		t.Errorf("scene 7 with a court order: %v", err)
+	}
+	// Scene 8: even a search warrant is not enough for full packets.
+	full, err := capture.New(capture.FullWiretap, placement, legal.ProcessSearchWarrant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(n, full); !errors.Is(err, capture.ErrUnauthorized) {
+		t.Errorf("scene 8 with only a warrant: err = %v, want ErrUnauthorized", err)
+	}
+	full, err = capture.New(capture.FullWiretap, placement, legal.ProcessWiretapOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(n, full); err != nil {
+		t.Errorf("scene 8 with a wiretap order: %v", err)
+	}
+}
+
+// Scene 12: the hidden server acting as an ISP discloses stored content
+// only against a warrant.
+func TestScene12HiddenServerAsISP(t *testing.T) {
+	hidden := provider.New("tor-hidden-service", true)
+	hidden.AddSubscriber(provider.Subscriber{Account: "member-7", Name: "unknown"})
+	if _, err := hidden.Deliver("admin", "member-7", "post", []byte("forum content")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hidden.Compel(legal.ProcessCourtOrder, provider.TierContent, "member-7"); !errors.Is(err, provider.ErrInsufficientProcess) {
+		t.Errorf("scene 12 with a court order: err = %v, want ErrInsufficientProcess", err)
+	}
+	d, err := hidden.Compel(legal.ProcessSearchWarrant, provider.TierContent, "member-7")
+	if err != nil {
+		t.Fatalf("scene 12 with a warrant: %v", err)
+	}
+	if len(d.Messages) != 1 {
+		t.Errorf("disclosed %d messages", len(d.Messages))
+	}
+}
+
+// Scenes 15-16: a victim's consent arms monitoring on the victim's box but
+// the engine demands a warrant to reach into the attacker's own machine.
+func TestScene15And16TrespasserScope(t *testing.T) {
+	n := campusNet(t)
+	gate := capture.NewGate(true)
+	onVictim, err := capture.New(capture.FullWiretap, capture.Placement{
+		Node:    "student", // the victim's machine
+		Actor:   legal.ActorGovernment,
+		Source:  legal.SourceVictimSystem,
+		Consent: &legal.Consent{Scope: legal.ConsentVictimTrespasser},
+	}, legal.ProcessNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(n, onVictim); err != nil {
+		t.Errorf("scene 15: victim-consent monitoring must arm: %v", err)
+	}
+	// Scene 16 is a stored search of the attacker's device; evaluate via
+	// the engine (capture devices model interception, not remote
+	// search).
+	engine := legal.NewEngine()
+	s, err := ByNumber(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := engine.Evaluate(s.Action)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Required != legal.ProcessSearchWarrant {
+		t.Errorf("scene 16: required = %v, want warrant", r.Required)
+	}
+}
+
+// The engine's process tier must agree with what each substrate enforces:
+// the capture gate and § 2703 ladder are two independent encodings of the
+// same rules, and they must not drift apart.
+func TestSubstrateTiersAgreeWithEngine(t *testing.T) {
+	engine := legal.NewEngine()
+	// Capture kinds vs engine rulings at a government ISP tap.
+	for _, kind := range []capture.DeviceKind{
+		capture.PenRegister, capture.TrapTrace, capture.HeaderSniffer,
+		capture.RateMeter, capture.FullWiretap,
+	} {
+		d, err := capture.New(kind, capture.Placement{
+			Node:   "isp",
+			Actor:  legal.ActorGovernment,
+			Source: legal.SourceThirdPartyNetwork,
+		}, legal.ProcessNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := engine.Evaluate(d.Action())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := legal.ProcessCourtOrder
+		if kind == capture.FullWiretap {
+			want = legal.ProcessWiretapOrder
+		}
+		if r.Required != want {
+			t.Errorf("%v: engine requires %v, want %v", kind, r.Required, want)
+		}
+	}
+	// Provider tiers vs engine rulings for provider-stored data.
+	tierData := map[provider.Tier]legal.DataClass{
+		provider.TierBasicSubscriber: legal.DataBasicSubscriber,
+		provider.TierRecords:         legal.DataTransactionalRecords,
+		provider.TierContent:         legal.DataContent,
+	}
+	for tier, data := range tierData {
+		r, err := engine.Evaluate(legal.Action{
+			Name:           "tier-check",
+			Actor:          legal.ActorGovernment,
+			Timing:         legal.TimingStored,
+			Data:           data,
+			Source:         legal.SourceProviderStored,
+			ProviderRole:   legal.ProviderECS,
+			ProviderPublic: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Required != tier.RequiredProcess() {
+			t.Errorf("tier %v: engine requires %v, provider requires %v",
+				tier, r.Required, tier.RequiredProcess())
+		}
+	}
+}
+
+// Scene 13: an officer operating an anonymity relay. The capture gate
+// refuses a tap on relayed third-party traffic without a Title III order;
+// with one, the tap arms — and what it records is ciphertext anyway, the
+// onion encryption the anonet substrate applies.
+func TestScene13RelayInterception(t *testing.T) {
+	sim := netsim.NewSimulator(13)
+	net := netsim.NewNetwork(sim)
+	an := anonet.New(net)
+	client, err := an.AddClient("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []netsim.NodeID{"leo-relay", "middle", "exit"} {
+		if _, err := an.AddRelay(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	server, err := an.AddServer("site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := []netsim.NodeID{"user", "leo-relay", "middle", "exit", "site"}
+	for i := 0; i+1 < len(chain); i++ {
+		if err := net.Connect(chain[i], chain[i+1], netsim.Link{Latency: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	circ, err := an.BuildCircuit(client, "leo-relay", "middle", "exit")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := capture.NewGate(true)
+	relayTap := capture.Placement{
+		Node:                 "leo-relay",
+		Actor:                legal.ActorGovernment,
+		Source:               legal.SourceThirdPartyNetwork,
+		InterceptsThirdParty: true,
+	}
+	d, err := capture.New(capture.FullWiretap, relayTap, legal.ProcessNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(net, d); !errors.Is(err, capture.ErrUnauthorized) {
+		t.Fatalf("scene 13 without process: err = %v, want ErrUnauthorized", err)
+	}
+	d, err = capture.New(capture.FullWiretap, relayTap, legal.ProcessWiretapOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gate.Arm(net, d); err != nil {
+		t.Fatalf("scene 13 with a wiretap order: %v", err)
+	}
+
+	secret := []byte("SECRET-REQUEST-CONTENT")
+	server.OnRequest = func(netsim.NodeID, netsim.FlowID, []byte) {}
+	if err := client.Send(circ, "site", secret); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	recs := d.Records()
+	if len(recs) == 0 {
+		t.Fatal("relay tap captured nothing")
+	}
+	for _, r := range recs {
+		if bytes.Contains(r.Payload, secret) {
+			t.Error("relay tap saw plaintext: onion layer broken")
+		}
+	}
+}

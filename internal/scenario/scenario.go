@@ -1,0 +1,379 @@
+// Package scenario encodes Table 1 of "When Digital Forensic Research
+// Meets Laws" (ICDCS 2012): twenty digital-crime-scene scenarios, each with
+// the paper's answer to "does a law enforcement officer need a
+// warrant/court order/subpoena in this situation?". Scenes marked Starred
+// carry the paper's (*) annotation: judgments the authors made from their
+// own knowledge rather than settled authority.
+//
+// Each scene is a structured legal.Action; the lawgate engine must
+// reproduce the paper's answer for every scene (experiment E1 in
+// DESIGN.md). The package also encodes the two Section-IV case-study
+// situations.
+package scenario
+
+import (
+	"fmt"
+
+	"lawgate/internal/legal"
+)
+
+// Scene is one row of the paper's Table 1.
+type Scene struct {
+	// Number is the row number, 1-20.
+	Number int
+	// Description condenses the paper's scene text.
+	Description string
+	// Action is the structured encoding of the scene.
+	Action legal.Action
+	// PaperNeeds is the paper's answer: true for "Need", false for
+	// "No need".
+	PaperNeeds bool
+	// Starred marks the paper's (*) annotation.
+	Starred bool
+}
+
+// Answer renders the paper's answer in the table's own vocabulary.
+func (s Scene) Answer() string {
+	a := "No need"
+	if s.PaperNeeds {
+		a = "Need"
+	}
+	if s.Starred {
+		a += " (*)"
+	}
+	return a
+}
+
+// Table1 returns the twenty scenes of the paper's Table 1, in order. The
+// returned slice is freshly allocated on each call.
+func Table1() []Scene {
+	return []Scene{
+		{
+			Number:      1,
+			Description: "Campus IT logs all wired traffic headers (link/IP/TCP/UDP) on the campus's own cables and devices.",
+			Action: legal.Action{
+				Name:   "campus-wired-headers",
+				Actor:  legal.ActorProvider,
+				Timing: legal.TimingRealTime,
+				Data:   legal.DataAddressing,
+				Source: legal.SourceOwnNetwork,
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      2,
+			Description: "Campus IT logs all wired traffic, headers and content, on its own network; campus policy eliminates users' expectation of privacy.",
+			Action: legal.Action{
+				Name:     "campus-wired-full",
+				Actor:    legal.ActorProvider,
+				Timing:   legal.TimingRealTime,
+				Data:     legal.DataContent,
+				Source:   legal.SourceOwnNetwork,
+				Exposure: []legal.ExposureFact{legal.ExposurePolicyEliminatesREP},
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      3,
+			Description: "Officer outside a house logs all wireless traffic headers; traffic is not encrypted (WarDriving / Street View headers).",
+			Action: legal.Action{
+				Name:   "wireless-headers-clear",
+				Actor:  legal.ActorGovernment,
+				Timing: legal.TimingRealTime,
+				Data:   legal.DataAddressing,
+				Source: legal.SourceWirelessBroadcast,
+			},
+			PaperNeeds: false,
+			Starred:    true,
+		},
+		{
+			Number:      4,
+			Description: "Officer outside a house logs all wireless traffic including routing headers and payload; traffic is not encrypted (Street View payloads).",
+			Action: legal.Action{
+				Name:   "wireless-payload-clear",
+				Actor:  legal.ActorGovernment,
+				Timing: legal.TimingRealTime,
+				Data:   legal.DataContent,
+				Source: legal.SourceWirelessBroadcast,
+			},
+			PaperNeeds: true,
+			Starred:    true,
+		},
+		{
+			Number:      5,
+			Description: "Officer outside a house logs all wireless traffic headers; traffic is encrypted.",
+			Action: legal.Action{
+				Name:      "wireless-headers-encrypted",
+				Actor:     legal.ActorGovernment,
+				Timing:    legal.TimingRealTime,
+				Data:      legal.DataAddressing,
+				Source:    legal.SourceWirelessBroadcast,
+				Encrypted: true,
+			},
+			PaperNeeds: false,
+			Starred:    true,
+		},
+		{
+			Number:      6,
+			Description: "Officer outside a house logs all wireless traffic including routing headers and payload; traffic is encrypted.",
+			Action: legal.Action{
+				Name:      "wireless-payload-encrypted",
+				Actor:     legal.ActorGovernment,
+				Timing:    legal.TimingRealTime,
+				Data:      legal.DataContent,
+				Source:    legal.SourceWirelessBroadcast,
+				Encrypted: true,
+			},
+			PaperNeeds: true,
+			Starred:    true,
+		},
+		{
+			Number:      7,
+			Description: "Officer on a public wired network logs packet headers (link/IP/TCP/UDP) and packet sizes at an ISP.",
+			Action: legal.Action{
+				Name:   "isp-pen-trap",
+				Actor:  legal.ActorGovernment,
+				Timing: legal.TimingRealTime,
+				Data:   legal.DataAddressing,
+				Source: legal.SourceThirdPartyNetwork,
+			},
+			PaperNeeds: true,
+		},
+		{
+			Number:      8,
+			Description: "Officer on a public wired network logs entire packets, headers and payload, at an ISP.",
+			Action: legal.Action{
+				Name:   "isp-full-intercept",
+				Actor:  legal.ActorGovernment,
+				Timing: legal.TimingRealTime,
+				Data:   legal.DataContent,
+				Source: legal.SourceThirdPartyNetwork,
+			},
+			PaperNeeds: true,
+		},
+		{
+			Number:      9,
+			Description: "Officer uses normal P2P software and collects public information shown in the software: user names, shared file names.",
+			Action: legal.Action{
+				Name:     "p2p-public",
+				Actor:    legal.ActorGovernment,
+				Timing:   legal.TimingRealTime,
+				Data:     legal.DataPublic,
+				Source:   legal.SourcePublicService,
+				Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic, legal.ExposureSharedFolder},
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      10,
+			Description: "Officer uses anonymous P2P software and collects public information shown in the software (the OneSwarm case).",
+			Action: legal.Action{
+				Name:     "anon-p2p-public",
+				Actor:    legal.ActorGovernment,
+				Timing:   legal.TimingRealTime,
+				Data:     legal.DataPublic,
+				Source:   legal.SourcePublicService,
+				Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic, legal.ExposureSharedFolder},
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      11,
+			Description: "Officer collects a public website's content; anybody can access the site.",
+			Action: legal.Action{
+				Name:     "public-website",
+				Actor:    legal.ActorGovernment,
+				Timing:   legal.TimingStored,
+				Data:     legal.DataPublic,
+				Source:   legal.SourcePublicService,
+				Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic},
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      12,
+			Description: "Officer investigates a hidden web server on Tor; the hidden server acts as an ISP.",
+			Action: legal.Action{
+				Name:           "tor-hidden-server",
+				Actor:          legal.ActorGovernment,
+				Timing:         legal.TimingStored,
+				Data:           legal.DataContent,
+				Source:         legal.SourceProviderStored,
+				ProviderRole:   legal.ProviderECS,
+				ProviderPublic: true,
+			},
+			PaperNeeds: true,
+		},
+		{
+			Number:      13,
+			Description: "Officer builds a Tor node and investigates traffic relayed through it; not a private search.",
+			Action: legal.Action{
+				Name:                 "tor-relay-intercept",
+				Actor:                legal.ActorGovernment,
+				Timing:               legal.TimingRealTime,
+				Data:                 legal.DataContent,
+				Source:               legal.SourceThirdPartyNetwork,
+				InterceptsThirdParty: true,
+			},
+			PaperNeeds: true,
+		},
+		{
+			Number:      14,
+			Description: "Officer monitors Anonymizer; the Anonymizer server acts as an ISP.",
+			Action: legal.Action{
+				Name:                 "anonymizer-monitor",
+				Actor:                legal.ActorGovernment,
+				Timing:               legal.TimingRealTime,
+				Data:                 legal.DataContent,
+				Source:               legal.SourceThirdPartyNetwork,
+				InterceptsThirdParty: true,
+			},
+			PaperNeeds: true,
+		},
+		{
+			Number:      15,
+			Description: "A victim under attack consents to the officer monitoring activity, including the attacker's, on the victim's computer.",
+			Action: legal.Action{
+				Name:    "victim-consent-monitor",
+				Actor:   legal.ActorGovernment,
+				Timing:  legal.TimingRealTime,
+				Data:    legal.DataContent,
+				Source:  legal.SourceVictimSystem,
+				Consent: &legal.Consent{Scope: legal.ConsentVictimTrespasser},
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      16,
+			Description: "Same as scene 15, but the officer reaches into the attacker's own computer to monitor or collect data there.",
+			Action: legal.Action{
+				Name:    "victim-consent-overreach",
+				Actor:   legal.ActorGovernment,
+				Timing:  legal.TimingStored,
+				Data:    legal.DataDeviceContents,
+				Source:  legal.SourceTargetDevice,
+				Consent: &legal.Consent{Scope: legal.ConsentVictimTrespasser, ExceedsScope: true},
+			},
+			PaperNeeds: true,
+		},
+		{
+			Number:      17,
+			Description: "Officer collects content in a public chat room; anybody can access it, with or without registration.",
+			Action: legal.Action{
+				Name:     "public-chat-room",
+				Actor:    legal.ActorGovernment,
+				Timing:   legal.TimingRealTime,
+				Data:     legal.DataPublic,
+				Source:   legal.SourcePublicService,
+				Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic},
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      18,
+			Description: "Officer legally obtained a hard drive and runs a hash search over the entire drive for a particular file (United States v. Crist).",
+			Action: legal.Action{
+				Name:                  "drive-hash-search",
+				Actor:                 legal.ActorGovernment,
+				Timing:                legal.TimingStored,
+				Data:                  legal.DataDeviceContents,
+				Source:                legal.SourceSeizedDevice,
+				SearchBeyondAuthority: true,
+			},
+			PaperNeeds: true,
+		},
+		{
+			Number:      19,
+			Description: "Officer legally obtained a database and mines it for hidden information (State v. Sloane).",
+			Action: legal.Action{
+				Name:   "database-mining",
+				Actor:  legal.ActorGovernment,
+				Timing: legal.TimingStored,
+				Data:   legal.DataDeviceContents,
+				Source: legal.SourceSeizedDevice,
+			},
+			PaperNeeds: false,
+		},
+		{
+			Number:      20,
+			Description: "After arrest, the officer uses the defendant's user name and password to obtain the defendant's data on a remote computer.",
+			Action: legal.Action{
+				Name:     "post-arrest-credentials",
+				Actor:    legal.ActorGovernment,
+				Timing:   legal.TimingStored,
+				Data:     legal.DataDeviceContents,
+				Source:   legal.SourceRemoteAccount,
+				Exposure: []legal.ExposureFact{legal.ExposureCredentialsObtained},
+			},
+			PaperNeeds: false,
+		},
+	}
+}
+
+// CaseStudy is one of the paper's Section IV analyses.
+type CaseStudy struct {
+	// ID is "IV-A", "IV-B-1", or "IV-B-2".
+	ID string
+	// Description condenses the paper's situation.
+	Description string
+	// Action is the structured encoding.
+	Action legal.Action
+	// PaperProcess is the process level the paper concludes is required.
+	PaperProcess legal.Process
+}
+
+// CaseStudies returns the Section IV situations: the anonymous-P2P timing
+// attack (IV-A, no process), the DSSS watermark traceback run by law
+// enforcement (IV-B situation one, court order for the rate collection),
+// and the same technique run by campus administrators as a private search
+// (IV-B situation two, no process).
+func CaseStudies() []CaseStudy {
+	return []CaseStudy{
+		{
+			ID:          "IV-A",
+			Description: "Law enforcement joins an anonymous P2P system, issues queries, and classifies neighbors as sources vs. forwarders from response delays.",
+			Action: legal.Action{
+				Name:     "p2p-timing-attack",
+				Actor:    legal.ActorGovernment,
+				Timing:   legal.TimingRealTime,
+				Data:     legal.DataPublic,
+				Source:   legal.SourcePublicService,
+				Exposure: []legal.ExposureFact{legal.ExposureKnowinglyPublic, legal.ExposureDelivered},
+			},
+			PaperProcess: legal.ProcessNone,
+		},
+		{
+			ID:          "IV-B-1",
+			Description: "Law enforcement modulates traffic rate at a seized web server and collects traffic *rates* (packet counts, not contents) at the suspect's ISP to confirm a watermark.",
+			Action: legal.Action{
+				Name:   "dsss-watermark-rate-collection",
+				Actor:  legal.ActorGovernment,
+				Timing: legal.TimingRealTime,
+				Data:   legal.DataAddressing,
+				Source: legal.SourceThirdPartyNetwork,
+			},
+			PaperProcess: legal.ProcessCourtOrder,
+		},
+		{
+			ID:          "IV-B-2",
+			Description: "Two campus IT administrators run the watermark technique on their own gateways and report their suspicion to law enforcement.",
+			Action: legal.Action{
+				Name:   "dsss-watermark-private-search",
+				Actor:  legal.ActorProvider,
+				Timing: legal.TimingRealTime,
+				Data:   legal.DataAddressing,
+				Source: legal.SourceOwnNetwork,
+			},
+			PaperProcess: legal.ProcessNone,
+		},
+	}
+}
+
+// ByNumber returns the Table 1 scene with the given number, or an error if
+// the number is out of range.
+func ByNumber(n int) (Scene, error) {
+	if n < 1 || n > 20 {
+		return Scene{}, fmt.Errorf("scenario: scene number %d out of range [1,20]", n)
+	}
+	return Table1()[n-1], nil
+}

@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"testing"
+
+	"lawgate/internal/legal"
+)
+
+// TestTable1MatchesPaper is experiment E1: the engine must reproduce the
+// paper's Table 1 answer for all twenty scenes.
+func TestTable1MatchesPaper(t *testing.T) {
+	engine := legal.NewEngine()
+	for _, s := range Table1() {
+		s := s
+		t.Run(s.Action.Name, func(t *testing.T) {
+			r, err := engine.Evaluate(s.Action)
+			if err != nil {
+				t.Fatalf("scene %d: %v", s.Number, err)
+			}
+			if got := r.NeedsProcess(); got != s.PaperNeeds {
+				t.Errorf("scene %d (%s): engine says needs-process=%v, paper says %v\nrationale: %v",
+					s.Number, s.Description, got, s.PaperNeeds, r.Rationale)
+			}
+		})
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	scenes := Table1()
+	if len(scenes) != 20 {
+		t.Fatalf("Table1 has %d scenes, want 20", len(scenes))
+	}
+	needs, stars := 0, 0
+	for i, s := range scenes {
+		if s.Number != i+1 {
+			t.Errorf("scene at index %d has number %d", i, s.Number)
+		}
+		if s.Description == "" {
+			t.Errorf("scene %d has empty description", s.Number)
+		}
+		if err := s.Action.Validate(); err != nil {
+			t.Errorf("scene %d: invalid action: %v", s.Number, err)
+		}
+		if s.PaperNeeds {
+			needs++
+		}
+		if s.Starred {
+			stars++
+		}
+	}
+	// The paper's table: scenes 4,6,7,8,12,13,14,16,18 say Need (9 rows);
+	// scenes 3,4,5,6 carry the (*) annotation (4 rows).
+	if needs != 9 {
+		t.Errorf("table has %d Need rows, want 9", needs)
+	}
+	if stars != 4 {
+		t.Errorf("table has %d starred rows, want 4", stars)
+	}
+}
+
+func TestTable1Answers(t *testing.T) {
+	wantNeed := map[int]bool{
+		4: true, 6: true, 7: true, 8: true, 12: true,
+		13: true, 14: true, 16: true, 18: true,
+	}
+	for _, s := range Table1() {
+		if got := s.PaperNeeds; got != wantNeed[s.Number] {
+			t.Errorf("scene %d: PaperNeeds = %v, want %v", s.Number, got, wantNeed[s.Number])
+		}
+	}
+}
+
+func TestSceneAnswerRendering(t *testing.T) {
+	tests := []struct {
+		scene Scene
+		want  string
+	}{
+		{Scene{PaperNeeds: false}, "No need"},
+		{Scene{PaperNeeds: true}, "Need"},
+		{Scene{PaperNeeds: false, Starred: true}, "No need (*)"},
+		{Scene{PaperNeeds: true, Starred: true}, "Need (*)"},
+	}
+	for _, tt := range tests {
+		if got := tt.scene.Answer(); got != tt.want {
+			t.Errorf("Answer() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestByNumber(t *testing.T) {
+	s, err := ByNumber(18)
+	if err != nil {
+		t.Fatalf("ByNumber(18): %v", err)
+	}
+	if s.Number != 18 || !s.PaperNeeds {
+		t.Errorf("ByNumber(18) = %+v", s)
+	}
+	for _, n := range []int{0, -3, 21, 100} {
+		if _, err := ByNumber(n); err == nil {
+			t.Errorf("ByNumber(%d) should fail", n)
+		}
+	}
+}
+
+func TestTable1ReturnsFreshSlices(t *testing.T) {
+	a := Table1()
+	a[0].PaperNeeds = !a[0].PaperNeeds
+	b := Table1()
+	if b[0].PaperNeeds == a[0].PaperNeeds {
+		t.Error("Table1 must return a fresh slice on each call")
+	}
+}
+
+// TestCaseStudiesMatchPaper checks the Section IV rulings: the P2P timing
+// attack needs no process; the watermark rate collection needs a court
+// order (not a wiretap order — rates are non-content); the administrators'
+// version is a lawful private search.
+func TestCaseStudiesMatchPaper(t *testing.T) {
+	engine := legal.NewEngine()
+	studies := CaseStudies()
+	if len(studies) != 3 {
+		t.Fatalf("CaseStudies returned %d entries, want 3", len(studies))
+	}
+	for _, cs := range studies {
+		cs := cs
+		t.Run(cs.ID, func(t *testing.T) {
+			r, err := engine.Evaluate(cs.Action)
+			if err != nil {
+				t.Fatalf("%s: %v", cs.ID, err)
+			}
+			if r.Required != cs.PaperProcess {
+				t.Errorf("%s: engine requires %v, paper concludes %v\nrationale: %v",
+					cs.ID, r.Required, cs.PaperProcess, r.Rationale)
+			}
+		})
+	}
+}
+
+// The watermark technique must specifically avoid the Title III tier: the
+// paper's point is that collecting rates instead of packets dodges the
+// wiretap-order requirement.
+func TestWatermarkAvoidsWiretapOrder(t *testing.T) {
+	engine := legal.NewEngine()
+	for _, cs := range CaseStudies() {
+		if cs.ID != "IV-B-1" {
+			continue
+		}
+		r, err := engine.Evaluate(cs.Action)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Required >= legal.ProcessSearchWarrant {
+			t.Errorf("rate collection must not require warrant-level process; got %v", r.Required)
+		}
+		if r.Regime != legal.RegimePenTrap {
+			t.Errorf("rate collection regime = %v, want %v", r.Regime, legal.RegimePenTrap)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats provides the small statistical toolkit the experiment
+// harnesses report with: summary statistics with Student-t confidence
+// intervals for measured means, and Wilson score intervals for detection
+// rates (which are proportions from small trial counts, where the normal
+// approximation misleads).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoData is returned when a computation needs at least one sample.
+var ErrNoData = errors.New("stats: no data")
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator), or 0
+// for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// tTable holds two-sided 95% Student-t critical values by degrees of
+// freedom; beyond 30 the normal value is close enough.
+var tTable = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+	2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCritical95 returns the two-sided 95% t critical value for the given
+// degrees of freedom.
+func tCritical95(df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df < len(tTable) {
+		return tTable[df]
+	}
+	return 1.960
+}
+
+// Summary is a batch of samples summarized.
+type Summary struct {
+	// N is the sample count.
+	N int
+	// Mean and Std are the sample statistics.
+	Mean, Std float64
+	// CI95 is the 95% confidence half-width on the mean (0 when N < 2).
+	CI95 float64
+}
+
+// Summarize computes a Summary. It fails only on an empty batch.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs)}
+	if s.N >= 2 {
+		s.CI95 = tCritical95(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+	}
+	return s, nil
+}
+
+// Wilson returns the 95% Wilson score interval for a proportion of
+// successes in trials — the right interval for detection rates at the
+// small trial counts the sweeps use (it never escapes [0,1] and behaves
+// at 0% and 100%).
+func Wilson(successes, trials int) (lo, hi float64, err error) {
+	if trials <= 0 {
+		return 0, 0, ErrNoData
+	}
+	if successes < 0 || successes > trials {
+		return 0, 0, errors.New("stats: successes out of range")
+	}
+	const z = 1.959964
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}

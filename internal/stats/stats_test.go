@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v ± %v", name, got, want, tol)
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, "mean", Mean(xs), 5, 1e-12)
+	// Sample std of this classic set: sqrt(32/7).
+	approx(t, "std", StdDev(xs), math.Sqrt(32.0/7.0), 1e-12)
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if _, err := Summarize(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty err = %v", err)
+	}
+	s, err := Summarize([]float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 1 || s.Mean != 10 || s.CI95 != 0 {
+		t.Errorf("single sample = %+v", s)
+	}
+	// n=5, df=4: t = 2.776.
+	s, err = Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHalf := 2.776 * StdDev([]float64{1, 2, 3, 4, 5}) / math.Sqrt(5)
+	approx(t, "CI95", s.CI95, wantHalf, 1e-9)
+}
+
+func TestTCritical(t *testing.T) {
+	approx(t, "t(1)", tCritical95(1), 12.706, 1e-9)
+	approx(t, "t(10)", tCritical95(10), 2.228, 1e-9)
+	approx(t, "t(1000)", tCritical95(1000), 1.960, 1e-9)
+	if !math.IsNaN(tCritical95(0)) {
+		t.Error("t(0) must be NaN")
+	}
+}
+
+func TestWilsonKnownValues(t *testing.T) {
+	// 5/5 successes: the 95% Wilson interval is about [0.566, 1.0].
+	lo, hi, err := Wilson(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "lo(5/5)", lo, 0.566, 0.01)
+	approx(t, "hi(5/5)", hi, 1.0, 1e-9)
+	// 0/5: mirror image.
+	lo, hi, err = Wilson(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "lo(0/5)", lo, 0, 1e-9)
+	approx(t, "hi(0/5)", hi, 0.434, 0.01)
+	// Half successes at large n narrows around 0.5.
+	lo, hi, err = Wilson(500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "lo(500/1000)", lo, 0.469, 0.002)
+	approx(t, "hi(500/1000)", hi, 0.531, 0.002)
+}
+
+func TestWilsonErrors(t *testing.T) {
+	if _, _, err := Wilson(1, 0); !errors.Is(err, ErrNoData) {
+		t.Errorf("zero trials err = %v", err)
+	}
+	if _, _, err := Wilson(-1, 5); err == nil {
+		t.Error("negative successes must fail")
+	}
+	if _, _, err := Wilson(6, 5); err == nil {
+		t.Error("successes > trials must fail")
+	}
+}
+
+// Property: the Wilson interval always contains the point estimate and
+// stays within [0,1].
+func TestWilsonContainsEstimate(t *testing.T) {
+	f := func(s uint8, extra uint8) bool {
+		trials := int(extra)%50 + 1
+		successes := int(s) % (trials + 1)
+		lo, hi, err := Wilson(successes, trials)
+		if err != nil {
+			return false
+		}
+		p := float64(successes) / float64(trials)
+		const eps = 1e-12 // the clamp at 0/1 can undercut p by one ulp
+		return lo >= 0 && hi <= 1 && lo <= p+eps && p <= hi+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("Wilson containment violated: %v", err)
+	}
+}
+
+// Property: the mean lies within [min, max] of the samples.
+func TestMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			// Skip values whose sums overflow float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		m := Mean(xs)
+		const eps = 1e-9
+		return m >= lo-eps && m <= hi+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("mean boundedness violated: %v", err)
+	}
+}

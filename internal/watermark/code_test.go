@@ -1,0 +1,127 @@
+package watermark
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSequenceProperties(t *testing.T) {
+	for degree := 3; degree <= 12; degree++ {
+		code, err := MSequence(degree)
+		if err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+		wantLen := (1 << degree) - 1
+		if len(code) != wantLen {
+			t.Errorf("degree %d: length %d, want %d", degree, len(code), wantLen)
+		}
+		if err := code.Validate(); err != nil {
+			t.Errorf("degree %d: %v", degree, err)
+		}
+		// Balance: m-sequences have one more +1 than -1 (or vice versa
+		// depending on mapping) — |balance| must be exactly 1.
+		if b := code.Balance(); b != 1 && b != -1 {
+			t.Errorf("degree %d: balance %d, want ±1", degree, b)
+		}
+		// Two-valued autocorrelation: N at shift 0, -1 elsewhere.
+		if ac := code.Autocorrelation(0); ac != wantLen {
+			t.Errorf("degree %d: autocorr(0) = %d, want %d", degree, ac, wantLen)
+		}
+		for _, shift := range []int{1, 2, wantLen / 2, wantLen - 1} {
+			if ac := code.Autocorrelation(shift); ac != -1 {
+				t.Errorf("degree %d: autocorr(%d) = %d, want -1", degree, shift, ac)
+			}
+		}
+	}
+}
+
+func TestMSequenceBadDegree(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 13, -5} {
+		if _, err := MSequence(d); !errors.Is(err, ErrBadDegree) {
+			t.Errorf("degree %d: err = %v, want ErrBadDegree", d, err)
+		}
+	}
+}
+
+func TestMSequenceDeterministic(t *testing.T) {
+	a, err := MSequence(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MSequence(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("m-sequence must be deterministic")
+		}
+	}
+}
+
+func TestRandomCode(t *testing.T) {
+	c, err := RandomCode(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 100 {
+		t.Fatalf("length = %d", len(c))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	same, err := RandomCode(100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if c[i] != same[i] {
+			t.Fatal("same seed must reproduce the code")
+		}
+	}
+	if _, err := RandomCode(0, 1); !errors.Is(err, ErrEmptyCode) {
+		t.Errorf("zero length err = %v", err)
+	}
+}
+
+func TestCodeValidate(t *testing.T) {
+	if err := (Code{}).Validate(); !errors.Is(err, ErrEmptyCode) {
+		t.Errorf("empty err = %v", err)
+	}
+	if err := (Code{1, -1, 0}).Validate(); err == nil {
+		t.Error("zero chip must be rejected")
+	}
+	if err := (Code{1, -1, 1}).Validate(); err != nil {
+		t.Errorf("valid code rejected: %v", err)
+	}
+}
+
+func TestAutocorrelationEdge(t *testing.T) {
+	if got := (Code{}).Autocorrelation(0); got != 0 {
+		t.Errorf("empty autocorr = %d", got)
+	}
+	c := Code{1, -1, 1}
+	// Negative shifts normalize.
+	if c.Autocorrelation(-1) != c.Autocorrelation(2) {
+		t.Error("negative shift must wrap")
+	}
+	if c.Autocorrelation(3) != c.Autocorrelation(0) {
+		t.Error("full-period shift must equal zero shift")
+	}
+}
+
+// Property: circular autocorrelation is symmetric, auto(s) == auto(n-s).
+func TestAutocorrelationSymmetry(t *testing.T) {
+	f := func(seed int64, shift uint8) bool {
+		c, err := RandomCode(63, seed)
+		if err != nil {
+			return false
+		}
+		s := int(shift) % len(c)
+		return c.Autocorrelation(s) == c.Autocorrelation(len(c)-s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("autocorrelation symmetry violated: %v", err)
+	}
+}

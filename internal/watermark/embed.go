@@ -1,0 +1,112 @@
+package watermark
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// Embedding errors.
+var (
+	// ErrBadParams: watermark parameters are out of range.
+	ErrBadParams = errors.New("watermark: invalid parameters")
+)
+
+// Params describes one watermark: the spreading code, the payload bits,
+// and the modulation.
+type Params struct {
+	// Code is the PN spreading sequence.
+	Code Code
+	// Bits is the watermark payload (±1 per bit); each bit spans the
+	// whole code.
+	Bits []int8
+	// ChipDuration is the wall-clock length of one chip.
+	ChipDuration time.Duration
+	// Amplitude is the relative rate modulation depth, in (0, 1): the
+	// instantaneous rate is base*(1 + Amplitude*chip).
+	Amplitude float64
+	// BaseGap is the unmodulated inter-packet gap (base rate =
+	// 1/BaseGap).
+	BaseGap time.Duration
+	// PacketSize is the payload size of each emitted packet.
+	PacketSize int
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if err := p.Code.Validate(); err != nil {
+		return err
+	}
+	if len(p.Bits) == 0 {
+		return fmt.Errorf("%w: no watermark bits", ErrBadParams)
+	}
+	for i, b := range p.Bits {
+		if b != 1 && b != -1 {
+			return fmt.Errorf("%w: bit %d is %d, want ±1", ErrBadParams, i, b)
+		}
+	}
+	if p.ChipDuration <= 0 {
+		return fmt.Errorf("%w: chip duration %v", ErrBadParams, p.ChipDuration)
+	}
+	if p.Amplitude <= 0 || p.Amplitude >= 1 {
+		return fmt.Errorf("%w: amplitude %v outside (0,1)", ErrBadParams, p.Amplitude)
+	}
+	if p.BaseGap <= 0 {
+		return fmt.Errorf("%w: base gap %v", ErrBadParams, p.BaseGap)
+	}
+	return nil
+}
+
+// Duration returns the total watermark length: bits × chips × chip time.
+func (p Params) Duration() time.Duration {
+	return time.Duration(len(p.Bits)*len(p.Code)) * p.ChipDuration
+}
+
+// chipAt returns the signed chip (bit × code chip) active at elapsed time
+// t, or 0 once the watermark has been fully transmitted.
+func (p Params) chipAt(t time.Duration) int {
+	idx := int(t / p.ChipDuration)
+	total := len(p.Bits) * len(p.Code)
+	if idx < 0 || idx >= total {
+		return 0
+	}
+	return int(p.Bits[idx/len(p.Code)]) * int(p.Code[idx%len(p.Code)])
+}
+
+// Embedder shapes a flow's inter-packet gaps so the instantaneous rate
+// carries the watermark: rate(t) = (1/BaseGap) × (1 + A·chip(t)). It
+// implements netsim.TrafficPattern; attach it to the seized server's
+// response flow. After the watermark completes, the flow continues at the
+// base rate.
+type Embedder struct {
+	p       Params
+	elapsed time.Duration
+}
+
+var _ netsim.TrafficPattern = (*Embedder)(nil)
+
+// NewEmbedder validates params and returns an Embedder positioned at the
+// start of the watermark.
+func NewEmbedder(p Params) (*Embedder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Embedder{p: p}, nil
+}
+
+// NextGap implements netsim.TrafficPattern.
+func (e *Embedder) NextGap(*rand.Rand) time.Duration {
+	factor := 1 + e.p.Amplitude*float64(e.p.chipAt(e.elapsed))
+	gap := time.Duration(float64(e.p.BaseGap) / factor)
+	e.elapsed += gap
+	return gap
+}
+
+// PacketSize implements netsim.TrafficPattern.
+func (e *Embedder) PacketSize(*rand.Rand) int { return e.p.PacketSize }
+
+// Elapsed returns how much watermark time the embedder has emitted.
+func (e *Embedder) Elapsed() time.Duration { return e.elapsed }

@@ -1,0 +1,96 @@
+package watermark
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLineupIdentifiesGuilty(t *testing.T) {
+	lc := DefaultLineupConfig()
+	lc.Guilty = 2
+	lc.Seed = 41
+	res, err := RunLineup(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct || res.Identified != 2 {
+		t.Fatalf("identified %d, want 2; scores %v", res.Identified, res.Scores)
+	}
+	// The guilty candidate's Z must dominate the innocents'.
+	for i, z := range res.Scores {
+		if i == 2 {
+			continue
+		}
+		if z >= res.Scores[2] {
+			t.Errorf("innocent %d scored %.1f >= guilty %.1f", i, z, res.Scores[2])
+		}
+		if z >= DefaultZThreshold {
+			t.Errorf("innocent %d above threshold: %.1f", i, z)
+		}
+	}
+}
+
+func TestLineupAllInnocent(t *testing.T) {
+	lc := DefaultLineupConfig()
+	lc.Guilty = -1
+	lc.Seed = 42
+	res, err := RunLineup(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identified != -1 {
+		t.Fatalf("identified %d in all-innocent lineup; scores %v", res.Identified, res.Scores)
+	}
+	if !res.Correct {
+		t.Error("naming nobody in an all-innocent lineup is the correct outcome")
+	}
+}
+
+func TestLineupDeterministic(t *testing.T) {
+	lc := DefaultLineupConfig()
+	a, err := RunLineup(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLineup(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Identified != b.Identified || a.Scores[0] != b.Scores[0] {
+		t.Error("same seed must reproduce")
+	}
+}
+
+func TestLineupValidation(t *testing.T) {
+	bad := []LineupConfig{
+		{},
+		func() LineupConfig { lc := DefaultLineupConfig(); lc.Suspects = 0; return lc }(),
+		func() LineupConfig { lc := DefaultLineupConfig(); lc.Guilty = 7; return lc }(),
+		func() LineupConfig { lc := DefaultLineupConfig(); lc.Guilty = -2; return lc }(),
+		func() LineupConfig { lc := DefaultLineupConfig(); lc.Bits = 0; return lc }(),
+	}
+	for i, lc := range bad {
+		if _, err := RunLineup(lc); !errors.Is(err, ErrBadLineup) {
+			t.Errorf("config %d: err = %v, want ErrBadLineup", i, err)
+		}
+	}
+	lc := DefaultLineupConfig()
+	lc.CodeDegree = 99
+	if _, err := RunLineup(lc); !errors.Is(err, ErrBadDegree) {
+		t.Errorf("bad degree err = %v", err)
+	}
+}
+
+func TestLineupScalesToMoreSuspects(t *testing.T) {
+	lc := DefaultLineupConfig()
+	lc.Suspects = 8
+	lc.Guilty = 5
+	lc.Seed = 43
+	res, err := RunLineup(lc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Errorf("8-candidate lineup misidentified: %d (scores %v)", res.Identified, res.Scores)
+	}
+}

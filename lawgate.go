@@ -1,0 +1,197 @@
+// Package lawgate is the public API of the lawgate library: an executable
+// model of the legal regime governing digital-forensic evidence
+// acquisition, reproducing "When Digital Forensic Research Meets Laws"
+// (Huang, Ling, Xiang, Wang, Fu — ICDCS 2012 Workshops).
+//
+// # Architecture
+//
+// The core is the compliance engine (internal/legal): describe an
+// investigative step as an Action and Evaluate returns the Ruling — the
+// required process (none / subpoena / court order / search warrant /
+// wiretap order), the governing regime (Fourth Amendment, Wiretap Act,
+// Pen/Trap statute, SCA), the exceptions applied, and a cited rationale
+// chain. The paper's Table 1 (twenty digital-crime scenes) is encoded in
+// internal/scenario and reproduced exactly.
+//
+// Around the engine sit the substrates the paper's scenarios need:
+//
+//   - evidence: hash-chained chain of custody and exclusionary-rule taint
+//     analysis (fruit of the poisonous tree);
+//   - court: showings, probable cause with staleness, warrant issuance,
+//     scope, expiry, and plain view;
+//   - netsim: a deterministic discrete-event packet network;
+//   - capture: pen registers, trap-and-trace devices, header sniffers,
+//     rate meters, and wiretaps, legally gated;
+//   - provider: ISPs under the SCA (ECS/RCS lifecycle, § 2702/§ 2703);
+//   - p2p: the anonymous-filesharing timing attack of § IV-A;
+//   - anonet + watermark: the Tor-like network and DSSS PN-code flow
+//     watermark of § IV-B;
+//   - disk: images, a recoverable filesystem, carving, hash search;
+//   - investigation: end-to-end case flows with suppression hearings.
+//
+// This package re-exports the main entry points so downstream users need
+// a single import.
+package lawgate
+
+import (
+	"lawgate/internal/capture"
+	"lawgate/internal/court"
+	"lawgate/internal/evidence"
+	"lawgate/internal/investigation"
+	"lawgate/internal/legal"
+	"lawgate/internal/p2p"
+	"lawgate/internal/scenario"
+	"lawgate/internal/watermark"
+)
+
+// Core legal-engine types.
+type (
+	// Engine is the statutory/constitutional compliance engine.
+	Engine = legal.Engine
+	// Action describes one investigative acquisition step.
+	Action = legal.Action
+	// Ruling is the engine's determination for an Action.
+	Ruling = legal.Ruling
+	// Process is a level of legal process (none … wiretap order).
+	Process = legal.Process
+	// Showing is an evidentiary basis (mere suspicion … probable cause).
+	Showing = legal.Showing
+	// Regime identifies the governing body of law.
+	Regime = legal.Regime
+	// Citation is a legal authority reference.
+	Citation = legal.Citation
+)
+
+// Process levels, re-exported.
+const (
+	ProcessNone          = legal.ProcessNone
+	ProcessSubpoena      = legal.ProcessSubpoena
+	ProcessCourtOrder    = legal.ProcessCourtOrder
+	ProcessSearchWarrant = legal.ProcessSearchWarrant
+	ProcessWiretapOrder  = legal.ProcessWiretapOrder
+)
+
+// NewEngine returns a ready-to-use compliance engine.
+func NewEngine(opts ...legal.EngineOption) *Engine { return legal.NewEngine(opts...) }
+
+// Advice is one advisor suggestion for lowering an action's process
+// requirement — the paper's recommendation to researchers operationalized.
+type Advice = legal.Advice
+
+// Scenario catalog (the paper's Table 1 and Section IV case studies).
+type (
+	// Scene is one row of Table 1.
+	Scene = scenario.Scene
+	// CaseStudy is one Section IV analysis.
+	CaseStudy = scenario.CaseStudy
+)
+
+// Table1 returns the paper's twenty scenes.
+func Table1() []Scene { return scenario.Table1() }
+
+// CaseStudies returns the Section IV situations.
+func CaseStudies() []CaseStudy { return scenario.CaseStudies() }
+
+// Evidence handling.
+type (
+	// Locker stores evidence with custody chaining and taint analysis.
+	Locker = evidence.Locker
+	// Item is one evidence item.
+	Item = evidence.Item
+	// Assessment is a suppression-hearing outcome.
+	Assessment = evidence.Assessment
+)
+
+// NewLocker returns an empty evidence locker.
+func NewLocker(opts ...evidence.LockerOption) *Locker { return evidence.NewLocker(opts...) }
+
+// Court simulation.
+type (
+	// Court adjudicates process applications.
+	Court = court.Court
+	// Fact is one investigative fact.
+	Fact = court.Fact
+	// Order is issued process.
+	Order = court.Order
+)
+
+// NewCourt returns a court with default process lifetimes.
+func NewCourt(opts ...court.CourtOption) *Court { return court.NewCourt(opts...) }
+
+// Capture devices.
+type (
+	// Device is a legally gated capture instrument.
+	Device = capture.Device
+	// Gate authorizes devices before arming.
+	Gate = capture.Gate
+)
+
+// NewGate returns a device-authorization gate.
+func NewGate(strict bool) *Gate { return capture.NewGate(strict) }
+
+// Investigation flows.
+type (
+	// Case is one investigation with facts, orders, and evidence.
+	Case = investigation.Case
+	// P2PTracebackConfig parameterizes the § IV-A flow.
+	P2PTracebackConfig = investigation.P2PTracebackConfig
+	// P2PTracebackResult is the § IV-A outcome.
+	P2PTracebackResult = investigation.P2PTracebackResult
+	// WatermarkTracebackResult is the § IV-B outcome.
+	WatermarkTracebackResult = investigation.WatermarkTracebackResult
+)
+
+// NewCase opens an investigation.
+func NewCase(name string, opts ...investigation.CaseOption) *Case {
+	return investigation.NewCase(name, opts...)
+}
+
+// RunP2PTraceback executes the Section IV-A investigation end to end.
+func RunP2PTraceback(cfg P2PTracebackConfig, opts ...investigation.CaseOption) (*P2PTracebackResult, error) {
+	return investigation.RunP2PTraceback(cfg, opts...)
+}
+
+// WatermarkExperimentConfig parameterizes the § IV-B trial.
+type WatermarkExperimentConfig = watermark.ExperimentConfig
+
+// DefaultWatermarkConfig returns a moderate § IV-B working point.
+func DefaultWatermarkConfig() WatermarkExperimentConfig {
+	return watermark.DefaultExperimentConfig()
+}
+
+// RunWatermarkTraceback executes the Section IV-B investigation end to
+// end.
+func RunWatermarkTraceback(ec WatermarkExperimentConfig, opts ...investigation.CaseOption) (*WatermarkTracebackResult, error) {
+	return investigation.RunWatermarkTraceback(ec, opts...)
+}
+
+// P2PExperimentConfig parameterizes the § IV-A classification experiment.
+type P2PExperimentConfig = p2p.ExperimentConfig
+
+// RunP2PExperiment runs one § IV-A classification trial.
+func RunP2PExperiment(ec P2PExperimentConfig) (p2p.ExperimentResult, error) {
+	return p2p.RunExperiment(ec)
+}
+
+// RunWatermarkExperiment runs one § IV-B detection trial.
+func RunWatermarkExperiment(ec WatermarkExperimentConfig) (watermark.ExperimentResult, error) {
+	return watermark.RunExperiment(ec)
+}
+
+// DriveExamResult is the Table 1 scenes 18-19 flow's outcome.
+type DriveExamResult = investigation.DriveExamResult
+
+// RunDriveExam runs the seized-drive examination flow; withHashWarrant
+// selects the Crist-compliant (second warrant) or Crist-violating path.
+func RunDriveExam(withHashWarrant bool, opts ...investigation.CaseOption) (*DriveExamResult, error) {
+	return investigation.RunDriveExam(withHashWarrant, opts...)
+}
+
+// AttributionResult is the § III-A-2 identification flow's outcome.
+type AttributionResult = investigation.AttributionResult
+
+// RunAttributionExam runs the attribution flow: who acted, was malware
+// responsible, did the suspect know the subject.
+func RunAttributionExam(exclusive bool, opts ...investigation.CaseOption) (*AttributionResult, error) {
+	return investigation.RunAttributionExam(exclusive, opts...)
+}

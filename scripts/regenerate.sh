@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every artifact in EXPERIMENTS.md into out/.
+# Usage: scripts/regenerate.sh [trials]
+set -eu
+trials="${1:-5}"
+out=out
+mkdir -p "$out"
+echo "E1: Table 1 ..."
+go run ./cmd/scenariotable > "$out/table1.txt"
+go run ./cmd/scenariotable -json > "$out/table1.json"
+echo "E2: P2P timing attack sweep ..."
+go run ./cmd/p2phunt -trials "$trials" > "$out/p2phunt.txt"
+echo "E3: watermark sweep (slow) ..."
+go run ./cmd/tracewatermark -trials "$trials" > "$out/tracewatermark.txt"
+echo "E4/E6: casefile flows ..."
+go run ./cmd/casefile > "$out/casefile.txt"
+echo "advisor ..."
+go run ./cmd/advise > "$out/advise.txt"
+echo "done: $out/"
