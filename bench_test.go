@@ -6,6 +6,7 @@
 package lawgate_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -222,6 +223,85 @@ func BenchmarkEngineEvaluate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// syntheticActions builds n distinct actions by cycling the Table 1
+// scenes under fresh names — a corpus-scale workload with no duplicate
+// fingerprints, so the cache cannot shortcut it.
+func syntheticActions(n int) []legal.Action {
+	scenes := lawgate.Table1()
+	actions := make([]legal.Action, n)
+	for i := range actions {
+		a := scenes[i%len(scenes)].Action
+		a.Name = fmt.Sprintf("synthetic-%d", i)
+		actions[i] = a
+	}
+	return actions
+}
+
+// BenchmarkEvaluateBatch: 10k distinct actions, sequential loop vs the
+// concurrent batch API. The batch path must beat sequential by >= 2x on
+// multi-core hardware (the PR's acceptance criterion).
+func BenchmarkEvaluateBatch(b *testing.B) {
+	actions := syntheticActions(10_000)
+	b.Run("sequential", func(b *testing.B) {
+		engine := legal.NewEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range actions {
+				if _, err := engine.Evaluate(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		engine := legal.NewEngine()
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.EvaluateBatch(ctx, actions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEvaluateCached: re-evaluating the whole Table 1 catalog on a
+// warm ruling cache vs a cache-less engine. The cached path must beat
+// uncached by >= 5x (the PR's acceptance criterion).
+func BenchmarkEvaluateCached(b *testing.B) {
+	actions := make([]legal.Action, 0, 20)
+	for _, s := range lawgate.Table1() {
+		actions = append(actions, s.Action)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		engine := legal.NewEngine()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range actions {
+				if _, err := engine.Evaluate(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		engine := legal.NewEngine(legal.WithRulingCache(0))
+		for _, a := range actions { // warm the cache
+			if _, err := engine.Evaluate(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, a := range actions {
+				if _, err := engine.Evaluate(a); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkContainerDoctrine (ablation 6): scene 18 under the two

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +28,9 @@ func main() {
 }
 
 func run(sceneNum int) error {
-	engine := legal.NewEngine()
+	// The advisor re-evaluates each scene's counterfactual variants, so a
+	// ruling cache lets the batch pass and the advisor share work.
+	engine := legal.NewEngine(legal.WithRulingCache(0))
 	var scenes []scenario.Scene
 	if sceneNum != 0 {
 		s, err := scenario.ByNumber(sceneNum)
@@ -38,11 +41,16 @@ func run(sceneNum int) error {
 	} else {
 		scenes = scenario.Table1()
 	}
-	for _, s := range scenes {
-		ruling, err := engine.Evaluate(s.Action)
-		if err != nil {
-			return err
-		}
+	actions := make([]legal.Action, len(scenes))
+	for i, s := range scenes {
+		actions[i] = s.Action
+	}
+	rulings, err := engine.EvaluateBatch(context.Background(), actions)
+	if err != nil {
+		return err
+	}
+	for i, s := range scenes {
+		ruling := rulings[i]
 		if !ruling.NeedsProcess() {
 			continue
 		}

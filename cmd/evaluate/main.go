@@ -8,11 +8,19 @@
 //	evaluate -actor government -timing realtime -data content -source isp
 //	evaluate -actor provider -timing realtime -data addressing -source own
 //	evaluate -actor government -timing stored -data device -source seized -beyond
+//	evaluate -batch actions.json   (or "-batch -" to read stdin)
+//
+// Batch mode reads a JSON array of legal.Action values, evaluates them
+// concurrently through Engine.EvaluateBatch with a ruling cache, and
+// emits one JSON ruling view per action, in input order.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lawgate/internal/legal"
@@ -76,12 +84,45 @@ func main() {
 		public  = flag.Bool("public-provider", true, "the holding provider serves the public")
 		ecs     = flag.Bool("ecs", true, "the holding provider is an ECS/RCS for the data")
 		asJSON  = flag.Bool("json", false, "emit the ruling as JSON")
+		batch   = flag.String("batch", "", "evaluate a JSON array of actions from FILE (\"-\" = stdin)")
 	)
 	flag.Parse()
-	if err := run(*actor, *timing, *data, *source, *consent, *beyond, *relay, *public, *ecs, *asJSON); err != nil {
+	var err error
+	if *batch != "" {
+		err = runBatch(*batch)
+	} else {
+		err = run(*actor, *timing, *data, *source, *consent, *beyond, *relay, *public, *ecs, *asJSON)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
+}
+
+func runBatch(path string) error {
+	var src io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var actions []legal.Action
+	if err := json.NewDecoder(src).Decode(&actions); err != nil {
+		return fmt.Errorf("decoding actions: %w", err)
+	}
+	engine := legal.NewEngine(legal.WithRulingCache(0))
+	rulings, err := engine.EvaluateBatch(context.Background(), actions)
+	if err != nil {
+		return err
+	}
+	views := make([]report.RulingView, len(rulings))
+	for i, r := range rulings {
+		views[i] = report.FromRuling(r)
+	}
+	return report.WriteJSON(os.Stdout, views)
 }
 
 func run(actor, timing, data, source, consent string, beyond, relay, public, ecs, asJSON bool) error {

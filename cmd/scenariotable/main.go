@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +31,7 @@ func main() {
 }
 
 func run(verbose, asJSON bool) error {
-	engine := legal.NewEngine()
+	engine := legal.NewEngine(legal.WithRulingCache(0))
 	if asJSON {
 		scenes, err := report.Table1Report(engine)
 		if err != nil {
@@ -50,17 +51,18 @@ func run(verbose, asJSON bool) error {
 	fmt.Fprintln(w, "TABLE 1 — WARRANT/COURT ORDER/SUBPOENA IN DIGITAL CRIME SCENES")
 	fmt.Fprintln(w, "#\tPaper\tEngine\tRegime\tRequired\tMatch")
 	matches := 0
-	for _, s := range scenario.Table1() {
-		r, err := engine.Evaluate(s.Action)
-		if err != nil {
-			return fmt.Errorf("scene %d: %w", s.Number, err)
-		}
+	sceneRulings, err := scenario.EvaluateTable1(context.Background(), engine)
+	if err != nil {
+		return err
+	}
+	for _, sr := range sceneRulings {
+		s, r := sr.Scene, sr.Ruling
 		engineAnswer := "No need"
 		if r.NeedsProcess() {
 			engineAnswer = "Need"
 		}
 		match := "OK"
-		if r.NeedsProcess() == s.PaperNeeds {
+		if sr.Matches() {
 			matches++
 		} else {
 			match = "MISMATCH"
@@ -83,13 +85,14 @@ func run(verbose, asJSON bool) error {
 
 	fmt.Fprintln(w, "\nSECTION IV CASE STUDIES")
 	fmt.Fprintln(w, "ID\tPaper requires\tEngine requires\tMatch")
-	for _, cs := range scenario.CaseStudies() {
-		r, err := engine.Evaluate(cs.Action)
-		if err != nil {
-			return fmt.Errorf("%s: %w", cs.ID, err)
-		}
+	studyRulings, err := scenario.EvaluateCaseStudies(context.Background(), engine)
+	if err != nil {
+		return err
+	}
+	for _, cr := range studyRulings {
+		cs, r := cr.Study, cr.Ruling
 		match := "OK"
-		if r.Required != cs.PaperProcess {
+		if !cr.Matches() {
 			match = "MISMATCH"
 		}
 		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", cs.ID, cs.PaperProcess, r.Required, match)

@@ -11,6 +11,7 @@
 package investigation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -56,12 +57,15 @@ func WithStrictAcquisition() CaseOption {
 	return func(c *Case) { c.strict = true }
 }
 
-// NewCase opens an investigation.
+// NewCase opens an investigation. The case's engine carries a ruling
+// cache: investigations routinely re-evaluate the same action shape (a
+// pre-flight Evaluate, then the Acquire itself, then suppression
+// analysis), and rulings are immutable, so memoization is sound.
 func NewCase(name string, opts ...CaseOption) *Case {
 	c := &Case{
 		Name:   name,
 		clock:  time.Now,
-		engine: legal.NewEngine(),
+		engine: legal.NewEngine(legal.WithRulingCache(0)),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -143,6 +147,14 @@ func (c *Case) HeldProcess() legal.Process {
 // Evaluate runs the legal engine over an action without acquiring.
 func (c *Case) Evaluate(a legal.Action) (legal.Ruling, error) {
 	return c.engine.Evaluate(a)
+}
+
+// EvaluateBatch pre-flights many candidate actions concurrently through
+// the case engine — the "which of these collection designs need process"
+// triage the paper's Section V recommends — without acquiring anything.
+// Rulings are returned in input order.
+func (c *Case) EvaluateBatch(ctx context.Context, actions []legal.Action) ([]legal.Ruling, error) {
+	return c.engine.EvaluateBatch(ctx, actions)
 }
 
 // Acquire performs an acquisition under the case's currently held process

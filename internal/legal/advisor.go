@@ -15,13 +15,20 @@ type Advice struct {
 	Ruling Ruling
 	// Explanation says what changed and why it lowers the requirement.
 	Explanation string
+	// Rule names the doctrine rule whose counterfactual produced the
+	// redesign.
+	Rule string
 }
 
 // Advise proposes redesigns of the action that lower its process
 // requirement, sorted by required process ascending (the cheapest designs
-// first). An action already requiring no process yields no advice. Each
-// suggestion is re-evaluated through the engine, so the returned rulings
-// are authoritative.
+// first). An action already requiring no process yields no advice.
+//
+// The advisor holds no doctrine knowledge of its own: it enumerates the
+// Counterfactual generators registered on the engine's rule table, so a
+// newly registered rule with a counterfactual is advised automatically.
+// Each suggestion is re-evaluated through the engine, so the returned
+// rulings are authoritative.
 func (e *Engine) Advise(a Action) ([]Advice, error) {
 	base, err := e.Evaluate(a)
 	if err != nil {
@@ -32,78 +39,25 @@ func (e *Engine) Advise(a Action) ([]Advice, error) {
 	}
 
 	var out []Advice
-	consider := func(alt Action, explanation string) {
+	for i := range e.rules {
+		rule := &e.rules[i]
+		if rule.Counterfactual == nil {
+			continue
+		}
+		alt, explanation, ok := rule.Counterfactual(a)
+		if !ok {
+			continue
+		}
 		r, err := e.Evaluate(alt)
 		if err != nil || r.Required >= base.Required {
-			return
+			continue
 		}
-		out = append(out, Advice{Alternative: alt, Ruling: r, Explanation: explanation})
-	}
-
-	// Content → addressing: the § IV-B move. Collecting rates, sizes,
-	// and headers instead of payloads drops Title III for the Pen/Trap
-	// tier (or below).
-	if a.Data == DataContent && a.Timing == TimingRealTime {
-		alt := a
-		alt.Name = a.Name + "+non-content"
-		alt.Data = DataAddressing
-		consider(alt,
-			"collect addressing information (headers, sizes, rates) instead of contents: the Pen/Trap statute, not Title III, governs non-content collection (cf. the Section IV-B rate-only watermark)")
-	}
-
-	// Party consent: an undercover officer or cooperating party can
-	// consent to interception.
-	if a.Timing == TimingRealTime && a.Consent == nil {
-		alt := a
-		alt.Name = a.Name + "+party-consent"
-		alt.Consent = &Consent{Scope: ConsentCommunicationParty}
-		consider(alt,
-			"restructure the operation so a party to the communication (an undercover officer or cooperating witness) consents to the interception, § 2511(2)(c)-(d)")
-	}
-
-	// Victim authorization for attacker monitoring.
-	if a.Timing == TimingRealTime && a.Source == SourceVictimSystem && !a.Consent.Effective() {
-		alt := a
-		alt.Name = a.Name + "+victim-authorization"
-		alt.Consent = &Consent{Scope: ConsentVictimTrespasser}
-		consider(alt,
-			"obtain the victim's authorization to monitor the trespasser on the victim's own system, § 2511(2)(i)")
-	}
-
-	// Provider-stored content: walk down the § 2703 ladder.
-	if a.Timing == TimingStored && a.Source == SourceProviderStored &&
-		(a.Data == DataContent || a.Data == DataDeviceContents) {
-		records := a
-		records.Name = a.Name + "+records-tier"
-		records.Data = DataTransactionalRecords
-		consider(records,
-			"compel non-content transactional records first — a § 2703(d) order on specific and articulable facts, instead of a warrant for contents")
-		bsi := a
-		bsi.Name = a.Name + "+subscriber-tier"
-		bsi.Data = DataBasicSubscriber
-		consider(bsi,
-			"compel basic subscriber information first — a subpoena on mere suspicion suffices, and the identification may itself establish probable cause (§ III-A-1-a)")
-	}
-
-	// Public-exposure route: collect what the target exposes.
-	if a.Timing == TimingStored &&
-		(a.Source == SourceTargetDevice || a.Source == SourceRemoteAccount) {
-		alt := a
-		alt.Name = a.Name + "+public-exposure"
-		alt.Data = DataPublic
-		alt.Source = SourcePublicService
-		alt.Exposure = append(append([]ExposureFact(nil), a.Exposure...), ExposureKnowinglyPublic)
-		consider(alt,
-			"collect what the target knowingly exposes (P2P shares, public posts, public site content) — no reasonable expectation of privacy attaches (Table 1 scenes 9-11)")
-	}
-
-	// Consent from someone with authority over the place searched.
-	if a.Timing == TimingStored && a.Source == SourceTargetDevice && a.Consent == nil && a.Tech == nil {
-		alt := a
-		alt.Name = a.Name + "+consent"
-		alt.Consent = &Consent{Scope: ConsentCoUserSharedSpace}
-		consider(alt,
-			"seek voluntary consent from a person with authority over the space searched (co-user, spouse, parent of a minor, private employer), § III-B-c")
+		out = append(out, Advice{
+			Alternative: alt,
+			Ruling:      r,
+			Explanation: explanation,
+			Rule:        rule.Name,
+		})
 	}
 
 	sort.SliceStable(out, func(i, j int) bool {

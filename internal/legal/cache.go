@@ -1,0 +1,174 @@
+package legal
+
+import (
+	"hash/maphash"
+	"strconv"
+	"sync"
+)
+
+// Fingerprint returns a canonical, collision-free encoding of every field
+// that influences evaluation (which is all of them, including Name, since
+// the ruling echoes the action). Two actions with equal fingerprints are
+// identical, and the engine is a pure function of the action, so the
+// fingerprint is a sound memoization key.
+func (a *Action) Fingerprint() string {
+	var buf [96]byte
+	return string(a.appendFingerprint(buf[:0]))
+}
+
+// fpInt appends v in decimal with a field separator. Enum values are
+// almost always a single digit; the general path handles the rest.
+func fpInt(buf []byte, v int) []byte {
+	if v >= 0 && v < 10 {
+		return append(buf, byte('0'+v), '|')
+	}
+	buf = strconv.AppendInt(buf, int64(v), 10)
+	return append(buf, '|')
+}
+
+// fpBool appends a bool flag with a field separator.
+func fpBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, '1', '|')
+	}
+	return append(buf, '0', '|')
+}
+
+// appendFingerprint appends the canonical encoding to buf and returns the
+// extended slice. The cache's hit path uses this to avoid allocating a
+// string per lookup (map access via m[string(key)] does not copy).
+func (a *Action) appendFingerprint(buf []byte) []byte {
+	buf = fpInt(buf, int(a.Actor))
+	buf = fpInt(buf, int(a.Timing))
+	buf = fpInt(buf, int(a.Data))
+	buf = fpInt(buf, int(a.Source))
+	buf = fpBool(buf, a.Encrypted)
+	buf = append(buf, '[')
+	for _, e := range a.Exposure {
+		buf = fpInt(buf, int(e))
+	}
+	buf = append(buf, ']')
+	if c := a.Consent; c != nil {
+		buf = append(buf, 'C', '{')
+		buf = fpInt(buf, int(c.Scope))
+		buf = fpBool(buf, c.Revoked)
+		buf = fpBool(buf, c.ExceedsScope)
+		buf = fpBool(buf, c.AllPartiesRequired)
+		buf = append(buf, '}')
+	} else {
+		buf = append(buf, 'C', '-')
+	}
+	if x := a.Exigency; x != nil {
+		buf = append(buf, 'X', '{')
+		buf = fpInt(buf, int(x.Kind))
+		buf = fpBool(buf, x.Approved)
+		buf = append(buf, '}')
+	} else {
+		buf = append(buf, 'X', '-')
+	}
+	buf = fpBool(buf, a.PlainView)
+	buf = fpBool(buf, a.LawfulVantage)
+	buf = fpBool(buf, a.ProbationSearch)
+	if t := a.Tech; t != nil {
+		buf = append(buf, 'T', '{')
+		buf = fpBool(buf, t.GeneralPublicUse)
+		buf = fpBool(buf, t.RevealsHomeInterior)
+		buf = append(buf, '}')
+	} else {
+		buf = append(buf, 'T', '-')
+	}
+	if w := a.Workplace; w != nil {
+		buf = append(buf, 'W', '{')
+		buf = fpBool(buf, w.GovernmentEmployer)
+		buf = fpBool(buf, w.WorkRelated)
+		buf = fpBool(buf, w.JustifiedAtInception)
+		buf = fpBool(buf, w.PermissibleScope)
+		buf = append(buf, '}')
+	} else {
+		buf = append(buf, 'W', '-')
+	}
+	buf = fpInt(buf, int(a.ProviderRole))
+	buf = fpBool(buf, a.ProviderPublic)
+	buf = fpBool(buf, a.InterceptsThirdParty)
+	buf = fpBool(buf, a.SearchBeyondAuthority)
+	buf = append(buf, a.Name...)
+	return buf
+}
+
+// defaultCacheShards is the shard count WithRulingCache(0) selects: enough
+// to keep lock contention negligible at batch-evaluation parallelism.
+const defaultCacheShards = 16
+
+// rulingCache is a sharded memoization cache from action fingerprints to
+// rulings. Each shard is independently locked, so concurrent batch
+// evaluation does not serialize on a single mutex.
+type rulingCache struct {
+	shards []cacheShard
+	mask   uint64
+	seed   maphash.Seed
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]*Ruling
+}
+
+func newRulingCache(shards int) *rulingCache {
+	if shards <= 0 {
+		shards = defaultCacheShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &rulingCache{
+		shards: make([]cacheShard, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*Ruling)
+	}
+	return c
+}
+
+// shardFor hashes the key to pick a shard.
+func (c *rulingCache) shardFor(key []byte) *cacheShard {
+	return &c.shards[maphash.Bytes(c.seed, key)&c.mask]
+}
+
+func (c *rulingCache) get(key []byte) (*Ruling, bool) {
+	s := c.shardFor(key)
+	s.mu.RLock()
+	r, ok := s.m[string(key)] // no copy: compiler-recognized lookup form
+	s.mu.RUnlock()
+	return r, ok
+}
+
+func (c *rulingCache) put(key []byte, r *Ruling) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	s.m[string(key)] = r
+	s.mu.Unlock()
+}
+
+// len reports the number of memoized rulings across all shards.
+func (c *rulingCache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// CacheSize reports how many distinct actions the engine has memoized;
+// zero when no cache is configured.
+func (e *Engine) CacheSize() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}

@@ -1,0 +1,103 @@
+package legal
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCachedEvaluationIdentical: with the cache enabled, first and
+// repeated evaluations return rulings identical to an uncached engine,
+// across the whole sweep.
+func TestCachedEvaluationIdentical(t *testing.T) {
+	plain := NewEngine()
+	cached := NewEngine(WithRulingCache(4))
+	for _, a := range sweepActions() {
+		want, err := plain.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := cached.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := cached.Evaluate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, want) {
+			t.Fatalf("cold cached ruling diverged for %s", a.Fingerprint())
+		}
+		if !reflect.DeepEqual(warm, want) {
+			t.Fatalf("warm cached ruling diverged for %s", a.Fingerprint())
+		}
+	}
+	if cached.CacheSize() == 0 {
+		t.Error("cache recorded nothing")
+	}
+	if NewEngine().CacheSize() != 0 {
+		t.Error("cache-less engine reports a cache size")
+	}
+}
+
+// TestFingerprintDistinguishesActions: any two distinct sweep actions must
+// have distinct fingerprints — a collision would silently serve the wrong
+// ruling.
+func TestFingerprintDistinguishesActions(t *testing.T) {
+	seen := make(map[string]Action)
+	for _, a := range sweepActions() {
+		a := a
+		fp := a.Fingerprint()
+		if prev, ok := seen[fp]; ok && !reflect.DeepEqual(prev, a) {
+			t.Fatalf("fingerprint collision:\n  %+v\n  %+v", prev, a)
+		}
+		seen[fp] = a
+	}
+
+	// Pointer sub-structures must be encoded by value, not identity.
+	base := Action{
+		Name: "fp", Actor: ActorGovernment, Timing: TimingStored,
+		Data: DataDeviceContents, Source: SourceTargetDevice,
+	}
+	variants := []Action{base}
+	withConsent := base
+	withConsent.Consent = &Consent{Scope: ConsentOwnData}
+	withRevoked := base
+	withRevoked.Consent = &Consent{Scope: ConsentOwnData, Revoked: true}
+	withTech := base
+	withTech.Tech = &SpecializedTech{RevealsHomeInterior: true}
+	withWorkplace := base
+	withWorkplace.Workplace = &WorkplaceSearch{GovernmentEmployer: true}
+	withExigency := base
+	withExigency.Exigency = &Exigency{Kind: ExigencyDanger}
+	withExposure := base
+	withExposure.Exposure = []ExposureFact{ExposureAbandoned}
+	withName := base
+	withName.Name = "fp2"
+	variants = append(variants, withConsent, withRevoked, withTech,
+		withWorkplace, withExigency, withExposure, withName)
+	fps := make(map[string]bool)
+	for _, v := range variants {
+		fp := v.Fingerprint()
+		if fps[fp] {
+			t.Fatalf("variant fingerprint collision: %q", fp)
+		}
+		fps[fp] = true
+	}
+}
+
+// TestFingerprintStable: equal actions (including deep-equal pointer
+// fields at different addresses) share a fingerprint.
+func TestFingerprintStable(t *testing.T) {
+	a := Action{
+		Name: "stable", Actor: ActorGovernment, Timing: TimingRealTime,
+		Data: DataContent, Source: SourceVictimSystem,
+		Consent:  &Consent{Scope: ConsentVictimTrespasser},
+		Exposure: []ExposureFact{ExposureDelivered},
+	}
+	b := a
+	b.Consent = &Consent{Scope: ConsentVictimTrespasser}
+	b.Exposure = []ExposureFact{ExposureDelivered}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("deep-equal actions produced different fingerprints")
+	}
+}

@@ -40,7 +40,9 @@ func (r Regime) String() string {
 	return fmt.Sprintf("Regime(%d)", int(r))
 }
 
-// Ruling is the engine's determination for one Action.
+// Ruling is the engine's determination for one Action. Rulings returned by
+// the engine must be treated as immutable: with the ruling cache enabled,
+// repeated evaluations of the same action share the ruling's slices.
 type Ruling struct {
 	// Action echoes the evaluated action.
 	Action Action
@@ -49,7 +51,7 @@ type Ruling struct {
 	// Regime is the governing body of law.
 	Regime Regime
 	// Exceptions lists the doctrines that eliminated or reduced the
-	// process requirement.
+	// process requirement, deduplicated, in the order first applied.
 	Exceptions []ExceptionKind
 	// Privacy is the REP finding, when a Fourth Amendment analysis ran.
 	Privacy *PrivacyFinding
@@ -58,6 +60,9 @@ type Ruling struct {
 	// Citations are the supporting authorities, deduplicated, in the
 	// order first relied upon.
 	Citations []Citation
+	// Applied names the doctrine rules that fired, in pipeline order —
+	// the ruling's audit trail through the rule table.
+	Applied []string
 }
 
 // NeedsProcess reports whether the acquisition requires any warrant, court
@@ -82,8 +87,13 @@ func (r *Ruling) require(p Process, regime Regime, reason string) {
 	r.Rationale = append(r.Rationale, reason)
 }
 
+// except records reliance on an exception doctrine. Exception kinds are
+// deduplicated like citations — first reliance wins — while the reason
+// always joins the rationale chain.
 func (r *Ruling) except(k ExceptionKind, reason string) {
-	r.Exceptions = append(r.Exceptions, k)
+	if !r.HasException(k) {
+		r.Exceptions = append(r.Exceptions, k)
+	}
 	r.Rationale = append(r.Rationale, reason)
 }
 
@@ -137,11 +147,19 @@ func (d ContainerDoctrine) String() string {
 	}
 }
 
-// Engine evaluates Actions against the encoded doctrine. The zero value is
-// ready to use and follows the paper's Table 1 answers (per-file
-// containers).
+// Engine evaluates Actions against an ordered table of doctrine rules
+// (see rules.go). The zero value is not ready to use; construct engines
+// with NewEngine. The default table follows the paper's Table 1 answers
+// (per-file containers).
+//
+// An Engine is safe for concurrent use: its configuration is immutable
+// after NewEngine, evaluation is a pure function of the action, and the
+// optional ruling cache is internally synchronized.
 type Engine struct {
 	container ContainerDoctrine
+	rules     []Rule
+	cache     *rulingCache
+	workers   int
 }
 
 // EngineOption configures an Engine.
@@ -153,297 +171,97 @@ func WithContainerDoctrine(d ContainerDoctrine) EngineOption {
 	return func(e *Engine) { e.container = d }
 }
 
+// WithRules installs a custom doctrine table in place of DefaultRules.
+// The slice is walked in order; see the Rule type for the pipeline
+// contract.
+func WithRules(rules []Rule) EngineOption {
+	return func(e *Engine) { e.rules = rules }
+}
+
+// WithRulingCache enables the sharded memoization cache: identical
+// actions evaluate once and subsequent evaluations return the memoized
+// ruling. Shards is the number of independently locked segments
+// (rounded up to a power of two); shards <= 0 selects a default.
+// Evaluation is a pure function of the action, so caching never changes
+// a ruling.
+func WithRulingCache(shards int) EngineOption {
+	return func(e *Engine) { e.cache = newRulingCache(shards) }
+}
+
+// WithBatchWorkers bounds the EvaluateBatch worker pool; n <= 0 selects
+// one worker per available CPU.
+func WithBatchWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
 // NewEngine returns a ready-to-use compliance engine.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{container: ContainerPerFile}
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.rules == nil {
+		e.rules = DefaultRules()
+	}
 	return e
 }
 
+// Container reports the engine's configured closed-container doctrine.
+func (e *Engine) Container() ContainerDoctrine { return e.container }
+
+// Rules returns a copy of the engine's doctrine table, in pipeline order.
+func (e *Engine) Rules() []Rule {
+	out := make([]Rule, len(e.rules))
+	copy(out, e.rules)
+	return out
+}
+
 // Evaluate determines the process an acquisition requires, the governing
-// regime, applicable exceptions, and a rationale chain. It is a pure
-// function of the action: identical actions yield identical rulings.
+// regime, applicable exceptions, and a rationale chain, by walking the
+// engine's rule table in order: each rule whose predicate matches
+// contributes to the ruling, and a terminal rule ends the walk. It is a
+// pure function of the action: identical actions yield identical rulings
+// (which is what makes the ruling cache sound).
 func (e *Engine) Evaluate(a Action) (Ruling, error) {
+	if e.cache == nil {
+		if err := a.Validate(); err != nil {
+			return Ruling{}, err
+		}
+		return e.pipeline(a), nil
+	}
+	// Look up before validating: only validated actions are ever cached,
+	// and the fingerprint is injective, so a hit implies validity.
+	var buf [96]byte
+	key := a.appendFingerprint(buf[:0])
+	if r, ok := e.cache.get(key); ok {
+		return *r, nil
+	}
 	if err := a.Validate(); err != nil {
 		return Ruling{}, err
 	}
-	r := Ruling{Action: a}
-
-	// Step 1: actor screen. Purely private searches fall outside the
-	// Fourth Amendment; provider self-monitoring falls within the
-	// statutory provider exceptions.
-	switch a.Actor {
-	case ActorPrivate:
-		r.require(ProcessNone, RegimeNone,
-			"the Fourth Amendment restricts the government and its agents, not private searches; law enforcement may receive the fruits of a private search")
-		r.except(ExceptionPrivateSearch, "private search doctrine applies")
-		r.cite("PrivSearch")
-		return r, nil
-	case ActorProvider:
-		if a.Source == SourceOwnNetwork {
-			r.require(ProcessNone, RegimeNone,
-				"a provider may monitor its own system in the normal course of business or to protect its rights and property")
-			r.except(ExceptionProviderProtection, "provider-protection exception, § 2511(2)(a)(i)")
-			r.cite("2511_2_a")
-			if a.HasExposure(ExposurePolicyEliminatesREP) {
-				r.Rationale = append(r.Rationale,
-					"network policy eliminates users' expectation of privacy on the monitored system")
-			}
-			return r, nil
-		}
-		// A provider acting beyond its own system is treated as a
-		// private party.
-		r.require(ProcessNone, RegimeNone,
-			"a provider acting outside its own system is a private party for Fourth Amendment purposes")
-		r.except(ExceptionPrivateSearch, "private search doctrine applies")
-		r.cite("PrivSearch")
-		return r, nil
-	}
-
-	// From here the actor is governmental.
-
-	// Step 2: doctrines that excuse process outright, independent of the
-	// regime.
-	if a.PlainView && a.LawfulVantage {
-		r.require(ProcessNone, RegimeFourthAmendment,
-			"evidence in plain view from a lawful vantage point, with immediately apparent incriminating character, may be seized without a warrant")
-		r.except(ExceptionPlainView, "plain view doctrine applies")
-		r.cite("PlainView")
-		return r, nil
-	}
-	if a.ProbationSearch {
-		r.require(ProcessNone, RegimeFourthAmendment,
-			"individuals on probation, parole, or supervised release have diminished expectations of privacy and may be searched on reasonable suspicion")
-		r.except(ExceptionProbation, "probation/parole exception applies")
-		r.cite("Knights")
-		return r, nil
-	}
-
-	switch a.Timing {
-	case TimingRealTime:
-		e.evaluateRealTime(&a, &r)
-	case TimingStored:
-		e.evaluateStored(&a, &r)
-	}
+	r := e.pipeline(a)
+	e.cache.put(key, &r)
 	return r, nil
 }
 
-// evaluateRealTime handles contemporaneous interception: the Wiretap Act
-// for contents, the Pen/Trap statute for addressing information.
-func (e *Engine) evaluateRealTime(a *Action, r *Ruling) {
-	switch a.Data {
-	case DataPublic:
-		r.require(ProcessNone, RegimeNone,
-			"collection of information knowingly exposed to the public is neither a search nor an interception of a protected communication")
-		r.except(ExceptionNoREP, "no reasonable expectation of privacy in public information")
-		r.except(ExceptionPublicAccess,
-			"an electronic communication system configured so communications are readily accessible to the general public may be intercepted by any person")
-		r.cite("2511_2_g", "Gorshkov")
-		return
-
-	case DataContent, DataDeviceContents:
-		// Title III governs real-time content.
-		if c := a.Consent; c.Effective() {
-			switch c.Scope {
-			case ConsentVictimTrespasser:
-				r.require(ProcessNone, RegimeWiretap,
-					"interception of a computer trespasser's communications with the victim's authorization does not violate Title III")
-				r.except(ExceptionTrespasser, "computer-trespasser exception, § 2511(2)(i)")
-				r.except(ExceptionConsent, "victim consented to monitoring on the victim's own system")
-				r.cite("2511_2_i", "Title3")
-				return
-			case ConsentCommunicationParty:
-				r.require(ProcessNone, RegimeWiretap,
-					"interception with the consent of a party to the communication does not violate Title III")
-				r.except(ExceptionConsent, "party consent, § 2511(2)(c)-(d)")
-				r.cite("2511_2_c", "Title3")
-				return
-			}
+// pipeline is the generic rule-table walk. All doctrine lives in the
+// rules; the walk only sequences them.
+func (e *Engine) pipeline(a Action) Ruling {
+	r := Ruling{Action: a}
+	rc := &RuleContext{engine: e, Action: &a, ruling: &r}
+	for i := range e.rules {
+		rule := &e.rules[i]
+		if rule.When != nil && !rule.When(rc) {
+			continue
 		}
-		if a.Source == SourcePublicService {
-			r.require(ProcessNone, RegimeWiretap,
-				"communications posted to a public system readily accessible to the general public may be intercepted")
-			r.except(ExceptionPublicAccess, "§ 2511(2)(g)(i) public-access exception")
-			r.cite("2511_2_g")
-			return
+		if rule.Apply != nil {
+			rule.Apply(rc)
 		}
-		r.require(ProcessWiretapOrder, RegimeWiretap,
-			"real-time acquisition of the contents of wire or electronic communications requires a Title III order")
-		r.cite("Title3")
-		if a.Source == SourceWirelessBroadcast {
-			r.Rationale = append(r.Rationale,
-				"(*) collecting wireless payloads outside a home, even unencrypted ones, is treated as interception of content (cf. the Google Street View collection)")
-			r.cite("StreetView")
-		}
-		if a.InterceptsThirdParty {
-			r.Rationale = append(r.Rationale,
-				"operating a relay to acquire communications between third parties is an interception under color of law")
-		}
-		if a.Encrypted {
-			r.Rationale = append(r.Rationale,
-				"encryption does not change the content/non-content line; decrypting intercepted payloads still acquires content")
-		}
-		return
-
-	default:
-		// Addressing, basic subscriber information, and transactional
-		// records in transit are non-content: Pen/Trap territory.
-		if a.Source == SourcePublicService {
-			// Joining a public service as an ordinary user exposes
-			// its addressing information just as it does its public
-			// content; the § 2511(2)(g)(i) rationale reaches both.
-			r.require(ProcessNone, RegimePenTrap,
-				"addressing information of a system readily accessible to the general public may be collected by any person")
-			r.except(ExceptionPublicAccess, "§ 2511(2)(g)(i) public-access rationale")
-			r.cite("2511_2_g", "Smith")
-			return
-		}
-		if a.Source == SourceWirelessBroadcast {
-			r.require(ProcessNone, RegimePenTrap,
-				"(*) radio-broadcast addressing headers receivable from outside the premises are readily accessible to the general public and carry no expectation of privacy")
-			r.except(ExceptionNoREP, "no reasonable expectation of privacy in broadcast addressing headers")
-			r.except(ExceptionPublicAccess, "§ 2511(2)(g)(i) public-access rationale extends to addressing headers")
-			r.cite("2511_2_g", "Smith")
-			return
-		}
-		if c := a.Consent; c.Effective() && (c.Scope == ConsentCommunicationParty || c.Scope == ConsentVictimTrespasser) {
-			r.require(ProcessNone, RegimePenTrap,
-				"a party to the communication consented to collection of its addressing information")
-			r.except(ExceptionConsent, "party consent")
-			r.cite("2511_2_c")
-			return
-		}
-		if x := a.Exigency; x != nil && x.Kind == ExigencyEmergencyPenTrap && x.Effective() {
-			r.require(ProcessNone, RegimePenTrap,
-				"the emergency pen/trap provision authorizes installation without a court order upon high-level approval")
-			r.except(ExceptionEmergencyPenTrap, "emergency pen/trap, § 3125")
-			r.cite("3125")
-			return
-		}
-		r.require(ProcessCourtOrder, RegimePenTrap,
-			"installing a pen register or trap-and-trace device to collect addressing and other non-content information requires a pen/trap order")
-		r.cite("PenTrap", "3121c")
-		return
-	}
-}
-
-// evaluateStored handles access to data at rest: the SCA when a covered
-// provider holds it, the Fourth Amendment otherwise.
-func (e *Engine) evaluateStored(a *Action, r *Ruling) {
-	// Provider-held data under the SCA.
-	if a.Source == SourceProviderStored && (a.ProviderRole == ProviderECS || a.ProviderRole == ProviderRCS) {
-		if c := a.Consent; c.Effective() && (c.Scope == ConsentOwnData || c.Scope == ConsentProviderToS) {
-			r.require(ProcessNone, RegimeSCA,
-				"disclosure with the consent of the user, or under the provider's terms-of-service authority, falls within the SCA's voluntary-disclosure exceptions")
-			r.except(ExceptionConsent, "SCA consent exception, § 2702")
-			r.cite("2702", "SCA")
-			return
-		}
-		if x := a.Exigency; x.Effective() && x.Kind != ExigencyEmergencyPenTrap {
-			r.require(ProcessNone, RegimeSCA,
-				"the SCA's emergency exception permits disclosure when exigent circumstances are present")
-			r.except(ExceptionExigency, "SCA emergency disclosure")
-			r.cite("2702", "Mincey")
-			return
-		}
-		switch a.Data {
-		case DataContent, DataDeviceContents:
-			r.require(ProcessSearchWarrant, RegimeSCA,
-				"compelling the contents of communications stored with an ECS or RCS provider requires a search warrant (a warrant can disclose everything)")
-			r.cite("2703", "SCA")
-		case DataTransactionalRecords:
-			r.require(ProcessCourtOrder, RegimeSCA,
-				"compelling non-content transactional records requires a § 2703(d) order supported by specific and articulable facts")
-			r.cite("2703", "SCA")
-		case DataBasicSubscriber:
-			r.require(ProcessSubpoena, RegimeSCA,
-				"compelling basic subscriber information requires only a subpoena")
-			r.cite("2703", "SCA")
-		default:
-			r.require(ProcessNone, RegimeSCA,
-				"public information held by a provider may be collected without process")
-			r.except(ExceptionNoREP, "no reasonable expectation of privacy in public information")
-			r.cite("SCA", "Gorshkov")
-		}
-		return
-	}
-
-	// A seized device or legally obtained data set: examination within
-	// the original authority needs nothing further; going beyond it is a
-	// new search.
-	if a.Source == SourceSeizedDevice {
-		if a.SearchBeyondAuthority && e.container != ContainerSingle {
-			r.require(ProcessSearchWarrant, RegimeFourthAmendment,
-				"examining a lawfully obtained item for matter outside the original authority — e.g. hash-searching an entire drive for unrelated files — is a new search requiring a warrant")
-			r.cite("Crist", "4A")
-			return
-		}
-		if a.SearchBeyondAuthority && e.container == ContainerSingle {
-			r.Rationale = append(r.Rationale,
-				"under the single-container doctrine the lawfully obtained device is one container; the exhaustive examination stays within the original authority")
-		}
-		r.require(ProcessNone, RegimeFourthAmendment,
-			"examination of lawfully obtained material within the scope of the original authority requires no further process; the Fourth Amendment does not limit the examiner's techniques for responsive data")
-		r.except(ExceptionLawfulCustody, "lawful custody; examination within original authority")
-		r.cite("Sloane")
-		return
-	}
-
-	// Government workplace searches under the O'Connor framework.
-	if w := a.Workplace; w != nil && w.GovernmentEmployer {
-		if w.Lawful() {
-			r.require(ProcessNone, RegimeFourthAmendment,
-				"a government employer may conduct a warrantless workplace search that is work-related, justified at its inception, and permissible in scope")
-			r.except(ExceptionWorkplace, "O'Connor workplace-search framework satisfied")
-			r.cite("OConnor")
-			return
-		}
-		r.require(ProcessSearchWarrant, RegimeFourthAmendment,
-			"the workplace search fails the O'Connor conditions; the employee's reasonable expectation of privacy controls")
-		r.cite("OConnor", "4A")
-		return
-	}
-
-	// Everything else: Fourth Amendment REP analysis.
-	p := analyzePrivacy(a)
-	r.Privacy = &p
-	r.Regime = RegimeFourthAmendment
-	for _, c := range p.Citations {
-		r.cite(c.ID)
-	}
-	if !p.Reasonable {
-		r.require(ProcessNone, RegimeFourthAmendment,
-			"the government action is not a search: the target has no reasonable expectation of privacy")
-		r.except(ExceptionNoREP, "no reasonable expectation of privacy")
-		r.Rationale = append(r.Rationale, p.Reasons...)
-		return
-	}
-	if c := a.Consent; c.Effective() {
-		r.require(ProcessNone, RegimeFourthAmendment,
-			"voluntary consent by a person with authority permits a warrantless search within the consent's scope")
-		r.except(ExceptionConsent, fmt.Sprintf("consent: %s", c.Scope))
-		r.cite("Matlock")
-		return
-	}
-	if x := a.Exigency; x.Effective() && x.Kind != ExigencyEmergencyPenTrap {
-		r.require(ProcessNone, RegimeFourthAmendment,
-			"exigent circumstances permit a warrantless search immediately necessary to protect safety or preserve evidence")
-		r.except(ExceptionExigency, fmt.Sprintf("exigency: %s", x.Kind))
-		r.cite("Mincey")
-		return
-	}
-	r.require(ProcessSearchWarrant, RegimeFourthAmendment,
-		"a search of matter carrying a reasonable expectation of privacy requires a warrant supported by probable cause")
-	r.cite("4A", "Katz")
-	r.Rationale = append(r.Rationale, p.Reasons...)
-	if a.Consent != nil && !a.Consent.Effective() {
-		switch {
-		case a.Consent.Revoked:
-			r.Rationale = append(r.Rationale, "the proffered consent was revoked; the search must cease")
-		case a.Consent.ExceedsScope:
-			r.Rationale = append(r.Rationale, "the acquisition exceeds the scope of the proffered consent (e.g. reaching into the attacker's own computer on a victim's authorization)")
+		r.cite(rule.Citations...)
+		r.Applied = append(r.Applied, rule.Name)
+		if rule.Terminal {
+			break
 		}
 	}
+	return r
 }

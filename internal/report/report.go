@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,23 +56,23 @@ type SceneView struct {
 	Match       bool   `json:"match"`
 }
 
-// Table1Report evaluates every scene and pairs it with the paper's answer.
+// Table1Report evaluates every scene through the engine's concurrent
+// batch API and pairs each with the paper's answer.
 func Table1Report(engine *legal.Engine) ([]SceneView, error) {
-	scenes := scenario.Table1()
-	out := make([]SceneView, 0, len(scenes))
-	for _, s := range scenes {
-		r, err := engine.Evaluate(s.Action)
-		if err != nil {
-			return nil, fmt.Errorf("report: scene %d: %w", s.Number, err)
-		}
+	rulings, err := scenario.EvaluateTable1(context.Background(), engine)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SceneView, 0, len(rulings))
+	for _, sr := range rulings {
 		out = append(out, SceneView{
-			Number:      s.Number,
-			Description: s.Description,
-			PaperAnswer: s.Answer(),
-			EngineNeeds: r.NeedsProcess(),
-			Required:    r.Required.String(),
-			Regime:      r.Regime.String(),
-			Match:       r.NeedsProcess() == s.PaperNeeds,
+			Number:      sr.Scene.Number,
+			Description: sr.Scene.Description,
+			PaperAnswer: sr.Scene.Answer(),
+			EngineNeeds: sr.Ruling.NeedsProcess(),
+			Required:    sr.Ruling.Required.String(),
+			Regime:      sr.Ruling.Regime.String(),
+			Match:       sr.Matches(),
 		})
 	}
 	return out, nil
@@ -86,21 +87,21 @@ type CaseStudyView struct {
 	Match         bool   `json:"match"`
 }
 
-// CaseStudiesReport evaluates the Section IV situations.
+// CaseStudiesReport evaluates the Section IV situations through the
+// engine's concurrent batch API.
 func CaseStudiesReport(engine *legal.Engine) ([]CaseStudyView, error) {
-	studies := scenario.CaseStudies()
-	out := make([]CaseStudyView, 0, len(studies))
-	for _, cs := range studies {
-		r, err := engine.Evaluate(cs.Action)
-		if err != nil {
-			return nil, fmt.Errorf("report: %s: %w", cs.ID, err)
-		}
+	rulings, err := scenario.EvaluateCaseStudies(context.Background(), engine)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CaseStudyView, 0, len(rulings))
+	for _, cr := range rulings {
 		out = append(out, CaseStudyView{
-			ID:            cs.ID,
-			Description:   cs.Description,
-			PaperRequires: cs.PaperProcess.String(),
-			EngineRequire: r.Required.String(),
-			Match:         r.Required == cs.PaperProcess,
+			ID:            cr.Study.ID,
+			Description:   cr.Study.Description,
+			PaperRequires: cr.Study.PaperProcess.String(),
+			EngineRequire: cr.Ruling.Required.String(),
+			Match:         cr.Matches(),
 		})
 	}
 	return out, nil

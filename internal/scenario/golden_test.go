@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lawgate/internal/legal"
+)
+
+// The golden-ruling invariant: the engine's full rulings for every Table 1
+// scene and every Section IV case study, captured from the seed engine and
+// asserted byte-stable across refactors. Regenerate (only when a ruling
+// change is intended and reviewed) with:
+//
+//	go test ./internal/scenario -run TestGoldenRulings -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/table1_rulings.json from the current engine")
+
+// goldenRuling serializes every observable field of a legal.Ruling, so the
+// golden file pins process, regime, exceptions, privacy finding, rationale
+// chain, and citation order — not just the Need / No need answer.
+type goldenRuling struct {
+	Name       string         `json:"name"`
+	Required   string         `json:"required"`
+	Regime     string         `json:"regime"`
+	Needs      bool           `json:"needsProcess"`
+	Exceptions []string       `json:"exceptions"`
+	Privacy    *goldenPrivacy `json:"privacy,omitempty"`
+	Rationale  []string       `json:"rationale"`
+	Citations  []string       `json:"citations"`
+}
+
+type goldenPrivacy struct {
+	Reasonable bool     `json:"reasonable"`
+	Reasons    []string `json:"reasons"`
+	Citations  []string `json:"citations"`
+}
+
+type goldenFile struct {
+	Table1      []goldenEntry `json:"table1"`
+	CaseStudies []goldenEntry `json:"caseStudies"`
+}
+
+type goldenEntry struct {
+	Key    string       `json:"key"`
+	Ruling goldenRuling `json:"ruling"`
+}
+
+func toGolden(r legal.Ruling) goldenRuling {
+	g := goldenRuling{
+		Name:       r.Action.Name,
+		Required:   r.Required.String(),
+		Regime:     r.Regime.String(),
+		Needs:      r.NeedsProcess(),
+		Exceptions: []string{},
+		Rationale:  append([]string{}, r.Rationale...),
+		Citations:  []string{},
+	}
+	for _, e := range r.Exceptions {
+		g.Exceptions = append(g.Exceptions, e.String())
+	}
+	for _, c := range r.Citations {
+		g.Citations = append(g.Citations, c.ID)
+	}
+	if r.Privacy != nil {
+		p := &goldenPrivacy{
+			Reasonable: r.Privacy.Reasonable,
+			Reasons:    append([]string{}, r.Privacy.Reasons...),
+			Citations:  []string{},
+		}
+		for _, c := range r.Privacy.Citations {
+			p.Citations = append(p.Citations, c.ID)
+		}
+		g.Privacy = p
+	}
+	return g
+}
+
+func currentGolden(t *testing.T) goldenFile {
+	t.Helper()
+	engine := legal.NewEngine()
+	var f goldenFile
+	for _, s := range Table1() {
+		r, err := engine.Evaluate(s.Action)
+		if err != nil {
+			t.Fatalf("scene %d: %v", s.Number, err)
+		}
+		f.Table1 = append(f.Table1, goldenEntry{
+			Key:    s.Action.Name,
+			Ruling: toGolden(r),
+		})
+	}
+	for _, cs := range CaseStudies() {
+		r, err := engine.Evaluate(cs.Action)
+		if err != nil {
+			t.Fatalf("%s: %v", cs.ID, err)
+		}
+		f.CaseStudies = append(f.CaseStudies, goldenEntry{
+			Key:    cs.ID,
+			Ruling: toGolden(r),
+		})
+	}
+	return f
+}
+
+// TestGoldenRulings asserts that evaluating every Table 1 scene and both
+// Section IV case studies reproduces the seed engine's rulings exactly —
+// all fields, same order — byte for byte against the checked-in golden
+// file.
+func TestGoldenRulings(t *testing.T) {
+	got, err := json.MarshalIndent(currentGolden(t), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "table1_rulings.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		// Decode both sides to report the first diverging entry before
+		// failing on the byte comparison.
+		var gf, wf goldenFile
+		if json.Unmarshal(got, &gf) == nil && json.Unmarshal(want, &wf) == nil {
+			reportFirstDivergence(t, wf, gf)
+		}
+		t.Fatalf("rulings diverged from the golden file (%d bytes got, %d want)", len(got), len(want))
+	}
+}
+
+func reportFirstDivergence(t *testing.T, want, got goldenFile) {
+	t.Helper()
+	diff := func(section string, w, g []goldenEntry) {
+		for i := range w {
+			if i >= len(g) {
+				t.Errorf("%s: entry %q missing", section, w[i].Key)
+				return
+			}
+			wb, _ := json.Marshal(w[i])
+			gb, _ := json.Marshal(g[i])
+			if !bytes.Equal(wb, gb) {
+				t.Errorf("%s %q diverged:\n  want %s\n  got  %s", section, w[i].Key, wb, gb)
+				return
+			}
+		}
+		if len(g) > len(w) {
+			t.Errorf("%s: %d extra entries", section, len(g)-len(w))
+		}
+	}
+	diff("table1", want.Table1, got.Table1)
+	diff("case study", want.CaseStudies, got.CaseStudies)
+}

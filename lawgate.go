@@ -13,6 +13,21 @@
 // chain. The paper's Table 1 (twenty digital-crime scenes) is encoded in
 // internal/scenario and reproduced exactly.
 //
+// Internally the engine is a declarative rule pipeline: every doctrine
+// the paper cites is one named Rule value (predicate, ruling
+// contribution, citations, and optionally the counterfactual the advisor
+// explores) in the ordered table DefaultRules returns. Evaluate walks
+// the table first-match; a Ruling records which rules fired in its
+// Applied field. Adding a doctrine means adding one Rule — typically via
+// InsertRuleBefore plus WithRules on a custom engine — with no change to
+// the pipeline itself.
+//
+// For corpus-scale work the engine offers EvaluateBatch, a bounded
+// worker pool that evaluates a slice of Actions concurrently and returns
+// rulings in input order, and WithRulingCache, a sharded memoization
+// cache keyed by each Action's canonical Fingerprint. Rulings are
+// immutable, so cached results are shared, not copied.
+//
 // Around the engine sit the substrates the paper's scenarios need:
 //
 //   - evidence: hash-chained chain of custody and exclusionary-rule taint
@@ -60,6 +75,13 @@ type (
 	Regime = legal.Regime
 	// Citation is a legal authority reference.
 	Citation = legal.Citation
+	// Rule is one named doctrine in the engine's declarative pipeline.
+	Rule = legal.Rule
+	// RuleContext is the evaluation state a Rule predicates on and
+	// mutates.
+	RuleContext = legal.RuleContext
+	// EngineOption configures NewEngine (rule table, cache, workers).
+	EngineOption = legal.EngineOption
 )
 
 // Process levels, re-exported.
@@ -71,8 +93,39 @@ const (
 	ProcessWiretapOrder  = legal.ProcessWiretapOrder
 )
 
+// Governing regimes, re-exported (custom Rules pass one to
+// RuleContext.Require).
+const (
+	RegimeNone            = legal.RegimeNone
+	RegimeFourthAmendment = legal.RegimeFourthAmendment
+	RegimeWiretap         = legal.RegimeWiretap
+	RegimePenTrap         = legal.RegimePenTrap
+	RegimeSCA             = legal.RegimeSCA
+)
+
 // NewEngine returns a ready-to-use compliance engine.
 func NewEngine(opts ...legal.EngineOption) *Engine { return legal.NewEngine(opts...) }
+
+// DefaultRules returns the engine's doctrine table: the paper's rules in
+// precedence order, one named Rule per doctrine.
+func DefaultRules() []Rule { return legal.DefaultRules() }
+
+// InsertRuleBefore returns a copy of rules with r inserted before the
+// named rule — the extension point for registering a new doctrine on a
+// custom engine via WithRules.
+func InsertRuleBefore(rules []Rule, name string, r Rule) ([]Rule, error) {
+	return legal.InsertRuleBefore(rules, name, r)
+}
+
+// WithRules substitutes the engine's rule table.
+func WithRules(rules []Rule) EngineOption { return legal.WithRules(rules) }
+
+// WithRulingCache enables the sharded ruling memoization cache
+// (shards <= 0 selects the default shard count).
+func WithRulingCache(shards int) EngineOption { return legal.WithRulingCache(shards) }
+
+// WithBatchWorkers bounds EvaluateBatch's worker pool.
+func WithBatchWorkers(n int) EngineOption { return legal.WithBatchWorkers(n) }
 
 // Advice is one advisor suggestion for lowering an action's process
 // requirement — the paper's recommendation to researchers operationalized.
@@ -84,6 +137,10 @@ type (
 	Scene = scenario.Scene
 	// CaseStudy is one Section IV analysis.
 	CaseStudy = scenario.CaseStudy
+	// SceneRuling pairs a Scene with the engine's ruling.
+	SceneRuling = scenario.SceneRuling
+	// CaseStudyRuling pairs a CaseStudy with the engine's ruling.
+	CaseStudyRuling = scenario.CaseStudyRuling
 )
 
 // Table1 returns the paper's twenty scenes.

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate: everything a change must pass before it lands.
+# Usage: scripts/ci.sh
+#
+# Runs, in order: vet, build, the full test suite, and the race
+# detector over the whole module. Benchmarks are not part of the gate
+# (run `go test -bench=. -benchmem` for those); the golden-ruling test
+# in internal/scenario pins the engine's Table 1 output.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "tier-1 gate: PASS"
