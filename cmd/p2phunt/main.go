@@ -2,84 +2,122 @@
 // P2P timing attack's classification quality as a function of the probe
 // budget and of the protocol's artificial-delay floor. Experiment E2.
 //
+// Trials run in parallel on the shared experiment harness; results are
+// byte-identical for a given -seed regardless of -workers.
+//
 // Usage:
 //
-//	p2phunt [-neighbors N] [-sources S] [-trials T]
+//	p2phunt [-neighbors N] [-sources S] [-trials T] [-workers W] [-seed S] [-json|-csv] [-smoke]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 	"time"
 
+	"lawgate/internal/experiment"
 	"lawgate/internal/p2p"
-	"lawgate/internal/stats"
 )
 
 func main() {
-	neighbors := flag.Int("neighbors", 16, "investigator neighbor count")
-	sources := flag.Int("sources", 6, "neighbors that are true sources")
-	trials := flag.Int("trials", 5, "seeds averaged per configuration")
+	var o options
+	flag.IntVar(&o.neighbors, "neighbors", 16, "investigator neighbor count")
+	flag.IntVar(&o.sources, "sources", 6, "neighbors that are true sources")
+	flag.IntVar(&o.trials, "trials", 5, "seeds per sweep point")
+	flag.IntVar(&o.workers, "workers", 0, "parallel trial workers (0 = all CPUs)")
+	flag.Int64Var(&o.seed, "seed", 1, "master seed; per-trial seeds derive from it")
+	flag.BoolVar(&o.json, "json", false, "emit results as JSON instead of text")
+	flag.BoolVar(&o.csv, "csv", false, "emit results as CSV instead of text")
+	flag.BoolVar(&o.smoke, "smoke", false, "tiny CI sweep: 4 neighbors, 1 trial, 2 points per series")
 	flag.Parse()
-	if err := run(*neighbors, *sources, *trials); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "p2phunt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(neighbors, sources, trials int) error {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "E2 — anonymous-P2P timing attack (%d neighbors, %d sources, %d trials/point)\n",
-		neighbors, sources, trials)
-	fmt.Fprintln(w, "Legal posture: no warrant/court order/subpoena required (Table 1 scene 10).")
-
-	fmt.Fprintln(w, "\nSeries 1: classification vs probe budget (OneSwarm delays 150-300 ms)")
-	fmt.Fprintln(w, "probes\taccuracy\tprecision\trecall")
-	for _, probes := range []int{1, 2, 4, 8, 16, 32} {
-		acc, prec, rec, err := average(neighbors, sources, probes, trials, p2p.DefaultConfig(p2p.ModeAnonymous))
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\n", probes, acc, prec, rec)
-	}
-
-	fmt.Fprintln(w, "\nSeries 2: classification vs delay floor (probes=8; overlap when floor < ~170 ms)")
-	fmt.Fprintln(w, "delay-min(ms)\taccuracy\tprecision\trecall")
-	for _, minMS := range []int{40, 60, 90, 120, 150, 200} {
-		cfg := p2p.DefaultConfig(p2p.ModeAnonymous)
-		cfg.DelayMin = time.Duration(minMS) * time.Millisecond
-		acc, prec, rec, err := average(neighbors, sources, 8, trials, cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%d\t%.3f\t%.3f\t%.3f\n", minMS, acc, prec, rec)
-	}
-	return w.Flush()
+type options struct {
+	neighbors, sources, trials, workers int
+	seed                                int64
+	json, csv, smoke                    bool
 }
 
-func average(neighbors, sources, probes, trials int, cfg p2p.Config) (acc, prec, rec float64, err error) {
-	accs := make([]float64, 0, trials)
-	for t := 0; t < trials; t++ {
-		res, runErr := p2p.RunExperiment(p2p.ExperimentConfig{
-			Seed:      int64(1000*probes + t + 1),
-			Neighbors: neighbors,
-			Sources:   sources,
-			Probes:    probes,
-			Overlay:   cfg,
-		})
-		if runErr != nil {
-			return 0, 0, 0, runErr
+// normalized applies the -smoke grid reductions to the options themselves
+// so the rendered header always matches the grid actually run.
+func (o options) normalized() options {
+	if o.smoke {
+		o.neighbors, o.sources, o.trials = 4, 2, 1
+	}
+	return o
+}
+
+// sweeps declares the E2 series for the given options.
+func sweeps(o options) []experiment.Sweep {
+	sc := p2p.SweepConfig{
+		Neighbors: o.neighbors,
+		Sources:   o.sources,
+		Reps:      o.trials,
+		Seed:      o.seed,
+		Overlay:   p2p.DefaultConfig(p2p.ModeAnonymous),
+	}
+	probes := []int{1, 2, 4, 8, 16, 32}
+	floors := []time.Duration{40, 60, 90, 120, 150, 200}
+	fixedProbes := 8
+	if o.smoke {
+		probes = []int{1, 4}
+		floors = []time.Duration{90, 150}
+		fixedProbes = 4
+	}
+	for i := range floors {
+		floors[i] *= time.Millisecond
+	}
+	return []experiment.Sweep{
+		p2p.ProbeSweep(sc, probes),
+		p2p.DelaySweep(sc, fixedProbes, floors),
+	}
+}
+
+func run(w io.Writer, o options) error {
+	o = o.normalized()
+	runner := experiment.Runner{Workers: o.workers}
+	report := experiment.Report{Name: "E2-p2p-timing-attack"}
+	for _, sw := range sweeps(o) {
+		series, err := runner.Run(context.Background(), sw)
+		if err != nil {
+			return err
 		}
-		accs = append(accs, res.Accuracy())
-		prec += res.Precision()
-		rec += res.Recall()
+		report.Series = append(report.Series, series)
 	}
-	sum, err := stats.Summarize(accs)
-	if err != nil {
-		return 0, 0, 0, err
+	switch {
+	case o.json:
+		return report.WriteJSON(w)
+	case o.csv:
+		return report.WriteCSV(w)
 	}
-	n := float64(trials)
-	return sum.Mean, prec / n, rec / n, nil
+	return render(w, o, report)
+}
+
+func render(w io.Writer, o options, report experiment.Report) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "E2 — anonymous-P2P timing attack (%d neighbors, %d sources, %d trials/point, seed %d)\n",
+		o.neighbors, o.sources, o.trials, o.seed)
+	fmt.Fprintln(tw, "Legal posture: no warrant/court order/subpoena required (Table 1 scene 10).")
+	titles := map[string]string{
+		"p2p-probe-budget": "classification vs probe budget (OneSwarm delays 150-300 ms)",
+		"p2p-delay-floor":  "classification vs delay floor (overlap when floor < ~170 ms)",
+	}
+	for _, s := range report.Series {
+		fmt.Fprintf(tw, "\nSeries %s: %s\n", s.Sweep, titles[s.Sweep])
+		fmt.Fprintln(tw, "point\taccuracy ±CI\tprecision\trecall")
+		for _, p := range s.Points {
+			acc := p.Metric("accuracy")
+			fmt.Fprintf(tw, "%s\t%.3f ±%.3f\t%.3f\t%.3f\n",
+				p.Label, acc.Mean, acc.CI95, p.Metric("precision").Mean, p.Metric("recall").Mean)
+		}
+	}
+	return tw.Flush()
 }

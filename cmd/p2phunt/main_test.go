@@ -1,31 +1,80 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"testing"
 
+	"lawgate/internal/experiment"
 	"lawgate/internal/p2p"
 )
 
-func TestAverage(t *testing.T) {
-	acc, prec, rec, err := average(6, 2, 4, 2, p2p.DefaultConfig(p2p.ModeAnonymous))
+// smokeOptions is the tiny CI sweep at two workers.
+func smokeOptions() options {
+	return options{neighbors: 4, sources: 2, trials: 1, workers: 2, seed: 1, smoke: true}
+}
+
+func TestProbeSweepPoint(t *testing.T) {
+	sc := p2p.SweepConfig{
+		Neighbors: 6, Sources: 2, Reps: 2, Seed: 1,
+		Overlay: p2p.DefaultConfig(p2p.ModeAnonymous),
+	}
+	series, err := experiment.Runner{Workers: 2}.Run(context.Background(), p2p.ProbeSweep(sc, []int{4}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, v := range map[string]float64{"accuracy": acc, "precision": prec, "recall": rec} {
-		if v < 0 || v > 1 {
-			t.Errorf("%s = %v out of range", name, v)
+	p := series.Points[0]
+	for _, key := range []string{"accuracy", "precision", "recall"} {
+		if m := p.Metric(key); m.Mean < 0 || m.Mean > 1 {
+			t.Errorf("%s = %v out of range", key, m.Mean)
 		}
 	}
-	if acc != 1 {
+	if acc := p.Metric("accuracy").Mean; acc != 1 {
 		t.Errorf("accuracy at default separation = %v, want 1", acc)
 	}
 }
 
-func TestRunSmall(t *testing.T) {
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, smokeOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestRunJSONDeterministicAcrossWorkers(t *testing.T) {
+	var blobs [][]byte
+	for _, workers := range []int{1, 3} {
+		o := smokeOptions()
+		o.workers = workers
+		o.json = true
+		var buf bytes.Buffer
+		if err := run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, buf.Bytes())
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Error("JSON output differs between workers=1 and workers=3")
+	}
+	var report experiment.Report
+	if err := json.Unmarshal(blobs[0], &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(report.Series) != 2 {
+		t.Errorf("series count = %d, want 2", len(report.Series))
+	}
+}
+
+func TestRunSmallFullGrid(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep too slow for -short")
 	}
-	if err := run(4, 2, 1); err != nil {
+	var buf bytes.Buffer
+	if err := run(&buf, options{neighbors: 4, sources: 2, trials: 1, workers: 2, seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,163 +1,134 @@
 // Command tracewatermark runs the Section IV-B experiment sweep: DSSS
 // PN-code flow-watermark detection through a Tor-like circuit, against the
 // naive packet-count-correlation baseline, as functions of code length,
-// cross-traffic noise, and modulation amplitude. Experiment E3.
+// cross-traffic noise, and modulation amplitude, plus the K-candidate
+// lineup. Experiment E3.
+//
+// Trials run in parallel on the shared experiment harness; results are
+// byte-identical for a given -seed regardless of -workers.
 //
 // Usage:
 //
-//	tracewatermark [-trials T]
+//	tracewatermark [-trials T] [-workers W] [-seed S] [-json|-csv] [-smoke]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
-	"lawgate/internal/stats"
+	"lawgate/internal/experiment"
 	"lawgate/internal/watermark"
 )
 
 func main() {
-	trials := flag.Int("trials", 5, "seeds averaged per configuration")
+	var o options
+	flag.IntVar(&o.trials, "trials", 5, "seeds per sweep point")
+	flag.IntVar(&o.workers, "workers", 0, "parallel trial workers (0 = all CPUs)")
+	flag.Int64Var(&o.seed, "seed", 1, "master seed; per-trial seeds derive from it")
+	flag.BoolVar(&o.json, "json", false, "emit results as JSON instead of text")
+	flag.BoolVar(&o.csv, "csv", false, "emit results as CSV instead of text")
+	flag.BoolVar(&o.smoke, "smoke", false, "tiny CI sweep: 2-bit payload, 1 trial, 1 point per series")
 	flag.Parse()
-	if err := run(*trials); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "tracewatermark:", err)
 		os.Exit(1)
 	}
 }
 
-type point struct {
-	tpr, fpr, baseTPR, baseFPR, meanZ float64
-	// tprLo and tprHi bound the DSSS TPR with a 95% Wilson interval;
-	// zCI is the 95% half-width on the mean Z.
-	tprLo, tprHi, zCI float64
+type options struct {
+	trials, workers  int
+	seed             int64
+	json, csv, smoke bool
 }
 
-func sweep(base watermark.ExperimentConfig, trials int, mutate func(*watermark.ExperimentConfig)) (point, error) {
-	var p point
-	var detections int
-	zs := make([]float64, 0, trials)
-	for t := 0; t < trials; t++ {
-		guilty := base
-		guilty.Guilty = true
-		guilty.Seed = int64(100 + t)
-		mutate(&guilty)
-		resG, err := watermark.RunExperiment(guilty)
-		if err != nil {
-			return point{}, err
-		}
-		innocent := guilty
-		innocent.Guilty = false
-		innocent.Seed = int64(500 + t)
-		resI, err := watermark.RunExperiment(innocent)
-		if err != nil {
-			return point{}, err
-		}
-		if resG.Detected {
-			p.tpr++
-			detections++
-		}
-		if resI.Detected {
-			p.fpr++
-		}
-		if resG.BaselineDetected {
-			p.baseTPR++
-		}
-		if resI.BaselineDetected {
-			p.baseFPR++
-		}
-		zs = append(zs, resG.Watermark.Z)
+// normalized applies the -smoke grid reductions to the options themselves
+// so the rendered header always matches the grid actually run.
+func (o options) normalized() options {
+	if o.smoke {
+		o.trials = 1
 	}
-	n := float64(trials)
-	p.tpr /= n
-	p.fpr /= n
-	p.baseTPR /= n
-	p.baseFPR /= n
-	var err error
-	if p.tprLo, p.tprHi, err = stats.Wilson(detections, trials); err != nil {
-		return point{}, err
-	}
-	zsum, err := stats.Summarize(zs)
-	if err != nil {
-		return point{}, err
-	}
-	p.meanZ = zsum.Mean
-	p.zCI = zsum.CI95
-	return p, nil
+	return o
 }
 
-func run(trials int) error {
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(w, "E3 — DSSS watermark traceback vs baseline correlation (%d trials/point)\n", trials)
-	fmt.Fprintln(w, "Legal posture: court order suffices — packet rates are non-content (no wiretap order).")
-
+// sweeps declares the E3 series for the given options.
+func sweeps(o options) []experiment.Sweep {
 	base := watermark.DefaultExperimentConfig()
+	degrees := []int{5, 6, 7, 8, 9}
+	noises := []float64{0, 0.5, 1, 2, 4}
+	amps := []float64{0.05, 0.10, 0.20, 0.30, 0.50}
+	candidates := []int{2, 4, 8}
+	reps := o.trials
+	lineup := watermark.DefaultLineupConfig()
+	if o.smoke {
+		base.Bits = 2
+		degrees = []int{5}
+		noises = []float64{0.5}
+		amps = []float64{0.30}
+		candidates = []int{2}
+		lineup.Bits = 2
+	}
+	return []experiment.Sweep{
+		watermark.CodeSweep(base, reps, o.seed, degrees),
+		watermark.NoiseSweep(base, reps, o.seed, noises),
+		watermark.AmplitudeSweep(base, reps, o.seed, amps),
+		watermark.LineupSweep(lineup, reps, o.seed, candidates),
+	}
+}
 
-	fmt.Fprintln(w, "\nSeries 1: detection vs PN-code length (noise=1.0)")
-	fmt.Fprintln(w, "code\tDSSS-TPR [95%CI]\tDSSS-FPR\tmean-Z ±CI\tbase-TPR\tbase-FPR")
-	for _, degree := range []int{5, 6, 7, 8, 9} {
-		p, err := sweep(base, trials, func(c *watermark.ExperimentConfig) {
-			c.CodeDegree = degree
-			c.NoiseRate = 1.0
-		})
+func run(w io.Writer, o options) error {
+	o = o.normalized()
+	runner := experiment.Runner{Workers: o.workers}
+	report := experiment.Report{Name: "E3-dsss-watermark-traceback"}
+	for _, sw := range sweeps(o) {
+		series, err := runner.Run(context.Background(), sw)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "%d\t%.2f [%.2f,%.2f]\t%.2f\t%.1f ±%.1f\t%.2f\t%.2f\n",
-			(1<<degree)-1, p.tpr, p.tprLo, p.tprHi, p.fpr, p.meanZ, p.zCI, p.baseTPR, p.baseFPR)
+		report.Series = append(report.Series, series)
 	}
-
-	fmt.Fprintln(w, "\nSeries 2: detection vs cross-traffic noise (code=127)")
-	fmt.Fprintln(w, "noise\tDSSS-TPR [95%CI]\tDSSS-FPR\tmean-Z ±CI\tbase-TPR\tbase-FPR")
-	for _, noise := range []float64{0, 0.5, 1, 2, 4} {
-		noise := noise
-		p, err := sweep(base, trials, func(c *watermark.ExperimentConfig) {
-			c.NoiseRate = noise
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%.1f\t%.2f [%.2f,%.2f]\t%.2f\t%.1f ±%.1f\t%.2f\t%.2f\n",
-			noise, p.tpr, p.tprLo, p.tprHi, p.fpr, p.meanZ, p.zCI, p.baseTPR, p.baseFPR)
+	switch {
+	case o.json:
+		return report.WriteJSON(w)
+	case o.csv:
+		return report.WriteCSV(w)
 	}
+	return render(w, o, report)
+}
 
-	fmt.Fprintln(w, "\nSeries 3: detection vs modulation amplitude (code=127, noise=1.0)")
-	fmt.Fprintln(w, "amplitude\tDSSS-TPR [95%CI]\tDSSS-FPR\tmean-Z ±CI")
-	for _, amp := range []float64{0.05, 0.10, 0.20, 0.30, 0.50} {
-		amp := amp
-		p, err := sweep(base, trials, func(c *watermark.ExperimentConfig) {
-			c.Amplitude = amp
-			c.NoiseRate = 1.0
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%.2f\t%.2f [%.2f,%.2f]\t%.2f\t%.1f ±%.1f\n", amp, p.tpr, p.tprLo, p.tprHi, p.fpr, p.meanZ, p.zCI)
+func render(w io.Writer, o options, report experiment.Report) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "E3 — DSSS watermark traceback vs baseline correlation (%d trials/point, seed %d)\n",
+		o.trials, o.seed)
+	fmt.Fprintln(tw, "Legal posture: court order suffices — packet rates are non-content (no wiretap order).")
+	titles := map[string]string{
+		"watermark-code-length": "detection vs PN-code length (noise=1.0)",
+		"watermark-noise":       "detection vs cross-traffic noise",
+		"watermark-amplitude":   "detection vs modulation amplitude (noise=1.0)",
+		"watermark-lineup":      "lineup identification — which of K candidates is the downloader",
 	}
-
-	fmt.Fprintln(w, "\nSeries 4: lineup identification — which of K candidates is the downloader")
-	fmt.Fprintln(w, "candidates\tcorrect-ID rate [95%CI]")
-	for _, k := range []int{2, 4, 8} {
-		correct := 0
-		for tr := 0; tr < trials; tr++ {
-			lc := watermark.DefaultLineupConfig()
-			lc.Suspects = k
-			lc.Guilty = tr % k
-			lc.Seed = int64(700 + tr)
-			res, err := watermark.RunLineup(lc)
-			if err != nil {
-				return err
+	for _, s := range report.Series {
+		fmt.Fprintf(tw, "\nSeries %s: %s\n", s.Sweep, titles[s.Sweep])
+		if s.Sweep == "watermark-lineup" {
+			fmt.Fprintln(tw, "point\tcorrect-ID rate [95%CI]")
+			for _, p := range s.Points {
+				c := p.Metric(watermark.MetricCorrect)
+				fmt.Fprintf(tw, "%s\t%.2f [%.2f,%.2f]\n", p.Label, c.Mean, c.WilsonLo, c.WilsonHi)
 			}
-			if res.Correct {
-				correct++
-			}
+			continue
 		}
-		lo, hi, err := stats.Wilson(correct, trials)
-		if err != nil {
-			return err
+		fmt.Fprintln(tw, "point\tDSSS-TPR [95%CI]\tDSSS-FPR\tmean-Z ±CI\tbase-TPR\tbase-FPR")
+		for _, p := range s.Points {
+			tp := p.Metric(watermark.MetricDSSSTP)
+			z := p.Metric(watermark.MetricZ)
+			fmt.Fprintf(tw, "%s\t%.2f [%.2f,%.2f]\t%.2f\t%.1f ±%.1f\t%.2f\t%.2f\n",
+				p.Label, tp.Mean, tp.WilsonLo, tp.WilsonHi,
+				p.Metric(watermark.MetricDSSSFP).Mean, z.Mean, z.CI95,
+				p.Metric(watermark.MetricBaselineTP).Mean, p.Metric(watermark.MetricBaselineFP).Mean)
 		}
-		fmt.Fprintf(w, "%d\t%.2f [%.2f,%.2f]\n", k, float64(correct)/float64(trials), lo, hi)
 	}
-	return w.Flush()
+	return tw.Flush()
 }

@@ -1,27 +1,44 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
+	"lawgate/internal/experiment"
 	"lawgate/internal/watermark"
 )
 
-func TestSweepOnePoint(t *testing.T) {
+func TestNoiseSweepOnePoint(t *testing.T) {
 	base := watermark.DefaultExperimentConfig()
 	base.Bits = 2
-	p, err := sweep(base, 1, func(c *watermark.ExperimentConfig) {
-		c.NoiseRate = 0.5
-	})
+	sw := watermark.NoiseSweep(base, 1, 1, []float64{0.5})
+	series, err := experiment.Runner{Workers: 2}.Run(context.Background(), sw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.tpr != 1 {
-		t.Errorf("TPR = %v, want 1 at moderate noise", p.tpr)
+	p := series.Points[0]
+	if tpr := p.Metric(watermark.MetricDSSSTP).Mean; tpr != 1 {
+		t.Errorf("TPR = %v, want 1 at moderate noise", tpr)
 	}
-	if p.fpr != 0 {
-		t.Errorf("FPR = %v, want 0", p.fpr)
+	if fpr := p.Metric(watermark.MetricDSSSFP).Mean; fpr != 0 {
+		t.Errorf("FPR = %v, want 0", fpr)
 	}
-	if p.meanZ < watermark.DefaultZThreshold {
-		t.Errorf("mean Z = %v below detection threshold", p.meanZ)
+	if z := p.Metric(watermark.MetricZ).Mean; z < watermark.DefaultZThreshold {
+		t.Errorf("mean Z = %v below detection threshold", z)
+	}
+}
+
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke sweep too slow for -short")
+	}
+	var buf bytes.Buffer
+	o := options{trials: 1, workers: 2, seed: 1, smoke: true}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
 	}
 }

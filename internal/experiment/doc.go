@@ -1,0 +1,31 @@
+// Package experiment is the shared sweep/trial harness behind the
+// paper's Section IV measurement campaigns (E2: the anonymous-P2P
+// timing attack, E3: DSSS watermark traceback) and every future
+// experiment grown on the simulator.
+//
+// The model has three layers:
+//
+//   - A Trial is one seeded, self-contained simulation run: the trial's
+//     identity (point index, repetition index) plus a seed derived
+//     deterministically from the sweep's master seed, splitmix64-style.
+//     The trial body builds its own netsim.Simulator from that seed, so
+//     trials share no state and may run in any order on any number of
+//     workers without changing a single output bit.
+//
+//   - A Sweep is a parameter grid of trials: a list of Points (grid
+//     cells), a repetition count per point, a master seed, and a Run
+//     function mapping (Trial, Point) to a Sample of named scalar
+//     metrics.
+//
+//   - A Runner executes a sweep's trials on a bounded worker pool and
+//     folds the samples into a Series: per-point, per-metric summary
+//     statistics with Student-t confidence intervals (and Wilson score
+//     intervals for metrics declared as proportions), ready to emit as
+//     JSON or CSV.
+//
+// Because per-trial seeds depend only on (master seed, point index,
+// repetition index) and aggregation walks results in grid order, a
+// sweep's Series is byte-identical regardless of worker count or
+// scheduling — asserted by tests in this package and in the p2p and
+// watermark packages, which declare their experiments as Sweeps.
+package experiment

@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// globalRand matches package-level math/rand calls — the shared,
+// unseeded generator whose draws depend on everything else in the
+// process. One such call anywhere in a simulation path would break the
+// harness's guarantee that results are a pure function of the derived
+// trial seed. Constructor calls (rand.New, rand.NewSource) don't match.
+var globalRand = regexp.MustCompile(
+	`\brand\.(Int63n|Int63|Int31n|Int31|Intn|Int|N|Uint32|Uint64|Float32|Float64|ExpFloat64|NormFloat64|Perm|Shuffle|Seed|Read)\(`)
+
+// TestNoGlobalRand pins the determinism audit: no non-test source file
+// in the module may draw from math/rand's global generator. All
+// randomness must flow through an explicitly seeded *rand.Rand (in
+// simulations: the per-trial netsim.Simulator's source).
+func TestNoGlobalRand(t *testing.T) {
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "out", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "//") {
+				continue
+			}
+			if m := globalRand.FindString(line); m != "" {
+				t.Errorf("%s:%d: global math/rand call %q — draw from the per-trial seeded source instead",
+					path, i+1, strings.TrimSuffix(m, "("))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Metric is one measurement aggregated across a point's trials.
+type Metric struct {
+	// N is the trial count the statistics summarize.
+	N int `json:"n"`
+	// Mean, Std, and CI95 are the sample mean, standard deviation, and
+	// 95% Student-t confidence half-width on the mean.
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	CI95 float64 `json:"ci95"`
+	// Proportion marks 0/1 outcome metrics; for those WilsonLo/WilsonHi
+	// bound the underlying rate with a 95% Wilson score interval.
+	Proportion bool    `json:"proportion,omitempty"`
+	WilsonLo   float64 `json:"wilson_lo,omitempty"`
+	WilsonHi   float64 `json:"wilson_hi,omitempty"`
+}
+
+// PointResult is one grid cell's aggregated outcome.
+type PointResult struct {
+	Label  string  `json:"label"`
+	Value  float64 `json:"value"`
+	Trials int     `json:"trials"`
+	// Metrics maps metric key to its aggregate. JSON encoding sorts map
+	// keys, so serialized results are deterministic.
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// Metric returns the named metric, or a zero Metric when absent.
+func (p PointResult) Metric(key string) Metric { return p.Metrics[key] }
+
+// Series is one executed sweep's aggregated results, in grid order.
+type Series struct {
+	Sweep  string        `json:"sweep"`
+	Seed   int64         `json:"seed"`
+	Reps   int           `json:"reps"`
+	Points []PointResult `json:"points"`
+}
+
+// JSON renders the series as indented, deterministic JSON.
+func (s Series) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// csvHeader is the flat-file schema shared by Series and Report.
+var csvHeader = []string{
+	"sweep", "point", "value", "trials", "metric",
+	"n", "mean", "std", "ci95", "proportion", "wilson_lo", "wilson_hi",
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func (s Series) writeCSVRows(w *csv.Writer) error {
+	for _, p := range s.Points {
+		keys := make([]string, 0, len(p.Metrics))
+		for k := range p.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			m := p.Metrics[k]
+			row := []string{
+				s.Sweep, p.Label, fmtFloat(p.Value), strconv.Itoa(p.Trials), k,
+				strconv.Itoa(m.N), fmtFloat(m.Mean), fmtFloat(m.Std), fmtFloat(m.CI95),
+				strconv.FormatBool(m.Proportion), fmtFloat(m.WilsonLo), fmtFloat(m.WilsonHi),
+			}
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the series as CSV, one row per (point, metric).
+func (s Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	if err := s.writeCSVRows(cw); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report bundles the series one experiment command produced.
+type Report struct {
+	Name   string   `json:"name"`
+	Series []Series `json:"series"`
+}
+
+// JSON renders the report as indented, deterministic JSON.
+func (r Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// WriteJSON writes the report's JSON followed by a newline.
+func (r Report) WriteJSON(w io.Writer) error {
+	b, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteCSV emits every series under one shared header.
+func (r Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		if err := s.writeCSVRows(cw); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

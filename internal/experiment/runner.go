@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lawgate/internal/stats"
+)
+
+// TrialError wraps one failed trial with its identity, so a sweep
+// failure names exactly which (point, rep, seed) to re-run.
+type TrialError struct {
+	Sweep string
+	Point Point
+	Trial Trial
+	Err   error
+}
+
+// Error implements error.
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("experiment: sweep %q point %q trial %d (seed %d): %v",
+		e.Sweep, e.Point.Label, e.Trial.Rep, e.Trial.Seed, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// Runner executes a sweep's trials on a bounded worker pool. The zero
+// value runs on all CPUs.
+type Runner struct {
+	// Workers bounds trial parallelism; 0 or negative means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Run executes every trial of the sweep — each trial's seed derived
+// from (sweep seed, point index, rep index), so results do not depend
+// on worker count or scheduling order — and aggregates the samples
+// into a Series. All trials are attempted even when some fail; the
+// joined per-trial errors are returned and the Series is zero if any
+// trial failed.
+func (r Runner) Run(ctx context.Context, sw Sweep) (Series, error) {
+	if err := sw.Validate(); err != nil {
+		return Series{}, err
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := len(sw.Points) * sw.Reps
+	if workers > total {
+		workers = total
+	}
+
+	samples := make([]Sample, total)
+	errs := make([]error, total)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total || ctx.Err() != nil {
+					return
+				}
+				pi, rep := i/sw.Reps, i%sw.Reps
+				tr := Trial{
+					Point: pi,
+					Rep:   rep,
+					Seed:  DeriveSeed(sw.Seed, int64(pi), int64(rep)),
+				}
+				s, err := sw.Run(tr, sw.Points[pi])
+				if err != nil {
+					errs[i] = &TrialError{Sweep: sw.Name, Point: sw.Points[pi], Trial: tr, Err: err}
+					continue
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Series{}, err
+	}
+	if err := errors.Join(errs...); err != nil {
+		return Series{}, err
+	}
+	return aggregate(sw, samples)
+}
+
+// aggregate folds per-trial samples into per-point metric summaries, in
+// grid order, so the resulting Series (and its serialized forms) are
+// deterministic.
+func aggregate(sw Sweep, samples []Sample) (Series, error) {
+	prop := make(map[string]bool, len(sw.Proportions))
+	for _, k := range sw.Proportions {
+		prop[k] = true
+	}
+	out := Series{Sweep: sw.Name, Seed: sw.Seed, Reps: sw.Reps, Points: make([]PointResult, len(sw.Points))}
+	for pi, p := range sw.Points {
+		base := pi * sw.Reps
+		first := samples[base]
+		pr := PointResult{Label: p.Label, Value: p.Value, Trials: sw.Reps, Metrics: make(map[string]Metric, len(first))}
+		for key := range first {
+			xs := make([]float64, sw.Reps)
+			successes := 0
+			for rep := 0; rep < sw.Reps; rep++ {
+				v, ok := samples[base+rep][key]
+				if !ok {
+					return Series{}, fmt.Errorf("experiment: sweep %q point %q: trial %d missing metric %q",
+						sw.Name, p.Label, rep, key)
+				}
+				xs[rep] = v
+				if v >= 0.5 {
+					successes++
+				}
+			}
+			sum, err := stats.Summarize(xs)
+			if err != nil {
+				return Series{}, err
+			}
+			m := Metric{N: sum.N, Mean: sum.Mean, Std: sum.Std, CI95: sum.CI95}
+			if prop[key] {
+				m.Proportion = true
+				if m.WilsonLo, m.WilsonHi, err = stats.Wilson(successes, sw.Reps); err != nil {
+					return Series{}, err
+				}
+			}
+			pr.Metrics[key] = m
+		}
+		// A trial reporting extra keys the first rep lacks is the same
+		// contract breach as a missing key; catch it symmetrically.
+		for rep := 1; rep < sw.Reps; rep++ {
+			if len(samples[base+rep]) != len(first) {
+				return Series{}, fmt.Errorf("experiment: sweep %q point %q: trial %d reports %d metrics, trial 0 reports %d",
+					sw.Name, p.Label, rep, len(samples[base+rep]), len(first))
+			}
+		}
+		out.Points[pi] = pr
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import "testing"
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(1, 2, 3)
+	b := DeriveSeed(1, 2, 3)
+	if a != b {
+		t.Fatalf("DeriveSeed not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestDeriveSeedPathSensitive(t *testing.T) {
+	if DeriveSeed(1, 2, 3) == DeriveSeed(1, 3, 2) {
+		t.Error("swapped path indices collide")
+	}
+	if DeriveSeed(1, 2) == DeriveSeed(2, 2) {
+		t.Error("different masters collide")
+	}
+	if DeriveSeed(1) == DeriveSeed(1, 0) {
+		t.Error("extending the path by index 0 should move the seed")
+	}
+}
+
+func TestDeriveSeedGridDistinct(t *testing.T) {
+	seen := make(map[int64][2]int)
+	for point := 0; point < 64; point++ {
+		for rep := 0; rep < 64; rep++ {
+			s := DeriveSeed(42, int64(point), int64(rep))
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) both derive %d",
+					prev[0], prev[1], point, rep, s)
+			}
+			seen[s] = [2]int{point, rep}
+		}
+	}
+}
+
+func TestTrialSubSeedIndependent(t *testing.T) {
+	tr := Trial{Point: 1, Rep: 2, Seed: DeriveSeed(7, 1, 2)}
+	if tr.SubSeed(0) == tr.SubSeed(1) {
+		t.Error("sub-seed streams collide")
+	}
+	if tr.SubSeed(0) == tr.Seed {
+		t.Error("sub-seed 0 equals the trial seed")
+	}
+}

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadSweep is returned for structurally invalid sweep declarations.
+var ErrBadSweep = errors.New("experiment: invalid sweep")
+
+// Sample is one trial's outcome as named scalar metrics. Keys must be
+// stable across a sweep's trials: every trial of a sweep reports the
+// same metric set (enforced at aggregation).
+type Sample map[string]float64
+
+// Bool converts a detection-style outcome into a 0/1 sample value, the
+// encoding proportion metrics use.
+func Bool(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Point is one cell of a sweep's parameter grid.
+type Point struct {
+	// Label is the human-readable cell name, e.g. "probes=8".
+	Label string `json:"label"`
+	// Value is the swept numeric value, for CSV/JSON consumers that
+	// plot the series.
+	Value float64 `json:"value"`
+}
+
+// Trial identifies one seeded, self-contained simulation run within a
+// sweep.
+type Trial struct {
+	// Point is the grid-cell index and Rep the repetition index within
+	// that cell.
+	Point, Rep int
+	// Seed is the trial's deterministically derived seed; the trial
+	// body builds its simulator(s) from it and from SubSeed.
+	Seed int64
+}
+
+// SubSeed derives an independent seed stream for trial bodies that run
+// more than one simulation (e.g. a guilty and an innocent variant per
+// trial).
+func (t Trial) SubSeed(stream int64) int64 { return DeriveSeed(t.Seed, stream) }
+
+// Sweep is a parameter grid of trials: the declarative unit every
+// experiment reduces to.
+type Sweep struct {
+	// Name identifies the sweep in Series output.
+	Name string
+	// Points is the parameter grid.
+	Points []Point
+	// Reps is the number of trials (distinct derived seeds) per point.
+	Reps int
+	// Seed is the master seed all trial seeds derive from.
+	Seed int64
+	// Proportions lists metric keys holding 0/1 outcomes; aggregation
+	// adds Wilson score intervals for these.
+	Proportions []string
+	// Run executes one trial and returns its metrics.
+	Run func(t Trial, p Point) (Sample, error)
+}
+
+// Validate checks the sweep's structure.
+func (s Sweep) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("%w: empty name", ErrBadSweep)
+	case len(s.Points) == 0:
+		return fmt.Errorf("%w: sweep %q has no points", ErrBadSweep, s.Name)
+	case s.Reps <= 0:
+		return fmt.Errorf("%w: sweep %q has reps=%d", ErrBadSweep, s.Name, s.Reps)
+	case s.Run == nil:
+		return fmt.Errorf("%w: sweep %q has no Run function", ErrBadSweep, s.Name)
+	}
+	return nil
+}

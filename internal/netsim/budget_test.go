@@ -1,0 +1,103 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// selfRescheduling builds the runaway-trial signature: an event that
+// always schedules its successor, so the queue never drains.
+func selfRescheduling(s *Simulator) {
+	var tick func()
+	tick = func() {
+		_ = s.Schedule(time.Millisecond, tick)
+	}
+	if err := s.Schedule(time.Millisecond, tick); err != nil {
+		panic(err)
+	}
+}
+
+func TestRunMaxStepsDrainsWithinBudget(t *testing.T) {
+	s := NewSimulator(1)
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if err := s.Schedule(time.Millisecond, func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunMaxSteps(10); err != nil {
+		t.Fatalf("RunMaxSteps = %v, want nil on drained queue", err)
+	}
+	if fired != 5 {
+		t.Errorf("fired = %d, want 5", fired)
+	}
+	// Exactly-n drain is still a success.
+	for i := 0; i < 3; i++ {
+		if err := s.Schedule(time.Millisecond, func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunMaxSteps(3); err != nil {
+		t.Fatalf("RunMaxSteps on exact budget = %v, want nil", err)
+	}
+}
+
+func TestRunMaxStepsFailsFastOnRunaway(t *testing.T) {
+	s := NewSimulator(1)
+	selfRescheduling(s)
+	err := s.RunMaxSteps(100)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("RunMaxSteps on runaway loop = %v, want ErrStepBudget", err)
+	}
+	if s.Steps() != 100 {
+		t.Errorf("Steps = %d, want exactly the 100-step allowance", s.Steps())
+	}
+}
+
+func TestStepBudgetStopsRun(t *testing.T) {
+	s := NewSimulator(1)
+	selfRescheduling(s)
+	s.SetStepBudget(50)
+	s.Run() // must terminate
+	if s.Steps() != 50 {
+		t.Errorf("Steps = %d, want 50", s.Steps())
+	}
+	if !s.Exhausted() {
+		t.Error("Exhausted must report true with budget spent and events queued")
+	}
+	s.SetStepBudget(0)
+	if s.Exhausted() {
+		t.Error("clearing the budget must clear Exhausted")
+	}
+}
+
+func TestStepBudgetStopsRunUntil(t *testing.T) {
+	s := NewSimulator(1)
+	selfRescheduling(s)
+	s.SetStepBudget(10)
+	s.RunUntil(time.Second)
+	if s.Steps() != 10 {
+		t.Errorf("Steps = %d, want 10", s.Steps())
+	}
+	if !s.Exhausted() {
+		t.Error("Exhausted must report true after a budget-stopped RunUntil")
+	}
+	if s.Now() != time.Second {
+		t.Errorf("Now = %v; RunUntil still advances the clock to the deadline", s.Now())
+	}
+}
+
+func TestExhaustedFalseOnCleanDrain(t *testing.T) {
+	s := NewSimulator(1)
+	s.SetStepBudget(100)
+	for i := 0; i < 5; i++ {
+		if err := s.Schedule(time.Millisecond, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	if s.Exhausted() {
+		t.Error("Exhausted must be false when the queue drained under budget")
+	}
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"container/heap"
 	"errors"
+	"fmt"
 	"math/rand"
 	"time"
 )
@@ -10,6 +11,12 @@ import (
 // ErrPastEvent is returned when an event is scheduled before the current
 // virtual time.
 var ErrPastEvent = errors.New("netsim: event scheduled in the past")
+
+// ErrStepBudget is returned (by RunMaxSteps) or reported (by Exhausted)
+// when a run stops because its step allowance ran out before the event
+// queue drained — the runaway-loop guard for buggy trials that would
+// otherwise spin forever inside an experiment worker.
+var ErrStepBudget = errors.New("netsim: step budget exhausted")
 
 // event is one pending callback.
 type event struct {
@@ -45,11 +52,12 @@ var _ heap.Interface = (*eventHeap)(nil)
 // clock. It is not safe for concurrent use: simulations are single-loop by
 // design so results are reproducible.
 type Simulator struct {
-	now   time.Duration
-	queue eventHeap
-	seq   int64
-	rng   *rand.Rand
-	steps int64
+	now    time.Duration
+	queue  eventHeap
+	seq    int64
+	rng    *rand.Rand
+	steps  int64
+	budget int64 // lifetime step cap; 0 = unlimited
 }
 
 // NewSimulator returns a simulator whose randomness derives entirely from
@@ -99,16 +107,46 @@ func (s *Simulator) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains.
+// SetStepBudget caps the simulator's lifetime step count: once steps
+// reach n, Run and RunUntil stop executing events (Exhausted reports
+// the condition). Zero removes the cap. Step itself is not gated, so
+// manual single-stepping past the budget remains possible.
+func (s *Simulator) SetStepBudget(n int64) { s.budget = n }
+
+// Exhausted reports whether a step budget is set and spent with events
+// still queued — the signature of a runaway simulation.
+func (s *Simulator) Exhausted() bool {
+	return s.budget > 0 && s.steps >= s.budget && len(s.queue) > 0
+}
+
+// Run executes events until the queue drains or the step budget (if
+// set) is exhausted.
 func (s *Simulator) Run() {
-	for s.Step() {
+	for !s.Exhausted() && s.Step() {
 	}
 }
 
+// RunMaxSteps executes at most n more events, returning nil when the
+// queue drained within the allowance and ErrStepBudget when events
+// remain — the fail-fast entry point for bounded trials.
+func (s *Simulator) RunMaxSteps(n int64) error {
+	for executed := int64(0); executed < n; executed++ {
+		if !s.Step() {
+			return nil
+		}
+	}
+	if len(s.queue) > 0 {
+		return fmt.Errorf("%w: %d steps executed, %d events still pending at t=%s",
+			ErrStepBudget, n, len(s.queue), s.now)
+	}
+	return nil
+}
+
 // RunUntil executes events with time ≤ deadline, then advances the clock
-// to the deadline. Events scheduled past the deadline remain queued.
+// to the deadline. Events scheduled past the deadline remain queued. A
+// step budget (if set) stops execution early; the clock still advances.
 func (s *Simulator) RunUntil(deadline time.Duration) {
-	for len(s.queue) > 0 && s.queue[0].at <= deadline {
+	for len(s.queue) > 0 && s.queue[0].at <= deadline && !s.Exhausted() {
 		s.Step()
 	}
 	if s.now < deadline {

@@ -1,0 +1,29 @@
+package p2p
+
+import (
+	"errors"
+	"testing"
+
+	"lawgate/internal/netsim"
+)
+
+// TestExperimentStepBudget: a trial whose allowance cannot cover its
+// own probes fails fast with ErrStepBudget instead of silently
+// classifying on truncated measurements.
+func TestExperimentStepBudget(t *testing.T) {
+	ec := ExperimentConfig{
+		Seed:      1,
+		Neighbors: 4,
+		Sources:   2,
+		Probes:    4,
+		MaxSteps:  3,
+		Overlay:   DefaultConfig(ModeAnonymous),
+	}
+	if _, err := RunExperiment(ec); !errors.Is(err, netsim.ErrStepBudget) {
+		t.Fatalf("err = %v, want ErrStepBudget", err)
+	}
+	ec.MaxSteps = 0 // generous default must succeed
+	if _, err := RunExperiment(ec); err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+}

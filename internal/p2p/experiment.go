@@ -24,6 +24,10 @@ type ExperimentConfig struct {
 	Sources int
 	// Probes is the number of timed queries per neighbor.
 	Probes int
+	// MaxSteps caps the simulator's event count — the runaway-loop
+	// guard for trials running inside sweep workers. Zero selects a
+	// generous default scaled to the probe budget.
+	MaxSteps int64
 	// Overlay carries the protocol parameters (anonymous mode delays).
 	Overlay Config
 }
@@ -77,6 +81,13 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 		return ExperimentResult{}, fmt.Errorf("%w: %+v", ErrBadExperiment, ec)
 	}
 	sim := netsim.NewSimulator(ec.Seed)
+	budget := ec.MaxSteps
+	if budget == 0 {
+		// A probe floods at most the two-hop neighborhood; 1000 events
+		// per (probe, neighbor) pair is orders of magnitude of slack.
+		budget = int64(ec.Probes)*int64(ec.Neighbors)*1000 + 100_000
+	}
+	sim.SetStepBudget(budget)
 	net := netsim.NewNetwork(sim)
 	o := NewOverlay(net, ec.Overlay)
 
@@ -121,6 +132,9 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 				return ExperimentResult{}, err
 			}
 			sim.Run()
+			if sim.Exhausted() {
+				return ExperimentResult{}, fmt.Errorf("probing %q: %w after %d steps", id, netsim.ErrStepBudget, sim.Steps())
+			}
 		}
 	}
 

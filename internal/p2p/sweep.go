@@ -1,0 +1,95 @@
+package p2p
+
+import (
+	"fmt"
+	"time"
+
+	"lawgate/internal/experiment"
+)
+
+// SweepConfig carries the topology knobs shared by the E2 sweep
+// declarations: how many neighbors the investigator has, how many are
+// true sources, how many seeded repetitions each grid point gets, and
+// the master seed per-trial seeds derive from.
+type SweepConfig struct {
+	Neighbors int
+	Sources   int
+	Reps      int
+	Seed      int64
+	// Overlay is the protocol working point the sweep starts from.
+	Overlay Config
+}
+
+// DefaultSweepConfig returns the paper-plausible E2 working point: 16
+// neighbors (6 sources), 5 seeds per point, anonymous-mode delays.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Neighbors: 16,
+		Sources:   6,
+		Reps:      5,
+		Seed:      1,
+		Overlay:   DefaultConfig(ModeAnonymous),
+	}
+}
+
+// classificationSample runs one classification trial and reports its
+// quality metrics.
+func classificationSample(sc SweepConfig, probes int, overlay Config, seed int64) (experiment.Sample, error) {
+	res, err := RunExperiment(ExperimentConfig{
+		Seed:      seed,
+		Neighbors: sc.Neighbors,
+		Sources:   sc.Sources,
+		Probes:    probes,
+		Overlay:   overlay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return experiment.Sample{
+		"accuracy":  res.Accuracy(),
+		"precision": res.Precision(),
+		"recall":    res.Recall(),
+	}, nil
+}
+
+// ProbeSweep declares E2 series 1: classification quality as a function
+// of the probe budget, at the overlay's configured delays.
+func ProbeSweep(sc SweepConfig, probes []int) experiment.Sweep {
+	points := make([]experiment.Point, len(probes))
+	for i, p := range probes {
+		points[i] = experiment.Point{Label: fmt.Sprintf("probes=%d", p), Value: float64(p)}
+	}
+	return experiment.Sweep{
+		Name:   "p2p-probe-budget",
+		Points: points,
+		Reps:   sc.Reps,
+		Seed:   sc.Seed,
+		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
+			return classificationSample(sc, int(pt.Value), sc.Overlay, t.Seed)
+		},
+	}
+}
+
+// DelaySweep declares E2 series 2: classification quality as the
+// protocol's artificial-delay floor shrinks below separability, at a
+// fixed probe budget.
+func DelaySweep(sc SweepConfig, probes int, floors []time.Duration) experiment.Sweep {
+	points := make([]experiment.Point, len(floors))
+	for i, f := range floors {
+		points[i] = experiment.Point{
+			Label: fmt.Sprintf("delay-min=%dms", f/time.Millisecond),
+			Value: float64(f) / float64(time.Millisecond),
+		}
+	}
+	return experiment.Sweep{
+		Name:   "p2p-delay-floor",
+		Points: points,
+		Reps:   sc.Reps,
+		Seed:   sc.Seed,
+		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
+			overlay := sc.Overlay
+			overlay.DelayMin = time.Duration(pt.Value) * time.Millisecond
+			return classificationSample(sc, probes, overlay, t.Seed)
+		},
+	}
+}

@@ -1,0 +1,77 @@
+package p2p
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"lawgate/internal/experiment"
+)
+
+func tinySweepConfig() SweepConfig {
+	return SweepConfig{
+		Neighbors: 4,
+		Sources:   2,
+		Reps:      2,
+		Seed:      7,
+		Overlay:   DefaultConfig(ModeAnonymous),
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers asserts the PR's core guarantee
+// on the real E2 sweep: the JSON-serialized results are byte-identical
+// at workers=1, workers=4, and workers=NumCPU.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	sw := ProbeSweep(tinySweepConfig(), []int{1, 4})
+	var blobs [][]byte
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		series, err := experiment.Runner{Workers: workers}.Run(context.Background(), sw)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := series.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Errorf("worker-count run %d produced different serialized results", i)
+		}
+	}
+}
+
+func TestProbeSweepImprovesWithBudget(t *testing.T) {
+	sc := tinySweepConfig()
+	sc.Reps = 3
+	series, err := experiment.Runner{}.Run(context.Background(), ProbeSweep(sc, []int{1, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := series.Points[0].Metric("accuracy").Mean
+	hi := series.Points[1].Metric("accuracy").Mean
+	if hi < lo {
+		t.Errorf("accuracy fell with probe budget: %v -> %v", lo, hi)
+	}
+	if hi != 1 {
+		t.Errorf("accuracy at 8 probes = %v, want 1 at default separation", hi)
+	}
+}
+
+func TestDelaySweepMutatesFloor(t *testing.T) {
+	sc := tinySweepConfig()
+	sw := DelaySweep(sc, 4, []time.Duration{40 * time.Millisecond, 150 * time.Millisecond})
+	series, err := experiment.Runner{}.Run(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Points[0].Value != 40 || series.Points[1].Value != 150 {
+		t.Errorf("points carry wrong values: %+v", series.Points)
+	}
+	if acc := series.Points[1].Metric("accuracy").Mean; acc != 1 {
+		t.Errorf("accuracy at 150ms floor = %v, want 1", acc)
+	}
+}

@@ -1,0 +1,29 @@
+package watermark
+
+import (
+	"errors"
+	"testing"
+
+	"lawgate/internal/netsim"
+)
+
+// TestExperimentStepBudget: a trial whose allowance cannot cover the
+// watermarked stream fails fast with ErrStepBudget instead of spinning
+// or scoring a truncated observation.
+func TestExperimentStepBudget(t *testing.T) {
+	ec := DefaultExperimentConfig()
+	ec.Bits = 2
+	ec.MaxSteps = 10
+	if _, err := RunExperiment(ec); !errors.Is(err, netsim.ErrStepBudget) {
+		t.Fatalf("RunExperiment err = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestLineupStepBudget(t *testing.T) {
+	lc := DefaultLineupConfig()
+	lc.Bits = 2
+	lc.MaxSteps = 10
+	if _, err := RunLineup(lc); !errors.Is(err, netsim.ErrStepBudget) {
+		t.Fatalf("RunLineup err = %v, want ErrStepBudget", err)
+	}
+}

@@ -14,6 +14,12 @@ import (
 // ErrBadExperiment is returned for invalid experiment parameters.
 var ErrBadExperiment = errors.New("watermark: invalid experiment config")
 
+// defaultStepBudget bounds one trial's event count when the config does
+// not set MaxSteps. The heaviest sweep point (degree-9 code, 4 bits,
+// 4x cross traffic, 8-candidate lineup) executes well under a million
+// events; anything approaching this cap is a scheduling loop.
+const defaultStepBudget = 20_000_000
+
 // ExperimentConfig parameterizes the Section IV-B reproduction: a suspect
 // downloading from a seized server through a three-hop anonymity circuit,
 // with the server's response rate watermarked and only packet counts
@@ -49,6 +55,10 @@ type ExperimentConfig struct {
 	// HeldProcess is what the investigator presents for the ISP-side
 	// rate meter; the paper's point is that a court order suffices.
 	HeldProcess legal.Process
+	// MaxSteps caps the simulator's event count — the runaway-loop
+	// guard for trials running inside sweep workers. Zero selects a
+	// generous default.
+	MaxSteps int64
 }
 
 // DefaultExperimentConfig returns a moderate working point: degree-7 code
@@ -119,6 +129,11 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 	}
 
 	sim := netsim.NewSimulator(ec.Seed)
+	budget := ec.MaxSteps
+	if budget == 0 {
+		budget = defaultStepBudget
+	}
+	sim.SetStepBudget(budget)
 	net := netsim.NewNetwork(sim)
 	an := anonet.New(net)
 
@@ -236,6 +251,9 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 		return ExperimentResult{}, err
 	}
 	sim.RunUntil(streamEnd + time.Second)
+	if sim.Exhausted() {
+		return ExperimentResult{}, fmt.Errorf("streaming: %w after %d steps", netsim.ErrStepBudget, sim.Steps())
+	}
 
 	// Analysis. Bin at 1/4 chip for offset search.
 	bin := ec.ChipDuration / 4

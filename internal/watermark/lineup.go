@@ -38,6 +38,9 @@ type LineupConfig struct {
 	NoiseRate float64
 	// Jitter is per-link delay jitter.
 	Jitter time.Duration
+	// MaxSteps caps the simulator's event count; zero selects a
+	// generous default.
+	MaxSteps int64
 }
 
 // DefaultLineupConfig returns a 4-candidate lineup at the default
@@ -101,6 +104,11 @@ func RunLineup(lc LineupConfig) (LineupResult, error) {
 	}
 
 	sim := netsim.NewSimulator(lc.Seed)
+	budget := lc.MaxSteps
+	if budget == 0 {
+		budget = defaultStepBudget
+	}
+	sim.SetStepBudget(budget)
 	net := netsim.NewNetwork(sim)
 	an := anonet.New(net)
 	for _, id := range []netsim.NodeID{"entry", "middle", "exit"} {
@@ -193,6 +201,9 @@ func RunLineup(lc LineupConfig) (LineupResult, error) {
 		}
 	}
 	sim.RunUntil(streamEnd + time.Second)
+	if sim.Exhausted() {
+		return LineupResult{}, fmt.Errorf("streaming: %w after %d steps", netsim.ErrStepBudget, sim.Steps())
+	}
 
 	detector, err := NewDetector(params)
 	if err != nil {

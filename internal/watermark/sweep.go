@@ -1,0 +1,142 @@
+package watermark
+
+import (
+	"fmt"
+
+	"lawgate/internal/experiment"
+)
+
+// Detection sweep metric keys: per-trial 0/1 outcomes for the DSSS
+// detector and the naive baseline on the guilty (tp) and innocent (fp)
+// variants, plus the guilty trial's raw detection statistic.
+const (
+	MetricDSSSTP     = "dsss_tp"
+	MetricDSSSFP     = "dsss_fp"
+	MetricBaselineTP = "baseline_tp"
+	MetricBaselineFP = "baseline_fp"
+	MetricZ          = "z"
+)
+
+// detectionProportions are the 0/1 metrics Wilson intervals apply to.
+var detectionProportions = []string{MetricDSSSTP, MetricDSSSFP, MetricBaselineTP, MetricBaselineFP}
+
+// detectionSweep declares a guilty/innocent paired sweep: each trial
+// runs the configured experiment twice — once with the tapped suspect
+// downloading (detection), once with a decoy downloading (false
+// positive) — on independent sub-seeds of the trial seed.
+func detectionSweep(name string, base ExperimentConfig, reps int, seed int64,
+	points []experiment.Point, apply func(*ExperimentConfig, experiment.Trial, experiment.Point)) experiment.Sweep {
+	return experiment.Sweep{
+		Name:        name,
+		Points:      points,
+		Reps:        reps,
+		Seed:        seed,
+		Proportions: detectionProportions,
+		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
+			guilty := base
+			apply(&guilty, t, pt)
+			guilty.Guilty = true
+			guilty.Seed = t.SubSeed(0)
+			resG, err := RunExperiment(guilty)
+			if err != nil {
+				return nil, fmt.Errorf("guilty variant: %w", err)
+			}
+			innocent := guilty
+			innocent.Guilty = false
+			innocent.Seed = t.SubSeed(1)
+			resI, err := RunExperiment(innocent)
+			if err != nil {
+				return nil, fmt.Errorf("innocent variant: %w", err)
+			}
+			return experiment.Sample{
+				MetricDSSSTP:     experiment.Bool(resG.Detected),
+				MetricDSSSFP:     experiment.Bool(resI.Detected),
+				MetricBaselineTP: experiment.Bool(resG.BaselineDetected),
+				MetricBaselineFP: experiment.Bool(resI.BaselineDetected),
+				MetricZ:          resG.Watermark.Z,
+			}, nil
+		},
+	}
+}
+
+// CodeSweep declares E3 series 1: detection vs PN-code length (the
+// "long PN code" knob), at full cross-traffic noise.
+func CodeSweep(base ExperimentConfig, reps int, seed int64, degrees []int) experiment.Sweep {
+	points := make([]experiment.Point, len(degrees))
+	for i, d := range degrees {
+		length := (1 << d) - 1
+		points[i] = experiment.Point{Label: fmt.Sprintf("code=%d", length), Value: float64(length)}
+	}
+	return detectionSweep("watermark-code-length", base, reps, seed, points,
+		func(c *ExperimentConfig, t experiment.Trial, _ experiment.Point) {
+			c.CodeDegree = degrees[t.Point]
+			c.NoiseRate = 1.0
+		})
+}
+
+// NoiseSweep declares E3 series 2: detection vs cross-traffic intensity
+// at the suspect, at the base config's code length.
+func NoiseSweep(base ExperimentConfig, reps int, seed int64, noises []float64) experiment.Sweep {
+	points := make([]experiment.Point, len(noises))
+	for i, n := range noises {
+		points[i] = experiment.Point{Label: fmt.Sprintf("noise=%.1f", n), Value: n}
+	}
+	return detectionSweep("watermark-noise", base, reps, seed, points,
+		func(c *ExperimentConfig, _ experiment.Trial, pt experiment.Point) {
+			c.NoiseRate = pt.Value
+		})
+}
+
+// AmplitudeSweep declares E3 series 3: detection vs modulation
+// amplitude, at full cross-traffic noise.
+func AmplitudeSweep(base ExperimentConfig, reps int, seed int64, amps []float64) experiment.Sweep {
+	points := make([]experiment.Point, len(amps))
+	for i, a := range amps {
+		points[i] = experiment.Point{Label: fmt.Sprintf("amplitude=%.2f", a), Value: a}
+	}
+	return detectionSweep("watermark-amplitude", base, reps, seed, points,
+		func(c *ExperimentConfig, _ experiment.Trial, pt experiment.Point) {
+			c.Amplitude = pt.Value
+			c.NoiseRate = 1.0
+		})
+}
+
+// Lineup sweep metric keys.
+const (
+	// MetricCorrect: the detector named exactly the configured guilty
+	// candidate (or no one, in an all-innocent control).
+	MetricCorrect = "correct"
+	// MetricIdentified: the detector named some candidate.
+	MetricIdentified = "identified"
+)
+
+// LineupSweep declares E3 series 4: correct-identification rate vs the
+// candidate count K. The guilty index rotates with the repetition so a
+// position bias cannot masquerade as accuracy.
+func LineupSweep(base LineupConfig, reps int, seed int64, candidates []int) experiment.Sweep {
+	points := make([]experiment.Point, len(candidates))
+	for i, k := range candidates {
+		points[i] = experiment.Point{Label: fmt.Sprintf("candidates=%d", k), Value: float64(k)}
+	}
+	return experiment.Sweep{
+		Name:        "watermark-lineup",
+		Points:      points,
+		Reps:        reps,
+		Seed:        seed,
+		Proportions: []string{MetricCorrect, MetricIdentified},
+		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
+			lc := base
+			lc.Suspects = int(pt.Value)
+			lc.Guilty = t.Rep % lc.Suspects
+			lc.Seed = t.Seed
+			res, err := RunLineup(lc)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.Sample{
+				MetricCorrect:    experiment.Bool(res.Correct),
+				MetricIdentified: experiment.Bool(res.Identified >= 0),
+			}, nil
+		},
+	}
+}

@@ -1,0 +1,74 @@
+package watermark
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"lawgate/internal/experiment"
+)
+
+// TestSweepDeterministicAcrossWorkers asserts the PR's core guarantee
+// on the real E3 sweep: the JSON-serialized results are byte-identical
+// at workers=1, workers=4, and workers=NumCPU.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	base := DefaultExperimentConfig()
+	base.Bits = 2
+	sw := NoiseSweep(base, 2, 11, []float64{0.5})
+	var blobs [][]byte
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		series, err := experiment.Runner{Workers: workers}.Run(context.Background(), sw)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := series.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+	for i := 1; i < len(blobs); i++ {
+		if !bytes.Equal(blobs[0], blobs[i]) {
+			t.Errorf("worker-count run %d produced different serialized results", i)
+		}
+	}
+}
+
+func TestCodeSweepPointsAndDetection(t *testing.T) {
+	base := DefaultExperimentConfig()
+	base.Bits = 2
+	series, err := experiment.Runner{}.Run(context.Background(), CodeSweep(base, 1, 3, []int{5, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Points[0].Label != "code=31" || series.Points[1].Label != "code=127" {
+		t.Errorf("point labels wrong: %+v", series.Points)
+	}
+	tp := series.Points[1].Metric(MetricDSSSTP)
+	if !tp.Proportion {
+		t.Error("dsss_tp not marked a proportion")
+	}
+	if tp.Mean != 1 {
+		t.Errorf("TPR at code 127 = %v, want 1", tp.Mean)
+	}
+	if fp := series.Points[1].Metric(MetricDSSSFP).Mean; fp != 0 {
+		t.Errorf("FPR at code 127 = %v, want 0", fp)
+	}
+}
+
+func TestLineupSweepRotatesGuilty(t *testing.T) {
+	base := DefaultLineupConfig()
+	base.Bits = 2
+	series, err := experiment.Runner{}.Run(context.Background(), LineupSweep(base, 2, 5, []int{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := series.Points[0].Metric(MetricCorrect)
+	if correct.Mean != 1 {
+		t.Errorf("correct-ID rate = %v, want 1 at default working point", correct.Mean)
+	}
+	if !correct.Proportion || correct.WilsonHi == 0 {
+		t.Errorf("correct metric missing Wilson interval: %+v", correct)
+	}
+}

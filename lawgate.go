@@ -49,9 +49,12 @@
 package lawgate
 
 import (
+	"context"
+
 	"lawgate/internal/capture"
 	"lawgate/internal/court"
 	"lawgate/internal/evidence"
+	"lawgate/internal/experiment"
 	"lawgate/internal/investigation"
 	"lawgate/internal/legal"
 	"lawgate/internal/p2p"
@@ -233,6 +236,36 @@ func RunP2PExperiment(ec P2PExperimentConfig) (p2p.ExperimentResult, error) {
 // RunWatermarkExperiment runs one § IV-B detection trial.
 func RunWatermarkExperiment(ec WatermarkExperimentConfig) (watermark.ExperimentResult, error) {
 	return watermark.RunExperiment(ec)
+}
+
+// Experiment-harness re-exports: declare a measurement campaign as a
+// Sweep (a parameter grid of seeded Trials producing Samples), execute
+// it with RunSweep on a bounded worker pool, and consume the aggregated
+// SweepSeries. Per-trial seeds derive deterministically from the
+// sweep's master seed, so results are byte-identical at any worker
+// count. The E2/E3 sweeps in internal/p2p and internal/watermark are
+// the reference declarations.
+type (
+	Sweep       = experiment.Sweep
+	SweepPoint  = experiment.Point
+	Trial       = experiment.Trial
+	Sample      = experiment.Sample
+	SweepSeries = experiment.Series
+	SweepReport = experiment.Report
+	SweepRunner = experiment.Runner
+)
+
+// RunSweep executes a sweep's trials on workers parallel workers (0 =
+// all CPUs) and aggregates the results.
+func RunSweep(ctx context.Context, workers int, sw Sweep) (SweepSeries, error) {
+	return experiment.Runner{Workers: workers}.Run(ctx, sw)
+}
+
+// DeriveSeed deterministically derives a child seed from a master seed
+// and an index path (splitmix64 chain) — the scheme the sweep runner
+// uses for per-trial seeds.
+func DeriveSeed(master int64, path ...int64) int64 {
+	return experiment.DeriveSeed(master, path...)
 }
 
 // DriveExamResult is the Table 1 scenes 18-19 flow's outcome.

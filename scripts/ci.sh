@@ -2,12 +2,22 @@
 # Tier-1 gate: everything a change must pass before it lands.
 # Usage: scripts/ci.sh
 #
-# Runs, in order: vet, build, the full test suite, and the race
-# detector over the whole module. Benchmarks are not part of the gate
-# (run `go test -bench=. -benchmem` for those); the golden-ruling test
-# in internal/scenario pins the engine's Table 1 output.
+# Runs, in order: gofmt, vet, build, the full test suite, the race
+# detector over the whole module, and a short-mode smoke run of both
+# experiment commands on the parallel sweep path (-smoke -workers 2).
+# Benchmarks are not part of the gate (run `go test -bench=. -benchmem`
+# for those); the golden-ruling test in internal/scenario pins the
+# engine's Table 1 output.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -20,5 +30,11 @@ go test ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== smoke: p2phunt -smoke -workers 2"
+go run ./cmd/p2phunt -smoke -workers 2 >/dev/null
+
+echo "== smoke: tracewatermark -smoke -workers 2"
+go run ./cmd/tracewatermark -smoke -workers 2 >/dev/null
 
 echo "tier-1 gate: PASS"

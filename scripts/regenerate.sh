@@ -1,6 +1,9 @@
 #!/bin/sh
 # Regenerates every artifact in EXPERIMENTS.md into out/.
 # Usage: scripts/regenerate.sh [trials]
+#
+# The E2/E3 sweeps run their trials in parallel on all CPUs (the shared
+# experiment harness); results depend only on -seed, not on -workers.
 set -eu
 trials="${1:-5}"
 out=out
@@ -10,8 +13,10 @@ go run ./cmd/scenariotable > "$out/table1.txt"
 go run ./cmd/scenariotable -json > "$out/table1.json"
 echo "E2: P2P timing attack sweep ..."
 go run ./cmd/p2phunt -trials "$trials" > "$out/p2phunt.txt"
+go run ./cmd/p2phunt -trials "$trials" -json > "$out/p2phunt.json"
 echo "E3: watermark sweep (slow) ..."
 go run ./cmd/tracewatermark -trials "$trials" > "$out/tracewatermark.txt"
+go run ./cmd/tracewatermark -trials "$trials" -json > "$out/tracewatermark.json"
 echo "E4/E6: casefile flows ..."
 go run ./cmd/casefile > "$out/casefile.txt"
 echo "advisor ..."
