@@ -5,9 +5,17 @@
 // Trials run in parallel on the shared experiment harness; results are
 // byte-identical for a given -seed regardless of -workers.
 //
+// With -faults PROFILE the sweeps run on a degraded substrate (see
+// -faults help for the profile names) and two degradation series are
+// appended: classification quality vs injected packet loss and vs peer
+// churn. -trial-timeout and -max-steps bound each trial; a trial cut off
+// by either bound fails the run with a joined error naming it.
+//
 // Usage:
 //
-//	p2phunt [-neighbors N] [-sources S] [-trials T] [-workers W] [-seed S] [-json|-csv] [-smoke]
+//	p2phunt [-neighbors N] [-sources S] [-trials T] [-workers W] [-seed S]
+//	        [-faults PROFILE] [-trial-timeout D] [-max-steps N]
+//	        [-json|-csv] [-smoke]
 package main
 
 import (
@@ -16,10 +24,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"lawgate/internal/experiment"
+	"lawgate/internal/faults"
 	"lawgate/internal/p2p"
 )
 
@@ -30,6 +40,10 @@ func main() {
 	flag.IntVar(&o.trials, "trials", 5, "seeds per sweep point")
 	flag.IntVar(&o.workers, "workers", 0, "parallel trial workers (0 = all CPUs)")
 	flag.Int64Var(&o.seed, "seed", 1, "master seed; per-trial seeds derive from it")
+	flag.StringVar(&o.faults, "faults", "",
+		"fault profile ("+strings.Join(faults.Profiles(), ", ")+"); adds loss and churn degradation series")
+	flag.DurationVar(&o.trialTimeout, "trial-timeout", 0, "wall-clock bound per trial (0 = none)")
+	flag.Int64Var(&o.maxSteps, "max-steps", 0, "simulator event bound per trial (0 = default)")
 	flag.BoolVar(&o.json, "json", false, "emit results as JSON instead of text")
 	flag.BoolVar(&o.csv, "csv", false, "emit results as CSV instead of text")
 	flag.BoolVar(&o.smoke, "smoke", false, "tiny CI sweep: 4 neighbors, 1 trial, 2 points per series")
@@ -43,6 +57,9 @@ func main() {
 type options struct {
 	neighbors, sources, trials, workers int
 	seed                                int64
+	faults                              string
+	trialTimeout                        time.Duration
+	maxSteps                            int64
 	json, csv, smoke                    bool
 }
 
@@ -55,40 +72,66 @@ func (o options) normalized() options {
 	return o
 }
 
-// sweeps declares the E2 series for the given options.
-func sweeps(o options) []experiment.Sweep {
+// sweeps declares the E2 series for the given options. Naming a fault
+// profile appends the loss and churn degradation series on top of it.
+func sweeps(o options) ([]experiment.Sweep, error) {
 	sc := p2p.SweepConfig{
 		Neighbors: o.neighbors,
 		Sources:   o.sources,
 		Reps:      o.trials,
 		Seed:      o.seed,
 		Overlay:   p2p.DefaultConfig(p2p.ModeAnonymous),
+		MaxSteps:  o.maxSteps,
 	}
 	probes := []int{1, 2, 4, 8, 16, 32}
 	floors := []time.Duration{40, 60, 90, 120, 150, 200}
+	losses := []float64{0, 0.05, 0.10, 0.20, 0.30, 0.40}
+	downs := []float64{0, 0.05, 0.10, 0.20, 0.30}
 	fixedProbes := 8
 	if o.smoke {
 		probes = []int{1, 4}
 		floors = []time.Duration{90, 150}
+		losses = []float64{0, 0.30}
+		downs = []float64{0, 0.20}
 		fixedProbes = 4
 	}
 	for i := range floors {
 		floors[i] *= time.Millisecond
 	}
-	return []experiment.Sweep{
+	if o.faults != "" {
+		plan, err := faults.Profile(o.faults)
+		if err != nil {
+			return nil, err
+		}
+		sc.Faults = plan
+		// Degraded substrates get the resilient probing defaults.
+		sc.ProbeRetries = 2
+	}
+	out := []experiment.Sweep{
 		p2p.ProbeSweep(sc, probes),
 		p2p.DelaySweep(sc, fixedProbes, floors),
 	}
+	if o.faults != "" {
+		out = append(out,
+			p2p.LossSweep(sc, fixedProbes, losses),
+			p2p.ChurnSweep(sc, fixedProbes, downs),
+		)
+	}
+	return out, nil
 }
 
 func run(w io.Writer, o options) error {
 	o = o.normalized()
-	runner := experiment.Runner{Workers: o.workers}
+	sws, err := sweeps(o)
+	if err != nil {
+		return err
+	}
+	runner := experiment.Runner{Workers: o.workers, TrialTimeout: o.trialTimeout}
 	report := experiment.Report{Name: "E2-p2p-timing-attack"}
-	for _, sw := range sweeps(o) {
+	for _, sw := range sws {
 		series, err := runner.Run(context.Background(), sw)
 		if err != nil {
-			return err
+			return fmt.Errorf("sweep %s: %w", sw.Name, err)
 		}
 		report.Series = append(report.Series, series)
 	}
@@ -106,17 +149,23 @@ func render(w io.Writer, o options, report experiment.Report) error {
 	fmt.Fprintf(tw, "E2 — anonymous-P2P timing attack (%d neighbors, %d sources, %d trials/point, seed %d)\n",
 		o.neighbors, o.sources, o.trials, o.seed)
 	fmt.Fprintln(tw, "Legal posture: no warrant/court order/subpoena required (Table 1 scene 10).")
+	if o.faults != "" {
+		fmt.Fprintf(tw, "Fault profile: %s\n", o.faults)
+	}
 	titles := map[string]string{
 		"p2p-probe-budget": "classification vs probe budget (OneSwarm delays 150-300 ms)",
 		"p2p-delay-floor":  "classification vs delay floor (overlap when floor < ~170 ms)",
+		"p2p-loss":         "classification vs injected packet loss (degradation)",
+		"p2p-churn":        "classification vs peer churn down-fraction (degradation)",
 	}
 	for _, s := range report.Series {
 		fmt.Fprintf(tw, "\nSeries %s: %s\n", s.Sweep, titles[s.Sweep])
-		fmt.Fprintln(tw, "point\taccuracy ±CI\tprecision\trecall")
+		fmt.Fprintln(tw, "point\taccuracy ±CI\tprecision\trecall\tanswered")
 		for _, p := range s.Points {
 			acc := p.Metric("accuracy")
-			fmt.Fprintf(tw, "%s\t%.3f ±%.3f\t%.3f\t%.3f\n",
-				p.Label, acc.Mean, acc.CI95, p.Metric("precision").Mean, p.Metric("recall").Mean)
+			fmt.Fprintf(tw, "%s\t%.3f ±%.3f\t%.3f\t%.3f\t%.3f\n",
+				p.Label, acc.Mean, acc.CI95, p.Metric("precision").Mean,
+				p.Metric("recall").Mean, p.Metric("answered").Mean)
 		}
 	}
 	return tw.Flush()

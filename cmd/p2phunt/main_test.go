@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"strings"
 	"testing"
 
 	"lawgate/internal/experiment"
@@ -76,5 +78,64 @@ func TestRunSmallFullGrid(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, options{neighbors: 4, sources: 2, trials: 1, workers: 2, seed: 1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunFaultProfileAddsDegradationSeries: -faults appends the loss
+// and churn series and stays deterministic across worker counts.
+func TestRunFaultProfileAddsDegradationSeries(t *testing.T) {
+	var blobs [][]byte
+	for _, workers := range []int{1, 4} {
+		o := smokeOptions()
+		o.workers = workers
+		o.faults = "lossy"
+		o.json = true
+		var buf bytes.Buffer
+		if err := run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, buf.Bytes())
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Error("lossy smoke JSON differs between workers=1 and workers=4")
+	}
+	var report experiment.Report
+	if err := json.Unmarshal(blobs[0], &report); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(report.Series))
+	for i, s := range report.Series {
+		names[i] = s.Sweep
+	}
+	want := []string{"p2p-probe-budget", "p2p-delay-floor", "p2p-loss", "p2p-churn"}
+	if len(names) != len(want) {
+		t.Fatalf("series = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("series = %v, want %v", names, want)
+		}
+	}
+}
+
+// TestRunBadFaultProfile: an unknown profile is a clear startup error,
+// not a silent no-op.
+func TestRunBadFaultProfile(t *testing.T) {
+	o := smokeOptions()
+	o.faults = "catastrophic"
+	err := run(io.Discard, o)
+	if err == nil || !strings.Contains(err.Error(), "catastrophic") {
+		t.Errorf("err = %v, want unknown-profile error naming it", err)
+	}
+}
+
+// TestRunMaxStepsCutsTrialsOff: an absurdly small step budget fails the
+// run with an error naming the budget, not a hang or a panic.
+func TestRunMaxStepsCutsTrialsOff(t *testing.T) {
+	o := smokeOptions()
+	o.maxSteps = 10
+	err := run(io.Discard, o)
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v, want step-budget error", err)
 	}
 }

@@ -7,9 +7,17 @@
 // Trials run in parallel on the shared experiment harness; results are
 // byte-identical for a given -seed regardless of -workers.
 //
+// With -faults PROFILE the sweeps run on a degraded substrate (see
+// -faults help for the profile names) and two degradation series are
+// appended: detection vs injected packet loss and vs reorder jitter.
+// -trial-timeout and -max-steps bound each trial; a trial cut off by
+// either bound fails the run with a joined error naming it.
+//
 // Usage:
 //
-//	tracewatermark [-trials T] [-workers W] [-seed S] [-json|-csv] [-smoke]
+//	tracewatermark [-trials T] [-workers W] [-seed S]
+//	               [-faults PROFILE] [-trial-timeout D] [-max-steps N]
+//	               [-json|-csv] [-smoke]
 package main
 
 import (
@@ -18,9 +26,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"text/tabwriter"
+	"time"
 
 	"lawgate/internal/experiment"
+	"lawgate/internal/faults"
 	"lawgate/internal/watermark"
 )
 
@@ -29,6 +40,10 @@ func main() {
 	flag.IntVar(&o.trials, "trials", 5, "seeds per sweep point")
 	flag.IntVar(&o.workers, "workers", 0, "parallel trial workers (0 = all CPUs)")
 	flag.Int64Var(&o.seed, "seed", 1, "master seed; per-trial seeds derive from it")
+	flag.StringVar(&o.faults, "faults", "",
+		"fault profile ("+strings.Join(faults.Profiles(), ", ")+"); adds loss and jitter degradation series")
+	flag.DurationVar(&o.trialTimeout, "trial-timeout", 0, "wall-clock bound per trial (0 = none)")
+	flag.Int64Var(&o.maxSteps, "max-steps", 0, "simulator event bound per trial (0 = default)")
 	flag.BoolVar(&o.json, "json", false, "emit results as JSON instead of text")
 	flag.BoolVar(&o.csv, "csv", false, "emit results as CSV instead of text")
 	flag.BoolVar(&o.smoke, "smoke", false, "tiny CI sweep: 2-bit payload, 1 trial, 1 point per series")
@@ -42,6 +57,9 @@ func main() {
 type options struct {
 	trials, workers  int
 	seed             int64
+	faults           string
+	trialTimeout     time.Duration
+	maxSteps         int64
 	json, csv, smoke bool
 }
 
@@ -54,13 +72,18 @@ func (o options) normalized() options {
 	return o
 }
 
-// sweeps declares the E3 series for the given options.
-func sweeps(o options) []experiment.Sweep {
+// sweeps declares the E3 series for the given options. Naming a fault
+// profile appends the loss and jitter degradation series on top of it.
+func sweeps(o options) ([]experiment.Sweep, error) {
 	base := watermark.DefaultExperimentConfig()
+	base.MaxSteps = o.maxSteps
 	degrees := []int{5, 6, 7, 8, 9}
 	noises := []float64{0, 0.5, 1, 2, 4}
 	amps := []float64{0.05, 0.10, 0.20, 0.30, 0.50}
 	candidates := []int{2, 4, 8}
+	losses := []float64{0, 0.05, 0.10, 0.20, 0.30}
+	jitters := []time.Duration{0, 5 * time.Millisecond, 10 * time.Millisecond,
+		20 * time.Millisecond, 40 * time.Millisecond}
 	reps := o.trials
 	lineup := watermark.DefaultLineupConfig()
 	if o.smoke {
@@ -69,24 +92,44 @@ func sweeps(o options) []experiment.Sweep {
 		noises = []float64{0.5}
 		amps = []float64{0.30}
 		candidates = []int{2}
+		losses = []float64{0, 0.20}
+		jitters = []time.Duration{0, 20 * time.Millisecond}
 		lineup.Bits = 2
 	}
-	return []experiment.Sweep{
+	if o.faults != "" {
+		plan, err := faults.Profile(o.faults)
+		if err != nil {
+			return nil, err
+		}
+		base.Faults = plan
+	}
+	out := []experiment.Sweep{
 		watermark.CodeSweep(base, reps, o.seed, degrees),
 		watermark.NoiseSweep(base, reps, o.seed, noises),
 		watermark.AmplitudeSweep(base, reps, o.seed, amps),
 		watermark.LineupSweep(lineup, reps, o.seed, candidates),
 	}
+	if o.faults != "" {
+		out = append(out,
+			watermark.LossSweep(base, reps, o.seed, losses),
+			watermark.JitterSweep(base, reps, o.seed, jitters),
+		)
+	}
+	return out, nil
 }
 
 func run(w io.Writer, o options) error {
 	o = o.normalized()
-	runner := experiment.Runner{Workers: o.workers}
+	sws, err := sweeps(o)
+	if err != nil {
+		return err
+	}
+	runner := experiment.Runner{Workers: o.workers, TrialTimeout: o.trialTimeout}
 	report := experiment.Report{Name: "E3-dsss-watermark-traceback"}
-	for _, sw := range sweeps(o) {
+	for _, sw := range sws {
 		series, err := runner.Run(context.Background(), sw)
 		if err != nil {
-			return err
+			return fmt.Errorf("sweep %s: %w", sw.Name, err)
 		}
 		report.Series = append(report.Series, series)
 	}
@@ -104,11 +147,16 @@ func render(w io.Writer, o options, report experiment.Report) error {
 	fmt.Fprintf(tw, "E3 — DSSS watermark traceback vs baseline correlation (%d trials/point, seed %d)\n",
 		o.trials, o.seed)
 	fmt.Fprintln(tw, "Legal posture: court order suffices — packet rates are non-content (no wiretap order).")
+	if o.faults != "" {
+		fmt.Fprintf(tw, "Fault profile: %s\n", o.faults)
+	}
 	titles := map[string]string{
 		"watermark-code-length": "detection vs PN-code length (noise=1.0)",
 		"watermark-noise":       "detection vs cross-traffic noise",
 		"watermark-amplitude":   "detection vs modulation amplitude (noise=1.0)",
 		"watermark-lineup":      "lineup identification — which of K candidates is the downloader",
+		"watermark-loss":        "detection vs injected packet loss (degradation, noise=1.0)",
+		"watermark-jitter":      "detection vs injected reorder jitter (degradation, noise=1.0)",
 	}
 	for _, s := range report.Series {
 		fmt.Fprintf(tw, "\nSeries %s: %s\n", s.Sweep, titles[s.Sweep])

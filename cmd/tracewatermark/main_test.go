@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"strings"
 	"testing"
 
 	"lawgate/internal/experiment"
@@ -40,5 +43,58 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if buf.Len() == 0 {
 		t.Fatal("no output")
+	}
+}
+
+// TestRunFaultProfileAddsDegradationSeries: -faults appends the loss
+// and jitter series, deterministically across worker counts.
+func TestRunFaultProfileAddsDegradationSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke sweep too slow for -short")
+	}
+	var blobs [][]byte
+	for _, workers := range []int{1, 4} {
+		o := options{trials: 1, workers: workers, seed: 1, smoke: true, faults: "lossy", json: true}
+		var buf bytes.Buffer
+		if err := run(&buf, o); err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, buf.Bytes())
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Error("lossy smoke JSON differs between workers=1 and workers=4")
+	}
+	var report experiment.Report
+	if err := json.Unmarshal(blobs[0], &report); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range report.Series {
+		names = append(names, s.Sweep)
+	}
+	want := "watermark-code-length watermark-noise watermark-amplitude watermark-lineup watermark-loss watermark-jitter"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("series = %q, want %q", got, want)
+	}
+}
+
+// TestRunMaxStepsCutsTrialsOff: a tiny step budget fails the run with a
+// joined error reporting the partial acquisition.
+func TestRunMaxStepsCutsTrialsOff(t *testing.T) {
+	o := options{trials: 1, workers: 2, seed: 1, smoke: true, maxSteps: 50}
+	err := run(io.Discard, o)
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("err = %v, want step-budget error", err)
+	}
+	if !strings.Contains(err.Error(), "partial acquisition") {
+		t.Errorf("err = %v, want partial-acquisition accounting", err)
+	}
+}
+
+// TestRunBadFaultProfile: an unknown profile is a startup error.
+func TestRunBadFaultProfile(t *testing.T) {
+	o := options{trials: 1, workers: 1, seed: 1, smoke: true, faults: "nope"}
+	if err := run(io.Discard, o); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("err = %v, want unknown-profile error naming it", err)
 	}
 }

@@ -201,6 +201,36 @@ func (d *Device) Observe(dir netsim.Direction, at time.Duration, pkt *netsim.Pac
 	d.records = append(d.records, rec)
 }
 
+// Acquisition summarizes how much evidence a device has obtained — the
+// figure a partial or interrupted capture must report instead of
+// silently discarding what it holds.
+type Acquisition struct {
+	// Records is the number of captured observations.
+	Records int
+	// Bytes totals the observed packets' sizes (headers included).
+	Bytes int64
+	// Expired counts observations dropped after authorization lapsed.
+	Expired int
+}
+
+// String renders the summary for error messages and reports.
+func (a Acquisition) String() string {
+	s := fmt.Sprintf("%d records (%d bytes)", a.Records, a.Bytes)
+	if a.Expired > 0 {
+		s += fmt.Sprintf(", %d dropped after expiry", a.Expired)
+	}
+	return s
+}
+
+// Acquired summarizes the evidence obtained so far.
+func (d *Device) Acquired() Acquisition {
+	a := Acquisition{Records: len(d.records), Expired: d.Expired}
+	for _, r := range d.records {
+		a.Bytes += int64(r.Header.SizeBytes)
+	}
+	return a
+}
+
 // Records returns a copy of the captured observations; payloads are
 // deep-copied so callers cannot mutate the device's log.
 func (d *Device) Records() []Record {

@@ -371,3 +371,49 @@ func TestWirelessSnifferScenes(t *testing.T) {
 		t.Errorf("wireless payload capture with a wiretap order must arm: %v", err)
 	}
 }
+
+func TestAcquiredSummarizesEvidence(t *testing.T) {
+	n := ispNet(t)
+	d, err := New(HeaderSniffer, govISPPlacement(), legal.ProcessCourtOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := NewGate(true).Arm(n, d); err != nil {
+		t.Fatal(err)
+	}
+	if a := d.Acquired(); a.Records != 0 || a.Bytes != 0 {
+		t.Errorf("fresh device acquired %+v", a)
+	}
+	send(t, n, "suspect", "isp", "hello")
+	send(t, n, "isp", "server", "world!!")
+	n.Sim().Run()
+	a := d.Acquired()
+	wantBytes := int64((len("hello") + 40) + (len("world!!") + 40))
+	if a.Records != 2 || a.Bytes != wantBytes {
+		t.Errorf("acquired %+v, want 2 records / %d bytes", a, wantBytes)
+	}
+	if got := a.String(); got != "2 records (92 bytes)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestAcquiredCountsExpiry(t *testing.T) {
+	n := ispNet(t)
+	d, err := New(HeaderSniffer, govISPPlacement(), legal.ProcessCourtOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetExpiry(time.Nanosecond)
+	if err := NewGate(true).Arm(n, d); err != nil {
+		t.Fatal(err)
+	}
+	send(t, n, "suspect", "isp", "late")
+	n.Sim().Run()
+	a := d.Acquired()
+	if a.Records != 0 || a.Expired != 1 {
+		t.Errorf("expired capture acquired %+v", a)
+	}
+	if got := a.String(); got != "0 records (0 bytes), 1 dropped after expiry" {
+		t.Errorf("String() = %q", got)
+	}
+}

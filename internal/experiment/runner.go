@@ -5,11 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lawgate/internal/stats"
 )
+
+// ErrTrialTimeout reports a trial cut off by Runner.TrialTimeout. The
+// trial's goroutine may still be running; its result is discarded.
+var ErrTrialTimeout = errors.New("experiment: trial exceeded wall-clock timeout")
 
 // TrialError wraps one failed trial with its identity, so a sweep
 // failure names exactly which (point, rep, seed) to re-run.
@@ -29,20 +35,44 @@ func (e *TrialError) Error() string {
 // Unwrap exposes the underlying cause.
 func (e *TrialError) Unwrap() error { return e.Err }
 
+// PanicError is the cause inside a TrialError when the trial panicked.
+// The recover happens in the worker, so one poisoned trial cannot take
+// down the pool or lose the other trials' results.
+type PanicError struct {
+	// Value is what the trial passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("trial panicked: %v", e.Value)
+}
+
 // Runner executes a sweep's trials on a bounded worker pool. The zero
-// value runs on all CPUs.
+// value runs on all CPUs with no per-trial deadline.
 type Runner struct {
 	// Workers bounds trial parallelism; 0 or negative means
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// TrialTimeout, when positive, bounds each trial's wall-clock run
+	// time; a trial that exceeds it fails with ErrTrialTimeout. Note
+	// that which trials time out depends on the machine, so a sweep run
+	// with a timeout is only byte-reproducible when no trial trips it —
+	// prefer step budgets (netsim.SetStepBudget) for deterministic
+	// runaway protection and the timeout as the wall-clock backstop.
+	TrialTimeout time.Duration
 }
 
 // Run executes every trial of the sweep — each trial's seed derived
 // from (sweep seed, point index, rep index), so results do not depend
 // on worker count or scheduling order — and aggregates the samples
-// into a Series. All trials are attempted even when some fail; the
-// joined per-trial errors are returned and the Series is zero if any
-// trial failed.
+// into a Series. All trials are attempted even when some fail (a panic
+// or timeout in one trial does not stop the pool); the joined
+// per-trial errors are returned alongside the aggregation of the
+// trials that survived, so callers can both report the failures and
+// inspect the partial results.
 func (r Runner) Run(ctx context.Context, sw Sweep) (Series, error) {
 	if err := sw.Validate(); err != nil {
 		return Series{}, err
@@ -75,7 +105,7 @@ func (r Runner) Run(ctx context.Context, sw Sweep) (Series, error) {
 					Rep:   rep,
 					Seed:  DeriveSeed(sw.Seed, int64(pi), int64(rep)),
 				}
-				s, err := sw.Run(tr, sw.Points[pi])
+				s, err := r.runTrial(sw, tr, sw.Points[pi])
 				if err != nil {
 					errs[i] = &TrialError{Sweep: sw.Name, Point: sw.Points[pi], Trial: tr, Err: err}
 					continue
@@ -88,16 +118,57 @@ func (r Runner) Run(ctx context.Context, sw Sweep) (Series, error) {
 	if err := ctx.Err(); err != nil {
 		return Series{}, err
 	}
-	if err := errors.Join(errs...); err != nil {
-		return Series{}, err
+	series, aggErr := aggregate(sw, samples, errs)
+	if aggErr != nil {
+		return Series{}, aggErr
 	}
-	return aggregate(sw, samples)
+	return series, errors.Join(errs...)
+}
+
+// runTrial runs one trial with panic recovery and, when configured, a
+// wall-clock deadline.
+func (r Runner) runTrial(sw Sweep, tr Trial, p Point) (Sample, error) {
+	if r.TrialTimeout <= 0 {
+		return safeRun(sw, tr, p)
+	}
+	type outcome struct {
+		s   Sample
+		err error
+	}
+	// Buffered so a late finisher can deposit its result and exit even
+	// after the deadline fired and nobody is listening.
+	ch := make(chan outcome, 1)
+	go func() {
+		s, err := safeRun(sw, tr, p)
+		ch <- outcome{s, err}
+	}()
+	timer := time.NewTimer(r.TrialTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.s, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%w (%v)", ErrTrialTimeout, r.TrialTimeout)
+	}
+}
+
+// safeRun invokes the sweep's trial function, converting a panic into a
+// *PanicError so the pool keeps draining.
+func safeRun(sw Sweep, tr Trial, p Point) (s Sample, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return sw.Run(tr, p)
 }
 
 // aggregate folds per-trial samples into per-point metric summaries, in
 // grid order, so the resulting Series (and its serialized forms) are
-// deterministic.
-func aggregate(sw Sweep, samples []Sample) (Series, error) {
+// deterministic. Failed trials (errs[i] != nil) are excluded: each
+// point aggregates its surviving reps and records how many there were
+// in Trials; a point with no survivors keeps an empty metric map.
+func aggregate(sw Sweep, samples []Sample, errs []error) (Series, error) {
 	prop := make(map[string]bool, len(sw.Proportions))
 	for _, k := range sw.Proportions {
 		prop[k] = true
@@ -105,16 +176,26 @@ func aggregate(sw Sweep, samples []Sample) (Series, error) {
 	out := Series{Sweep: sw.Name, Seed: sw.Seed, Reps: sw.Reps, Points: make([]PointResult, len(sw.Points))}
 	for pi, p := range sw.Points {
 		base := pi * sw.Reps
-		first := samples[base]
-		pr := PointResult{Label: p.Label, Value: p.Value, Trials: sw.Reps, Metrics: make(map[string]Metric, len(first))}
+		var ok []Sample
+		for rep := 0; rep < sw.Reps; rep++ {
+			if errs[base+rep] == nil {
+				ok = append(ok, samples[base+rep])
+			}
+		}
+		pr := PointResult{Label: p.Label, Value: p.Value, Trials: len(ok), Metrics: map[string]Metric{}}
+		if len(ok) == 0 {
+			out.Points[pi] = pr
+			continue
+		}
+		first := ok[0]
 		for key := range first {
-			xs := make([]float64, sw.Reps)
+			xs := make([]float64, len(ok))
 			successes := 0
-			for rep := 0; rep < sw.Reps; rep++ {
-				v, ok := samples[base+rep][key]
-				if !ok {
-					return Series{}, fmt.Errorf("experiment: sweep %q point %q: trial %d missing metric %q",
-						sw.Name, p.Label, rep, key)
+			for rep, s := range ok {
+				v, present := s[key]
+				if !present {
+					return Series{}, fmt.Errorf("experiment: sweep %q point %q: a trial is missing metric %q",
+						sw.Name, p.Label, key)
 				}
 				xs[rep] = v
 				if v >= 0.5 {
@@ -128,18 +209,19 @@ func aggregate(sw Sweep, samples []Sample) (Series, error) {
 			m := Metric{N: sum.N, Mean: sum.Mean, Std: sum.Std, CI95: sum.CI95}
 			if prop[key] {
 				m.Proportion = true
-				if m.WilsonLo, m.WilsonHi, err = stats.Wilson(successes, sw.Reps); err != nil {
+				if m.WilsonLo, m.WilsonHi, err = stats.Wilson(successes, len(ok)); err != nil {
 					return Series{}, err
 				}
 			}
 			pr.Metrics[key] = m
 		}
-		// A trial reporting extra keys the first rep lacks is the same
-		// contract breach as a missing key; catch it symmetrically.
-		for rep := 1; rep < sw.Reps; rep++ {
-			if len(samples[base+rep]) != len(first) {
-				return Series{}, fmt.Errorf("experiment: sweep %q point %q: trial %d reports %d metrics, trial 0 reports %d",
-					sw.Name, p.Label, rep, len(samples[base+rep]), len(first))
+		// A trial reporting extra keys the first surviving rep lacks is
+		// the same contract breach as a missing key; catch it
+		// symmetrically.
+		for rep := 1; rep < len(ok); rep++ {
+			if len(ok[rep]) != len(first) {
+				return Series{}, fmt.Errorf("experiment: sweep %q point %q: surviving trials report %d and %d metrics",
+					sw.Name, p.Label, len(ok[rep]), len(first))
 			}
 		}
 		out.Points[pi] = pr

@@ -140,6 +140,125 @@ func TestRunnerSurfacesTrialErrors(t *testing.T) {
 	}
 }
 
+// TestRunnerPoisonedTrial: one panicking trial in a 100-trial sweep
+// yields exactly one *TrialError while the other 99 trials aggregate.
+func TestRunnerPoisonedTrial(t *testing.T) {
+	pts := make([]Point, 10)
+	for i := range pts {
+		pts[i] = Point{Label: fmt.Sprintf("p%d", i), Value: float64(i)}
+	}
+	sw := Sweep{
+		Name:   "poisoned",
+		Points: pts,
+		Reps:   10,
+		Seed:   5,
+		Run: func(tr Trial, p Point) (Sample, error) {
+			if tr.Point == 3 && tr.Rep == 7 {
+				panic("poisoned trial")
+			}
+			return Sample{"x": float64(tr.Rep)}, nil
+		},
+	}
+	series, err := Runner{Workers: 4}.Run(context.Background(), sw)
+	if err == nil {
+		t.Fatal("poisoned sweep reported no error")
+	}
+	var te *TrialError
+	if !errors.As(err, &te) {
+		t.Fatalf("err %v exposes no TrialError", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "poisoned trial" || len(pe.Stack) == 0 {
+		t.Fatalf("err %v exposes no PanicError with value and stack", err)
+	}
+	if te.Trial.Point != 3 || te.Trial.Rep != 7 {
+		t.Errorf("TrialError identity = %d/%d, want 3/7", te.Trial.Point, te.Trial.Rep)
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("err %T is not a joined error", err)
+	}
+	if n := len(joined.Unwrap()); n != 1 {
+		t.Errorf("joined error count = %d, want exactly 1", n)
+	}
+	total := 0
+	for pi, p := range series.Points {
+		total += p.Trials
+		want := 10
+		if pi == 3 {
+			want = 9
+		}
+		if p.Trials != want {
+			t.Errorf("point %d aggregated %d trials, want %d", pi, p.Trials, want)
+		}
+		if p.Metrics["x"].N != p.Trials {
+			t.Errorf("point %d metric N = %d, want %d", pi, p.Metrics["x"].N, p.Trials)
+		}
+	}
+	if total != 99 {
+		t.Errorf("aggregated %d trials, want 99", total)
+	}
+}
+
+// TestRunnerAllTrialsOfPointFail: a point with no surviving trials keeps
+// an empty metric map; other points still aggregate.
+func TestRunnerAllTrialsOfPointFail(t *testing.T) {
+	boom := errors.New("boom")
+	sw := Sweep{
+		Name:   "half-dead",
+		Points: []Point{{Label: "dead"}, {Label: "alive", Value: 1}},
+		Reps:   3,
+		Seed:   2,
+		Run: func(tr Trial, p Point) (Sample, error) {
+			if p.Label == "dead" {
+				return nil, boom
+			}
+			return Sample{"x": 1}, nil
+		},
+	}
+	series, err := Runner{Workers: 2}.Run(context.Background(), sw)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if series.Points[0].Trials != 0 || len(series.Points[0].Metrics) != 0 {
+		t.Errorf("dead point = %+v, want zero trials and no metrics", series.Points[0])
+	}
+	if series.Points[1].Trials != 3 || series.Points[1].Metrics["x"].Mean != 1 {
+		t.Errorf("alive point = %+v", series.Points[1])
+	}
+}
+
+// TestRunnerTrialTimeout: a hung trial is cut off with ErrTrialTimeout
+// while fast trials complete; the pool keeps draining.
+func TestRunnerTrialTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	sw := Sweep{
+		Name:   "hung",
+		Points: []Point{{Label: "a"}, {Label: "b", Value: 1}},
+		Reps:   2,
+		Seed:   3,
+		Run: func(tr Trial, p Point) (Sample, error) {
+			if p.Label == "a" && tr.Rep == 0 {
+				<-release // hangs until the test exits
+			}
+			return Sample{"x": 1}, nil
+		},
+	}
+	series, err := Runner{Workers: 2, TrialTimeout: 50 * time.Millisecond}.Run(context.Background(), sw)
+	if !errors.Is(err, ErrTrialTimeout) {
+		t.Fatalf("err = %v, want ErrTrialTimeout", err)
+	}
+	var te *TrialError
+	if !errors.As(err, &te) || te.Point.Label != "a" || te.Trial.Rep != 0 {
+		t.Fatalf("timeout not attributed to the hung trial: %v", err)
+	}
+	if series.Points[0].Trials != 1 || series.Points[1].Trials != 2 {
+		t.Errorf("surviving trials = %d/%d, want 1/2",
+			series.Points[0].Trials, series.Points[1].Trials)
+	}
+}
+
 func TestRunnerInconsistentMetricsRejected(t *testing.T) {
 	sw := Sweep{
 		Name:   "ragged",

@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"lawgate/internal/experiment"
+	"lawgate/internal/netsim"
+)
+
+// Stats counts what the injector actually did to a run. Together with
+// the network's own counters it lets a degraded acquisition report how
+// much evidence was lost rather than silently coming up short.
+type Stats struct {
+	// Dropped counts packets the loss fault discarded.
+	Dropped int64
+	// Duplicated counts packets given an extra delivery.
+	Duplicated int64
+	// Delayed counts packets given a reorder delay.
+	Delayed int64
+	// Outages counts down-phase onsets across all churned nodes whose
+	// timelines were materialized.
+	Outages int64
+}
+
+// Injector realizes a Plan as a netsim.FaultHook. Every decision is
+// deterministic given (plan, seed): packet-level faults draw from a
+// dedicated RNG consumed in simulation event order, and each node's
+// churn timeline derives from the seed and the node name alone, so it
+// is independent of traffic and query order. An injector serves one
+// simulation run; it is not safe for concurrent use (simulations are
+// single-loop).
+type Injector struct {
+	plan  Plan
+	seed  int64
+	rng   *rand.Rand
+	nodes map[netsim.NodeID]*timeline
+	stats Stats
+}
+
+var _ netsim.FaultHook = (*Injector)(nil)
+
+// Stream constants separating the injector's RNG lineages from each
+// other and from the simulation's own stream.
+const (
+	streamTransmit int64 = 0x6661756c74730001 // "faults"+1
+	streamChurn    int64 = 0x6661756c74730002
+)
+
+// New validates the plan and returns an injector for one run.
+func New(plan Plan, seed int64) (*Injector, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{
+		plan:  plan,
+		seed:  seed,
+		rng:   rand.New(rand.NewSource(experiment.DeriveSeed(seed, streamTransmit))),
+		nodes: make(map[netsim.NodeID]*timeline),
+	}, nil
+}
+
+// Plan returns the plan the injector realizes.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Stats returns what the injector has done so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Attach installs the injector on a network. Convenience for
+// net.SetFaults(in); a nil injector clears the hook.
+func (in *Injector) Attach(net *netsim.Network) {
+	if in == nil {
+		net.SetFaults(nil)
+		return
+	}
+	net.SetFaults(in)
+}
+
+// Transmit implements netsim.FaultHook.
+func (in *Injector) Transmit(src, dst netsim.NodeID, now time.Duration, pkt *netsim.Packet) netsim.Fault {
+	var f netsim.Fault
+	p := in.plan
+	if p.Loss > 0 && in.rng.Float64() < p.Loss {
+		in.stats.Dropped++
+		f.Drop = true
+		return f
+	}
+	if p.Duplicate > 0 && in.rng.Float64() < p.Duplicate {
+		lag := p.DuplicateLag
+		if lag <= 0 {
+			lag = time.Millisecond
+		}
+		f.Duplicates = []time.Duration{lag}
+		in.stats.Duplicated++
+	}
+	if p.Reorder > 0 && p.ReorderSpread > 0 && in.rng.Float64() < p.Reorder {
+		f.ExtraDelay = time.Duration(in.rng.Int63n(int64(p.ReorderSpread))) + 1
+		in.stats.Delayed++
+	}
+	f.BandwidthBps = p.BandwidthBps
+	return f
+}
+
+// Down implements netsim.FaultHook.
+func (in *Injector) Down(id netsim.NodeID, now time.Duration) bool {
+	c := in.plan.Churn
+	if !c.Active() || now < c.Start {
+		return false
+	}
+	for _, ex := range c.Exempt {
+		if string(id) == ex {
+			return false
+		}
+	}
+	return in.timelineFor(id).down(now)
+}
+
+// Outages returns the node's down windows as [start, end) pairs,
+// clipped to [0, until). Exempt nodes and inactive churn yield nil.
+// Useful for tests and for explaining a degraded acquisition.
+func (in *Injector) Outages(id netsim.NodeID, until time.Duration) [][2]time.Duration {
+	c := in.plan.Churn
+	if !c.Active() {
+		return nil
+	}
+	for _, ex := range c.Exempt {
+		if string(id) == ex {
+			return nil
+		}
+	}
+	tl := in.timelineFor(id)
+	tl.extend(until)
+	var out [][2]time.Duration
+	for _, w := range tl.windows {
+		if w[0] >= until {
+			break
+		}
+		end := w[1]
+		if end > until {
+			end = until
+		}
+		out = append(out, [2]time.Duration{w[0], end})
+	}
+	return out
+}
+
+func (in *Injector) timelineFor(id netsim.NodeID) *timeline {
+	tl, ok := in.nodes[id]
+	if !ok {
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		tl = &timeline{
+			churn: in.plan.Churn,
+			stats: &in.stats,
+			rng: rand.New(rand.NewSource(
+				experiment.DeriveSeed(in.seed, streamChurn, int64(h.Sum64())))),
+			horizon: in.plan.Churn.Start,
+		}
+		in.nodes[id] = tl
+	}
+	return tl
+}
+
+// timeline lazily materializes one node's alternating up/down phases.
+// Phases are drawn from the node's private RNG in time order only, so
+// the schedule is identical however and whenever it is queried.
+type timeline struct {
+	churn   Churn
+	rng     *rand.Rand
+	stats   *Stats
+	horizon time.Duration      // phases are materialized up to here
+	windows [][2]time.Duration // down windows, ascending, non-overlapping
+}
+
+// extend materializes phases until the horizon passes t.
+func (tl *timeline) extend(t time.Duration) {
+	for tl.horizon <= t {
+		up := tl.draw(tl.churn.MeanUp)
+		down := tl.draw(tl.churn.MeanDown)
+		start := tl.horizon + up
+		tl.windows = append(tl.windows, [2]time.Duration{start, start + down})
+		tl.horizon = start + down
+		tl.stats.Outages++
+	}
+}
+
+// draw samples an exponential phase length with the given mean, floored
+// at 1ns so phases always advance the horizon.
+func (tl *timeline) draw(mean time.Duration) time.Duration {
+	d := time.Duration(tl.rng.ExpFloat64() * float64(mean))
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// down reports whether t falls inside a down window.
+func (tl *timeline) down(t time.Duration) bool {
+	tl.extend(t)
+	for i := len(tl.windows) - 1; i >= 0; i-- {
+		w := tl.windows[i]
+		if t >= w[1] {
+			return false
+		}
+		if t >= w[0] {
+			return true
+		}
+	}
+	return false
+}

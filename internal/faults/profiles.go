@@ -1,0 +1,55 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Named fault profiles: the -faults flag on the experiment commands
+// selects one of these. Each profile is a fixed Plan, so a profile name
+// plus a seed fully determines a run.
+var profiles = map[string]Plan{
+	// none: the fault-free baseline.
+	"none": {},
+	// lossy: 20% extra packet loss — the regime where the paper's
+	// detectors must still support probable cause.
+	"lossy": {Loss: 0.20},
+	// jittery: half the packets delayed up to 25ms, 5% duplicated —
+	// stresses timing classifiers without losing evidence.
+	"jittery": {
+		Reorder: 0.5, ReorderSpread: 25 * time.Millisecond,
+		Duplicate: 0.05, DuplicateLag: 5 * time.Millisecond,
+	},
+	// churny: peers down ~15% of the time in ~2s outages — the P2P
+	// evidence-collection regime Scanlon & Kechadi warn about.
+	"churny": {Churn: ChurnFraction(0.15, 2*time.Second)},
+	// degraded: a congested last mile — 256 kbps cap plus 5% loss.
+	"degraded": {Loss: 0.05, BandwidthBps: 256_000},
+	// hostile: everything at once, at the acceptance-criteria ceiling
+	// (30% loss, 20% churn).
+	"hostile": {
+		Loss: 0.30, Duplicate: 0.05, DuplicateLag: 5 * time.Millisecond,
+		Reorder: 0.5, ReorderSpread: 25 * time.Millisecond,
+		Churn: ChurnFraction(0.20, 2*time.Second),
+	},
+}
+
+// Profiles returns the profile names in sorted order.
+func Profiles() []string {
+	names := make([]string, 0, len(profiles))
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile returns the named plan.
+func Profile(name string) (Plan, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("%w: unknown profile %q (have %v)", ErrBadPlan, name, Profiles())
+	}
+	return p, nil
+}

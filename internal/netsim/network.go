@@ -83,6 +83,38 @@ type Tap interface {
 	Observe(dir Direction, at time.Duration, pkt *Packet)
 }
 
+// Fault describes what the fault layer does to one transmission. The
+// zero Fault passes the packet through untouched.
+type Fault struct {
+	// Drop discards the packet before delivery (on top of the link's
+	// own Loss probability).
+	Drop bool
+	// ExtraDelay postpones delivery; a delay exceeding the gap to later
+	// packets reorders them.
+	ExtraDelay time.Duration
+	// Duplicates schedules extra deliveries of the same packet at these
+	// additional offsets after the original delivery time.
+	Duplicates []time.Duration
+	// BandwidthBps, when positive, caps the link's bandwidth for this
+	// packet's serialization: degraded links transmit slower, and a cap
+	// on an unconstrained link makes it finite.
+	BandwidthBps int64
+}
+
+// FaultHook injects failures into a network. Implementations must be
+// deterministic functions of their own seeded state and the call
+// sequence (the simulation is single-loop, so calls arrive in event
+// order); internal/faults provides the standard implementation.
+type FaultHook interface {
+	// Transmit is consulted once per Send, after tap observation at the
+	// source and the link's own loss draw.
+	Transmit(src, dst NodeID, now time.Duration, pkt *Packet) Fault
+	// Down reports whether the node is offline (crashed) at now. A down
+	// source transmits nothing; a packet arriving at a down destination
+	// is lost.
+	Down(id NodeID, now time.Duration) bool
+}
+
 // Network is a set of nodes joined by links, driven by a Simulator. Not
 // safe for concurrent use (simulations are single-loop).
 type Network struct {
@@ -92,9 +124,14 @@ type Network struct {
 	taps   map[NodeID][]Tap
 	busy   map[dirKey]time.Duration // per-direction link occupancy
 	nextID int64
+	faults FaultHook
 
 	// Delivered counts packets delivered; Dropped counts loss.
 	Delivered, Dropped int64
+	// FaultDropped counts packets discarded by the fault layer (hook
+	// drops plus deliveries to crashed nodes); Duplicated counts extra
+	// deliveries the fault layer injected.
+	FaultDropped, Duplicated int64
 }
 
 type linkKey struct{ a, b NodeID }
@@ -125,6 +162,10 @@ func NewNetwork(sim *Simulator) *Network {
 
 // Sim returns the driving simulator.
 func (n *Network) Sim() *Simulator { return n.sim }
+
+// SetFaults installs a fault hook; nil removes it. The hook sees every
+// subsequent transmission.
+func (n *Network) SetFaults(h FaultHook) { n.faults = h }
 
 // AddNode registers a node. A nil handler registers a sink that discards
 // deliveries.
@@ -197,6 +238,13 @@ func (n *Network) Send(pkt *Packet) error {
 	if !ok {
 		return fmt.Errorf("%w: %q-%q", ErrNoLink, src, dst)
 	}
+	// A crashed source transmits nothing: the packet never reaches the
+	// wire, so taps at either end see nothing and the link RNG stream is
+	// not consumed.
+	if n.faults != nil && n.faults.Down(src, n.sim.Now()) {
+		n.FaultDropped++
+		return nil
+	}
 
 	n.nextID++
 	pkt.ID = n.nextID
@@ -212,10 +260,23 @@ func (n *Network) Send(pkt *Packet) error {
 		n.Dropped++
 		return nil
 	}
+	var fault Fault
+	if n.faults != nil {
+		fault = n.faults.Transmit(src, dst, n.sim.Now(), pkt)
+	}
+	if fault.Drop {
+		n.FaultDropped++
+		return nil
+	}
 	// Serialization: a constrained link transmits one packet at a time
-	// per direction; later packets queue behind earlier departures.
+	// per direction; later packets queue behind earlier departures. A
+	// fault-layer bandwidth cap tightens (never loosens) the link's own.
+	bw := link.BandwidthBps
+	if fault.BandwidthBps > 0 && (bw <= 0 || fault.BandwidthBps < bw) {
+		bw = fault.BandwidthBps
+	}
 	departure := n.sim.Now()
-	if tx := link.serialization(pkt.Header.SizeBytes); tx > 0 {
+	if tx := (Link{BandwidthBps: bw}).serialization(pkt.Header.SizeBytes); tx > 0 {
 		key := dirKey{link: keyFor(src, dst), src: src}
 		start := departure
 		if n.busy[key] > start {
@@ -228,14 +289,38 @@ func (n *Network) Send(pkt *Packet) error {
 	if link.Jitter > 0 {
 		delay += time.Duration(n.sim.Rand().Int63n(int64(link.Jitter)))
 	}
-	delivered := pkt.Clone()
-	return n.sim.Schedule(delay, func() {
-		delivered.DeliveredAt = n.sim.Now()
-		delivered.Hops = append(delivered.Hops, dst)
-		n.Delivered++
-		n.observe(dst, DirInbound, delivered)
-		handler.HandlePacket(n, delivered)
-	})
+	delay += fault.ExtraDelay
+	deliver := func(after time.Duration, duplicate bool) error {
+		delivered := pkt.Clone()
+		return n.sim.Schedule(after, func() {
+			// A destination that is down when the packet arrives loses
+			// it — crash-while-in-flight.
+			if n.faults != nil && n.faults.Down(dst, n.sim.Now()) {
+				n.FaultDropped++
+				return
+			}
+			delivered.DeliveredAt = n.sim.Now()
+			delivered.Hops = append(delivered.Hops, dst)
+			n.Delivered++
+			if duplicate {
+				n.Duplicated++
+			}
+			n.observe(dst, DirInbound, delivered)
+			handler.HandlePacket(n, delivered)
+		})
+	}
+	if err := deliver(delay, false); err != nil {
+		return err
+	}
+	for _, extra := range fault.Duplicates {
+		if extra < 0 {
+			extra = 0
+		}
+		if err := deliver(delay+extra, true); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (n *Network) observe(id NodeID, dir Direction, pkt *Packet) {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"time"
 
+	"lawgate/internal/experiment"
+	"lawgate/internal/faults"
 	"lawgate/internal/netsim"
 )
 
@@ -30,6 +32,17 @@ type ExperimentConfig struct {
 	MaxSteps int64
 	// Overlay carries the protocol parameters (anonymous mode delays).
 	Overlay Config
+	// Faults declares the substrate's misbehavior; the zero plan is the
+	// fault-free baseline. The investigator itself is always exempt from
+	// churn — the experiment measures the substrate failing, not the
+	// measurer.
+	Faults faults.Plan
+	// ProbeTimeout overrides the per-attempt response deadline; zero
+	// derives a generous bound from the overlay parameters.
+	ProbeTimeout time.Duration
+	// ProbeRetries is the number of re-attempts after a timed-out probe
+	// (total attempts = 1 + ProbeRetries).
+	ProbeRetries int
 }
 
 // ExperimentResult is the classification quality of one run.
@@ -41,6 +54,20 @@ type ExperimentResult struct {
 	NoResponse int
 	// Threshold is the classifier's decision boundary.
 	Threshold time.Duration
+	// Probes is the acquisition-effort record (sent/retried/timed out).
+	Probes ProbeStats
+	// Faults is what the injector actually did to the run.
+	Faults faults.Stats
+}
+
+// Answered returns the fraction of sent probes that received responses,
+// or 1 when nothing was sent — the acquisition-completeness figure a
+// degraded run reports alongside its verdicts.
+func (r ExperimentResult) Answered() float64 {
+	if r.Probes.Sent == 0 {
+		return 1
+	}
+	return 1 - float64(r.Probes.Timeouts)/float64(r.Probes.Sent)
 }
 
 // Precision returns TP/(TP+FP), or 1 when nothing was flagged.
@@ -71,6 +98,10 @@ func (r ExperimentResult) Accuracy() float64 {
 // ContrabandKey is the content key the experiments query for.
 const ContrabandKey ContentKey = "contraband-file-0001"
 
+// faultStream separates the fault injector's seed lineage from the
+// simulation's own.
+const faultStream int64 = 0x7032706661756c74 // "p2pfault"
+
 // RunExperiment builds the IV-A topology — the investigator linked to
 // Neighbors peers, of which Sources share ContrabandKey and the rest each
 // forward to a hidden second-hop source — probes every neighbor Probes
@@ -90,6 +121,21 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 	sim.SetStepBudget(budget)
 	net := netsim.NewNetwork(sim)
 	o := NewOverlay(net, ec.Overlay)
+
+	var injector *faults.Injector
+	if ec.Faults.Active() {
+		plan := ec.Faults
+		plan.Churn.Exempt = append(append([]string{}, plan.Churn.Exempt...), "investigator")
+		var err error
+		// The injector's seed derives from the trial seed on a separate
+		// stream, so the fault schedule is independent of the overlay's
+		// own randomness.
+		injector, err = faults.New(plan, experiment.DeriveSeed(ec.Seed, faultStream))
+		if err != nil {
+			return ExperimentResult{}, err
+		}
+		injector.Attach(net)
+	}
 
 	inv, err := NewInvestigator(o, "investigator")
 	if err != nil {
@@ -125,21 +171,36 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 	}
 
 	// Probe each neighbor k times, draining the simulator between
-	// probes so measurements never interleave.
+	// probes so measurements never interleave. The neighbor list is
+	// re-resolved from the live topology each round, and every probe
+	// carries a timeout and bounded deterministic retries so a crashed
+	// or lossy peer degrades to VerdictNoResponse instead of leaving a
+	// measurement pending forever.
+	policy := DefaultRetryPolicy(ec.Overlay)
+	policy.Attempts = 1 + ec.ProbeRetries
+	if ec.ProbeTimeout > 0 {
+		policy.Timeout = ec.ProbeTimeout
+	}
 	for round := 0; round < ec.Probes; round++ {
-		for _, id := range neighbors {
-			if err := inv.Probe(id, ContrabandKey); err != nil {
+		for _, id := range inv.Neighbors() {
+			if err := inv.ProbeReliably(id, ContrabandKey, policy); err != nil {
 				return ExperimentResult{}, err
 			}
 			sim.Run()
 			if sim.Exhausted() {
-				return ExperimentResult{}, fmt.Errorf("probing %q: %w after %d steps", id, netsim.ErrStepBudget, sim.Steps())
+				st := inv.Stats()
+				return ExperimentResult{}, fmt.Errorf(
+					"probing %q: %w after %d steps (partial acquisition: %d measurements from %d probes, %d timeouts)",
+					id, netsim.ErrStepBudget, sim.Steps(), len(inv.Measurements()), st.Sent, st.Timeouts)
 			}
 		}
 	}
 
 	cls := AutoClassifier(ec.Overlay)
-	res := ExperimentResult{Threshold: cls.Threshold}
+	res := ExperimentResult{Threshold: cls.Threshold, Probes: inv.Stats()}
+	if injector != nil {
+		res.Faults = injector.Stats()
+	}
 	for _, id := range neighbors {
 		verdict, err := cls.Classify(inv.MeasurementsFor(id))
 		if err != nil {

@@ -67,6 +67,16 @@ type Investigator struct {
 	// responses (Table 1 scene 9: names and shared-file lists are
 	// public information in a conventional overlay).
 	identified map[netsim.NodeID]bool
+	// probe telemetry
+	sent, retries, timeouts int
+}
+
+// ProbeStats summarizes the investigator's acquisition effort: how many
+// probes went out, how many were retries, and how many timed out. On a
+// degraded substrate these numbers are the evidence-of-effort record a
+// partial acquisition reports.
+type ProbeStats struct {
+	Sent, Retries, Timeouts int
 }
 
 // NewInvestigator joins the overlay at the given node ID. The investigator
@@ -96,17 +106,99 @@ func (inv *Investigator) Befriend(peer netsim.NodeID) error {
 
 // Probe sends one timed query for key to a neighbor. The measurement
 // completes when the response arrives (drive the simulator to flush).
+// A probe that is never answered stays pending forever; use
+// ProbeReliably on a faulty substrate.
 func (inv *Investigator) Probe(neighbor netsim.NodeID, key ContentKey) error {
+	_, err := inv.probe(neighbor, key)
+	return err
+}
+
+func (inv *Investigator) probe(neighbor netsim.NodeID, key ContentKey) (int64, error) {
 	qid, err := inv.overlay.Query(inv.self.ID, neighbor, key)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	inv.sent++
 	inv.pending[qid] = &Measurement{
 		Neighbor: neighbor,
 		QID:      qid,
 		SentAt:   inv.overlay.Net().Sim().Now(),
 	}
-	return nil
+	return qid, nil
+}
+
+// RetryPolicy bounds a reliable probe: how many attempts, how long each
+// waits for a response in virtual time, and the base of the
+// deterministic exponential backoff between attempts (retry n starts
+// Backoff×2ⁿ⁻¹ after the previous attempt's timeout). The policy draws
+// no randomness, so probing with it perturbs nothing on a healthy
+// substrate.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (minimum 1).
+	Attempts int
+	// Timeout is the per-attempt response deadline.
+	Timeout time.Duration
+	// Backoff is the base wait before a retry.
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy derives a policy from the overlay's public
+// parameters: the timeout generously bounds the slowest legitimate
+// response (a TTL-deep forward chain at maximum artificial delay), so
+// on a fault-free substrate no attempt ever times out.
+func DefaultRetryPolicy(cfg Config) RetryPolicy {
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = 4
+	}
+	return RetryPolicy{
+		Attempts: 3,
+		Timeout: 2*time.Duration(ttl)*cfg.LinkLatency + cfg.LookupDelay +
+			time.Duration(ttl)*cfg.DelayMax + 100*time.Millisecond,
+		Backoff: 50 * time.Millisecond,
+	}
+}
+
+// ProbeReliably sends a timed query with a per-probe timeout and
+// bounded retries. An attempt that receives no response within
+// policy.Timeout is finalized as an unanswered measurement (so
+// classification degrades to VerdictNoResponse instead of failing) and,
+// while attempts remain, retried after the deterministic backoff. The
+// whole schedule runs in virtual time; drive the simulator to flush.
+func (inv *Investigator) ProbeReliably(neighbor netsim.NodeID, key ContentKey, policy RetryPolicy) error {
+	if policy.Attempts <= 0 {
+		policy.Attempts = 1
+	}
+	if policy.Timeout <= 0 {
+		policy.Timeout = DefaultRetryPolicy(inv.overlay.Config()).Timeout
+	}
+	return inv.attempt(neighbor, key, policy, 0)
+}
+
+func (inv *Investigator) attempt(neighbor netsim.NodeID, key ContentKey, policy RetryPolicy, n int) error {
+	qid, err := inv.probe(neighbor, key)
+	if err != nil {
+		return err
+	}
+	sim := inv.overlay.Net().Sim()
+	return sim.Schedule(policy.Timeout, func() {
+		meas, ok := inv.pending[qid]
+		if !ok {
+			return // answered in time; the timer is a no-op
+		}
+		inv.timeouts++
+		meas.RespondedAt = sim.Now()
+		inv.done = append(inv.done, *meas)
+		delete(inv.pending, qid)
+		if n+1 >= policy.Attempts {
+			return
+		}
+		inv.retries++
+		backoff := policy.Backoff << uint(n)
+		_ = sim.Schedule(backoff, func() {
+			_ = inv.attempt(neighbor, key, policy, n+1)
+		})
+	})
 }
 
 func (inv *Investigator) onResponse(_ netsim.NodeID, m message, at time.Duration) {
@@ -143,6 +235,20 @@ func (inv *Investigator) MeasurementsFor(neighbor netsim.NodeID) []Measurement {
 
 // Outstanding returns the number of probes still awaiting responses.
 func (inv *Investigator) Outstanding() int { return len(inv.pending) }
+
+// Stats returns the probe telemetry so far.
+func (inv *Investigator) Stats() ProbeStats {
+	return ProbeStats{Sent: inv.sent, Retries: inv.retries, Timeouts: inv.timeouts}
+}
+
+// Neighbors re-resolves the investigator's current friends from the
+// live topology, in sorted order — under churn the set on record at
+// join time may not match who is reachable now.
+func (inv *Investigator) Neighbors() []netsim.NodeID {
+	out := inv.overlay.Net().Neighbors(inv.self.ID)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // IdentifiedSources returns peers whose identity a plain-mode overlay
 // exposed in responses, in sorted order. In anonymous mode responses carry

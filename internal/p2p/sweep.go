@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lawgate/internal/experiment"
+	"lawgate/internal/faults"
 )
 
 // SweepConfig carries the topology knobs shared by the E2 sweep
@@ -18,6 +19,15 @@ type SweepConfig struct {
 	Seed      int64
 	// Overlay is the protocol working point the sweep starts from.
 	Overlay Config
+	// MaxSteps caps each trial's simulator event count (0 = default).
+	MaxSteps int64
+	// Faults is the substrate fault plan every trial runs under; the
+	// degradation sweeps vary one of its axes per grid point.
+	Faults faults.Plan
+	// ProbeRetries and ProbeTimeout tune the investigator's resilient
+	// probing (zero values keep the derived defaults).
+	ProbeRetries int
+	ProbeTimeout time.Duration
 }
 
 // DefaultSweepConfig returns the paper-plausible E2 working point: 16
@@ -33,14 +43,19 @@ func DefaultSweepConfig() SweepConfig {
 }
 
 // classificationSample runs one classification trial and reports its
-// quality metrics.
-func classificationSample(sc SweepConfig, probes int, overlay Config, seed int64) (experiment.Sample, error) {
+// quality metrics. "answered" is the probe-response completeness: 1.0
+// on a healthy substrate, explicitly lower when faults eat probes.
+func classificationSample(sc SweepConfig, probes int, overlay Config, plan faults.Plan, seed int64) (experiment.Sample, error) {
 	res, err := RunExperiment(ExperimentConfig{
-		Seed:      seed,
-		Neighbors: sc.Neighbors,
-		Sources:   sc.Sources,
-		Probes:    probes,
-		Overlay:   overlay,
+		Seed:         seed,
+		Neighbors:    sc.Neighbors,
+		Sources:      sc.Sources,
+		Probes:       probes,
+		MaxSteps:     sc.MaxSteps,
+		Overlay:      overlay,
+		Faults:       plan,
+		ProbeTimeout: sc.ProbeTimeout,
+		ProbeRetries: sc.ProbeRetries,
 	})
 	if err != nil {
 		return nil, err
@@ -49,6 +64,7 @@ func classificationSample(sc SweepConfig, probes int, overlay Config, seed int64
 		"accuracy":  res.Accuracy(),
 		"precision": res.Precision(),
 		"recall":    res.Recall(),
+		"answered":  res.Answered(),
 	}, nil
 }
 
@@ -65,7 +81,7 @@ func ProbeSweep(sc SweepConfig, probes []int) experiment.Sweep {
 		Reps:   sc.Reps,
 		Seed:   sc.Seed,
 		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
-			return classificationSample(sc, int(pt.Value), sc.Overlay, t.Seed)
+			return classificationSample(sc, int(pt.Value), sc.Overlay, sc.Faults, t.Seed)
 		},
 	}
 }
@@ -89,7 +105,49 @@ func DelaySweep(sc SweepConfig, probes int, floors []time.Duration) experiment.S
 		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
 			overlay := sc.Overlay
 			overlay.DelayMin = time.Duration(pt.Value) * time.Millisecond
-			return classificationSample(sc, probes, overlay, t.Seed)
+			return classificationSample(sc, probes, overlay, sc.Faults, t.Seed)
+		},
+	}
+}
+
+// LossSweep declares the E2 degradation series: classification quality
+// and probe completeness as extra packet loss climbs, at a fixed probe
+// budget with the investigator's retries compensating.
+func LossSweep(sc SweepConfig, probes int, losses []float64) experiment.Sweep {
+	points := make([]experiment.Point, len(losses))
+	for i, l := range losses {
+		points[i] = experiment.Point{Label: fmt.Sprintf("loss=%d%%", int(l*100+0.5)), Value: l}
+	}
+	return experiment.Sweep{
+		Name:   "p2p-loss",
+		Points: points,
+		Reps:   sc.Reps,
+		Seed:   sc.Seed,
+		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
+			plan := sc.Faults
+			plan.Loss = pt.Value
+			return classificationSample(sc, probes, sc.Overlay, plan, t.Seed)
+		},
+	}
+}
+
+// ChurnSweep declares the E2 degradation series: classification quality
+// and probe completeness as the fraction of time peers spend crashed
+// climbs (mean outage 2s), at a fixed probe budget.
+func ChurnSweep(sc SweepConfig, probes int, downFracs []float64) experiment.Sweep {
+	points := make([]experiment.Point, len(downFracs))
+	for i, f := range downFracs {
+		points[i] = experiment.Point{Label: fmt.Sprintf("down=%d%%", int(f*100+0.5)), Value: f}
+	}
+	return experiment.Sweep{
+		Name:   "p2p-churn",
+		Points: points,
+		Reps:   sc.Reps,
+		Seed:   sc.Seed,
+		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
+			plan := sc.Faults
+			plan.Churn = faults.ChurnFraction(pt.Value, 2*time.Second)
+			return classificationSample(sc, probes, sc.Overlay, plan, t.Seed)
 		},
 	}
 }

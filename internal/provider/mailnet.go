@@ -3,6 +3,7 @@ package provider
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -111,22 +112,41 @@ func (m *MailNet) Send(from, toDomain, toAccount, subject string, body []byte) (
 
 // Flush delivers every transit message whose arrival time has passed,
 // returning the provider-assigned message IDs keyed by transit ID.
+// Messages are attempted in transit-ID order; a failed delivery leaves
+// its message in transit and is reported after the rest are attempted,
+// so the returned map always holds the partial delivery alongside any
+// error rather than discarding it.
 func (m *MailNet) Flush() (map[string]string, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.clock()
+	ids := make([]string, 0, len(m.transit))
+	for id := range m.transit {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	delivered := make(map[string]string)
-	for id, tm := range m.transit {
+	var bytes int64
+	var errs []error
+	for _, id := range ids {
+		tm := m.transit[id]
 		if now.Before(tm.ArrivesAt) {
 			continue
 		}
 		p := m.providers[tm.ToDomain]
 		msgID, err := p.Deliver(tm.From, tm.ToAccount, tm.Subject, tm.Body)
 		if err != nil {
-			return nil, fmt.Errorf("provider: delivering %s: %w", id, err)
+			errs = append(errs, fmt.Errorf("provider: delivering %s: %w", id, err))
+			continue
 		}
 		delivered[id] = msgID
+		bytes += int64(len(tm.Body))
 		delete(m.transit, id)
+	}
+	if len(errs) > 0 {
+		errs = append(errs, fmt.Errorf("provider: partial flush: %d messages (%d bytes) delivered, %d failed and remain in transit",
+			len(delivered), bytes, len(errs)))
+		return delivered, errors.Join(errs...)
 	}
 	return delivered, nil
 }

@@ -2,6 +2,7 @@ package provider
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -152,4 +153,69 @@ func TestRegimeShiftAcrossLifecycle(t *testing.T) {
 		t.Fatalf("stored compel: %v", err)
 	}
 	_ = delivered
+}
+
+func TestMailFlushPartialDelivery(t *testing.T) {
+	m, gmail, _ := newMailNet(t)
+	okID, err := m.Send("alice@cs.charlie.edu", "gmail.com", "bob", "lunch?", []byte("noon"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	badID, err := m.Send("alice@cs.charlie.edu", "gmail.com", "nobody", "ghost", []byte("boo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered, err := m.Flush()
+	if !errors.Is(err, ErrUnknownAccount) {
+		t.Fatalf("err = %v, want ErrUnknownAccount", err)
+	}
+	// The failure must not discard the partial delivery: the good
+	// message landed and is reported.
+	msgID, ok := delivered[okID]
+	if len(delivered) != 1 || !ok {
+		t.Fatalf("partial flush delivered %v, want only %s", delivered, okID)
+	}
+	if _, err := gmail.Message("bob", msgID); err != nil {
+		t.Errorf("delivered message not in mailbox: %v", err)
+	}
+	// The error accounts for the evidence obtained and the failure.
+	for _, want := range []string{badID, "1 messages (4 bytes) delivered", "1 failed"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	// The failed message stays in transit for a later retry.
+	if m.InTransit() != 1 {
+		t.Errorf("in transit after partial flush = %d, want 1", m.InTransit())
+	}
+	if delivered, err = m.Flush(); err == nil || len(delivered) != 0 {
+		t.Errorf("retry flush = (%v, %v), want same failure", delivered, err)
+	}
+}
+
+func TestMailFlushDeterministicErrorOrder(t *testing.T) {
+	m, _, _ := newMailNet(t)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := m.Send("alice@cs.charlie.edu", "gmail.com", "nobody", "s", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	_, err := m.Flush()
+	if err == nil {
+		t.Fatal("flush of undeliverable messages succeeded")
+	}
+	// Failures are reported in transit-ID order regardless of map
+	// iteration order.
+	msg := err.Error()
+	prev := -1
+	for _, id := range ids {
+		at := strings.Index(msg, id)
+		if at < 0 || at < prev {
+			t.Fatalf("error order wrong for %s in %q", id, msg)
+		}
+		prev = at
+	}
 }

@@ -31,9 +31,17 @@ type Result struct {
 	// correlation.
 	OffsetBins int
 	// BitErrors counts watermark bits decoded incorrectly at the best
-	// offset; BER is the error fraction.
+	// offset; BER is the error fraction over the covered bits.
 	BitErrors int
 	BER       float64
+	// Chips is how many watermark chips the capture actually covered;
+	// Coverage is the covered fraction of the full watermark. A partial
+	// capture (expired device, truncated stream) scores the covered
+	// prefix with Z scaled by sqrt(Chips), so lost evidence shows up as
+	// an explicitly reduced detection confidence rather than a corrupted
+	// correlation.
+	Chips    int
+	Coverage float64
 }
 
 // Detected applies the decision threshold to the Z statistic.
@@ -60,6 +68,12 @@ func NewDetector(p Params) (*Detector, error) {
 // Score despreads counts (packet counts per bin) against the watermark,
 // searching start offsets 0..maxOffsetBins to absorb network delay, and
 // returns the best-aligned result.
+//
+// A series shorter than the full watermark degrades gracefully: the
+// covered chip prefix is scored on its own, with the Z statistic scaled
+// by sqrt(covered chips) and BER computed over the fully covered bits,
+// so a truncated capture reports honestly reduced confidence. Only a
+// capture too short to cover even one watermark bit is an error.
 func (d *Detector) Score(counts []int, bin time.Duration, maxOffsetBins int) (Result, error) {
 	if bin <= 0 || d.p.ChipDuration%bin != 0 {
 		return Result{}, fmt.Errorf("%w: chip %v, bin %v", ErrBinMismatch, d.p.ChipDuration, bin)
@@ -69,20 +83,28 @@ func (d *Detector) Score(counts []int, bin time.Duration, maxOffsetBins int) (Re
 	if maxOffsetBins < 0 {
 		maxOffsetBins = 0
 	}
-	if len(counts) < nChips*bpc+maxOffsetBins {
-		return Result{}, fmt.Errorf("%w: have %d bins, need %d", ErrTooShort,
-			len(counts), nChips*bpc+maxOffsetBins)
+	// Chips the capture covers at the deepest offset searched; bits must
+	// be whole so per-bit despreading stays aligned.
+	avail := (len(counts) - maxOffsetBins) / bpc
+	if avail > nChips {
+		avail = nChips
+	}
+	coveredBits := avail / len(d.p.Code)
+	scored := coveredBits * len(d.p.Code)
+	if coveredBits < 1 {
+		return Result{}, fmt.Errorf("%w: %d bins cover %d of %d chips — not even one full bit (%d chips) at offset depth %d",
+			ErrTooShort, len(counts), avail, nChips, len(d.p.Code), maxOffsetBins)
 	}
 
-	expected := make([]float64, nChips)
+	expected := make([]float64, scored)
 	for i := range expected {
 		expected[i] = float64(int(d.p.Bits[i/len(d.p.Code)]) * int(d.p.Code[i%len(d.p.Code)]))
 	}
 
 	best := Result{Correlation: math.Inf(-1)}
-	chips := make([]float64, nChips)
+	chips := make([]float64, scored)
 	for off := 0; off <= maxOffsetBins; off++ {
-		for i := 0; i < nChips; i++ {
+		for i := 0; i < scored; i++ {
 			s := 0
 			for j := 0; j < bpc; j++ {
 				s += counts[off+i*bpc+j]
@@ -93,21 +115,23 @@ func (d *Detector) Score(counts []int, bin time.Duration, maxOffsetBins int) (Re
 		if rho > best.Correlation {
 			best.Correlation = rho
 			best.OffsetBins = off
-			best.BitErrors = d.bitErrors(chips)
+			best.BitErrors = d.bitErrors(chips, coveredBits)
 		}
 	}
-	best.Z = best.Correlation * math.Sqrt(float64(nChips))
-	best.BER = float64(best.BitErrors) / float64(len(d.p.Bits))
+	best.Z = best.Correlation * math.Sqrt(float64(scored))
+	best.BER = float64(best.BitErrors) / float64(coveredBits)
+	best.Chips = scored
+	best.Coverage = float64(scored) / float64(nChips)
 	return best, nil
 }
 
-// bitErrors decodes each bit by per-bit despreading and counts mismatches
-// against the known payload.
-func (d *Detector) bitErrors(chips []float64) int {
+// bitErrors decodes the first `bits` payload bits by per-bit
+// despreading and counts mismatches against the known payload.
+func (d *Detector) bitErrors(chips []float64, bits int) int {
 	l := len(d.p.Code)
 	mean := meanOf(chips)
 	errs := 0
-	for b := range d.p.Bits {
+	for b := 0; b < bits; b++ {
 		var corr float64
 		for j := 0; j < l; j++ {
 			corr += float64(d.p.Code[j]) * (chips[b*l+j] - mean)

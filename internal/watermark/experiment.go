@@ -7,6 +7,8 @@ import (
 
 	"lawgate/internal/anonet"
 	"lawgate/internal/capture"
+	"lawgate/internal/experiment"
+	"lawgate/internal/faults"
 	"lawgate/internal/legal"
 	"lawgate/internal/netsim"
 )
@@ -59,6 +61,11 @@ type ExperimentConfig struct {
 	// guard for trials running inside sweep workers. Zero selects a
 	// generous default.
 	MaxSteps int64
+	// Faults declares substrate misbehavior beyond the per-link Jitter/
+	// Loss/BandwidthBps knobs above: seeded loss, duplication, reorder
+	// delay, bandwidth caps, and relay churn, all deterministic in
+	// (plan, seed). The zero plan injects nothing.
+	Faults faults.Plan
 }
 
 // DefaultExperimentConfig returns a moderate working point: degree-7 code
@@ -93,11 +100,17 @@ type ExperimentResult struct {
 	// RequiredProcess echoes the legal engine's ruling for the ISP-side
 	// collection — the experiment's legal half.
 	RequiredProcess legal.Process
+	// Faults is what the injector actually did to the run.
+	Faults faults.Stats
 }
 
 // BaselineThreshold is the comparator's detection threshold on tx/rx
 // count correlation.
 const BaselineThreshold = 0.5
+
+// wmFaultStream separates the fault injector's seed lineage from the
+// simulation's own.
+const wmFaultStream int64 = 0x776d6661756c7401 // "wmfault"+1
 
 // RunExperiment executes one trial.
 func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
@@ -135,6 +148,19 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 	}
 	sim.SetStepBudget(budget)
 	net := netsim.NewNetwork(sim)
+
+	var injector *faults.Injector
+	if ec.Faults.Active() {
+		// Faults on a separate seed stream: the fault schedule does not
+		// perturb the overlay's own randomness, so a zero plan run is
+		// byte-identical to a pre-fault-layer run.
+		injector, err = faults.New(ec.Faults, experiment.DeriveSeed(ec.Seed, wmFaultStream))
+		if err != nil {
+			return ExperimentResult{}, err
+		}
+		injector.Attach(net)
+	}
+
 	an := anonet.New(net)
 
 	suspect, err := an.AddClient("suspect")
@@ -252,7 +278,12 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 	}
 	sim.RunUntil(streamEnd + time.Second)
 	if sim.Exhausted() {
-		return ExperimentResult{}, fmt.Errorf("streaming: %w after %d steps", netsim.ErrStepBudget, sim.Steps())
+		// Report how much evidence the meters had acquired when the run
+		// was cut off — a partial capture is still evidence of effort.
+		sa, ta := suspectMeter.Acquired(), serverMeter.Acquired()
+		return ExperimentResult{}, fmt.Errorf(
+			"streaming: %w after %d steps (partial acquisition: suspect %v, server %v)",
+			netsim.ErrStepBudget, sim.Steps(), sa, ta)
 	}
 
 	// Analysis. Bin at 1/4 chip for offset search.
@@ -287,6 +318,9 @@ func RunExperiment(ec ExperimentConfig) (ExperimentResult, error) {
 		SuspectPackets:   len(suspectMeter.Records()),
 		ServerPackets:    len(serverMeter.Records()),
 		RequiredProcess:  suspectMeter.Ruling().Required,
+	}
+	if injector != nil {
+		res.Faults = injector.Stats()
 	}
 	return res, nil
 }

@@ -1,0 +1,187 @@
+package watermark
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"lawgate/internal/experiment"
+	"lawgate/internal/faults"
+)
+
+// TestScorePartialCapture: a series covering only half the watermark is
+// scored on its covered prefix with explicitly reduced confidence — Z
+// scales with the chips actually seen, and Coverage reports the
+// fraction — instead of erroring or correlating garbage.
+func TestScorePartialCapture(t *testing.T) {
+	p := testParams(t)
+	bin := p.ChipDuration / 4
+	offset := 8
+	nChips := len(p.Bits) * len(p.Code)
+	full := synthCounts(p, bin, offset, offset+nChips*4+20, 10, 0, 1)
+	d, err := NewDetector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := d.Score(full, bin, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Coverage != 1 || whole.Chips != nChips {
+		t.Errorf("full capture coverage = %v (%d chips), want 1 (%d)", whole.Coverage, whole.Chips, nChips)
+	}
+
+	// Truncate to cover exactly 2 of the 4 bits at the deepest offset.
+	half := full[:offset+2*len(p.Code)*4]
+	part, err := d.Score(half, bin, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Chips != 2*len(p.Code) {
+		t.Errorf("partial chips = %d, want %d", part.Chips, 2*len(p.Code))
+	}
+	if part.Coverage != 0.5 {
+		t.Errorf("partial coverage = %v, want 0.5", part.Coverage)
+	}
+	if part.OffsetBins != offset || part.BitErrors != 0 {
+		t.Errorf("partial alignment broke: %+v", part)
+	}
+	if !part.Detected(DefaultZThreshold) {
+		t.Errorf("clean half-capture not detected: Z = %.2f", part.Z)
+	}
+	if part.Z >= whole.Z {
+		t.Errorf("confidence did not shrink with evidence: half Z %.2f >= full Z %.2f", part.Z, whole.Z)
+	}
+	want := part.Correlation * math.Sqrt(float64(part.Chips))
+	if math.Abs(part.Z-want) > 1e-12 {
+		t.Errorf("Z = %v not scaled by covered chips (want %v)", part.Z, want)
+	}
+}
+
+// TestScoreTooShortExplains: a capture under one watermark bit is still
+// an error, and the error says how much was covered.
+func TestScoreTooShortExplains(t *testing.T) {
+	p := testParams(t)
+	d, err := NewDetector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Score(make([]int, 100), p.ChipDuration/4, 10)
+	if !errors.Is(err, ErrTooShort) {
+		t.Fatalf("err = %v, want ErrTooShort", err)
+	}
+	if !strings.Contains(err.Error(), "cover") || !strings.Contains(err.Error(), "full bit") {
+		t.Errorf("error does not explain the shortfall: %v", err)
+	}
+}
+
+// TestWatermarkExperimentGracefulUnderLoss: at the acceptance ceiling
+// of 30% injected loss the trial completes without error and reports
+// what the substrate did to it.
+func TestWatermarkExperimentGracefulUnderLoss(t *testing.T) {
+	ec := DefaultExperimentConfig()
+	ec.Bits = 2
+	ec.NoiseRate = 1.0
+	clean, err := RunExperiment(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.Faults = faults.Plan{Loss: 0.3}
+	res, err := RunExperiment(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.Dropped == 0 {
+		t.Error("30% loss dropped nothing")
+	}
+	if res.SuspectPackets >= clean.SuspectPackets {
+		t.Errorf("suspect tap saw %d packets under loss, %d clean — loss had no effect",
+			res.SuspectPackets, clean.SuspectPackets)
+	}
+	if res.Watermark.Z >= clean.Watermark.Z {
+		t.Errorf("confidence did not degrade: lossy Z %.2f >= clean Z %.2f",
+			res.Watermark.Z, clean.Watermark.Z)
+	}
+	if math.IsNaN(res.Watermark.Z) || math.IsInf(res.Watermark.Z, 0) {
+		t.Errorf("degraded Z not finite: %v", res.Watermark.Z)
+	}
+}
+
+// TestWatermarkZeroPlanByteIdentical: an inactive fault plan must leave
+// the run untouched — the injector draws from its own seed stream and a
+// zero plan never attaches at all.
+func TestWatermarkZeroPlanByteIdentical(t *testing.T) {
+	ec := DefaultExperimentConfig()
+	ec.Bits = 2
+	ec.CodeDegree = 5
+	a, err := RunExperiment(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.Faults = faults.Plan{}
+	b, err := RunExperiment(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("zero fault plan changed the result:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestWatermarkFaultSweepsDeterministicAcrossWorkers asserts the
+// acceptance criterion on both new E3 robustness families: identical
+// seed + plan give byte-identical JSON at workers 1, 4, and NumCPU.
+func TestWatermarkFaultSweepsDeterministicAcrossWorkers(t *testing.T) {
+	base := DefaultExperimentConfig()
+	base.Bits = 2
+	base.CodeDegree = 5
+	for _, sw := range []experiment.Sweep{
+		LossSweep(base, 1, 21, []float64{0, 0.3}),
+		JitterSweep(base, 1, 22, []time.Duration{0, 20 * time.Millisecond}),
+	} {
+		var blobs [][]byte
+		for _, workers := range []int{1, 4, runtime.NumCPU()} {
+			series, err := experiment.Runner{Workers: workers}.Run(context.Background(), sw)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", sw.Name, workers, err)
+			}
+			b, err := series.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			blobs = append(blobs, b)
+		}
+		for i := 1; i < len(blobs); i++ {
+			if !bytes.Equal(blobs[0], blobs[i]) {
+				t.Errorf("%s: worker-count run %d produced different bytes", sw.Name, i)
+			}
+		}
+	}
+}
+
+// TestWatermarkLossSweepShape: points labelled by loss, coverage metric
+// present, and the lossless point detects at the default working point.
+func TestWatermarkLossSweepShape(t *testing.T) {
+	base := DefaultExperimentConfig()
+	base.Bits = 2
+	series, err := experiment.Runner{}.Run(context.Background(),
+		LossSweep(base, 1, 23, []float64{0, 0.2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Points[0].Label != "loss=0%" || series.Points[1].Label != "loss=20%" {
+		t.Errorf("point labels wrong: %q, %q", series.Points[0].Label, series.Points[1].Label)
+	}
+	if tp := series.Points[0].Metric(MetricDSSSTP).Mean; tp != 1 {
+		t.Errorf("TPR at 0%% loss = %v, want 1", tp)
+	}
+	cov := series.Points[0].Metric(MetricCoverage)
+	if cov.Mean <= 0 || cov.Mean > 1 {
+		t.Errorf("coverage metric = %v, want in (0,1]", cov.Mean)
+	}
+}

@@ -2,6 +2,7 @@ package watermark
 
 import (
 	"fmt"
+	"time"
 
 	"lawgate/internal/experiment"
 )
@@ -98,6 +99,86 @@ func AmplitudeSweep(base ExperimentConfig, reps int, seed int64, amps []float64)
 		func(c *ExperimentConfig, _ experiment.Trial, pt experiment.Point) {
 			c.Amplitude = pt.Value
 			c.NoiseRate = 1.0
+		})
+}
+
+// MetricCoverage is the fraction of the watermark the suspect-side
+// capture covered in the guilty trial — the honest-degradation figure a
+// lossy substrate reduces.
+const MetricCoverage = "coverage"
+
+// degradationSweep is detectionSweep plus the coverage metric: the E3
+// robustness series report how much of the watermark survived the
+// faulty substrate alongside the detection rates.
+func degradationSweep(name string, base ExperimentConfig, reps int, seed int64,
+	points []experiment.Point, apply func(*ExperimentConfig, experiment.Trial, experiment.Point)) experiment.Sweep {
+	return experiment.Sweep{
+		Name:        name,
+		Points:      points,
+		Reps:        reps,
+		Seed:        seed,
+		Proportions: detectionProportions,
+		Run: func(t experiment.Trial, pt experiment.Point) (experiment.Sample, error) {
+			guilty := base
+			apply(&guilty, t, pt)
+			guilty.Guilty = true
+			guilty.Seed = t.SubSeed(0)
+			resG, err := RunExperiment(guilty)
+			if err != nil {
+				return nil, fmt.Errorf("guilty variant: %w", err)
+			}
+			innocent := guilty
+			innocent.Guilty = false
+			innocent.Seed = t.SubSeed(1)
+			resI, err := RunExperiment(innocent)
+			if err != nil {
+				return nil, fmt.Errorf("innocent variant: %w", err)
+			}
+			return experiment.Sample{
+				MetricDSSSTP:     experiment.Bool(resG.Detected),
+				MetricDSSSFP:     experiment.Bool(resI.Detected),
+				MetricBaselineTP: experiment.Bool(resG.BaselineDetected),
+				MetricBaselineFP: experiment.Bool(resI.BaselineDetected),
+				MetricZ:          resG.Watermark.Z,
+				MetricCoverage:   resG.Watermark.Coverage,
+			}, nil
+		},
+	}
+}
+
+// LossSweep declares the E3 robustness series: detection vs injected
+// substrate packet loss, at full cross-traffic noise.
+func LossSweep(base ExperimentConfig, reps int, seed int64, losses []float64) experiment.Sweep {
+	points := make([]experiment.Point, len(losses))
+	for i, l := range losses {
+		points[i] = experiment.Point{Label: fmt.Sprintf("loss=%.0f%%", l*100), Value: l}
+	}
+	return degradationSweep("watermark-loss", base, reps, seed, points,
+		func(c *ExperimentConfig, _ experiment.Trial, pt experiment.Point) {
+			c.NoiseRate = 1.0
+			c.Faults.Loss = pt.Value
+		})
+}
+
+// JitterSweep declares the E3 robustness series: detection vs injected
+// reorder jitter — every packet delayed by a uniform extra amount up to
+// the point's spread — at full cross-traffic noise.
+func JitterSweep(base ExperimentConfig, reps int, seed int64, spreads []time.Duration) experiment.Sweep {
+	points := make([]experiment.Point, len(spreads))
+	for i, s := range spreads {
+		points[i] = experiment.Point{
+			Label: fmt.Sprintf("jitter=%v", s),
+			Value: float64(s) / float64(time.Millisecond),
+		}
+	}
+	return degradationSweep("watermark-jitter", base, reps, seed, points,
+		func(c *ExperimentConfig, t experiment.Trial, _ experiment.Point) {
+			c.NoiseRate = 1.0
+			spread := spreads[t.Point]
+			if spread > 0 {
+				c.Faults.Reorder = 1.0
+				c.Faults.ReorderSpread = spread
+			}
 		})
 }
 

@@ -50,11 +50,13 @@ package lawgate
 
 import (
 	"context"
+	"time"
 
 	"lawgate/internal/capture"
 	"lawgate/internal/court"
 	"lawgate/internal/evidence"
 	"lawgate/internal/experiment"
+	"lawgate/internal/faults"
 	"lawgate/internal/investigation"
 	"lawgate/internal/legal"
 	"lawgate/internal/p2p"
@@ -267,6 +269,57 @@ func RunSweep(ctx context.Context, workers int, sw Sweep) (SweepSeries, error) {
 func DeriveSeed(master int64, path ...int64) int64 {
 	return experiment.DeriveSeed(master, path...)
 }
+
+// Fault-injection re-exports: declare substrate misbehavior as a
+// FaultPlan (loss, duplication, reorder delay, bandwidth caps, peer
+// churn), either directly or via a named FaultProfile, and attach a
+// seeded FaultInjector to the simulated network. The schedule is fully
+// determined by (plan, seed), so degraded runs stay byte-identical at
+// any worker count; a zero plan injects nothing and leaves runs
+// untouched.
+type (
+	// FaultPlan declares what the substrate does wrong.
+	FaultPlan = faults.Plan
+	// FaultChurn is the node crash/recovery portion of a plan.
+	FaultChurn = faults.Churn
+	// FaultInjector realizes a plan against a netsim network.
+	FaultInjector = faults.Injector
+	// FaultStats counts what an injector actually did.
+	FaultStats = faults.Stats
+)
+
+// NewFaultInjector validates the plan and returns a deterministic
+// injector; attach it with Injector.Attach.
+func NewFaultInjector(plan FaultPlan, seed int64) (*FaultInjector, error) {
+	return faults.New(plan, seed)
+}
+
+// FaultProfile resolves a named fault profile ("none", "lossy",
+// "jittery", "churny", "degraded", "hostile") to its plan.
+func FaultProfile(name string) (FaultPlan, error) { return faults.Profile(name) }
+
+// FaultProfiles lists the named profiles.
+func FaultProfiles() []string { return faults.Profiles() }
+
+// ChurnFraction builds a churn declaration from a target down-fraction
+// and a mean outage length.
+func ChurnFraction(downFraction float64, meanOutage time.Duration, exempt ...string) FaultChurn {
+	return faults.ChurnFraction(downFraction, meanOutage, exempt...)
+}
+
+// Acquisition summarizes how much evidence a capture device obtained —
+// reported by partial or interrupted captures instead of discarding
+// what was gathered.
+type Acquisition = capture.Acquisition
+
+// TrialError locates one failed trial inside a sweep; PanicError is the
+// failure a recovered trial panic becomes. A sweep with failed trials
+// still aggregates its surviving trials — the runner returns the
+// partial series alongside the joined trial errors.
+type (
+	TrialError = experiment.TrialError
+	PanicError = experiment.PanicError
+)
 
 // DriveExamResult is the Table 1 scenes 18-19 flow's outcome.
 type DriveExamResult = investigation.DriveExamResult

@@ -37,4 +37,20 @@ go run ./cmd/p2phunt -smoke -workers 2 >/dev/null
 echo "== smoke: tracewatermark -smoke -workers 2"
 go run ./cmd/tracewatermark -smoke -workers 2 >/dev/null
 
+echo "== smoke (degraded substrate, race detector): p2phunt -smoke -faults lossy"
+go run -race ./cmd/p2phunt -smoke -faults lossy -workers 2 >/dev/null
+
+echo "== smoke (degraded substrate, race detector): tracewatermark -smoke -faults lossy"
+go run -race ./cmd/tracewatermark -smoke -faults lossy -workers 2 >/dev/null
+
+echo "== determinism: lossy smoke JSON byte-identical at -workers 1 and -workers 4"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/p2phunt -smoke -faults lossy -json -workers 1 >"$tmpdir/p2p-w1.json"
+go run ./cmd/p2phunt -smoke -faults lossy -json -workers 4 >"$tmpdir/p2p-w4.json"
+cmp "$tmpdir/p2p-w1.json" "$tmpdir/p2p-w4.json"
+go run ./cmd/tracewatermark -smoke -faults lossy -json -workers 1 >"$tmpdir/wm-w1.json"
+go run ./cmd/tracewatermark -smoke -faults lossy -json -workers 4 >"$tmpdir/wm-w4.json"
+cmp "$tmpdir/wm-w1.json" "$tmpdir/wm-w4.json"
+
 echo "tier-1 gate: PASS"
