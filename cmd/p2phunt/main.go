@@ -15,6 +15,7 @@
 //
 //	p2phunt [-neighbors N] [-sources S] [-trials T] [-workers W] [-seed S]
 //	        [-faults PROFILE] [-trial-timeout D] [-max-steps N]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //	        [-json|-csv] [-smoke]
 package main
 
@@ -31,6 +32,7 @@ import (
 	"lawgate/internal/experiment"
 	"lawgate/internal/faults"
 	"lawgate/internal/p2p"
+	"lawgate/internal/profiling"
 )
 
 func main() {
@@ -47,8 +49,19 @@ func main() {
 	flag.BoolVar(&o.json, "json", false, "emit results as JSON instead of text")
 	flag.BoolVar(&o.csv, "csv", false, "emit results as CSV instead of text")
 	flag.BoolVar(&o.smoke, "smoke", false, "tiny CI sweep: 4 neighbors, 1 trial, 2 points per series")
+	var prof profiling.Flags
+	prof.Register(flag.CommandLine)
 	flag.Parse()
-	if err := run(os.Stdout, o); err != nil {
+	stop, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2phunt:", err)
+		os.Exit(1)
+	}
+	err = run(os.Stdout, o)
+	if stopErr := stop(); err == nil {
+		err = stopErr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "p2phunt:", err)
 		os.Exit(1)
 	}

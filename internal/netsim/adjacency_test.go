@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildStar connects hub to the given spokes in the order supplied.
+func buildStar(t *testing.T, spokes []NodeID) *Network {
+	t.Helper()
+	n := NewNetwork(NewSimulator(1))
+	if err := n.AddNode("hub", nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range spokes {
+		if err := n.AddNode(id, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Connect("hub", id, Link{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+// TestNeighborsSortedStable pins the satellite fix: Neighbors must
+// return ascending order regardless of connection order, identically on
+// every call — the old map-scan implementation returned a fresh random
+// permutation each time.
+func TestNeighborsSortedStable(t *testing.T) {
+	forward := []NodeID{"a", "b", "c", "d", "e", "f", "g", "h"}
+	reverse := make([]NodeID, len(forward))
+	for i, id := range forward {
+		reverse[len(forward)-1-i] = id
+	}
+	n1 := buildStar(t, forward)
+	n2 := buildStar(t, reverse)
+	want := fmt.Sprintf("%v", forward) // already ascending
+	for run := 0; run < 5; run++ {
+		for _, n := range []*Network{n1, n2} {
+			if got := fmt.Sprintf("%v", n.Neighbors("hub")); got != want {
+				t.Fatalf("run %d: Neighbors(hub) = %s, want %s", run, got, want)
+			}
+		}
+	}
+}
+
+// TestNeighborsReturnsCopy: mutating the returned slice must not corrupt
+// the adjacency index.
+func TestNeighborsReturnsCopy(t *testing.T) {
+	n := buildStar(t, []NodeID{"a", "b", "c"})
+	got := n.Neighbors("hub")
+	got[0] = "zzz"
+	if again := n.Neighbors("hub"); again[0] != "a" {
+		t.Errorf("caller mutation leaked into the adjacency index: %v", again)
+	}
+}
+
+// TestConnectReplaceKeepsAdjacency: reconnecting an existing pair
+// replaces the link parameters without duplicating the adjacency entry.
+func TestConnectReplaceKeepsAdjacency(t *testing.T) {
+	n := buildStar(t, []NodeID{"a", "b"})
+	if err := n.Connect("hub", "a", Link{Loss: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Neighbors("hub"); len(got) != 2 {
+		t.Errorf("Neighbors(hub) after reconnect = %v, want [a b]", got)
+	}
+	if n.Degree("hub") != 2 || n.Degree("a") != 1 || n.Degree("missing") != 0 {
+		t.Errorf("Degree: hub=%d a=%d missing=%d", n.Degree("hub"), n.Degree("a"), n.Degree("missing"))
+	}
+}

@@ -1,0 +1,68 @@
+// Allocation-regression guards for the hot path. The zero-allocation
+// property of the event slab and the clone-free single-delivery Send is
+// a measured performance win (see BENCH_netsim.json); these tests pin
+// it so a later refactor cannot silently rot it back.
+package netsim_test
+
+import (
+	"testing"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// TestScheduleStepZeroAlloc pins steady-state Schedule+Step to exactly
+// zero allocations: events are values in the reused heap slab, and a
+// pre-existing func value schedules without boxing.
+func TestScheduleStepZeroAlloc(t *testing.T) {
+	s := netsim.NewSimulator(1)
+	fn := func() {}
+	// Warm the slab past its high-water mark.
+	for i := 0; i < 64; i++ {
+		if err := s.Schedule(time.Microsecond, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = s.Schedule(time.Microsecond, fn)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule+Step allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestSendSteadyStateAllocs pins the common un-faulted case — Send with
+// no taps and no fault hook, packet delivered and handled — to at most
+// 2 allocations per packet (currently 0: the packet rides the typed
+// delivery event with no clone and its Hops capacity is reused).
+func TestSendSteadyStateAllocs(t *testing.T) {
+	sim := netsim.NewSimulator(1)
+	n := netsim.NewNetwork(sim)
+	for _, id := range []netsim.NodeID{"src", "dst"} {
+		if err := n.AddNode(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Connect("src", "dst", netsim.Link{Latency: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := &netsim.Packet{
+		Header:  netsim.Header{Src: "src", Dst: "dst", Flow: "f", Proto: netsim.ProtoTCP},
+		Payload: []byte("steady-state-payload"),
+	}
+	send := func() {
+		pkt.Hops = pkt.Hops[:0]
+		if err := n.Send(pkt); err != nil {
+			t.Fatal(err)
+		}
+		for sim.Step() {
+		}
+	}
+	send() // warm Hops capacity and the event slab
+	allocs := testing.AllocsPerRun(1000, send)
+	if allocs > 2 {
+		t.Errorf("steady-state Send+deliver allocs/op = %v, want <= 2", allocs)
+	}
+}

@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// These tests lock in the (at, seq) ordering contract at the heap's
+// boundary conditions — same-tick ties, events landing exactly on a
+// RunUntil deadline, and step budgets expiring mid-tie-group — so the
+// 4-ary value-heap rewrite (and any future scheduler change) cannot
+// silently reorder event execution.
+
+// TestRunUntilTiesAtDeadline: several events scheduled for exactly the
+// deadline all fire, in scheduling order; an event one nanosecond later
+// stays queued and the clock parks on the deadline.
+func TestRunUntilTiesAtDeadline(t *testing.T) {
+	s := NewSimulator(1)
+	const deadline = 10 * time.Millisecond
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := s.ScheduleAt(deadline, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.ScheduleAt(deadline+time.Nanosecond, func() { order = append(order, 99) }); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(deadline)
+	if want := []int{0, 1, 2, 3, 4}; !equalInts(order, want) {
+		t.Errorf("tie group at deadline ran as %v, want %v", order, want)
+	}
+	if s.Pending() != 1 {
+		t.Errorf("event past the deadline should remain queued, Pending = %d", s.Pending())
+	}
+	if s.Now() != deadline {
+		t.Errorf("clock = %v, want parked on deadline %v", s.Now(), deadline)
+	}
+}
+
+// TestDuplicateExactlyAtDeadline: a fault-injected duplicate whose
+// delivery time lands exactly on the RunUntil deadline is delivered in
+// the same pass as the original, original first.
+func TestDuplicateExactlyAtDeadline(t *testing.T) {
+	n, delivered := twoNodeNet(t, Link{Latency: 5 * time.Millisecond})
+	n.SetFaults(&stubFaults{
+		transmit: func(_, _ NodeID, _ time.Duration, _ *Packet) Fault {
+			return Fault{Duplicates: []time.Duration{5 * time.Millisecond}}
+		},
+	})
+	sendPkt(t, n, "boundary")
+	n.Sim().RunUntil(10 * time.Millisecond) // original t=5ms, duplicate t=10ms
+	if len(*delivered) != 2 {
+		t.Fatalf("delivered %d packets by the deadline, want original + duplicate", len(*delivered))
+	}
+	if (*delivered)[0].DeliveredAt != 5*time.Millisecond ||
+		(*delivered)[1].DeliveredAt != 10*time.Millisecond {
+		t.Errorf("delivery times %v, %v; want 5ms then 10ms",
+			(*delivered)[0].DeliveredAt, (*delivered)[1].DeliveredAt)
+	}
+	if n.Duplicated != 1 || n.Delivered != 2 {
+		t.Errorf("counters: duplicated=%d delivered=%d", n.Duplicated, n.Delivered)
+	}
+}
+
+// TestStepBudgetMidTieGroup: a budget that expires inside a same-tick
+// tie group stops execution at the budget boundary in seq order — the
+// earlier-scheduled members of the group ran, the later ones did not —
+// and RunUntil still advances the clock to the deadline.
+func TestStepBudgetMidTieGroup(t *testing.T) {
+	s := NewSimulator(1)
+	const tick = 3 * time.Millisecond
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		if err := s.ScheduleAt(tick, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetStepBudget(2)
+	s.RunUntil(5 * time.Millisecond)
+	if want := []int{0, 1}; !equalInts(order, want) {
+		t.Errorf("budgeted tie group ran as %v, want %v", order, want)
+	}
+	if !s.Exhausted() {
+		t.Error("Exhausted() = false with spent budget and queued events")
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Errorf("clock = %v; RunUntil must advance to the deadline even when budgeted", s.Now())
+	}
+	// Lifting the budget resumes the remaining tie-group members in order.
+	s.SetStepBudget(0)
+	s.Run()
+	if want := []int{0, 1, 2, 3}; !equalInts(order, want) {
+		t.Errorf("after lifting budget order = %v, want %v", order, want)
+	}
+}
+
+// TestRunMaxStepsTieOrder: RunMaxSteps consumes a tie group in seq
+// order and reports ErrStepBudget when it stops inside one.
+func TestRunMaxStepsTieOrder(t *testing.T) {
+	s := NewSimulator(1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		i := i
+		if err := s.ScheduleAt(time.Millisecond, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := s.RunMaxSteps(3)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("RunMaxSteps(3) err = %v, want ErrStepBudget", err)
+	}
+	if want := []int{0, 1, 2}; !equalInts(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	if err := s.RunMaxSteps(10); err != nil {
+		t.Fatalf("draining remainder: %v", err)
+	}
+	if want := []int{0, 1, 2, 3}; !equalInts(order, want) {
+		t.Errorf("final order = %v, want %v", order, want)
+	}
+}
+
+// TestHeapOrderProperty: events scheduled in adversarial order — many
+// colliding timestamps, pushed out of time order — execute exactly as a
+// stable sort by (at, seq). This is the whole determinism contract of
+// the scheduler in one property.
+func TestHeapOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSimulator(1)
+	type stamped struct {
+		at  time.Duration
+		seq int
+	}
+	const events = 500
+	var scheduled []stamped
+	var ran []stamped
+	for i := 0; i < events; i++ {
+		// Only 16 distinct ticks, so ties are dense.
+		at := time.Duration(rng.Intn(16)) * time.Millisecond
+		st := stamped{at: at, seq: i}
+		scheduled = append(scheduled, st)
+		if err := s.ScheduleAt(at, func() { ran = append(ran, st) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	want := append([]stamped(nil), scheduled...)
+	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+	if len(ran) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(ran), len(want))
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("position %d: ran %+v, want %+v (stable (at,seq) order violated)", i, ran[i], want[i])
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

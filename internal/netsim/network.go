@@ -3,6 +3,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -77,7 +78,8 @@ func (d Direction) String() string {
 }
 
 // Tap passively observes traffic at a node. Taps receive clones of packets
-// so observation cannot perturb delivery.
+// so observation cannot perturb delivery; all taps at one observation
+// point share a single snapshot clone.
 type Tap interface {
 	// Observe is invoked for each packet crossing the tapped node.
 	Observe(dir Direction, at time.Duration, pkt *Packet)
@@ -118,9 +120,14 @@ type FaultHook interface {
 // Network is a set of nodes joined by links, driven by a Simulator. Not
 // safe for concurrent use (simulations are single-loop).
 type Network struct {
-	sim    *Simulator
-	nodes  map[NodeID]Handler
-	links  map[linkKey]Link
+	sim   *Simulator
+	nodes map[NodeID]Handler
+	links map[linkKey]Link
+	// adj is the adjacency index: each node's direct neighbors in
+	// ascending order, maintained incrementally by Connect so Neighbors
+	// is an O(degree) copy with a deterministic order instead of an
+	// O(links) map scan with a random one.
+	adj    map[NodeID][]NodeID
 	taps   map[NodeID][]Tap
 	busy   map[dirKey]time.Duration // per-direction link occupancy
 	nextID int64
@@ -155,6 +162,7 @@ func NewNetwork(sim *Simulator) *Network {
 		sim:   sim,
 		nodes: make(map[NodeID]Handler),
 		links: make(map[linkKey]Link),
+		adj:   make(map[NodeID][]NodeID),
 		taps:  make(map[NodeID][]Tap),
 		busy:  make(map[dirKey]time.Duration),
 	}
@@ -180,14 +188,31 @@ func (n *Network) AddNode(id NodeID, h Handler) error {
 	return nil
 }
 
-// Connect joins two nodes with a bidirectional link.
+// insertSorted adds id to the ascending neighbor list, keeping order.
+func insertSorted(s []NodeID, id NodeID) []NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// Connect joins two nodes with a bidirectional link. Reconnecting an
+// existing pair replaces the link's parameters.
 func (n *Network) Connect(a, b NodeID, link Link) error {
 	for _, id := range []NodeID{a, b} {
 		if _, ok := n.nodes[id]; !ok {
 			return fmt.Errorf("%w: %q", ErrUnknownNode, id)
 		}
 	}
-	n.links[keyFor(a, b)] = link
+	key := keyFor(a, b)
+	if _, exists := n.links[key]; !exists {
+		n.adj[a] = insertSorted(n.adj[a], b)
+		if a != b {
+			n.adj[b] = insertSorted(n.adj[b], a)
+		}
+	}
+	n.links[key] = link
 	return nil
 }
 
@@ -197,19 +222,22 @@ func (n *Network) Linked(a, b NodeID) bool {
 	return ok
 }
 
-// Neighbors returns the nodes directly linked to id, in unspecified order.
+// Neighbors returns the nodes directly linked to id, in ascending order.
+// The order is deterministic across runs and processes; the returned
+// slice is a copy the caller may keep or mutate.
 func (n *Network) Neighbors(id NodeID) []NodeID {
-	var out []NodeID
-	for k := range n.links {
-		switch id {
-		case k.a:
-			out = append(out, k.b)
-		case k.b:
-			out = append(out, k.a)
-		}
+	adj := n.adj[id]
+	if len(adj) == 0 {
+		return nil
 	}
+	out := make([]NodeID, len(adj))
+	copy(out, adj)
 	return out
 }
+
+// Degree returns the number of nodes directly linked to id without
+// copying the neighbor list.
+func (n *Network) Degree(id NodeID) int { return len(n.adj[id]) }
 
 // AttachTap registers a passive observer at a node.
 func (n *Network) AttachTap(id NodeID, t Tap) error {
@@ -220,11 +248,44 @@ func (n *Network) AttachTap(id NodeID, t Tap) error {
 	return nil
 }
 
+// delivery is the typed payload of a packet-delivery event: everything
+// Send previously captured in a per-delivery closure, carried by value
+// in the heap entry so a delivery schedules without allocating.
+type delivery struct {
+	net       *Network
+	pkt       *Packet
+	handler   Handler
+	dst       NodeID
+	duplicate bool
+}
+
+// run executes the delivery at the event's firing time.
+func (d delivery) run() {
+	n := d.net
+	// A destination that is down when the packet arrives loses it —
+	// crash-while-in-flight.
+	if n.faults != nil && n.faults.Down(d.dst, n.sim.Now()) {
+		n.FaultDropped++
+		return
+	}
+	pkt := d.pkt
+	pkt.DeliveredAt = n.sim.Now()
+	pkt.Hops = append(pkt.Hops, d.dst)
+	n.Delivered++
+	if d.duplicate {
+		n.Duplicated++
+	}
+	n.observe(d.dst, DirInbound, pkt)
+	d.handler.HandlePacket(n, pkt)
+}
+
 // Send transmits a packet from pkt.Header.Src to pkt.Header.Dst over their
 // direct link. The packet is stamped, observed by taps at both ends,
 // subjected to loss, and delivered after latency plus jitter. Send assigns
-// pkt.ID and appends the source hop; the caller retains ownership of pkt
-// (the delivered packet is a clone).
+// pkt.ID and appends the source hop. The network takes ownership of pkt:
+// in the common single-delivery case the packet itself is delivered
+// (no clone); only fault-injected duplicate deliveries clone. Callers
+// must not reuse pkt after Send without resetting Hops.
 func (n *Network) Send(pkt *Packet) error {
 	src, dst := pkt.Header.Src, pkt.Header.Dst
 	if _, ok := n.nodes[src]; !ok {
@@ -249,6 +310,13 @@ func (n *Network) Send(pkt *Packet) error {
 	n.nextID++
 	pkt.ID = n.nextID
 	pkt.SentAt = n.sim.Now()
+	// Pre-size Hops for the two appends every delivered packet receives
+	// (src here, dst at delivery) so neither append reallocates.
+	if cap(pkt.Hops)-len(pkt.Hops) < 2 {
+		grown := make([]NodeID, len(pkt.Hops), len(pkt.Hops)+2)
+		copy(grown, pkt.Hops)
+		pkt.Hops = grown
+	}
 	pkt.Hops = append(pkt.Hops, src)
 	if pkt.Header.SizeBytes == 0 {
 		pkt.Header.SizeBytes = len(pkt.Payload) + 40 // headers
@@ -290,39 +358,35 @@ func (n *Network) Send(pkt *Packet) error {
 		delay += time.Duration(n.sim.Rand().Int63n(int64(link.Jitter)))
 	}
 	delay += fault.ExtraDelay
-	deliver := func(after time.Duration, duplicate bool) error {
-		delivered := pkt.Clone()
-		return n.sim.Schedule(after, func() {
-			// A destination that is down when the packet arrives loses
-			// it — crash-while-in-flight.
-			if n.faults != nil && n.faults.Down(dst, n.sim.Now()) {
-				n.FaultDropped++
-				return
-			}
-			delivered.DeliveredAt = n.sim.Now()
-			delivered.Hops = append(delivered.Hops, dst)
-			n.Delivered++
-			if duplicate {
-				n.Duplicated++
-			}
-			n.observe(dst, DirInbound, delivered)
-			handler.HandlePacket(n, delivered)
-		})
+	at := n.sim.Now() + delay
+	// The common un-faulted case: exactly one delivery, so the packet
+	// itself rides the event and no clone is made. Duplicated packets
+	// each get an independent clone, as every delivery did before the
+	// typed-event rewrite.
+	if len(fault.Duplicates) == 0 {
+		return n.sim.scheduleDelivery(at, delivery{net: n, pkt: pkt, handler: handler, dst: dst})
 	}
-	if err := deliver(delay, false); err != nil {
+	if err := n.sim.scheduleDelivery(at, delivery{net: n, pkt: pkt.Clone(), handler: handler, dst: dst}); err != nil {
 		return err
 	}
 	for _, extra := range fault.Duplicates {
 		if extra < 0 {
 			extra = 0
 		}
-		if err := deliver(delay+extra, true); err != nil {
+		err := n.sim.scheduleDelivery(at+extra, delivery{
+			net: n, pkt: pkt.Clone(), handler: handler, dst: dst, duplicate: true,
+		})
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// observe fans a packet snapshot out to the taps at one observation
+// point. All taps at the point share a single immutable clone — the
+// snapshot is taken once, not per tap — and when the point has no taps
+// no clone is made at all.
 func (n *Network) observe(id NodeID, dir Direction, pkt *Packet) {
 	taps := n.taps[id]
 	if len(taps) == 0 {

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -18,35 +17,83 @@ var ErrPastEvent = errors.New("netsim: event scheduled in the past")
 // otherwise spin forever inside an experiment worker.
 var ErrStepBudget = errors.New("netsim: step budget exhausted")
 
-// event is one pending callback.
+// event is one pending entry in the scheduler's queue: either a plain
+// callback (fn != nil) or a typed packet delivery (fn == nil) executed
+// without any per-event closure. Events are stored by value in the heap
+// slab, so scheduling one allocates nothing once the slab has grown to
+// the simulation's high-water mark.
 type event struct {
 	at  time.Duration
 	seq int64 // tie-break: same-time events fire in scheduling order
 	fn  func()
+	del delivery // valid when fn == nil
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports the heap order: (at, seq) ascending.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
-var _ heap.Interface = (*eventHeap)(nil)
+// eventHeap is a value-based 4-ary min-heap ordered by (at, seq). The
+// backing array is the event slab: it is reused for the simulation's
+// lifetime (pop shrinks the slice but keeps capacity), so steady-state
+// push/pop performs no allocation and no per-event pointer boxing. The
+// 4-ary layout halves the tree depth of a binary heap — fewer swaps per
+// sift and better cache locality on the wide, shallow levels.
+type eventHeap []event
+
+// push appends e and restores the heap invariant.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q[i].before(&q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. The vacated slab slot is
+// zeroed so the slab does not pin dead callbacks or packets.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	root := q[0]
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(&q[min]) {
+				min = c
+			}
+		}
+		if !q[min].before(&q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return root
+}
 
 // Simulator is a deterministic discrete-event scheduler with a virtual
 // clock. It is not safe for concurrent use: simulations are single-loop by
@@ -90,7 +137,19 @@ func (s *Simulator) ScheduleAt(at time.Duration, fn func()) error {
 		return ErrPastEvent
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{at: at, seq: s.seq, fn: fn})
+	s.queue.push(event{at: at, seq: s.seq, fn: fn})
+	return nil
+}
+
+// scheduleDelivery queues a typed packet delivery. It consumes the same
+// seq stream as ScheduleAt, so delivery events interleave with callback
+// events in exactly the order they were scheduled.
+func (s *Simulator) scheduleDelivery(at time.Duration, del delivery) error {
+	if at < s.now {
+		return ErrPastEvent
+	}
+	s.seq++
+	s.queue.push(event{at: at, seq: s.seq, del: del})
 	return nil
 }
 
@@ -100,10 +159,14 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
+	e := s.queue.pop()
 	s.now = e.at
 	s.steps++
-	e.fn()
+	if e.fn != nil {
+		e.fn()
+	} else {
+		e.del.run()
+	}
 	return true
 }
 

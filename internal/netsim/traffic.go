@@ -112,6 +112,9 @@ type Flow struct {
 	Proto Protocol
 
 	sent int
+	// emitFn caches the emit method value so each self-reschedule reuses
+	// one func value instead of allocating a fresh closure per packet.
+	emitFn func()
 }
 
 // Sent returns the number of packets the flow has transmitted.
@@ -126,7 +129,8 @@ func (f *Flow) Start() error {
 	if f.Proto == 0 {
 		f.Proto = ProtoTCP
 	}
-	return f.Net.Sim().Schedule(f.Pattern.NextGap(f.Net.Sim().Rand()), f.emit)
+	f.emitFn = f.emit
+	return f.Net.Sim().Schedule(f.Pattern.NextGap(f.Net.Sim().Rand()), f.emitFn)
 }
 
 func (f *Flow) emit() {
@@ -156,6 +160,6 @@ func (f *Flow) emit() {
 	f.sent++
 	gap := f.Pattern.NextGap(sim.Rand())
 	if sim.Now()+gap <= f.Until {
-		_ = sim.Schedule(gap, f.emit)
+		_ = sim.Schedule(gap, f.emitFn)
 	}
 }

@@ -242,12 +242,11 @@ func (inv *Investigator) Stats() ProbeStats {
 }
 
 // Neighbors re-resolves the investigator's current friends from the
-// live topology, in sorted order — under churn the set on record at
-// join time may not match who is reachable now.
+// live topology — under churn the set on record at join time may not
+// match who is reachable now. The network's adjacency index already
+// returns neighbors in sorted order, so no compensating sort is needed.
 func (inv *Investigator) Neighbors() []netsim.NodeID {
-	out := inv.overlay.Net().Neighbors(inv.self.ID)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return inv.overlay.Net().Neighbors(inv.self.ID)
 }
 
 // IdentifiedSources returns peers whose identity a plain-mode overlay

@@ -1,0 +1,72 @@
+// Package profiling wires runtime/pprof capture into the experiment
+// commands. Every command that runs a sweep accepts the same pair of
+// flags (-cpuprofile, -memprofile) so a hot-path regression can be
+// diagnosed on the real workload — the benchmarks in internal/netsim
+// cover the micro level, these profiles cover the macro level.
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the standard profiling flag values for a command.
+type Flags struct {
+	// CPU is the -cpuprofile destination; empty disables CPU profiling.
+	CPU string
+	// Mem is the -memprofile destination; empty disables the heap
+	// snapshot.
+	Mem string
+}
+
+// Register installs -cpuprofile and -memprofile on the flag set.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.CPU, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.Mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling when requested. The returned stop function
+// must be called exactly once when the command finishes: it flushes the
+// CPU profile and, when -memprofile was given, forces a GC and writes a
+// heap snapshot so the profile reflects live retention rather than
+// transient garbage.
+func (f Flags) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if f.CPU != "" {
+		cpuFile, err = os.Create(f.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if f.Mem == "" {
+			return nil
+		}
+		memFile, err := os.Create(f.Mem)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(memFile); err != nil {
+			memFile.Close()
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		if err := memFile.Close(); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		return nil
+	}, nil
+}

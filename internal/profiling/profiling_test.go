@@ -1,0 +1,64 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDisabledIsNoOp(t *testing.T) {
+	stop, err := Flags{}.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{CPU: filepath.Join(dir, "cpu.pprof"), Mem: filepath.Join(dir, "mem.pprof")}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{f.CPU, f.Mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestRegister(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "a" || f.Mem != "b" {
+		t.Errorf("parsed Flags = %+v", f)
+	}
+}
+
+func TestCPUProfileBadPath(t *testing.T) {
+	f := Flags{CPU: filepath.Join(t.TempDir(), "missing", "cpu.pprof")}
+	if _, err := f.Start(); err == nil {
+		t.Error("Start with an uncreatable cpuprofile path should fail")
+	}
+}

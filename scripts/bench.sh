@@ -1,0 +1,110 @@
+#!/bin/sh
+# Tracked benchmark baseline for the simulator hot path.
+# Usage: scripts/bench.sh [-count N] [-short] [-o FILE]
+#
+# Runs the internal/netsim micro-benchmarks (scheduler step, send paths,
+# neighbor lookup, heap churn) and the BenchmarkSweepRunner macro-bench,
+# -count times each, and writes the per-benchmark MEDIANS of ns/op,
+# B/op, and allocs/op to FILE (default BENCH_netsim.json) as JSON. When
+# scripts/bench_baseline.json exists its contents are embedded under
+# "baseline" so the checked-in artifact carries its own before/after
+# comparison. -short runs one fast iteration of everything — the CI
+# smoke that proves the script and its output format still work.
+set -eu
+cd "$(dirname "$0")/.."
+
+count=5
+out=BENCH_netsim.json
+short=0
+while [ $# -gt 0 ]; do
+	case "$1" in
+	-count)
+		count=$2
+		shift 2
+		;;
+	-short)
+		short=1
+		shift
+		;;
+	-o)
+		out=$2
+		shift 2
+		;;
+	*)
+		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE]" >&2
+		exit 2
+		;;
+	esac
+done
+
+netsim_time=1s
+if [ "$short" = 1 ]; then
+	count=1
+	netsim_time=100x
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== netsim micro-benchmarks (count=$count, benchtime=$netsim_time)" >&2
+go test -run '^$' \
+	-bench '^(BenchmarkSimulatorStep|BenchmarkSimulatorStepDeep|BenchmarkSend|BenchmarkSendTapped|BenchmarkSendFaulty|BenchmarkNeighbors|BenchmarkHeapChurn)$' \
+	-benchmem -benchtime "$netsim_time" -count "$count" ./internal/netsim |
+	tee -a "$tmp" >&2
+
+echo "== sweep macro-benchmark (count=$count, benchtime=1x)" >&2
+go test -run '^$' -bench '^BenchmarkSweepRunner$' \
+	-benchmem -benchtime 1x -count "$count" . |
+	tee -a "$tmp" >&2
+
+# aggregate: median of each metric per benchmark name (GOMAXPROCS
+# suffix stripped so results compare across machines).
+aggregate() {
+	awk '
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns[name, ++nns[name]] = $(i - 1)
+		else if ($i == "B/op") by[name, ++nby[name]] = $(i - 1)
+		else if ($i == "allocs/op") al[name, ++nal[name]] = $(i - 1)
+	}
+	if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+}
+function median(arr, cnt, name,    i, j, t, v, m) {
+	m = cnt[name]
+	for (i = 1; i <= m; i++) v[i] = arr[name, i] + 0
+	for (i = 2; i <= m; i++) {
+		t = v[i]
+		for (j = i - 1; j >= 1 && v[j] > t; j--) v[j + 1] = v[j]
+		v[j + 1] = t
+	}
+	if (m % 2) return v[(m + 1) / 2]
+	return (v[m / 2] + v[m / 2 + 1]) / 2
+}
+END {
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %.10g, \"bytes_per_op\": %.10g, \"allocs_per_op\": %.10g}%s\n", \
+			name, median(ns, nns, name), median(by, nby, name), median(al, nal, name), (i < n ? "," : "")
+	}
+	printf "  ]"
+}' "$1"
+}
+
+baseline=scripts/bench_baseline.json
+{
+	printf '{\n'
+	printf '  "schema": "lawgate-bench/v1",\n'
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "count": %s,\n' "$count"
+	aggregate "$tmp"
+	if [ -f "$baseline" ]; then
+		printf ',\n  "baseline": '
+		cat "$baseline"
+	fi
+	printf '\n}\n'
+} >"$out"
+
+echo "wrote $out" >&2

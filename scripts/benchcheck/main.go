@@ -1,0 +1,106 @@
+// Command benchcheck validates a BENCH_netsim.json produced by
+// scripts/bench.sh and prints each benchmark next to its baseline, so
+// CI can prove the bench tooling still works and a human can read the
+// before/after deltas at a glance.
+//
+// Usage:
+//
+//	go run ./scripts/benchcheck [FILE]
+//
+// FILE defaults to BENCH_netsim.json. Exits non-zero when the file is
+// missing, malformed, or structurally empty.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type baseline struct {
+	Note       string  `json:"note"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type report struct {
+	Schema     string    `json:"schema"`
+	Go         string    `json:"go"`
+	Count      int       `json:"count"`
+	Benchmarks []entry   `json:"benchmarks"`
+	Baseline   *baseline `json:"baseline"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	path := "BENCH_netsim.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "lawgate-bench/v1" {
+		return fmt.Errorf("%s: schema %q, want lawgate-bench/v1", path, r.Schema)
+	}
+	if r.Count < 1 {
+		return fmt.Errorf("%s: count %d, want >= 1", path, r.Count)
+	}
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	base := map[string]entry{}
+	if r.Baseline != nil {
+		for _, b := range r.Baseline.Benchmarks {
+			base[b.Name] = b
+		}
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s: %d benchmarks (%s, median of %d)\n", path, len(r.Benchmarks), r.Go, r.Count)
+	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tvs baseline ns\tvs baseline allocs")
+	for _, b := range r.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("%s: benchmark with empty name", path)
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: %s: ns_per_op %v, want > 0", path, b.Name, b.NsPerOp)
+		}
+		nsDelta, allocDelta := "-", "-"
+		if old, ok := base[b.Name]; ok {
+			nsDelta = delta(old.NsPerOp, b.NsPerOp)
+			allocDelta = delta(old.AllocsPerOp, b.AllocsPerOp)
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%g\t%s\t%s\n", b.Name, b.NsPerOp, b.AllocsPerOp, nsDelta, allocDelta)
+	}
+	return tw.Flush()
+}
+
+// delta formats the relative change from old to new, negative = faster
+// or fewer.
+func delta(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "±0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (new-old)/old*100)
+}

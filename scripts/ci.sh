@@ -5,9 +5,10 @@
 # Runs, in order: gofmt, vet, build, the full test suite, the race
 # detector over the whole module, and a short-mode smoke run of both
 # experiment commands on the parallel sweep path (-smoke -workers 2).
-# Benchmarks are not part of the gate (run `go test -bench=. -benchmem`
-# for those); the golden-ruling test in internal/scenario pins the
-# engine's Table 1 output.
+# Full benchmarks are not part of the gate (run `scripts/bench.sh` for
+# those), but a -short bench smoke proves the bench tooling itself
+# still runs and emits parseable JSON; the golden-ruling test in
+# internal/scenario pins the engine's Table 1 output.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -52,5 +53,17 @@ cmp "$tmpdir/p2p-w1.json" "$tmpdir/p2p-w4.json"
 go run ./cmd/tracewatermark -smoke -faults lossy -json -workers 1 >"$tmpdir/wm-w1.json"
 go run ./cmd/tracewatermark -smoke -faults lossy -json -workers 4 >"$tmpdir/wm-w4.json"
 cmp "$tmpdir/wm-w1.json" "$tmpdir/wm-w4.json"
+
+echo "== determinism: smoke JSON byte-identical across two independent runs"
+go run ./cmd/p2phunt -smoke -json >"$tmpdir/p2p-run1.json"
+go run ./cmd/p2phunt -smoke -json >"$tmpdir/p2p-run2.json"
+cmp "$tmpdir/p2p-run1.json" "$tmpdir/p2p-run2.json"
+go run ./cmd/tracewatermark -smoke -json >"$tmpdir/wm-run1.json"
+go run ./cmd/tracewatermark -smoke -json >"$tmpdir/wm-run2.json"
+cmp "$tmpdir/wm-run1.json" "$tmpdir/wm-run2.json"
+
+echo "== bench smoke: bench.sh -short emits valid BENCH JSON"
+scripts/bench.sh -short -o "$tmpdir/bench.json"
+go run ./scripts/benchcheck "$tmpdir/bench.json"
 
 echo "tier-1 gate: PASS"
