@@ -20,17 +20,22 @@ import (
 
 func main() {
 	sceneNum := flag.Int("scene", 0, "advise a single Table 1 scene (0 = all scenes needing process)")
+	stats := flag.Bool("engine-stats", false, "print engine cache/dispatch counters to stderr when done")
 	flag.Parse()
-	if err := run(*sceneNum); err != nil {
+	if err := run(*sceneNum, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "advise:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sceneNum int) error {
+func run(sceneNum int, stats bool) error {
 	// The advisor re-evaluates each scene's counterfactual variants, so a
 	// ruling cache lets the batch pass and the advisor share work.
-	engine := legal.NewEngine(legal.WithRulingCache(0))
+	opts := []legal.EngineOption{legal.WithRulingCache(0)}
+	if stats {
+		opts = append(opts, legal.WithEngineStats())
+	}
+	engine := legal.NewEngine(opts...)
 	var scenes []scenario.Scene
 	if sceneNum != 0 {
 		s, err := scenario.ByNumber(sceneNum)
@@ -68,6 +73,12 @@ func run(sceneNum int) error {
 				ad.Ruling.Required, ad.Alternative.Name, ad.Explanation)
 		}
 		fmt.Println()
+	}
+	if stats {
+		s := engine.Stats()
+		fmt.Fprintf(os.Stderr,
+			"engine stats: %d evaluations (+%d deduped), cache %d hits / %d misses, %d rules scanned (table %d)\n",
+			s.Evaluations, s.BatchDeduped, s.CacheHits, s.CacheMisses, s.RulesScanned, s.RuleTableSize)
 	}
 	return nil
 }

@@ -3,19 +3,19 @@ package main
 import "testing"
 
 func TestRunSingleScene(t *testing.T) {
-	if err := run(8); err != nil {
+	if err := run(8, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllScenes(t *testing.T) {
-	if err := run(0); err != nil {
+	if err := run(0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadScene(t *testing.T) {
-	if err := run(99); err == nil {
+	if err := run(99, false); err == nil {
 		t.Fatal("scene 99 must fail")
 	}
 }

@@ -12,7 +12,10 @@
 //
 // Batch mode reads a JSON array of legal.Action values, evaluates them
 // concurrently through Engine.EvaluateBatch with a ruling cache, and
-// emits one JSON ruling view per action, in input order.
+// emits one JSON ruling view per action, in input order. With
+// -engine-stats, the engine's cache and dispatch counters (hits,
+// misses, evictions, rules scanned per walk) are printed to stderr
+// after the batch.
 package main
 
 import (
@@ -85,11 +88,12 @@ func main() {
 		ecs     = flag.Bool("ecs", true, "the holding provider is an ECS/RCS for the data")
 		asJSON  = flag.Bool("json", false, "emit the ruling as JSON")
 		batch   = flag.String("batch", "", "evaluate a JSON array of actions from FILE (\"-\" = stdin)")
+		stats   = flag.Bool("engine-stats", false, "after a batch run, print engine cache/dispatch counters to stderr")
 	)
 	flag.Parse()
 	var err error
 	if *batch != "" {
-		err = runBatch(*batch)
+		err = runBatch(*batch, *stats)
 	} else {
 		err = run(*actor, *timing, *data, *source, *consent, *beyond, *relay, *public, *ecs, *asJSON)
 	}
@@ -99,7 +103,28 @@ func main() {
 	}
 }
 
-func runBatch(path string) error {
+// printEngineStats renders the -engine-stats report: cache
+// effectiveness and dispatch selectivity, written to stderr so the
+// ruling JSON on stdout stays machine-readable.
+func printEngineStats(w io.Writer, s legal.EngineStats) {
+	fmt.Fprintf(w, "engine stats:\n")
+	fmt.Fprintf(w, "  evaluations:     %d (+%d batch slots deduplicated)\n", s.Evaluations, s.BatchDeduped)
+	fmt.Fprintf(w, "  cache:           %d hits / %d misses / %d evictions (%d rulings memoized)\n",
+		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheSize)
+	fmt.Fprintf(w, "  invalid actions: %d\n", s.InvalidActions)
+	evaluated := s.Evaluations - s.InvalidActions
+	if s.CacheMisses > 0 {
+		evaluated = s.CacheMisses - s.InvalidActions
+	}
+	if evaluated > 0 {
+		fmt.Fprintf(w, "  rules scanned:   %d (avg %.1f of %d per table walk)\n",
+			s.RulesScanned, float64(s.RulesScanned)/float64(evaluated), s.RuleTableSize)
+	} else {
+		fmt.Fprintf(w, "  rules scanned:   %d (table size %d)\n", s.RulesScanned, s.RuleTableSize)
+	}
+}
+
+func runBatch(path string, stats bool) error {
 	var src io.Reader = os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -113,7 +138,11 @@ func runBatch(path string) error {
 	if err := json.NewDecoder(src).Decode(&actions); err != nil {
 		return fmt.Errorf("decoding actions: %w", err)
 	}
-	engine := legal.NewEngine(legal.WithRulingCache(0))
+	opts := []legal.EngineOption{legal.WithRulingCache(0)}
+	if stats {
+		opts = append(opts, legal.WithEngineStats())
+	}
+	engine := legal.NewEngine(opts...)
 	rulings, err := engine.EvaluateBatch(context.Background(), actions)
 	if err != nil {
 		return err
@@ -122,7 +151,13 @@ func runBatch(path string) error {
 	for i, r := range rulings {
 		views[i] = report.FromRuling(r)
 	}
-	return report.WriteJSON(os.Stdout, views)
+	if err := report.WriteJSON(os.Stdout, views); err != nil {
+		return err
+	}
+	if stats {
+		printEngineStats(os.Stderr, engine.Stats())
+	}
+	return nil
 }
 
 func run(actor, timing, data, source, consent string, beyond, relay, public, ecs, asJSON bool) error {

@@ -23,15 +23,28 @@ import (
 func main() {
 	verbose := flag.Bool("verbose", false, "print rationale chains and citations")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	stats := flag.Bool("engine-stats", false, "print engine cache/dispatch counters to stderr when done")
 	flag.Parse()
-	if err := run(*verbose, *asJSON); err != nil {
+	if err := run(*verbose, *asJSON, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "scenariotable:", err)
 		os.Exit(1)
 	}
 }
 
-func run(verbose, asJSON bool) error {
-	engine := legal.NewEngine(legal.WithRulingCache(0))
+func run(verbose, asJSON, stats bool) error {
+	opts := []legal.EngineOption{legal.WithRulingCache(0)}
+	if stats {
+		opts = append(opts, legal.WithEngineStats())
+	}
+	engine := legal.NewEngine(opts...)
+	defer func() {
+		if stats {
+			s := engine.Stats()
+			fmt.Fprintf(os.Stderr,
+				"engine stats: %d evaluations (+%d deduped), cache %d hits / %d misses, %d rules scanned (table %d)\n",
+				s.Evaluations, s.BatchDeduped, s.CacheHits, s.CacheMisses, s.RulesScanned, s.RuleTableSize)
+		}
+	}()
 	if asJSON {
 		scenes, err := report.Table1Report(engine)
 		if err != nil {

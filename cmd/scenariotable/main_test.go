@@ -3,19 +3,19 @@ package main
 import "testing"
 
 func TestRunPlain(t *testing.T) {
-	if err := run(false, false); err != nil {
+	if err := run(false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunVerbose(t *testing.T) {
-	if err := run(true, false); err != nil {
+	if err := run(true, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSON(t *testing.T) {
-	if err := run(false, true); err != nil {
+	if err := run(false, true, false); err != nil {
 		t.Fatal(err)
 	}
 }

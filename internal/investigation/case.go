@@ -60,12 +60,15 @@ func WithStrictAcquisition() CaseOption {
 // NewCase opens an investigation. The case's engine carries a ruling
 // cache: investigations routinely re-evaluate the same action shape (a
 // pre-flight Evaluate, then the Acquire itself, then suppression
-// analysis), and rulings are immutable, so memoization is sound.
+// analysis), and rulings are immutable, so memoization is sound. The
+// engine also collects counters (see EngineStats) — case flows are far
+// from the evaluation hot path, so the one atomic update per
+// evaluation is free observability.
 func NewCase(name string, opts ...CaseOption) *Case {
 	c := &Case{
 		Name:   name,
 		clock:  time.Now,
-		engine: legal.NewEngine(legal.WithRulingCache(0)),
+		engine: legal.NewEngine(legal.WithRulingCache(0), legal.WithEngineStats()),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -155,6 +158,13 @@ func (c *Case) Evaluate(a legal.Action) (legal.Ruling, error) {
 // Rulings are returned in input order.
 func (c *Case) EvaluateBatch(ctx context.Context, actions []legal.Action) ([]legal.Ruling, error) {
 	return c.engine.EvaluateBatch(ctx, actions)
+}
+
+// EngineStats snapshots the case engine's evaluation counters — how
+// many rulings the investigation requested, how many the cache
+// answered, and how selective the rule dispatch was.
+func (c *Case) EngineStats() legal.EngineStats {
+	return c.engine.Stats()
 }
 
 // Acquire performs an acquisition under the case's currently held process

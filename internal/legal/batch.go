@@ -19,6 +19,11 @@ const batchChunk = 64
 // min(WithBatchWorkers, len(actions)), defaulting to one worker per
 // available CPU.
 //
+// Identical actions within the batch are evaluated once: duplicate
+// slots receive the first occurrence's ruling (sharing its slices —
+// rulings are immutable) in their original positions. Each worker
+// reuses one evaluation scratch across its share of the batch.
+//
 // Invalid actions do not abort the batch: their ruling slot is left zero
 // and the returned error joins one error per failed index, in order. On
 // context cancellation EvaluateBatch returns ctx.Err(); already-computed
@@ -27,23 +32,27 @@ func (e *Engine) EvaluateBatch(ctx context.Context, actions []Action) ([]Ruling,
 	if len(actions) == 0 {
 		return nil, nil
 	}
+
+	work, dup := e.dedupBatch(actions)
 	workers := e.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(actions) {
-		workers = len(actions)
+	if workers > len(work) {
+		workers = len(work)
 	}
 
 	rulings := make([]Ruling, len(actions))
 	errs := make([]error, len(actions))
 	if workers == 1 {
-		for i := range actions {
+		var sc evalScratch
+		for _, i := range work {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			rulings[i], errs[i] = e.Evaluate(actions[i])
+			rulings[i], errs[i] = e.evaluate(actions[i], &sc)
 		}
+		fillDuplicates(rulings, errs, dup)
 		return rulings, joinIndexed(errs)
 	}
 
@@ -56,9 +65,10 @@ func (e *Engine) EvaluateBatch(ctx context.Context, actions []Action) ([]Ruling,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc evalScratch
 			for {
 				start := int(next.Add(batchChunk)) - batchChunk
-				if start >= len(actions) {
+				if start >= len(work) {
 					return
 				}
 				if ctx.Err() != nil {
@@ -66,11 +76,11 @@ func (e *Engine) EvaluateBatch(ctx context.Context, actions []Action) ([]Ruling,
 					return
 				}
 				end := start + batchChunk
-				if end > len(actions) {
-					end = len(actions)
+				if end > len(work) {
+					end = len(work)
 				}
-				for i := start; i < end; i++ {
-					rulings[i], errs[i] = e.Evaluate(actions[i])
+				for _, i := range work[start:end] {
+					rulings[i], errs[i] = e.evaluate(actions[i], &sc)
 				}
 			}
 		}()
@@ -79,7 +89,51 @@ func (e *Engine) EvaluateBatch(ctx context.Context, actions []Action) ([]Ruling,
 	if canceled.Load() {
 		return nil, ctx.Err()
 	}
+	fillDuplicates(rulings, errs, dup)
 	return rulings, joinIndexed(errs)
+}
+
+// dedupBatch partitions the batch into the indices to evaluate (first
+// occurrences, in input order) and a map from each duplicate index to
+// the first occurrence it repeats. Duplicates are detected by action
+// hash and confirmed structurally, so two distinct actions that collide
+// on the hash are simply both evaluated.
+func (e *Engine) dedupBatch(actions []Action) (work []int, dup map[int]int) {
+	if len(actions) < 2 {
+		work = make([]int, len(actions))
+		for i := range work {
+			work[i] = i
+		}
+		return work, nil
+	}
+	seen := make(map[uint64]int, len(actions))
+	work = make([]int, 0, len(actions))
+	for i := range actions {
+		h := hashAction(e.seed, &actions[i])
+		if j, ok := seen[h]; ok && actionsEqual(&actions[j], &actions[i]) {
+			if dup == nil {
+				dup = make(map[int]int)
+			}
+			dup[i] = j
+			continue
+		} else if !ok {
+			seen[h] = i
+		}
+		work = append(work, i)
+	}
+	if e.statsOn {
+		e.counters.batchDeduped.Add(uint64(len(dup)))
+	}
+	return work, dup
+}
+
+// fillDuplicates copies each first occurrence's result into the slots
+// that repeated it, preserving the batch's original index order.
+func fillDuplicates(rulings []Ruling, errs []error, dup map[int]int) {
+	for i, j := range dup {
+		rulings[i] = rulings[j]
+		errs[i] = errs[j]
+	}
 }
 
 // joinIndexed wraps each non-nil error with its batch index and joins

@@ -1,0 +1,129 @@
+// The rulings/sec throughput suite: how fast the engine serves ruling
+// queries on the paths production consumers hit — a cold evaluation
+// (full rule-table consultation), a warm one (ruling-cache hit), and
+// the concurrent batch API across worker counts, with and without
+// duplicate actions. scripts/bench.sh's `legal` target runs this family
+// and writes the median numbers to BENCH_legal.json next to the
+// embedded before-baseline (scripts/bench_baseline_legal.json).
+//
+// Every sub-benchmark does one Evaluate (or one whole batch) per
+// iteration and also reports rulings/s, so ns/op and throughput can be
+// read off the same line.
+package legal_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/scenario"
+)
+
+// table1Actions returns the paper's twenty Table 1 scenes — the
+// representative production query mix.
+func table1Actions() []legal.Action {
+	scenes := scenario.Table1()
+	actions := make([]legal.Action, len(scenes))
+	for i, s := range scenes {
+		actions[i] = s.Action
+	}
+	return actions
+}
+
+// distinctActions builds n unique-fingerprint actions by cycling the
+// Table 1 shapes under fresh names, so no cache or dedup can collapse
+// them.
+func distinctActions(n int) []legal.Action {
+	base := table1Actions()
+	actions := make([]legal.Action, n)
+	for i := range actions {
+		a := base[i%len(base)]
+		a.Name = fmt.Sprintf("distinct-%d", i)
+		actions[i] = a
+	}
+	return actions
+}
+
+// duplicatedActions builds n actions drawn from only k distinct values,
+// the shape of a batch where most queries repeat (a corpus re-scan).
+func duplicatedActions(n, k int) []legal.Action {
+	uniq := distinctActions(k)
+	actions := make([]legal.Action, n)
+	for i := range actions {
+		actions[i] = uniq[i%k]
+	}
+	return actions
+}
+
+// BenchmarkRulingsPerSec is the engine throughput family the tracked
+// BENCH_legal.json baseline records.
+func BenchmarkRulingsPerSec(b *testing.B) {
+	actions := table1Actions()
+
+	// cold: every query consults the rule table (no cache configured).
+	b.Run("cold", func(b *testing.B) {
+		engine := legal.NewEngine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Evaluate(actions[i%len(actions)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rulings/s")
+	})
+
+	// warm: the ruling cache already holds every query.
+	b.Run("warm", func(b *testing.B) {
+		engine := legal.NewEngine(legal.WithRulingCache(0))
+		for _, a := range actions {
+			if _, err := engine.Evaluate(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.Evaluate(actions[i%len(actions)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rulings/s")
+	})
+
+	// batch: 4096 distinct actions per op through the concurrent batch
+	// API, at fixed worker counts so numbers compare across machines.
+	const batchSize = 4096
+	distinct := distinctActions(batchSize)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("batch/workers=%d", workers), func(b *testing.B) {
+			engine := legal.NewEngine(legal.WithBatchWorkers(workers))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.EvaluateBatch(ctx, distinct); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "rulings/s")
+		})
+	}
+
+	// batch-dup: the same batch size but only 64 distinct actions —
+	// the within-batch deduplication workload.
+	dup := duplicatedActions(batchSize, 64)
+	b.Run("batch-dup", func(b *testing.B) {
+		engine := legal.NewEngine(legal.WithBatchWorkers(4))
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.EvaluateBatch(ctx, dup); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "rulings/s")
+	})
+}

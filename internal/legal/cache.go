@@ -1,10 +1,25 @@
 package legal
 
 import (
-	"hash/maphash"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
+
+// The ruling cache. Lookups are lock-free: the hot path hashes the
+// action to 64 bits (hashAction — no allocation, no fingerprint
+// string), walks one chained bucket of an atomically published table,
+// and verifies any hash hit with a full structural comparison
+// (actionsEqual) against the interned Action stored in the entry — so
+// correctness never depends on hash uniqueness. Writers serialize on a
+// single mutex; they publish immutable entries and whole-table
+// replacements (growth, eviction flushes) with atomic stores, which
+// readers observe with atomic loads.
+//
+// The canonical string fingerprint below predates the hash cache and
+// remains the exported, injective encoding of an Action (used by tests
+// and available to external callers for durable keying); the runtime
+// cache no longer builds it.
 
 // Fingerprint returns a canonical, collision-free encoding of every field
 // that influences evaluation (which is all of them, including Name, since
@@ -35,8 +50,7 @@ func fpBool(buf []byte, v bool) []byte {
 }
 
 // appendFingerprint appends the canonical encoding to buf and returns the
-// extended slice. The cache's hit path uses this to avoid allocating a
-// string per lookup (map access via m[string(key)] does not copy).
+// extended slice.
 func (a *Action) appendFingerprint(buf []byte) []byte {
 	buf = fpInt(buf, int(a.Actor))
 	buf = fpInt(buf, int(a.Timing))
@@ -95,73 +109,319 @@ func (a *Action) appendFingerprint(buf []byte) []byte {
 	return buf
 }
 
-// defaultCacheShards is the shard count WithRulingCache(0) selects: enough
-// to keep lock contention negligible at batch-evaluation parallelism.
-const defaultCacheShards = 16
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// spreads packed field words across all 64 bits.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
 
-// rulingCache is a sharded memoization cache from action fingerprints to
-// rulings. Each shard is independently locked, so concurrent batch
-// evaluation does not serialize on a single mutex.
+// seedCounter distinguishes hash seeds across engines; determinism is
+// deliberate (it keeps whole-program runs reproducible) and costs
+// nothing, since the hash never decides correctness.
+var seedCounter atomic.Uint64
+
+func newHashSeed() uint64 {
+	return mix64(seedCounter.Add(1) ^ 0x6c62272e07bb0142)
+}
+
+// le64 loads eight little-endian bytes of s at i (the compiler combines
+// the byte loads into one 8-byte load).
+func le64(s string, i int) uint64 {
+	_ = s[i+7]
+	return uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+		uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+}
+
+// hashString is a sampled string hash: length plus the first and last
+// 8-byte words, combined with position-distinct multipliers
+// (independent, so they pipeline) and finalized by the caller's mix64.
+// Strings up to 16 bytes are covered in full; longer strings that
+// differ only in unsampled middle bytes collide, which costs a
+// structural compare and a longer cache chain but never a wrong ruling
+// (every hit is verified). That tradeoff buys a hash several times
+// cheaper than a full-content hash on the sentence-length action names
+// the scenario tables use.
+func hashString(seed uint64, s string) uint64 {
+	n := len(s)
+	h := seed ^ uint64(n)*0x9e3779b97f4a7c15
+	switch {
+	case n >= 8:
+		h ^= le64(s, 0)*0xbf58476d1ce4e5b9 ^ le64(s, n-8)*0xff51afd7ed558ccd
+	case n > 0:
+		var x uint64
+		for i := 0; i < n; i++ {
+			x |= uint64(s[i]) << (8 * uint(i))
+		}
+		h ^= x * 0xbf58476d1ce4e5b9
+	}
+	return h
+}
+
+// wInexact marks a packed word that lost information to masking. Exact
+// packed words only use bits 0..43, so the all-ones sentinel can never
+// equal one.
+const wInexact = ^uint64(0)
+
+// b2u converts a bool to 0/1 branchlessly (the compiler recognizes
+// this shape and emits a plain zero-extending load, no branch).
+func b2u(b bool) uint64 {
+	var x uint64
+	if b {
+		x = 1
+	}
+	return x
+}
+
+// packAction packs every scalar field of the action — the four enum
+// coordinates, ProviderRole, all boolean flags, and the presence and
+// contents of the four optional sub-structs — into fixed bit positions
+// of one word. exact reports whether the packing is injective: it is
+// whenever every field fits its allotted bits, which Validate
+// guarantees for all valid actions. When exact, two actions with equal
+// packed words have identical scalar state, and only Name and Exposure
+// remain to be compared; when a field is out of range the word is
+// lossy (forced to wInexact) and callers must fall back to the full
+// structural compare. Flag packing is branchless on purpose: the hot
+// path hashes actions whose flag patterns vary call to call, and a
+// dozen data-dependent branches here would mispredict.
+func packAction(a *Action) (w uint64, exact bool) {
+	// One combined range check: a value is in range iff no bits remain
+	// above its field's mask (negative values set the high bits).
+	lost := uint64(a.Actor)&^7 | uint64(a.Timing)&^3 | uint64(a.Data)&^7 |
+		uint64(a.Source)&^15 | uint64(a.ProviderRole)&^15
+	w = uint64(a.Actor)&7 |
+		uint64(a.Timing)&3<<3 |
+		uint64(a.Data)&7<<5 |
+		uint64(a.Source)&15<<8 |
+		uint64(a.ProviderRole)&15<<12 |
+		b2u(a.Encrypted)<<16 |
+		b2u(a.PlainView)<<17 |
+		b2u(a.LawfulVantage)<<18 |
+		b2u(a.ProbationSearch)<<19 |
+		b2u(a.ProviderPublic)<<20 |
+		b2u(a.InterceptsThirdParty)<<21 |
+		b2u(a.SearchBeyondAuthority)<<22
+	if c := a.Consent; c != nil {
+		w |= 1<<23 | uint64(c.Scope)&15<<24 |
+			b2u(c.Revoked)<<28 |
+			b2u(c.ExceedsScope)<<29 |
+			b2u(c.AllPartiesRequired)<<30
+		lost |= uint64(c.Scope) &^ 15
+	}
+	if x := a.Exigency; x != nil {
+		w |= 1<<31 | uint64(x.Kind)&7<<32 | b2u(x.Approved)<<35
+		lost |= uint64(x.Kind) &^ 7
+	}
+	if t := a.Tech; t != nil {
+		w |= 1<<36 |
+			b2u(t.GeneralPublicUse)<<37 |
+			b2u(t.RevealsHomeInterior)<<38
+	}
+	if wp := a.Workplace; wp != nil {
+		w |= 1<<39 |
+			b2u(wp.GovernmentEmployer)<<40 |
+			b2u(wp.WorkRelated)<<41 |
+			b2u(wp.JustifiedAtInception)<<42 |
+			b2u(wp.PermissibleScope)<<43
+	}
+	if lost != 0 {
+		return wInexact, false
+	}
+	return w, true
+}
+
+// hashActionKey computes the cache's 64-bit hash of an action without
+// allocating — the packed scalar word plus the sampled Name hash and
+// the Exposure sequence, finalized by mix64 — and returns the packed
+// word alongside it. Collisions only cost a failed verification —
+// every hash hit is verified before use — so the hash needs to be fast
+// and well-spread, not injective. The packed word, when exact, is the
+// cheap verifier: see packAction.
+func hashActionKey(seed uint64, a *Action) (h, w uint64, exact bool) {
+	w, exact = packAction(a)
+	h = hashString(seed, a.Name) ^ w
+	for _, e := range a.Exposure {
+		h = h*0x9e3779b97f4a7c15 + uint64(e)
+	}
+	return mix64(h), w, exact
+}
+
+// hashAction is hashActionKey for callers that only need the hash.
+func hashAction(seed uint64, a *Action) uint64 {
+	h, _, _ := hashActionKey(seed, a)
+	return h
+}
+
+// exposuresEqual compares the exposure sequences elementwise.
+func exposuresEqual(a, b []ExposureFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// actionsEqual reports full structural equality of two actions — the
+// verification step behind every cache hash hit.
+func actionsEqual(a, b *Action) bool {
+	if a.Actor != b.Actor || a.Timing != b.Timing || a.Data != b.Data ||
+		a.Source != b.Source || a.ProviderRole != b.ProviderRole ||
+		a.Encrypted != b.Encrypted || a.PlainView != b.PlainView ||
+		a.LawfulVantage != b.LawfulVantage || a.ProbationSearch != b.ProbationSearch ||
+		a.ProviderPublic != b.ProviderPublic ||
+		a.InterceptsThirdParty != b.InterceptsThirdParty ||
+		a.SearchBeyondAuthority != b.SearchBeyondAuthority ||
+		a.Name != b.Name || len(a.Exposure) != len(b.Exposure) {
+		return false
+	}
+	for i := range a.Exposure {
+		if a.Exposure[i] != b.Exposure[i] {
+			return false
+		}
+	}
+	if (a.Consent == nil) != (b.Consent == nil) ||
+		(a.Consent != nil && *a.Consent != *b.Consent) {
+		return false
+	}
+	if (a.Exigency == nil) != (b.Exigency == nil) ||
+		(a.Exigency != nil && *a.Exigency != *b.Exigency) {
+		return false
+	}
+	if (a.Tech == nil) != (b.Tech == nil) ||
+		(a.Tech != nil && *a.Tech != *b.Tech) {
+		return false
+	}
+	if (a.Workplace == nil) != (b.Workplace == nil) ||
+		(a.Workplace != nil && *a.Workplace != *b.Workplace) {
+		return false
+	}
+	return true
+}
+
+// defaultCacheSlots is the initial bucket count WithRulingCache(0)
+// selects.
+const defaultCacheSlots = 256
+
+// cacheEntry is one immutable memoized ruling: the 64-bit hash, the
+// packed scalar word (wInexact when lossy — see packAction), the
+// interned copy of the action (the verification key — stored once, so
+// lookups never rebuild a key), the ruling, and the intrusive chain
+// link. Entries are never mutated after publication.
+type cacheEntry struct {
+	hash   uint64
+	w      uint64
+	action Action
+	ruling *Ruling
+	next   *cacheEntry
+}
+
+// cacheTable is one immutable-shape hash table generation: a
+// power-of-two slot array of atomically readable chain heads.
+type cacheTable struct {
+	mask  uint64
+	slots []atomic.Pointer[cacheEntry]
+}
+
+func newCacheTable(slots int) *cacheTable {
+	return &cacheTable{
+		mask:  uint64(slots - 1),
+		slots: make([]atomic.Pointer[cacheEntry], slots),
+	}
+}
+
+// rulingCache memoizes rulings keyed by action hash with structural
+// verification. Readers are lock-free; writers serialize on mu. A
+// capacity of zero means unbounded; a positive capacity evicts by
+// flushing the whole generation once full (cheap, and correct for a
+// memoization cache — evicted entries are simply recomputed).
 type rulingCache struct {
-	shards []cacheShard
-	mask   uint64
-	seed   maphash.Seed
+	table     atomic.Pointer[cacheTable]
+	mu        sync.Mutex
+	count     int
+	capacity  int
+	evictions atomic.Uint64
 }
 
-type cacheShard struct {
-	mu sync.RWMutex
-	m  map[string]*Ruling
-}
-
-func newRulingCache(shards int) *rulingCache {
-	if shards <= 0 {
-		shards = defaultCacheShards
+func newRulingCache(sizeHint, capacity int) *rulingCache {
+	slots := defaultCacheSlots
+	if sizeHint > 0 {
+		slots = 1
+		for slots < sizeHint {
+			slots <<= 1
+		}
 	}
-	// Round up to a power of two so shard selection is a mask.
-	n := 1
-	for n < shards {
-		n <<= 1
-	}
-	c := &rulingCache{
-		shards: make([]cacheShard, n),
-		mask:   uint64(n - 1),
-		seed:   maphash.MakeSeed(),
-	}
-	for i := range c.shards {
-		c.shards[i].m = make(map[string]*Ruling)
-	}
+	c := &rulingCache{capacity: capacity}
+	c.table.Store(newCacheTable(slots))
 	return c
 }
 
-// shardFor hashes the key to pick a shard.
-func (c *rulingCache) shardFor(key []byte) *cacheShard {
-	return &c.shards[maphash.Bytes(c.seed, key)&c.mask]
-}
-
-func (c *rulingCache) get(key []byte) (*Ruling, bool) {
-	s := c.shardFor(key)
-	s.mu.RLock()
-	r, ok := s.m[string(key)] // no copy: compiler-recognized lookup form
-	s.mu.RUnlock()
-	return r, ok
-}
-
-func (c *rulingCache) put(key []byte, r *Ruling) {
-	s := c.shardFor(key)
-	s.mu.Lock()
-	s.m[string(key)] = r
-	s.mu.Unlock()
-}
-
-// len reports the number of memoized rulings across all shards.
-func (c *rulingCache) len() int {
-	n := 0
-	for i := range c.shards {
-		c.shards[i].mu.RLock()
-		n += len(c.shards[i].m)
-		c.shards[i].mu.RUnlock()
+// get returns the memoized ruling for an action equal to a, if any.
+// Lock-free: one atomic table load, one atomic slot load, a chain walk
+// over immutable entries.
+func (c *rulingCache) get(h uint64, a *Action) (*Ruling, bool) {
+	t := c.table.Load()
+	for e := t.slots[h&t.mask].Load(); e != nil; e = e.next {
+		if e.hash == h && actionsEqual(&e.action, a) {
+			return e.ruling, true
+		}
 	}
-	return n
+	return nil, false
+}
+
+// put memoizes r under its action. Double-checks for a racing insert,
+// flushes the generation when at capacity, and grows at load factor 1.
+func (c *rulingCache) put(h uint64, r *Ruling) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.table.Load()
+	for e := t.slots[h&t.mask].Load(); e != nil; e = e.next {
+		if e.hash == h && actionsEqual(&e.action, &r.Action) {
+			return
+		}
+	}
+	if c.capacity > 0 && c.count >= c.capacity {
+		c.evictions.Add(uint64(c.count))
+		c.count = 0
+		t = newCacheTable(len(t.slots))
+		c.table.Store(t)
+	} else if c.count >= len(t.slots) {
+		t = c.grow(t)
+	}
+	w, _ := packAction(&r.Action)
+	slot := &t.slots[h&t.mask]
+	slot.Store(&cacheEntry{hash: h, w: w, action: r.Action, ruling: r, next: slot.Load()})
+	c.count++
+}
+
+// grow publishes a table with twice the slots. Entries are re-created
+// rather than re-linked so the old generation's chains stay intact for
+// readers still walking them.
+func (c *rulingCache) grow(old *cacheTable) *cacheTable {
+	t := newCacheTable(len(old.slots) * 2)
+	for i := range old.slots {
+		for e := old.slots[i].Load(); e != nil; e = e.next {
+			slot := &t.slots[e.hash&t.mask]
+			slot.Store(&cacheEntry{hash: e.hash, w: e.w, action: e.action, ruling: e.ruling, next: slot.Load()})
+		}
+	}
+	c.table.Store(t)
+	return t
+}
+
+// len reports the number of memoized rulings.
+func (c *rulingCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
 }
 
 // CacheSize reports how many distinct actions the engine has memoized;

@@ -1,0 +1,297 @@
+package legal
+
+// The compiled dispatch index. NewEngine compiles the declarative rule
+// table into buckets keyed by the four dense enum dimensions of an
+// Action — (Actor, Timing, DataClass, Source) — so Evaluate consults
+// only the rules that could possibly fire for that action instead of
+// walking the full table. Compilation consumes each rule's RuleMatch
+// metadata: per-rule predicate bitsets over the enum dimensions, of
+// which a rule's When predicate must be a refinement (When may only
+// accept actions the Match admits). A rule with a zero Match lands in
+// every bucket, so custom tables built without metadata keep the exact
+// linear-walk semantics.
+//
+// Correctness is by construction: a bucket holds, in pipeline order,
+// every rule whose Match admits the action, which is a superset of the
+// rules whose When accepts it — so the dispatch walk sees the same
+// matching rules in the same order as the naive scan. evaluateLinear
+// below keeps the naive full-table scan alive as the reference
+// implementation; dispatch_test.go proves the two byte-identical over
+// the exhaustive action sweep and the fuzz corpus.
+
+// Enum cardinalities for the dispatch index, derived from the name
+// catalogs so registering a new enum value automatically widens the
+// index.
+var (
+	numActors  = len(actorNames)
+	numTimings = len(timingNames)
+	numData    = len(dataClassNames)
+	numSources = len(sourceNames)
+)
+
+// RuleMatch declares, per enum dimension, which Action values a rule's
+// When predicate can ever accept. An empty dimension means "any value".
+// The metadata must be a superset of When: if When(rc) can return true
+// for an action, Match must admit that action. Rules whose predicates
+// do not discriminate on a dimension (flag-only doctrines like plain
+// view) simply leave it empty.
+type RuleMatch struct {
+	// Actors the rule can fire for; empty = any actor.
+	Actors []Actor
+	// Timings the rule can fire for; empty = any timing.
+	Timings []Timing
+	// Datas the rule can fire for; empty = any data class.
+	Datas []DataClass
+	// Sources the rule can fire for; empty = any source.
+	Sources []Source
+}
+
+// ruleBits is a rule's compiled predicate bitset: bit v set in a word
+// means enum value v is admitted on that dimension.
+type ruleBits struct {
+	actors  uint16
+	timings uint16
+	datas   uint16
+	sources uint16
+}
+
+// admits reports whether the bitset admits the (validated) action.
+func (b *ruleBits) admits(a *Action) bool {
+	return b.actors&(1<<uint(a.Actor)) != 0 &&
+		b.timings&(1<<uint(a.Timing)) != 0 &&
+		b.datas&(1<<uint(a.Data)) != 0 &&
+		b.sources&(1<<uint(a.Source)) != 0
+}
+
+// maskOf builds the admission word for one dimension: all values 1..n
+// when vals is empty, otherwise exactly the listed in-range values.
+func maskOf[T ~int](vals []T, n int) uint16 {
+	if len(vals) == 0 {
+		return uint16(1<<(n+1)) - 2 // bits 1..n
+	}
+	var m uint16
+	for _, v := range vals {
+		if int(v) >= 1 && int(v) <= n {
+			m |= 1 << uint(v)
+		}
+	}
+	return m
+}
+
+// dispatchIndex is the compiled form of a rule table: one bucket per
+// (actor, timing, data, source) combination holding the indices, in
+// pipeline order, of every rule whose Match admits that combination.
+// All buckets share one backing array; the index is immutable after
+// compileDispatch.
+type dispatchIndex struct {
+	buckets [][]uint16
+	// all is the identity index list 0..len(rules)-1; the linear
+	// reference walk and the out-of-range fallback use it.
+	all []uint16
+}
+
+// bucketIndex flattens the four enum coordinates; the caller guarantees
+// each is within 1..numX (Validate enforces this before evaluation).
+func bucketIndex(a Actor, t Timing, d DataClass, s Source) int {
+	return ((int(a)-1)*numTimings+(int(t)-1))*numData*numSources +
+		(int(d)-1)*numSources + (int(s) - 1)
+}
+
+// bucketFor returns the candidate rule list for the action, falling
+// back to the full table if a coordinate is somehow out of range.
+func (x *dispatchIndex) bucketFor(a *Action) []uint16 {
+	i := bucketIndex(a.Actor, a.Timing, a.Data, a.Source)
+	if i < 0 || i >= len(x.buckets) {
+		return x.all
+	}
+	return x.buckets[i]
+}
+
+// compileDispatch builds the dispatch index for a rule table. Two
+// passes per bucket — count, then fill into one shared backing array —
+// keep the index compact (one allocation for all bucket contents).
+func compileDispatch(rules []Rule) *dispatchIndex {
+	bits := make([]ruleBits, len(rules))
+	for i := range rules {
+		m := &rules[i].Match
+		bits[i] = ruleBits{
+			actors:  maskOf(m.Actors, numActors),
+			timings: maskOf(m.Timings, numTimings),
+			datas:   maskOf(m.Datas, numData),
+			sources: maskOf(m.Sources, numSources),
+		}
+	}
+
+	n := numActors * numTimings * numData * numSources
+	counts := make([]int, n)
+	total := 0
+	probe := Action{}
+	forEachCombo(func(a Actor, t Timing, d DataClass, s Source) {
+		probe.Actor, probe.Timing, probe.Data, probe.Source = a, t, d, s
+		i := bucketIndex(a, t, d, s)
+		for ri := range bits {
+			if bits[ri].admits(&probe) {
+				counts[i]++
+				total++
+			}
+		}
+	})
+
+	backing := make([]uint16, 0, total)
+	buckets := make([][]uint16, n)
+	forEachCombo(func(a Actor, t Timing, d DataClass, s Source) {
+		probe.Actor, probe.Timing, probe.Data, probe.Source = a, t, d, s
+		i := bucketIndex(a, t, d, s)
+		start := len(backing)
+		for ri := range bits {
+			if bits[ri].admits(&probe) {
+				backing = append(backing, uint16(ri))
+			}
+		}
+		buckets[i] = backing[start:len(backing):len(backing)]
+	})
+
+	all := make([]uint16, len(rules))
+	for i := range all {
+		all[i] = uint16(i)
+	}
+	return &dispatchIndex{buckets: buckets, all: all}
+}
+
+// forEachCombo visits every valid (actor, timing, data, source)
+// combination — the exhaustive enum sweep the index is built (and
+// tested) over.
+func forEachCombo(f func(Actor, Timing, DataClass, Source)) {
+	for a := 1; a <= numActors; a++ {
+		for t := 1; t <= numTimings; t++ {
+			for d := 1; d <= numData; d++ {
+				for s := 1; s <= numSources; s++ {
+					f(Actor(a), Timing(t), DataClass(d), Source(s))
+				}
+			}
+		}
+	}
+}
+
+// evalScratch is per-worker reusable evaluation state: the RuleContext
+// and a scratch Ruling whose slice capacity survives across
+// evaluations, so batch workers stop paying append-growth allocations
+// on every action. Evaluation results are copied out of the scratch
+// (compactRuling) before being returned or cached, so the reuse is
+// invisible to callers.
+type evalScratch struct {
+	rc RuleContext
+	r  Ruling
+}
+
+// reset prepares the scratch for evaluating a, truncating the reusable
+// slices without freeing their backing arrays.
+func (sc *evalScratch) reset(e *Engine, a Action) {
+	sc.r.Action = a
+	sc.r.Required = 0
+	sc.r.Regime = 0
+	sc.r.Privacy = nil
+	sc.r.Exceptions = sc.r.Exceptions[:0]
+	sc.r.Rationale = sc.r.Rationale[:0]
+	sc.r.Citations = sc.r.Citations[:0]
+	sc.r.Applied = sc.r.Applied[:0]
+	sc.rc = RuleContext{engine: e, Action: &sc.r.Action, ruling: &sc.r}
+}
+
+// compactRuling copies the scratch ruling into exact-size slices that
+// the caller owns. Empty slices become nil, matching what the
+// non-scratch walk produces, so scratch and non-scratch evaluations are
+// DeepEqual.
+func compactRuling(src *Ruling) Ruling {
+	out := Ruling{
+		Action:   src.Action,
+		Required: src.Required,
+		Regime:   src.Regime,
+		Privacy:  src.Privacy,
+	}
+	if len(src.Exceptions) > 0 {
+		out.Exceptions = append(make([]ExceptionKind, 0, len(src.Exceptions)), src.Exceptions...)
+	}
+	if len(src.Rationale) > 0 {
+		out.Rationale = append(make([]string, 0, len(src.Rationale)), src.Rationale...)
+	}
+	if len(src.Citations) > 0 {
+		out.Citations = append(make([]Citation, 0, len(src.Citations)), src.Citations...)
+	}
+	if len(src.Applied) > 0 {
+		out.Applied = append(make([]string, 0, len(src.Applied)), src.Applied...)
+	}
+	return out
+}
+
+// walkRules runs the pipeline over the given rule indices: each rule
+// whose When accepts contributes to the ruling, a terminal rule ends
+// the walk. It returns the number of candidate rules consulted. All
+// doctrine lives in the rules; the walk only sequences them.
+func (e *Engine) walkRules(rc *RuleContext, r *Ruling, idx []uint16) int {
+	scanned := 0
+	for _, ri := range idx {
+		rule := &e.rules[ri]
+		scanned++
+		if rule.When != nil && !rule.When(rc) {
+			continue
+		}
+		if rule.Apply != nil {
+			rule.Apply(rc)
+		}
+		r.cite(rule.Citations...)
+		r.Applied = append(r.Applied, rule.Name)
+		if rule.Terminal {
+			break
+		}
+	}
+	return scanned
+}
+
+// evaluateDispatch walks only the compiled candidate bucket for the
+// action. With a scratch it reuses the worker's RuleContext and ruling
+// slice capacity and copies the result out; without one it builds the
+// ruling directly.
+func (e *Engine) evaluateDispatch(a Action, sc *evalScratch) Ruling {
+	bucket := e.dispatch.bucketFor(&a)
+	if sc == nil {
+		r := Ruling{Action: a}
+		rc := &RuleContext{engine: e, Action: &a, ruling: &r}
+		scanned := e.walkRules(rc, &r, bucket)
+		if e.statsOn {
+			e.counters.rulesScanned.Add(uint64(scanned))
+		}
+		return r
+	}
+	sc.reset(e, a)
+	scanned := e.walkRules(&sc.rc, &sc.r, bucket)
+	if e.statsOn {
+		e.counters.rulesScanned.Add(uint64(scanned))
+	}
+	return compactRuling(&sc.r)
+}
+
+// evaluateLinear is the naive reference walk: the full rule table, in
+// order, with no dispatch index and no scratch reuse. It is the
+// semantics the compiled dispatch must reproduce byte-for-byte; the
+// equivalence tests in dispatch_test.go and FuzzEvaluate hold
+// evaluateDispatch to it.
+func (e *Engine) evaluateLinear(a Action) Ruling {
+	r := Ruling{Action: a}
+	rc := &RuleContext{engine: e, Action: &a, ruling: &r}
+	for i := range e.rules {
+		rule := &e.rules[i]
+		if rule.When != nil && !rule.When(rc) {
+			continue
+		}
+		if rule.Apply != nil {
+			rule.Apply(rc)
+		}
+		r.cite(rule.Citations...)
+		r.Applied = append(r.Applied, rule.Name)
+		if rule.Terminal {
+			break
+		}
+	}
+	return r
+}

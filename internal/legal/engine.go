@@ -1,6 +1,9 @@
 package legal
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Regime identifies the body of law governing an acquisition.
 type Regime int
@@ -41,8 +44,9 @@ func (r Regime) String() string {
 }
 
 // Ruling is the engine's determination for one Action. Rulings returned by
-// the engine must be treated as immutable: with the ruling cache enabled,
-// repeated evaluations of the same action share the ruling's slices.
+// the engine must be treated as immutable: with the ruling cache enabled
+// (and within one EvaluateBatch call), repeated evaluations of the same
+// action share the ruling's slices.
 type Ruling struct {
 	// Action echoes the evaluated action.
 	Action Action
@@ -152,14 +156,98 @@ func (d ContainerDoctrine) String() string {
 // with NewEngine. The default table follows the paper's Table 1 answers
 // (per-file containers).
 //
+// NewEngine compiles the rule table into a dispatch index (see
+// dispatch.go) so evaluation consults only the candidate rules for an
+// action's (actor, timing, data, source) coordinates rather than the
+// whole table.
+//
 // An Engine is safe for concurrent use: its configuration is immutable
 // after NewEngine, evaluation is a pure function of the action, and the
 // optional ruling cache is internally synchronized.
 type Engine struct {
 	container ContainerDoctrine
 	rules     []Rule
+	dispatch  *dispatchIndex
 	cache     *rulingCache
+	seed      uint64
 	workers   int
+	statsOn   bool
+
+	cacheWanted   bool
+	cacheSizeHint int
+	cacheCapacity int
+
+	counters engineCounters
+}
+
+// engineCounters are the engine's monotonic observability counters,
+// collected when WithEngineStats is configured.
+type engineCounters struct {
+	evaluations  atomic.Uint64
+	cacheMisses  atomic.Uint64
+	invalid      atomic.Uint64
+	rulesScanned atomic.Uint64
+	batchDeduped atomic.Uint64
+}
+
+// EngineStats is a point-in-time snapshot of the engine's counters —
+// enough to read cache effectiveness and dispatch selectivity off a
+// running engine (cmd/evaluate -engine-stats prints one). Counters are
+// collected only on engines built with WithEngineStats; on other
+// engines every counter reads zero (RuleTableSize and CacheSize are
+// structural and always populated).
+type EngineStats struct {
+	// Evaluations counts evaluation requests: Evaluate calls plus
+	// batch slots that were actually evaluated (deduplicated batch
+	// slots count under BatchDeduped instead).
+	Evaluations uint64
+	// CacheHits and CacheMisses partition cache lookups. Both are zero
+	// when no cache is configured. Misses include evaluations of
+	// invalid actions (the lookup ran; nothing was cached).
+	CacheHits   uint64
+	CacheMisses uint64
+	// CacheEvictions counts entries dropped by capacity flushes (see
+	// WithRulingCacheCapacity).
+	CacheEvictions uint64
+	// CacheSize is the number of currently memoized rulings.
+	CacheSize int
+	// InvalidActions counts evaluations rejected by Action.Validate.
+	InvalidActions uint64
+	// RulesScanned totals the candidate rules consulted across all
+	// rule-table walks (cache hits walk no rules);
+	// RulesScanned/(CacheMisses-InvalidActions) — or /Evaluations on an
+	// uncached engine — is the average scan length, to be compared
+	// against RuleTableSize, the linear-walk cost the dispatch index
+	// avoids.
+	RulesScanned uint64
+	// BatchDeduped counts batch slots satisfied by within-batch
+	// deduplication instead of a fresh evaluation.
+	BatchDeduped uint64
+	// RuleTableSize is the engine's rule count.
+	RuleTableSize int
+}
+
+// Stats returns a snapshot of the engine's counters. Counters are
+// updated independently, so a snapshot taken during concurrent
+// evaluation may be transiently inconsistent between fields; each
+// individual counter is monotonic.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Evaluations:    e.counters.evaluations.Load(),
+		InvalidActions: e.counters.invalid.Load(),
+		RulesScanned:   e.counters.rulesScanned.Load(),
+		BatchDeduped:   e.counters.batchDeduped.Load(),
+		RuleTableSize:  len(e.rules),
+	}
+	if e.cache != nil {
+		s.CacheMisses = e.counters.cacheMisses.Load()
+		if s.CacheMisses < s.Evaluations {
+			s.CacheHits = s.Evaluations - s.CacheMisses
+		}
+		s.CacheEvictions = e.cache.evictions.Load()
+		s.CacheSize = e.cache.len()
+	}
+	return s
 }
 
 // EngineOption configures an Engine.
@@ -178,14 +266,39 @@ func WithRules(rules []Rule) EngineOption {
 	return func(e *Engine) { e.rules = rules }
 }
 
-// WithRulingCache enables the sharded memoization cache: identical
-// actions evaluate once and subsequent evaluations return the memoized
-// ruling. Shards is the number of independently locked segments
-// (rounded up to a power of two); shards <= 0 selects a default.
-// Evaluation is a pure function of the action, so caching never changes
-// a ruling.
-func WithRulingCache(shards int) EngineOption {
-	return func(e *Engine) { e.cache = newRulingCache(shards) }
+// WithRulingCache enables the memoization cache: identical actions
+// evaluate once and subsequent evaluations return the memoized ruling.
+// Lookups are lock-free (see cache.go); sizeHint seeds the initial
+// bucket count (rounded up to a power of two; <= 0 selects a default)
+// and the table grows as needed. Evaluation is a pure function of the
+// action, so caching never changes a ruling.
+func WithRulingCache(sizeHint int) EngineOption {
+	return func(e *Engine) {
+		e.cacheWanted = true
+		e.cacheSizeHint = sizeHint
+	}
+}
+
+// WithRulingCacheCapacity bounds the ruling cache at maxEntries
+// memoized rulings (implying WithRulingCache). When full, the cache
+// evicts by flushing a whole generation — evicted rulings are simply
+// recomputed on next use — and counts the dropped entries in
+// EngineStats.CacheEvictions. maxEntries <= 0 leaves the cache
+// unbounded (the default).
+func WithRulingCacheCapacity(maxEntries int) EngineOption {
+	return func(e *Engine) {
+		e.cacheWanted = true
+		e.cacheCapacity = maxEntries
+	}
+}
+
+// WithEngineStats enables counter collection (see EngineStats). Off by
+// default: the cache-hit path is then entirely free of shared-memory
+// writes, and a hit costs a hash, one lock-free lookup, and a
+// structural verify. Enabling stats adds one atomic counter update per
+// evaluation.
+func WithEngineStats() EngineOption {
+	return func(e *Engine) { e.statsOn = true }
 }
 
 // WithBatchWorkers bounds the EvaluateBatch worker pool; n <= 0 selects
@@ -194,14 +307,19 @@ func WithBatchWorkers(n int) EngineOption {
 	return func(e *Engine) { e.workers = n }
 }
 
-// NewEngine returns a ready-to-use compliance engine.
+// NewEngine returns a ready-to-use compliance engine, with the rule
+// table compiled into its dispatch index.
 func NewEngine(opts ...EngineOption) *Engine {
-	e := &Engine{container: ContainerPerFile}
+	e := &Engine{container: ContainerPerFile, seed: newHashSeed()}
 	for _, opt := range opts {
 		opt(e)
 	}
 	if e.rules == nil {
 		e.rules = DefaultRules()
+	}
+	e.dispatch = compileDispatch(e.rules)
+	if e.cacheWanted {
+		e.cache = newRulingCache(e.cacheSizeHint, e.cacheCapacity)
 	}
 	return e
 }
@@ -218,50 +336,103 @@ func (e *Engine) Rules() []Rule {
 
 // Evaluate determines the process an acquisition requires, the governing
 // regime, applicable exceptions, and a rationale chain, by walking the
-// engine's rule table in order: each rule whose predicate matches
-// contributes to the ruling, and a terminal rule ends the walk. It is a
-// pure function of the action: identical actions yield identical rulings
-// (which is what makes the ruling cache sound).
+// candidate rules for the action in pipeline order: each rule whose
+// predicate matches contributes to the ruling, and a terminal rule ends
+// the walk. It is a pure function of the action: identical actions
+// yield identical rulings (which is what makes the ruling cache sound).
 func (e *Engine) Evaluate(a Action) (Ruling, error) {
-	if e.cache == nil {
-		if err := a.Validate(); err != nil {
-			return Ruling{}, err
+	if c := e.cache; c != nil {
+		// Look up before validating: only validated actions are ever
+		// cached, and a hash hit is verified by full equality against
+		// the cached (validated) action, so a hit implies validity.
+		// The hit path — hash, lock-free lookup, verify — allocates
+		// nothing and writes nothing; the probe loop is open-coded
+		// here (rather than calling cache.get) to keep hit latency
+		// down. Verification is exact, never probabilistic: when the
+		// packed scalar word is injective for this action (the normal
+		// case — see packAction) equality reduces to comparing that
+		// word plus Name and Exposure; otherwise it falls back to the
+		// full field-by-field compare.
+		h, w, exact := hashActionKey(e.seed, &a)
+		t := c.table.Load()
+		for en := t.slots[h&t.mask].Load(); en != nil; en = en.next {
+			if en.hash != h {
+				continue
+			}
+			if exact {
+				if en.w != w || a.Name != en.action.Name ||
+					!exposuresEqual(a.Exposure, en.action.Exposure) {
+					continue
+				}
+			} else if !actionsEqual(&en.action, &a) {
+				continue
+			}
+			if e.statsOn {
+				e.counters.evaluations.Add(1)
+			}
+			return *en.ruling, nil
 		}
-		return e.pipeline(a), nil
+		return e.evaluateMiss(a, h, nil)
 	}
-	// Look up before validating: only validated actions are ever cached,
-	// and the fingerprint is injective, so a hit implies validity.
-	var buf [96]byte
-	key := a.appendFingerprint(buf[:0])
-	if r, ok := e.cache.get(key); ok {
-		return *r, nil
+	return e.evaluateUncached(a, nil)
+}
+
+// evaluate is Evaluate with a per-worker scratch (batch workers pass
+// one; see dispatch.go). The cache probe mirrors Evaluate's.
+func (e *Engine) evaluate(a Action, sc *evalScratch) (Ruling, error) {
+	if c := e.cache; c != nil {
+		h, w, exact := hashActionKey(e.seed, &a)
+		t := c.table.Load()
+		for en := t.slots[h&t.mask].Load(); en != nil; en = en.next {
+			if en.hash != h {
+				continue
+			}
+			if exact {
+				if en.w != w || a.Name != en.action.Name ||
+					!exposuresEqual(a.Exposure, en.action.Exposure) {
+					continue
+				}
+			} else if !actionsEqual(&en.action, &a) {
+				continue
+			}
+			if e.statsOn {
+				e.counters.evaluations.Add(1)
+			}
+			return *en.ruling, nil
+		}
+		return e.evaluateMiss(a, h, sc)
+	}
+	return e.evaluateUncached(a, sc)
+}
+
+// evaluateMiss is the cache-miss slow path: validate, walk the
+// dispatch bucket, memoize.
+func (e *Engine) evaluateMiss(a Action, h uint64, sc *evalScratch) (Ruling, error) {
+	if e.statsOn {
+		e.counters.evaluations.Add(1)
+		e.counters.cacheMisses.Add(1)
 	}
 	if err := a.Validate(); err != nil {
+		if e.statsOn {
+			e.counters.invalid.Add(1)
+		}
 		return Ruling{}, err
 	}
-	r := e.pipeline(a)
-	e.cache.put(key, &r)
+	r := e.evaluateDispatch(a, sc)
+	e.cache.put(h, &r)
 	return r, nil
 }
 
-// pipeline is the generic rule-table walk. All doctrine lives in the
-// rules; the walk only sequences them.
-func (e *Engine) pipeline(a Action) Ruling {
-	r := Ruling{Action: a}
-	rc := &RuleContext{engine: e, Action: &a, ruling: &r}
-	for i := range e.rules {
-		rule := &e.rules[i]
-		if rule.When != nil && !rule.When(rc) {
-			continue
-		}
-		if rule.Apply != nil {
-			rule.Apply(rc)
-		}
-		r.cite(rule.Citations...)
-		r.Applied = append(r.Applied, rule.Name)
-		if rule.Terminal {
-			break
-		}
+// evaluateUncached evaluates without cache involvement.
+func (e *Engine) evaluateUncached(a Action, sc *evalScratch) (Ruling, error) {
+	if e.statsOn {
+		e.counters.evaluations.Add(1)
 	}
-	return r
+	if err := a.Validate(); err != nil {
+		if e.statsOn {
+			e.counters.invalid.Add(1)
+		}
+		return Ruling{}, err
+	}
+	return e.evaluateDispatch(a, sc), nil
 }

@@ -1,6 +1,9 @@
 package legal
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // FuzzEvaluate drives Action.Validate and Engine.Evaluate with arbitrary
 // field values: validation and evaluation must never panic, every valid
@@ -85,6 +88,16 @@ func FuzzEvaluate(f *testing.F) {
 		}
 		if len(r.Applied) == 0 {
 			t.Fatalf("ruling applied no rules: %+v", r)
+		}
+
+		// The compiled dispatch walk must be byte-identical to the
+		// naive full-table reference scan (see dispatch.go).
+		if lin := engine.evaluateLinear(a); !reflect.DeepEqual(r, lin) {
+			t.Fatalf("dispatch diverged from linear scan:\n got %+v\nwant %+v", r, lin)
+		}
+		var sc evalScratch
+		if dr := engine.evaluateDispatch(a, &sc); !reflect.DeepEqual(dr, r) {
+			t.Fatalf("scratch dispatch diverged:\n got %+v\nwant %+v", dr, r)
 		}
 
 		// The cached engine must agree (purity + cache soundness under

@@ -79,6 +79,12 @@ type Rule struct {
 	// When reports whether the rule applies to the action in this
 	// evaluation state. A nil When always applies.
 	When func(rc *RuleContext) bool
+	// Match declares which enum values When can ever accept, per
+	// dimension, for the compiled dispatch index (see dispatch.go). It
+	// must be a superset of When: leaving a dimension empty means the
+	// rule can fire for any value there, and the zero Match puts the
+	// rule in every dispatch bucket — always correct, just unindexed.
+	Match RuleMatch
 	// Apply contributes the rule's ruling: process requirement,
 	// exceptions, rationale.
 	Apply func(rc *RuleContext)
@@ -112,12 +118,22 @@ func DefaultRules() []Rule {
 			(a.ProviderRole == ProviderECS || a.ProviderRole == ProviderRCS)
 	}
 
+	// Shared Match vocabulary for the dispatch index. Each rule's Match
+	// restates the enum constraints of its When (and nothing more —
+	// residual predicates like consent or exposure stay in When); a rule
+	// that does not discriminate on a dimension leaves it empty.
+	realTime := []Timing{TimingRealTime}
+	stored := []Timing{TimingStored}
+	contentData := []DataClass{DataContent, DataDeviceContents}
+	nonContentRT := []DataClass{DataAddressing, DataBasicSubscriber, DataTransactionalRecords}
+
 	return []Rule{
 		// --- Stage 1: actor screen -----------------------------------
 		{
-			Name: "private-search",
-			Doc:  "purely private searches fall outside the Fourth Amendment",
-			When: func(rc *RuleContext) bool { return rc.Action.Actor == ActorPrivate },
+			Name:  "private-search",
+			Doc:   "purely private searches fall outside the Fourth Amendment",
+			Match: RuleMatch{Actors: []Actor{ActorPrivate}},
+			When:  func(rc *RuleContext) bool { return rc.Action.Actor == ActorPrivate },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessNone, RegimeNone,
 					"the Fourth Amendment restricts the government and its agents, not private searches; law enforcement may receive the fruits of a private search")
@@ -127,8 +143,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "provider-own-system",
-			Doc:  "a provider may monitor its own system, § 2511(2)(a)(i)",
+			Name:  "provider-own-system",
+			Doc:   "a provider may monitor its own system, § 2511(2)(a)(i)",
+			Match: RuleMatch{Actors: []Actor{ActorProvider}, Sources: []Source{SourceOwnNetwork}},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Actor == ActorProvider && rc.Action.Source == SourceOwnNetwork
 			},
@@ -144,9 +161,10 @@ func DefaultRules() []Rule {
 			Terminal: true,
 		},
 		{
-			Name: "provider-off-system",
-			Doc:  "a provider acting beyond its own system is a private party",
-			When: func(rc *RuleContext) bool { return rc.Action.Actor == ActorProvider },
+			Name:  "provider-off-system",
+			Doc:   "a provider acting beyond its own system is a private party",
+			Match: RuleMatch{Actors: []Actor{ActorProvider}},
+			When:  func(rc *RuleContext) bool { return rc.Action.Actor == ActorProvider },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessNone, RegimeNone,
 					"a provider acting outside its own system is a private party for Fourth Amendment purposes")
@@ -186,8 +204,9 @@ func DefaultRules() []Rule {
 
 		// --- Stage 3a: real-time acquisition, public information ------
 		{
-			Name: "realtime-public",
-			Doc:  "publicly exposed information may be collected by anyone",
+			Name:  "realtime-public",
+			Doc:   "publicly exposed information may be collected by anyone",
+			Match: RuleMatch{Timings: realTime, Datas: []DataClass{DataPublic}},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Timing == TimingRealTime && rc.Action.Data == DataPublic
 			},
@@ -204,8 +223,9 @@ func DefaultRules() []Rule {
 
 		// --- Stage 3b: real-time content (Title III) ------------------
 		{
-			Name: "trespasser-consent",
-			Doc:  "victim authorization to monitor a trespasser, § 2511(2)(i)",
+			Name:  "trespasser-consent",
+			Doc:   "victim authorization to monitor a trespasser, § 2511(2)(i)",
+			Match: RuleMatch{Timings: realTime, Datas: contentData},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingRealTime && isContent(a.Data) &&
@@ -230,8 +250,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "party-consent",
-			Doc:  "one-party consent to interception, § 2511(2)(c)-(d)",
+			Name:  "party-consent",
+			Doc:   "one-party consent to interception, § 2511(2)(c)-(d)",
+			Match: RuleMatch{Timings: realTime, Datas: contentData},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingRealTime && isContent(a.Data) &&
@@ -255,8 +276,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "public-service-content",
-			Doc:  "content of a publicly accessible system, § 2511(2)(g)(i)",
+			Name:  "public-service-content",
+			Doc:   "content of a publicly accessible system, § 2511(2)(g)(i)",
+			Match: RuleMatch{Timings: realTime, Datas: contentData, Sources: []Source{SourcePublicService}},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingRealTime && isContent(a.Data) && a.Source == SourcePublicService
@@ -270,8 +292,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "title3-default",
-			Doc:  "real-time content interception requires a Title III order",
+			Name:  "title3-default",
+			Doc:   "real-time content interception requires a Title III order",
+			Match: RuleMatch{Timings: realTime, Datas: contentData},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Timing == TimingRealTime && isContent(rc.Action.Data)
 			},
@@ -282,8 +305,9 @@ func DefaultRules() []Rule {
 			Citations: []string{"Title3"},
 		},
 		{
-			Name: "streetview-note",
-			Doc:  "wireless payload collection is interception (starred judgment)",
+			Name:  "streetview-note",
+			Doc:   "wireless payload collection is interception (starred judgment)",
+			Match: RuleMatch{Timings: realTime, Sources: []Source{SourceWirelessBroadcast}},
 			When: func(rc *RuleContext) bool {
 				return rc.Required() == ProcessWiretapOrder &&
 					rc.Action.Timing == TimingRealTime &&
@@ -295,8 +319,9 @@ func DefaultRules() []Rule {
 			Citations: []string{"StreetView"},
 		},
 		{
-			Name: "relay-note",
-			Doc:  "relay operators intercept third-party communications",
+			Name:  "relay-note",
+			Doc:   "relay operators intercept third-party communications",
+			Match: RuleMatch{Timings: realTime},
 			When: func(rc *RuleContext) bool {
 				return rc.Required() == ProcessWiretapOrder &&
 					rc.Action.Timing == TimingRealTime &&
@@ -307,8 +332,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "encryption-note",
-			Doc:  "encryption does not change the content/non-content line",
+			Name:  "encryption-note",
+			Doc:   "encryption does not change the content/non-content line",
+			Match: RuleMatch{Timings: realTime},
 			When: func(rc *RuleContext) bool {
 				return rc.Required() == ProcessWiretapOrder &&
 					rc.Action.Timing == TimingRealTime &&
@@ -321,8 +347,9 @@ func DefaultRules() []Rule {
 
 		// --- Stage 3c: real-time non-content (Pen/Trap) ---------------
 		{
-			Name: "pentrap-public-service",
-			Doc:  "addressing of a public system is collectible by anyone",
+			Name:  "pentrap-public-service",
+			Doc:   "addressing of a public system is collectible by anyone",
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Sources: []Source{SourcePublicService}},
 			When: func(rc *RuleContext) bool {
 				return isRealTimeNonContent(rc.Action) && rc.Action.Source == SourcePublicService
 			},
@@ -335,8 +362,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "pentrap-wireless",
-			Doc:  "broadcast addressing headers carry no REP (starred judgment)",
+			Name:  "pentrap-wireless",
+			Doc:   "broadcast addressing headers carry no REP (starred judgment)",
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Sources: []Source{SourceWirelessBroadcast}},
 			When: func(rc *RuleContext) bool {
 				return isRealTimeNonContent(rc.Action) && rc.Action.Source == SourceWirelessBroadcast
 			},
@@ -350,8 +378,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "pentrap-party-consent",
-			Doc:  "a communication party may consent to addressing collection",
+			Name:  "pentrap-party-consent",
+			Doc:   "a communication party may consent to addressing collection",
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return isRealTimeNonContent(a) && a.Consent.Effective() &&
@@ -366,8 +395,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "emergency-pentrap",
-			Doc:  "§ 3125 emergency pen/trap installation",
+			Name:  "emergency-pentrap",
+			Doc:   "§ 3125 emergency pen/trap installation",
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT},
 			When: func(rc *RuleContext) bool {
 				x := rc.Action.Exigency
 				return isRealTimeNonContent(rc.Action) &&
@@ -382,9 +412,10 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "pentrap-default",
-			Doc:  "non-content collection requires a pen/trap order",
-			When: func(rc *RuleContext) bool { return isRealTimeNonContent(rc.Action) },
+			Name:  "pentrap-default",
+			Doc:   "non-content collection requires a pen/trap order",
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT},
+			When:  func(rc *RuleContext) bool { return isRealTimeNonContent(rc.Action) },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessCourtOrder, RegimePenTrap,
 					"installing a pen register or trap-and-trace device to collect addressing and other non-content information requires a pen/trap order")
@@ -404,8 +435,9 @@ func DefaultRules() []Rule {
 
 		// --- Stage 4a: stored data held by a covered provider (SCA) ---
 		{
-			Name: "sca-consent",
-			Doc:  "SCA voluntary-disclosure consent exceptions, § 2702",
+			Name:  "sca-consent",
+			Doc:   "SCA voluntary-disclosure consent exceptions, § 2702",
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return scaCovered(a) && a.Consent.Effective() &&
@@ -420,8 +452,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "sca-exigency",
-			Doc:  "SCA emergency disclosure",
+			Name:  "sca-exigency",
+			Doc:   "SCA emergency disclosure",
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return scaCovered(a) && a.Exigency.Effective() && a.Exigency.Kind != ExigencyEmergencyPenTrap
@@ -435,8 +468,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "sca-content-warrant",
-			Doc:  "stored contents require a § 2703 search warrant",
+			Name:  "sca-content-warrant",
+			Doc:   "stored contents require a § 2703 search warrant",
+			Match: RuleMatch{Timings: stored, Datas: contentData, Sources: []Source{SourceProviderStored}},
 			When: func(rc *RuleContext) bool {
 				return scaCovered(rc.Action) && isContent(rc.Action.Data)
 			},
@@ -448,8 +482,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "sca-records-order",
-			Doc:  "transactional records require a § 2703(d) order",
+			Name:  "sca-records-order",
+			Doc:   "transactional records require a § 2703(d) order",
+			Match: RuleMatch{Timings: stored, Datas: []DataClass{DataTransactionalRecords}, Sources: []Source{SourceProviderStored}},
 			When: func(rc *RuleContext) bool {
 				return scaCovered(rc.Action) && rc.Action.Data == DataTransactionalRecords
 			},
@@ -471,8 +506,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "sca-subscriber-subpoena",
-			Doc:  "basic subscriber information requires only a subpoena",
+			Name:  "sca-subscriber-subpoena",
+			Doc:   "basic subscriber information requires only a subpoena",
+			Match: RuleMatch{Timings: stored, Datas: []DataClass{DataBasicSubscriber}, Sources: []Source{SourceProviderStored}},
 			When: func(rc *RuleContext) bool {
 				return scaCovered(rc.Action) && rc.Action.Data == DataBasicSubscriber
 			},
@@ -494,9 +530,10 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "sca-public",
-			Doc:  "public information held by a provider needs no process",
-			When: func(rc *RuleContext) bool { return scaCovered(rc.Action) },
+			Name:  "sca-public",
+			Doc:   "public information held by a provider needs no process",
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}},
+			When:  func(rc *RuleContext) bool { return scaCovered(rc.Action) },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessNone, RegimeSCA,
 					"public information held by a provider may be collected without process")
@@ -508,8 +545,9 @@ func DefaultRules() []Rule {
 
 		// --- Stage 4b: seized devices and the container doctrines -----
 		{
-			Name: "container-new-search",
-			Doc:  "per-file containers: exceeding the original authority is a new search (Crist)",
+			Name:  "container-new-search",
+			Doc:   "per-file containers: exceeding the original authority is a new search (Crist)",
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingStored && a.Source == SourceSeizedDevice &&
@@ -523,8 +561,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "single-container-note",
-			Doc:  "single container: the exhaustive examination stays within the authority (Runyan/Beusch)",
+			Name:  "single-container-note",
+			Doc:   "single container: the exhaustive examination stays within the authority (Runyan/Beusch)",
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingStored && a.Source == SourceSeizedDevice &&
@@ -535,8 +574,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "lawful-custody",
-			Doc:  "examination within the original authority needs no further process (Sloane)",
+			Name:  "lawful-custody",
+			Doc:   "examination within the original authority needs no further process (Sloane)",
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Timing == TimingStored && rc.Action.Source == SourceSeizedDevice
 			},
@@ -551,8 +591,9 @@ func DefaultRules() []Rule {
 
 		// --- Stage 4c: government workplace searches (O'Connor) -------
 		{
-			Name: "workplace-lawful",
-			Doc:  "O'Connor-compliant administrative workplace search",
+			Name:  "workplace-lawful",
+			Doc:   "O'Connor-compliant administrative workplace search",
+			Match: RuleMatch{Timings: stored},
 			When: func(rc *RuleContext) bool {
 				w := rc.Action.Workplace
 				return rc.Action.Timing == TimingStored && w != nil && w.GovernmentEmployer && w.Lawful()
@@ -566,8 +607,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "workplace-unlawful",
-			Doc:  "a failed O'Connor search falls back to the warrant requirement",
+			Name:  "workplace-unlawful",
+			Doc:   "a failed O'Connor search falls back to the warrant requirement",
+			Match: RuleMatch{Timings: stored},
 			When: func(rc *RuleContext) bool {
 				w := rc.Action.Workplace
 				return rc.Action.Timing == TimingStored && w != nil && w.GovernmentEmployer
@@ -582,9 +624,10 @@ func DefaultRules() []Rule {
 
 		// --- Stage 4d: Fourth Amendment REP analysis ------------------
 		{
-			Name: "rep-analysis",
-			Doc:  "Katz two-prong reasonable-expectation-of-privacy analysis",
-			When: func(rc *RuleContext) bool { return rc.Action.Timing == TimingStored },
+			Name:  "rep-analysis",
+			Doc:   "Katz two-prong reasonable-expectation-of-privacy analysis",
+			Match: RuleMatch{Timings: stored},
+			When:  func(rc *RuleContext) bool { return rc.Action.Timing == TimingStored },
 			Apply: func(rc *RuleContext) {
 				p := analyzePrivacy(rc.Action)
 				rc.ruling.Privacy = &p
@@ -595,8 +638,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "no-rep",
-			Doc:  "no reasonable expectation of privacy: not a search",
+			Name:  "no-rep",
+			Doc:   "no reasonable expectation of privacy: not a search",
+			Match: RuleMatch{Timings: stored},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				return rc.Action.Timing == TimingStored && p != nil && !p.Reasonable
@@ -622,8 +666,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "fourth-consent",
-			Doc:  "voluntary consent by a person with authority (Matlock)",
+			Name:  "fourth-consent",
+			Doc:   "voluntary consent by a person with authority (Matlock)",
+			Match: RuleMatch{Timings: stored},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				return rc.Action.Timing == TimingStored && p != nil && p.Reasonable &&
@@ -648,8 +693,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "fourth-exigency",
-			Doc:  "exigent circumstances excuse the warrant (Mincey)",
+			Name:  "fourth-exigency",
+			Doc:   "exigent circumstances excuse the warrant (Mincey)",
+			Match: RuleMatch{Timings: stored},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				x := rc.Action.Exigency
@@ -665,8 +711,9 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "warrant-default",
-			Doc:  "a search of matter carrying REP requires a warrant",
+			Name:  "warrant-default",
+			Doc:   "a search of matter carrying REP requires a warrant",
+			Match: RuleMatch{Timings: stored},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				return rc.Action.Timing == TimingStored && p != nil && p.Reasonable
@@ -679,8 +726,9 @@ func DefaultRules() []Rule {
 			},
 		},
 		{
-			Name: "consent-defect-note",
-			Doc:  "defective consent (revoked, or exceeding its scope) is recorded",
+			Name:  "consent-defect-note",
+			Doc:   "defective consent (revoked, or exceeding its scope) is recorded",
+			Match: RuleMatch{Timings: stored},
 			When: func(rc *RuleContext) bool {
 				c := rc.Action.Consent
 				return rc.Action.Timing == TimingStored && rc.ruling.Privacy != nil &&

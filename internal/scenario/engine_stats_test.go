@@ -1,0 +1,67 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/scenario"
+)
+
+// TestTable1DispatchSelectivity asserts, through the engine's own
+// counters, that the compiled dispatch index pays off on the paper's
+// workload: a cold evaluation of every Table 1 scene must consult
+// strictly fewer rules than the table holds — i.e. no scene degrades to
+// the naive linear scan.
+func TestTable1DispatchSelectivity(t *testing.T) {
+	for _, s := range scenario.Table1() {
+		e := legal.NewEngine(legal.WithEngineStats())
+		if _, err := e.Evaluate(s.Action); err != nil {
+			t.Fatalf("scene %d: %v", s.Number, err)
+		}
+		st := e.Stats()
+		if st.Evaluations != 1 {
+			t.Fatalf("scene %d: Evaluations = %d, want 1", s.Number, st.Evaluations)
+		}
+		if st.RulesScanned == 0 {
+			t.Fatalf("scene %d: no rules scanned", s.Number)
+		}
+		if st.RulesScanned >= uint64(st.RuleTableSize) {
+			t.Errorf("scene %d (%s): cold evaluation scanned %d of %d rules — dispatch gained nothing",
+				s.Number, s.Action.Name, st.RulesScanned, st.RuleTableSize)
+		}
+	}
+}
+
+// TestTable1CacheCounters pins the cache counters on the Table 1
+// workload: a second pass over the scenes must be all hits, and hits
+// must not re-scan rules.
+func TestTable1CacheCounters(t *testing.T) {
+	e := legal.NewEngine(legal.WithRulingCache(32), legal.WithEngineStats())
+	scenes := scenario.Table1()
+	for _, s := range scenes {
+		if _, err := e.Evaluate(s.Action); err != nil {
+			t.Fatalf("scene %d: %v", s.Number, err)
+		}
+	}
+	cold := e.Stats()
+	if cold.CacheMisses != uint64(len(scenes)) || cold.CacheHits != 0 {
+		t.Fatalf("cold pass: %d misses / %d hits, want %d / 0",
+			cold.CacheMisses, cold.CacheHits, len(scenes))
+	}
+	for _, s := range scenes {
+		if _, err := e.Evaluate(s.Action); err != nil {
+			t.Fatalf("scene %d: %v", s.Number, err)
+		}
+	}
+	warm := e.Stats()
+	if warm.CacheHits != uint64(len(scenes)) || warm.CacheMisses != cold.CacheMisses {
+		t.Fatalf("warm pass: %d hits / %d misses, want %d / %d",
+			warm.CacheHits, warm.CacheMisses, len(scenes), cold.CacheMisses)
+	}
+	if warm.RulesScanned != cold.RulesScanned {
+		t.Fatalf("cache hits re-scanned rules: %d -> %d", cold.RulesScanned, warm.RulesScanned)
+	}
+	if warm.CacheSize != len(scenes) {
+		t.Fatalf("cache size %d, want %d", warm.CacheSize, len(scenes))
+	}
+}

@@ -22,11 +22,15 @@
 // InsertRuleBefore plus WithRules on a custom engine — with no change to
 // the pipeline itself.
 //
-// For corpus-scale work the engine offers EvaluateBatch, a bounded
-// worker pool that evaluates a slice of Actions concurrently and returns
-// rulings in input order, and WithRulingCache, a sharded memoization
-// cache keyed by each Action's canonical Fingerprint. Rulings are
-// immutable, so cached results are shared, not copied.
+// For corpus-scale work the engine compiles its rule table into a
+// dispatch index (evaluation consults only the candidate rules for an
+// action's enum coordinates), offers EvaluateBatch, a bounded worker
+// pool that evaluates a slice of Actions concurrently and returns
+// rulings in input order with within-batch deduplication, and
+// WithRulingCache, a lock-free hash-keyed memoization cache whose hit
+// path allocates nothing. Rulings are immutable, so cached results are
+// shared, not copied. WithEngineStats adds cache/dispatch counters
+// (EngineStats) for observability.
 //
 // Around the engine sit the substrates the paper's scenarios need:
 //
@@ -87,6 +91,8 @@ type (
 	RuleContext = legal.RuleContext
 	// EngineOption configures NewEngine (rule table, cache, workers).
 	EngineOption = legal.EngineOption
+	// EngineStats is a snapshot of the engine's evaluation counters.
+	EngineStats = legal.EngineStats
 )
 
 // Process levels, re-exported.
@@ -125,9 +131,19 @@ func InsertRuleBefore(rules []Rule, name string, r Rule) ([]Rule, error) {
 // WithRules substitutes the engine's rule table.
 func WithRules(rules []Rule) EngineOption { return legal.WithRules(rules) }
 
-// WithRulingCache enables the sharded ruling memoization cache
-// (shards <= 0 selects the default shard count).
-func WithRulingCache(shards int) EngineOption { return legal.WithRulingCache(shards) }
+// WithRulingCache enables the lock-free ruling memoization cache
+// (sizeHint <= 0 selects the default initial table size).
+func WithRulingCache(sizeHint int) EngineOption { return legal.WithRulingCache(sizeHint) }
+
+// WithRulingCacheCapacity bounds the ruling cache at maxEntries
+// memoized rulings, evicting by generational flush when full.
+func WithRulingCacheCapacity(maxEntries int) EngineOption {
+	return legal.WithRulingCacheCapacity(maxEntries)
+}
+
+// WithEngineStats enables the engine's evaluation counters; read them
+// with Engine.Stats.
+func WithEngineStats() EngineOption { return legal.WithEngineStats() }
 
 // WithBatchWorkers bounds EvaluateBatch's worker pool.
 func WithBatchWorkers(n int) EngineOption { return legal.WithBatchWorkers(n) }

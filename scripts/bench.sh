@@ -1,21 +1,28 @@
 #!/bin/sh
-# Tracked benchmark baseline for the simulator hot path.
-# Usage: scripts/bench.sh [-count N] [-short] [-o FILE]
+# Tracked benchmark baselines for the hot paths.
+# Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal]
 #
-# Runs the internal/netsim micro-benchmarks (scheduler step, send paths,
-# neighbor lookup, heap churn) and the BenchmarkSweepRunner macro-bench,
-# -count times each, and writes the per-benchmark MEDIANS of ns/op,
-# B/op, and allocs/op to FILE (default BENCH_netsim.json) as JSON. When
-# scripts/bench_baseline.json exists its contents are embedded under
-# "baseline" so the checked-in artifact carries its own before/after
-# comparison. -short runs one fast iteration of everything — the CI
-# smoke that proves the script and its output format still work.
+# The default `netsim` target runs the internal/netsim micro-benchmarks
+# (scheduler step, send paths, neighbor lookup, heap churn) and the
+# BenchmarkSweepRunner macro-bench, and writes to BENCH_netsim.json.
+# The `legal` target runs the BenchmarkRulingsPerSec engine-throughput
+# family (cold/warm/batch/batch-dup) and writes to BENCH_legal.json.
+#
+# Each benchmark runs -count times and the per-benchmark MEDIANS of
+# ns/op, B/op, and allocs/op are written to FILE as JSON. When the
+# target's baseline file (scripts/bench_baseline.json or
+# scripts/bench_baseline_legal.json) exists its contents are embedded
+# under "baseline" so the checked-in artifact carries its own
+# before/after comparison. -short runs one fast iteration of everything
+# — the CI smoke that proves the script and its output format still
+# work.
 set -eu
 cd "$(dirname "$0")/.."
 
 count=5
-out=BENCH_netsim.json
+out=
 short=0
+target=netsim
 while [ $# -gt 0 ]; do
 	case "$1" in
 	-count)
@@ -30,32 +37,50 @@ while [ $# -gt 0 ]; do
 		out=$2
 		shift 2
 		;;
+	netsim | legal)
+		target=$1
+		shift
+		;;
 	*)
-		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE]" >&2
+		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal]" >&2
 		exit 2
 		;;
 	esac
 done
 
-netsim_time=1s
+benchtime=1s
 if [ "$short" = 1 ]; then
 	count=1
-	netsim_time=100x
+	benchtime=100x
 fi
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-echo "== netsim micro-benchmarks (count=$count, benchtime=$netsim_time)" >&2
-go test -run '^$' \
-	-bench '^(BenchmarkSimulatorStep|BenchmarkSimulatorStepDeep|BenchmarkSend|BenchmarkSendTapped|BenchmarkSendFaulty|BenchmarkNeighbors|BenchmarkHeapChurn)$' \
-	-benchmem -benchtime "$netsim_time" -count "$count" ./internal/netsim |
-	tee -a "$tmp" >&2
+case "$target" in
+netsim)
+	[ -n "$out" ] || out=BENCH_netsim.json
+	baseline=scripts/bench_baseline.json
+	echo "== netsim micro-benchmarks (count=$count, benchtime=$benchtime)" >&2
+	go test -run '^$' \
+		-bench '^(BenchmarkSimulatorStep|BenchmarkSimulatorStepDeep|BenchmarkSend|BenchmarkSendTapped|BenchmarkSendFaulty|BenchmarkNeighbors|BenchmarkHeapChurn)$' \
+		-benchmem -benchtime "$benchtime" -count "$count" ./internal/netsim |
+		tee -a "$tmp" >&2
 
-echo "== sweep macro-benchmark (count=$count, benchtime=1x)" >&2
-go test -run '^$' -bench '^BenchmarkSweepRunner$' \
-	-benchmem -benchtime 1x -count "$count" . |
-	tee -a "$tmp" >&2
+	echo "== sweep macro-benchmark (count=$count, benchtime=1x)" >&2
+	go test -run '^$' -bench '^BenchmarkSweepRunner$' \
+		-benchmem -benchtime 1x -count "$count" . |
+		tee -a "$tmp" >&2
+	;;
+legal)
+	[ -n "$out" ] || out=BENCH_legal.json
+	baseline=scripts/bench_baseline_legal.json
+	echo "== legal engine throughput (count=$count, benchtime=$benchtime)" >&2
+	go test -run '^$' -bench '^BenchmarkRulingsPerSec$' \
+		-benchmem -benchtime "$benchtime" -count "$count" ./internal/legal |
+		tee -a "$tmp" >&2
+	;;
+esac
 
 # aggregate: median of each metric per benchmark name (GOMAXPROCS
 # suffix stripped so results compare across machines).
@@ -93,7 +118,6 @@ END {
 }' "$1"
 }
 
-baseline=scripts/bench_baseline.json
 {
 	printf '{\n'
 	printf '  "schema": "lawgate-bench/v1",\n'

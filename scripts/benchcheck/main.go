@@ -1,20 +1,29 @@
-// Command benchcheck validates a BENCH_netsim.json produced by
+// Command benchcheck validates a BENCH_*.json produced by
 // scripts/bench.sh and prints each benchmark next to its baseline, so
 // CI can prove the bench tooling still works and a human can read the
 // before/after deltas at a glance.
 //
 // Usage:
 //
-//	go run ./scripts/benchcheck [FILE]
+//	go run ./scripts/benchcheck [-min-speedup NAME=FACTOR ...] [FILE]
 //
 // FILE defaults to BENCH_netsim.json. Exits non-zero when the file is
 // missing, malformed, or structurally empty.
+//
+// Each -min-speedup NAME=FACTOR (repeatable) asserts that benchmark
+// NAME runs at least FACTOR times faster than its embedded baseline
+// entry (baseline ns/op divided by current ns/op >= FACTOR). This is
+// how CI pins a claimed optimization: the committed BENCH file must
+// keep proving the speedup it was merged for.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 )
 
@@ -38,17 +47,45 @@ type report struct {
 	Baseline   *baseline `json:"baseline"`
 }
 
+// speedupFlags collects repeated -min-speedup NAME=FACTOR assertions.
+type speedupFlags map[string]float64
+
+func (s speedupFlags) String() string {
+	parts := make([]string, 0, len(s))
+	for name, f := range s {
+		parts = append(parts, fmt.Sprintf("%s=%g", name, f))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s speedupFlags) Set(v string) error {
+	name, factorStr, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want NAME=FACTOR, got %q", v)
+	}
+	factor, err := strconv.ParseFloat(factorStr, 64)
+	if err != nil || factor <= 0 {
+		return fmt.Errorf("invalid factor in %q", v)
+	}
+	s[name] = factor
+	return nil
+}
+
 func main() {
-	if err := run(); err != nil {
+	minSpeedups := speedupFlags{}
+	flag.Var(minSpeedups, "min-speedup",
+		"assert NAME runs >= FACTOR times faster than its baseline (repeatable)")
+	flag.Parse()
+	if err := run(flag.Args(), minSpeedups); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, minSpeedups speedupFlags) error {
 	path := "BENCH_netsim.json"
-	if len(os.Args) > 1 {
-		path = os.Args[1]
+	if len(args) > 0 {
+		path = args[0]
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -76,6 +113,7 @@ func run() error {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "%s: %d benchmarks (%s, median of %d)\n", path, len(r.Benchmarks), r.Go, r.Count)
 	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tvs baseline ns\tvs baseline allocs")
+	current := map[string]entry{}
 	for _, b := range r.Benchmarks {
 		if b.Name == "" {
 			return fmt.Errorf("%s: benchmark with empty name", path)
@@ -83,6 +121,7 @@ func run() error {
 		if b.NsPerOp <= 0 {
 			return fmt.Errorf("%s: %s: ns_per_op %v, want > 0", path, b.Name, b.NsPerOp)
 		}
+		current[b.Name] = b
 		nsDelta, allocDelta := "-", "-"
 		if old, ok := base[b.Name]; ok {
 			nsDelta = delta(old.NsPerOp, b.NsPerOp)
@@ -90,7 +129,26 @@ func run() error {
 		}
 		fmt.Fprintf(tw, "%s\t%.4g\t%g\t%s\t%s\n", b.Name, b.NsPerOp, b.AllocsPerOp, nsDelta, allocDelta)
 	}
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for name, factor := range minSpeedups {
+		b, ok := current[name]
+		if !ok {
+			return fmt.Errorf("%s: -min-speedup %s: no such benchmark", path, name)
+		}
+		old, ok := base[name]
+		if !ok {
+			return fmt.Errorf("%s: -min-speedup %s: no baseline entry", path, name)
+		}
+		got := old.NsPerOp / b.NsPerOp
+		if got < factor {
+			return fmt.Errorf("%s: %s speedup %.2fx (baseline %.4g ns/op -> %.4g ns/op), want >= %.2fx",
+				path, name, got, old.NsPerOp, b.NsPerOp, factor)
+		}
+		fmt.Printf("%s: %.2fx vs baseline (>= %.2fx required)\n", name, got, factor)
+	}
+	return nil
 }
 
 // delta formats the relative change from old to new, negative = faster

@@ -62,8 +62,14 @@ go run ./cmd/tracewatermark -smoke -json >"$tmpdir/wm-run1.json"
 go run ./cmd/tracewatermark -smoke -json >"$tmpdir/wm-run2.json"
 cmp "$tmpdir/wm-run1.json" "$tmpdir/wm-run2.json"
 
-echo "== bench smoke: bench.sh -short emits valid BENCH JSON"
+echo "== bench smoke: bench.sh -short emits valid BENCH JSON (netsim + legal)"
 scripts/bench.sh -short -o "$tmpdir/bench.json"
 go run ./scripts/benchcheck "$tmpdir/bench.json"
+scripts/bench.sh -short -o "$tmpdir/bench_legal.json" legal
+go run ./scripts/benchcheck "$tmpdir/bench_legal.json"
+
+echo "== benchcheck: committed BENCH files still valid"
+go run ./scripts/benchcheck BENCH_netsim.json
+go run ./scripts/benchcheck -min-speedup 'BenchmarkRulingsPerSec/warm=2.0' BENCH_legal.json
 
 echo "tier-1 gate: PASS"
