@@ -19,6 +19,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -88,11 +90,14 @@ func main() {
 		ecs     = flag.Bool("ecs", true, "the holding provider is an ECS/RCS for the data")
 		asJSON  = flag.Bool("json", false, "emit the ruling as JSON")
 		batch   = flag.String("batch", "", "evaluate a JSON array of actions from FILE (\"-\" = stdin)")
-		stats   = flag.Bool("engine-stats", false, "after a batch run, print engine cache/dispatch counters to stderr")
+		deltas  = flag.String("deltas", "", "stream a JSONL file from FILE (\"-\" = stdin): first line a base action, then action deltas; rulings print only when they change")
+		stats   = flag.Bool("engine-stats", false, "after a batch or delta run, print engine cache/dispatch counters to stderr")
 	)
 	flag.Parse()
 	var err error
-	if *batch != "" {
+	if *deltas != "" {
+		err = runDeltas(*deltas, *stats)
+	} else if *batch != "" {
 		err = runBatch(*batch, *stats)
 	} else {
 		err = run(*actor, *timing, *data, *source, *consent, *beyond, *relay, *public, *ecs, *asJSON)
@@ -108,7 +113,11 @@ func main() {
 // ruling JSON on stdout stays machine-readable.
 func printEngineStats(w io.Writer, s legal.EngineStats) {
 	fmt.Fprintf(w, "engine stats:\n")
-	fmt.Fprintf(w, "  evaluations:     %d (+%d batch slots deduplicated)\n", s.Evaluations, s.BatchDeduped)
+	fmt.Fprintf(w, "  evaluations:     %d (+%d batch slots deduplicated, +%d delta-chained)\n",
+		s.Evaluations, s.BatchDeduped, s.BatchDeltaChained)
+	if s.DeltaEvaluations > 0 {
+		fmt.Fprintf(w, "  delta evals:     %d (%d short-circuited)\n", s.DeltaEvaluations, s.DeltaShortCircuits)
+	}
 	fmt.Fprintf(w, "  cache:           %d hits / %d misses / %d evictions (%d rulings memoized)\n",
 		s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheSize)
 	fmt.Fprintf(w, "  invalid actions: %d\n", s.InvalidActions)
@@ -154,6 +163,84 @@ func runBatch(path string, stats bool) error {
 	if err := report.WriteJSON(os.Stdout, views); err != nil {
 		return err
 	}
+	if stats {
+		printEngineStats(os.Stderr, engine.Stats())
+	}
+	return nil
+}
+
+// runDeltas is the streaming mode: the first JSONL line is the base
+// legal.Action, every further line a legal.ActionDelta mutating it. The
+// base ruling always prints; after that a line prints only when an
+// event moved the required process or governing regime — the monitor
+// shape, driven from a file. Quiet events are counted, not printed.
+func runDeltas(path string, stats bool) error {
+	var src io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	opts := []legal.EngineOption{legal.WithRulingCache(0)}
+	if stats {
+		opts = append(opts, legal.WithEngineStats())
+	}
+	engine := legal.NewEngine(opts...)
+
+	var (
+		ruling  legal.Ruling
+		started bool
+		event   int
+		changed int
+	)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if !started {
+			var base legal.Action
+			if err := json.Unmarshal(line, &base); err != nil {
+				return fmt.Errorf("decoding base action: %w", err)
+			}
+			r, err := engine.Evaluate(base)
+			if err != nil {
+				return err
+			}
+			ruling = r
+			started = true
+			fmt.Printf("base: required %s, regime %s\n", ruling.Required, ruling.Regime)
+			continue
+		}
+		event++
+		var d legal.ActionDelta
+		if err := json.Unmarshal(line, &d); err != nil {
+			return fmt.Errorf("decoding delta %d: %w", event, err)
+		}
+		next, err := engine.EvaluateDelta(&ruling, d)
+		if err != nil {
+			return fmt.Errorf("event %d: %w", event, err)
+		}
+		if next.Required != ruling.Required || next.Regime != ruling.Regime {
+			changed++
+			fmt.Printf("event %d %s: required %s, regime %s\n",
+				event, d.Encoding(), next.Required, next.Regime)
+		}
+		ruling = next
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !started {
+		return fmt.Errorf("delta stream empty: want a base action on the first line")
+	}
+	fmt.Printf("%d events, %d ruling changes\n", event, changed)
 	if stats {
 		printEngineStats(os.Stderr, engine.Stats())
 	}

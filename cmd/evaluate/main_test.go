@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lawgate/internal/legal"
+)
 
 func TestRunCombos(t *testing.T) {
 	tests := []struct {
@@ -43,5 +53,86 @@ func TestRunBadFlags(t *testing.T) {
 		if err := run(b[0], b[1], b[2], b[3], b[4], false, false, true, true, false); err == nil {
 			t.Errorf("combo %v must fail", b)
 		}
+	}
+}
+
+func TestRunDeltas(t *testing.T) {
+	base := legal.Action{
+		Name:   "stream-base",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingRealTime,
+		Data:   legal.DataAddressing,
+		Source: legal.SourceThirdPartyNetwork,
+	}
+	// Event 1 is quiet (encrypting the channel does not move an
+	// addressing tap); event 2 escalates to content and must print.
+	encrypted := base
+	encrypted.Encrypted = true
+	escalated := encrypted
+	escalated.Data = legal.DataContent
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, v := range []interface{}{base, legal.Diff(&base, &encrypted), legal.Diff(&encrypted, &escalated)} {
+		if err := enc.Encode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	runErr := runDeltas(path, false)
+	os.Stdout = orig
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("runDeltas: %v", runErr)
+	}
+
+	got := string(out)
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("output lines = %d, want 3 (base, one change, summary):\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[0], "base: required court order") {
+		t.Errorf("base line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "event 2 delta{data:") || !strings.Contains(lines[1], "wiretap order") {
+		t.Errorf("change line = %q", lines[1])
+	}
+	if lines[2] != "2 events, 1 ruling changes" {
+		t.Errorf("summary line = %q", lines[2])
+	}
+}
+
+func TestRunDeltasErrors(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDeltas(empty, false); err == nil {
+		t.Error("empty stream must fail")
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runDeltas(bad, false); err == nil {
+		t.Error("malformed base action must fail")
+	}
+	if err := runDeltas(filepath.Join(dir, "missing.jsonl"), false); err == nil {
+		t.Error("missing file must fail")
 	}
 }

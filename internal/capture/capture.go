@@ -171,6 +171,48 @@ func (d *Device) Action() legal.Action {
 // Ruling returns the engine's determination, valid after Arm.
 func (d *Device) Ruling() legal.Ruling { return d.ruling }
 
+// Escalate re-kinds the device mid-capture — the paper's scope-creep
+// event, e.g. a header sniffer upgraded to full-content interception —
+// and returns the ActionDelta the change carries, for a Monitor (or any
+// EvaluateDelta consumer) to re-rule incrementally.
+func (d *Device) Escalate(to DeviceKind) (legal.ActionDelta, error) {
+	if !to.Valid() {
+		return legal.ActionDelta{}, fmt.Errorf("capture: invalid device kind %d", int(to))
+	}
+	old := d.Action()
+	d.kind = to
+	next := d.Action()
+	return legal.Diff(&old, &next), nil
+}
+
+// RevokeConsent marks the placement's consent revoked and returns the
+// delta. The stored consent is replaced with a modified copy, never
+// mutated in place: deltas adopt pointers, so the old consent must stay
+// as it was recorded.
+func (d *Device) RevokeConsent() (legal.ActionDelta, error) {
+	if d.placement.Consent == nil {
+		return legal.ActionDelta{}, errors.New("capture: no consent to revoke")
+	}
+	old := d.Action()
+	c := *d.placement.Consent
+	c.Revoked = true
+	d.placement.Consent = &c
+	next := d.Action()
+	return legal.Diff(&old, &next), nil
+}
+
+// LapseExigency clears the placement's exigency — the emergency
+// authorization expiring mid-capture — and returns the delta.
+func (d *Device) LapseExigency() (legal.ActionDelta, error) {
+	if d.placement.Exigency == nil {
+		return legal.ActionDelta{}, errors.New("capture: no exigency to lapse")
+	}
+	old := d.Action()
+	d.placement.Exigency = nil
+	next := d.Action()
+	return legal.Diff(&old, &next), nil
+}
+
 // Lawful reports whether the held process satisfies the ruling; valid
 // after Arm.
 func (d *Device) Lawful() bool { return d.held.Satisfies(d.ruling.Required) }

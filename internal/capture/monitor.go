@@ -1,0 +1,118 @@
+package capture
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"lawgate/internal/legal"
+)
+
+// Monitor follows the legal status of one evolving acquisition: a base
+// action ruled once, then a stream of ActionDeltas — scope escalations,
+// consent revocations, lapsing exigencies — each re-ruled incrementally
+// through Engine.EvaluateDelta. It reports only the events that changed
+// the answer (required process or governing regime), which is the
+// streaming-rulings shape ROADMAP item 5 calls for: most events leave
+// the ruling untouched and resolve in the engine's O(changed fields)
+// short-circuit.
+//
+// A Monitor is not safe for concurrent use; drive it from the event
+// loop that owns the device.
+type Monitor struct {
+	engine *legal.Engine
+	ruling legal.Ruling
+	events int
+	trans  []Transition
+	// log is the append-only audit transcript. Lines are built in place
+	// with AppendEncoding/AppendFingerprint, so steady-state events cost
+	// no per-event string allocations.
+	log []byte
+}
+
+// Transition records one event that changed the ruling.
+type Transition struct {
+	// At is the virtual time of the event.
+	At time.Duration
+	// Event is the 1-based event ordinal.
+	Event int
+	// Delta is the canonical encoding of the mutation.
+	Delta string
+	// From/To are the required processes before and after.
+	From, To legal.Process
+	// FromRegime/ToRegime are the governing regimes before and after.
+	FromRegime, ToRegime legal.Regime
+}
+
+// NewMonitor rules the base action and starts the event stream.
+func NewMonitor(engine *legal.Engine, base legal.Action) (*Monitor, error) {
+	r, err := engine.Evaluate(base)
+	if err != nil {
+		return nil, fmt.Errorf("capture: monitor base action: %w", err)
+	}
+	m := &Monitor{engine: engine, ruling: r}
+	m.log = append(m.log, "base "...)
+	m.log = r.Action.AppendFingerprint(m.log)
+	m.log = m.appendStatus(m.log, &r)
+	return m, nil
+}
+
+// Apply re-rules the acquisition after one mutation event, returning
+// the ruling now in force and whether the event changed the required
+// process or governing regime. Errors (a delta that makes the action
+// invalid) leave the monitor's state untouched.
+func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bool, error) {
+	next, err := m.engine.EvaluateDelta(&m.ruling, d)
+	if err != nil {
+		return legal.Ruling{}, false, fmt.Errorf("capture: monitor event %d: %w", m.events+1, err)
+	}
+	m.events++
+	changed := next.Required != m.ruling.Required || next.Regime != m.ruling.Regime
+	m.log = append(m.log, "t="...)
+	m.log = strconv.AppendInt(m.log, int64(at), 10)
+	m.log = append(m.log, ' ')
+	m.log = d.AppendEncoding(m.log)
+	m.log = append(m.log, ' ')
+	m.log = next.Action.AppendFingerprint(m.log)
+	m.log = m.appendStatus(m.log, &next)
+	if changed {
+		m.trans = append(m.trans, Transition{
+			At:         at,
+			Event:      m.events,
+			Delta:      d.Encoding(),
+			From:       m.ruling.Required,
+			To:         next.Required,
+			FromRegime: m.ruling.Regime,
+			ToRegime:   next.Regime,
+		})
+	}
+	m.ruling = next
+	return next, changed, nil
+}
+
+// appendStatus appends " -> <process> (<regime>)\n" to the transcript.
+func (m *Monitor) appendStatus(buf []byte, r *legal.Ruling) []byte {
+	buf = append(buf, " -> "...)
+	buf = append(buf, r.Required.String()...)
+	buf = append(buf, " ("...)
+	buf = append(buf, r.Regime.String()...)
+	return append(buf, ')', '\n')
+}
+
+// Ruling returns the determination currently in force.
+func (m *Monitor) Ruling() legal.Ruling { return m.ruling }
+
+// Events reports how many mutation events the monitor has applied.
+func (m *Monitor) Events() int { return m.events }
+
+// Transitions returns a copy of the ruling-changing events, in order.
+func (m *Monitor) Transitions() []Transition {
+	out := make([]Transition, len(m.trans))
+	copy(out, m.trans)
+	return out
+}
+
+// Transcript returns the full audit transcript: one line per event
+// (fingerprint, delta encoding, resulting status), whether or not the
+// ruling changed.
+func (m *Monitor) Transcript() string { return string(m.log) }

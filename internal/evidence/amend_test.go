@@ -1,0 +1,117 @@
+package evidence
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lawgate/internal/legal"
+)
+
+// TestAmendAcquisition re-rules an item after its legal facts change:
+// the same device contents turn out to have come off the suspect's own
+// machine (warrant territory), so the once-lawful acquisition becomes
+// an unlawful one — and the custody chain records the amendment.
+func TestAmendAcquisition(t *testing.T) {
+	l := NewLocker(WithClock(testClock()))
+	it, err := l.Acquire(AcquireRequest{
+		Description: "disk image",
+		Content:     []byte("image-bytes"),
+		Custodian:   "agent-a",
+		Action:      lawfulSeizedDeviceAction("image-drive"),
+		Held:        legal.ProcessNone,
+	})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if !it.LawfullyAcquired() {
+		t.Fatal("seed acquisition should be lawful")
+	}
+
+	old := lawfulSeizedDeviceAction("image-drive")
+	amended := warrantRequiredAction("image-drive")
+	d := legal.Diff(&old, &amended)
+
+	got, err := l.AmendAcquisition(it.ID, "agent-b", d)
+	if err != nil {
+		t.Fatalf("AmendAcquisition: %v", err)
+	}
+	if got.Acquisition.Source != legal.SourceTargetDevice {
+		t.Errorf("amended source = %v, want target device", got.Acquisition.Source)
+	}
+	if got.LawfullyAcquired() {
+		t.Error("amended acquisition should now be unlawful (warrant required, none held)")
+	}
+
+	// The amended ruling must equal a full evaluation of the amended
+	// action on a fresh engine.
+	want, err := legal.NewEngine().Evaluate(amended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ruling.Required != want.Required || got.Ruling.Regime != want.Regime {
+		t.Errorf("amended ruling = %v/%v, want %v/%v",
+			got.Ruling.Required, got.Ruling.Regime, want.Required, want.Regime)
+	}
+
+	// The stored item reflects the amendment and the custody chain
+	// carries a verifiable EventAmended entry naming the delta.
+	stored, err := l.Item(it.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stored.Ruling.Required.Satisfies(want.Required) {
+		t.Errorf("stored ruling not updated: %v", stored.Ruling.Required)
+	}
+	if err := l.VerifyCustody(); err != nil {
+		t.Errorf("VerifyCustody after amendment: %v", err)
+	}
+	entries := l.Custody()
+	last := entries[len(entries)-1]
+	if last.Event != EventAmended || last.Custodian != "agent-b" || last.ItemID != it.ID {
+		t.Errorf("last custody entry = %+v", last)
+	}
+	if !strings.HasPrefix(last.Note, "delta{") || !strings.Contains(last.Note, "source:") {
+		t.Errorf("amendment note = %q, want delta encoding naming the source change", last.Note)
+	}
+	if EventAmended.String() != "amended" {
+		t.Errorf("EventAmended.String() = %q", EventAmended.String())
+	}
+}
+
+// TestAmendAcquisitionErrors covers the failure modes: unknown items,
+// and a delta that makes the action invalid must leave the stored item
+// and custody chain untouched.
+func TestAmendAcquisitionErrors(t *testing.T) {
+	l := NewLocker(WithClock(testClock()))
+	if _, err := l.AmendAcquisition("EV-9999", "agent-a", legal.ActionDelta{}); !errors.Is(err, ErrUnknownItem) {
+		t.Errorf("unknown item error = %v, want ErrUnknownItem", err)
+	}
+
+	it, err := l.Acquire(AcquireRequest{
+		Description: "disk image",
+		Content:     []byte("image-bytes"),
+		Custodian:   "agent-a",
+		Action:      lawfulSeizedDeviceAction("image-drive"),
+	})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	before := l.Custody()
+
+	var bad legal.ActionDelta
+	bad.SetActor(legal.ActorGovernment, legal.Actor(99))
+	if _, err := l.AmendAcquisition(it.ID, "agent-b", bad); err == nil {
+		t.Fatal("invalid delta must fail")
+	}
+	after, err := l.Item(it.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Acquisition.Actor != legal.ActorGovernment {
+		t.Error("failed amendment mutated the stored item")
+	}
+	if len(l.Custody()) != len(before) {
+		t.Error("failed amendment appended a custody entry")
+	}
+}

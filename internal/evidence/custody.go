@@ -28,6 +28,10 @@ const (
 	EventImaged
 	// EventReturned records return to the owner.
 	EventReturned
+	// EventAmended records a correction to the recorded acquisition —
+	// the legal facts changed (consent revoked, scope escalated,
+	// exigency lapsed) and the item was re-ruled from the delta.
+	EventAmended
 )
 
 var custodyEventNames = map[CustodyEvent]string{
@@ -36,6 +40,7 @@ var custodyEventNames = map[CustodyEvent]string{
 	EventExamined:    "examined",
 	EventImaged:      "imaged",
 	EventReturned:    "returned",
+	EventAmended:     "amended",
 }
 
 // String returns the human-readable event name.

@@ -29,6 +29,9 @@ type Locker struct {
 	order   []ID
 	custody CustodyLog
 	nextSeq int
+	// scratch is the reusable buffer amendment notes are built in; the
+	// locker mutex serializes access.
+	scratch []byte
 }
 
 // LockerOption configures a Locker.
@@ -118,6 +121,37 @@ func (l *Locker) Acquire(req AcquireRequest) (*Item, error) {
 	l.items[id] = it
 	l.order = append(l.order, id)
 	l.custody.Append(it.AcquiredAt, req.Custodian, EventAcquired, id, req.Description)
+	return cloneItem(it), nil
+}
+
+// AmendAcquisition corrects the legal facts of a recorded acquisition —
+// a consent later revoked, a scope escalation discovered during review,
+// an exigency that had already lapsed — by applying an ActionDelta and
+// re-ruling the item incrementally from its stored ruling. The custody
+// chain gains an EventAmended entry whose note carries the delta's
+// canonical encoding plus the ruling now in force, so the amendment is
+// as tamper-evident as the original intake. The updated item is
+// returned; suppression analysis (Assess) sees the amended ruling.
+func (l *Locker) AmendAcquisition(id ID, custodian string, d legal.ActionDelta) (*Item, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	it, ok := l.items[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownItem, id)
+	}
+	ruling, err := l.engine.EvaluateDelta(&it.Ruling, d)
+	if err != nil {
+		return nil, fmt.Errorf("evidence: amending acquisition of %q: %w", id, err)
+	}
+	it.Acquisition = ruling.Action
+	it.Ruling = ruling
+	l.scratch = d.AppendEncoding(l.scratch[:0])
+	l.scratch = append(l.scratch, " -> "...)
+	l.scratch = append(l.scratch, ruling.Required.String()...)
+	l.scratch = append(l.scratch, " ("...)
+	l.scratch = append(l.scratch, ruling.Regime.String()...)
+	l.scratch = append(l.scratch, ')')
+	l.custody.Append(l.clock(), custodian, EventAmended, id, string(l.scratch))
 	return cloneItem(it), nil
 }
 

@@ -229,6 +229,37 @@ func (c *Case) acquire(held legal.Process, desc string, content []byte, action l
 	return item, nil
 }
 
+// AmendAcquisition corrects the legal facts of a booked acquisition —
+// a consent the suspect has since revoked, a scope escalation found in
+// review — by applying the ActionDelta through the locker's incremental
+// re-ruling (evidence.Locker.AmendAcquisition). The custody chain gains
+// the tamper-evident amendment entry, and the case narrative records
+// whether the amendment flipped the item's lawfulness, since that is
+// what the suppression hearing will turn on.
+func (c *Case) AmendAcquisition(id evidence.ID, d legal.ActionDelta) (*evidence.Item, error) {
+	before, err := c.locker.Item(id)
+	if err != nil {
+		return nil, err
+	}
+	item, err := c.locker.AmendAcquisition(id, c.Name, d)
+	if err != nil {
+		c.Logf("amendment of %s FAILED: %v", id, err)
+		return nil, err
+	}
+	switch was, is := before.LawfullyAcquired(), item.LawfullyAcquired(); {
+	case was && !is:
+		c.Logf("amended %s (%s): now requires %s, held %s — acquisition became UNLAWFUL (will be challenged)",
+			id, d.Encoding(), item.Ruling.Required, item.Held)
+	case !was && is:
+		c.Logf("amended %s (%s): now requires %s, held %s — acquisition became lawful",
+			id, d.Encoding(), item.Ruling.Required, item.Held)
+	default:
+		c.Logf("amended %s (%s): requires %s, held %s — lawfulness unchanged",
+			id, d.Encoding(), item.Ruling.Required, item.Held)
+	}
+	return item, nil
+}
+
 // Evidence returns the booked items.
 func (c *Case) Evidence() []*evidence.Item { return c.locker.Items() }
 

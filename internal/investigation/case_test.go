@@ -218,3 +218,67 @@ func TestAcquireUnderStrictRefusal(t *testing.T) {
 		t.Fatalf("err = %v, want ErrNoOrder", err)
 	}
 }
+
+func TestCaseAmendAcquisitionFlipsSuppression(t *testing.T) {
+	c := NewCase("amend-case", WithCaseClock(caseClock()))
+	// Examination of a device in lawful custody: no process needed.
+	lawful := legal.Action{
+		Name:   "examine-image",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceSeizedDevice,
+	}
+	item, err := c.Acquire("disk image", []byte("contents"), lawful)
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	derived, err := c.Acquire("carved files", []byte("files"), lawful, item.ID)
+	if err != nil {
+		t.Fatalf("derived Acquire: %v", err)
+	}
+	for _, a := range c.SuppressionHearing() {
+		if !a.Admissible() {
+			t.Fatalf("pre-amendment assessment %+v should be admissible", a)
+		}
+	}
+
+	// Review reveals the image actually came off the suspect's own
+	// machine: warrant territory, and no warrant was held.
+	amended := lawful
+	amended.Source = legal.SourceTargetDevice
+	got, err := c.AmendAcquisition(item.ID, legal.Diff(&lawful, &amended))
+	if err != nil {
+		t.Fatalf("AmendAcquisition: %v", err)
+	}
+	if got.LawfullyAcquired() {
+		t.Error("amended acquisition should be unlawful")
+	}
+
+	hearing := c.SuppressionHearing()
+	if hearing[0].Admissible() {
+		t.Errorf("amended item assessment = %+v, want suppression", hearing[0])
+	}
+	if hearing[1].Admissible() || hearing[1].TaintSource != item.ID {
+		t.Errorf("derived item assessment = %+v, want fruit of %s", hearing[1], item.ID)
+	}
+	_ = derived
+
+	if err := c.VerifyCustody(); err != nil {
+		t.Errorf("VerifyCustody: %v", err)
+	}
+	var logged bool
+	for _, line := range c.Narrative() {
+		if strings.Contains(line, "became UNLAWFUL") && strings.Contains(line, "delta{source:") {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Errorf("narrative missing amendment line:\n%s", strings.Join(c.Narrative(), "\n"))
+	}
+
+	// Amending a missing item fails and is logged.
+	if _, err := c.AmendAcquisition("EV-9999", legal.ActionDelta{}); err == nil {
+		t.Error("amendment of unknown item must fail")
+	}
+}

@@ -68,6 +68,50 @@ func TestEvaluateWarmZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestEvaluateDeltaZeroAlloc pins both delta fast paths to zero
+// allocations on a warm engine: the dispatch-bitset short-circuit (a
+// scalar-field delta the action's bucket provably never reads) and the
+// incremental-cache-key slow path (a dimension delta whose target is
+// already memoized). A regression on the short-circuit also surfaces
+// here as allocations, because the fallback would miss the cache and
+// evaluate in full.
+func TestEvaluateDeltaZeroAlloc(t *testing.T) {
+	base := legal.Action{
+		Name:   "delta-alloc",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceSeizedDevice,
+	}
+	escalated := base
+	escalated.Data = legal.DataContent
+	e := warmedEngine(t, []legal.Action{base, escalated})
+	prev, err := e.Evaluate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var scalar legal.ActionDelta
+	scalar.SetFlag(legal.FieldEncrypted, false, true).
+		SetFlag(legal.FieldProviderPublic, false, true)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.EvaluateDelta(&prev, scalar); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("short-circuit EvaluateDelta allocs/op = %v, want 0", allocs)
+	}
+
+	dim := legal.Diff(&base, &escalated)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := e.EvaluateDelta(&prev, dim); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm-cache EvaluateDelta allocs/op = %v, want 0", allocs)
+	}
+}
+
 // TestEvaluateBatchWarmAllocs pins the warm batch path: with every
 // action memoized and a single worker (no goroutine spawning), the only
 // allocations EvaluateBatch may make are the result slices and the
@@ -94,10 +138,12 @@ func TestEvaluateBatchWarmAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	// rulings + errs + work + the dedup map and its internals; the
-	// bound is loose on purpose — the guard is against per-action
-	// regressions, which would add ~len(actions) allocations.
-	if allocs > 8 {
-		t.Errorf("warm single-worker EvaluateBatch allocs/op = %v, want <= 8", allocs)
+	// rulings + errs + work + the dedup/chain maps and their internals
+	// (these actions share six shapes, so the chain pre-pass also
+	// builds its shape table); the bound is loose on purpose — the
+	// guard is against per-action regressions, which would add
+	// ~len(actions) allocations per extra word.
+	if allocs > 20 {
+		t.Errorf("warm single-worker EvaluateBatch allocs/op = %v, want <= 20", allocs)
 	}
 }

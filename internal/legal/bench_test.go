@@ -32,8 +32,11 @@ func table1Actions() []legal.Action {
 }
 
 // distinctActions builds n unique-fingerprint actions by cycling the
-// Table 1 shapes under fresh names, so no cache or dedup can collapse
-// them.
+// Table 1 shapes under fresh names. Exact dedup cannot collapse them;
+// since PR 6 the batch delta-chain pre-pass does factor the repeated
+// shapes into base+delta chains, so the batch rows now measure the
+// near-duplicate compression most corpora exhibit (BENCH_legal.json's
+// note marks the capture points).
 func distinctActions(n int) []legal.Action {
 	base := table1Actions()
 	actions := make([]legal.Action, n)
@@ -126,4 +129,128 @@ func BenchmarkRulingsPerSec(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "rulings/s")
 	})
+}
+
+// BenchmarkEvaluateDelta measures incremental re-evaluation after a
+// small mutation — the streaming-capture event shape. full-rebuild is
+// the pre-delta cost of the same event (mutate the action, run a full
+// Evaluate); delta/scalar2 is the dispatch-bitset short-circuit for a
+// two-flag delta (the ci.sh ≥3x gate); delta/dim1 is a dimension
+// escalation resolved through the incremental cache key on a warm
+// engine.
+func BenchmarkEvaluateDelta(b *testing.B) {
+	base := legal.Action{
+		Name:   "delta-bench",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingStored,
+		Data:   legal.DataDeviceContents,
+		Source: legal.SourceSeizedDevice,
+	}
+	var scalar2 legal.ActionDelta
+	scalar2.SetFlag(legal.FieldEncrypted, false, true).
+		SetFlag(legal.FieldProviderPublic, false, true)
+
+	b.Run("full-rebuild/scalar2", func(b *testing.B) {
+		engine := legal.NewEngine()
+		prev, err := engine.Evaluate(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := prev.Action
+			scalar2.Apply(&a)
+			if _, err := engine.Evaluate(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rulings/s")
+	})
+
+	b.Run("delta/scalar2", func(b *testing.B) {
+		engine := legal.NewEngine()
+		prev, err := engine.Evaluate(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.EvaluateDelta(&prev, scalar2); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rulings/s")
+	})
+
+	b.Run("delta/dim1", func(b *testing.B) {
+		escalated := base
+		escalated.Data = legal.DataContent
+		engine := legal.NewEngine(legal.WithRulingCache(0))
+		prev, err := engine.Evaluate(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.Evaluate(escalated); err != nil {
+			b.Fatal(err)
+		}
+		d := legal.Diff(&base, &escalated)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.EvaluateDelta(&prev, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rulings/s")
+	})
+}
+
+// chainActions builds n actions over `shapes` distinct scalar shapes
+// (the Table 1 bases × Encrypted/ProviderPublic toggles) under fresh
+// names — the near-duplicate workload the batch delta-chain pre-pass
+// compresses to one evaluation per shape.
+func chainActions(n, shapes int) []legal.Action {
+	base := table1Actions()
+	shaped := make([]legal.Action, shapes)
+	for j := range shaped {
+		a := base[j%len(base)]
+		if (j/len(base))&1 != 0 {
+			a.Encrypted = !a.Encrypted
+		}
+		if (j/len(base))&2 != 0 {
+			a.ProviderPublic = !a.ProviderPublic
+		}
+		shaped[j] = a
+	}
+	actions := make([]legal.Action, n)
+	for i := range actions {
+		actions[i] = shaped[i%shapes]
+		actions[i].Name = fmt.Sprintf("chain-%d", i)
+	}
+	return actions
+}
+
+// BenchmarkBatchDeltaChain measures EvaluateBatch on the near-duplicate
+// batch (4096 actions, 64 shapes). The tracked baseline rows were
+// captured before the chain pre-pass existed, when every slot paid a
+// full evaluation.
+func BenchmarkBatchDeltaChain(b *testing.B) {
+	const batchSize = 4096
+	actions := chainActions(batchSize, 64)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			engine := legal.NewEngine(legal.WithBatchWorkers(workers))
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.EvaluateBatch(ctx, actions); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "rulings/s")
+		})
+	}
 }

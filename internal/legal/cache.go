@@ -28,7 +28,7 @@ import (
 // fingerprint is a sound memoization key.
 func (a *Action) Fingerprint() string {
 	var buf [96]byte
-	return string(a.appendFingerprint(buf[:0]))
+	return string(a.AppendFingerprint(buf[:0]))
 }
 
 // fpInt appends v in decimal with a field separator. Enum values are
@@ -49,9 +49,12 @@ func fpBool(buf []byte, v bool) []byte {
 	return append(buf, '0', '|')
 }
 
-// appendFingerprint appends the canonical encoding to buf and returns the
-// extended slice.
-func (a *Action) appendFingerprint(buf []byte) []byte {
+// AppendFingerprint appends the canonical encoding to buf and returns
+// the extended slice. Callers that fingerprint a stream of actions
+// (capture monitors, evidence lockers, batch pre-passes) reuse one
+// buffer across events instead of allocating a string per call; the
+// bytes appended are exactly Fingerprint's.
+func (a *Action) AppendFingerprint(buf []byte) []byte {
 	buf = fpInt(buf, int(a.Actor))
 	buf = fpInt(buf, int(a.Timing))
 	buf = fpInt(buf, int(a.Data))

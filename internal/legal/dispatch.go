@@ -44,6 +44,33 @@ type RuleMatch struct {
 	Datas []DataClass
 	// Sources the rule can fire for; empty = any source.
 	Sources []Source
+	// Reads lists the non-dimension Action fields the rule's When and
+	// Apply consult (the four enum dimensions are implied — Match
+	// already bounds them). Like Match, it must be a superset of what
+	// the rule actually reads. A nil Reads means "unannotated": the
+	// rule is assumed to read every field, which disables delta
+	// short-circuiting for its buckets but is always sound. An empty
+	// non-nil slice means the rule reads only the dimensions.
+	// EvaluateDelta uses the per-bucket union of these sets to prove a
+	// prior ruling still holds after a delta.
+	Reads []Field
+}
+
+// readsMask compiles a rule's Reads annotation into a field bitset,
+// conservatively widening to every field when unannotated or when the
+// annotation names an unknown field.
+func (m *RuleMatch) readsMask() FieldMask {
+	if m.Reads == nil {
+		return fieldMaskAll
+	}
+	var fm FieldMask
+	for _, f := range m.Reads {
+		if f >= numFields {
+			return fieldMaskAll
+		}
+		fm |= 1 << f
+	}
+	return fm
 }
 
 // ruleBits is a rule's compiled predicate bitset: bit v set in a word
@@ -88,6 +115,13 @@ type dispatchIndex struct {
 	// all is the identity index list 0..len(rules)-1; the linear
 	// reference walk and the out-of-range fallback use it.
 	all []uint16
+	// sens holds, per bucket, the union of the member rules' field
+	// sensitivities (RuleMatch.readsMask): the non-dimension fields
+	// whose value could influence any rule in the bucket. A delta
+	// confined to fields outside this mask cannot change which rules
+	// fire or what they contribute, so the prior ruling stands — the
+	// proof EvaluateDelta's short-circuit rests on.
+	sens []FieldMask
 }
 
 // bucketIndex flattens the four enum coordinates; the caller guarantees
@@ -112,6 +146,7 @@ func (x *dispatchIndex) bucketFor(a *Action) []uint16 {
 // keep the index compact (one allocation for all bucket contents).
 func compileDispatch(rules []Rule) *dispatchIndex {
 	bits := make([]ruleBits, len(rules))
+	readsOf := make([]FieldMask, len(rules))
 	for i := range rules {
 		m := &rules[i].Match
 		bits[i] = ruleBits{
@@ -120,6 +155,7 @@ func compileDispatch(rules []Rule) *dispatchIndex {
 			datas:   maskOf(m.Datas, numData),
 			sources: maskOf(m.Sources, numSources),
 		}
+		readsOf[i] = m.readsMask()
 	}
 
 	n := numActors * numTimings * numData * numSources
@@ -139,6 +175,7 @@ func compileDispatch(rules []Rule) *dispatchIndex {
 
 	backing := make([]uint16, 0, total)
 	buckets := make([][]uint16, n)
+	sens := make([]FieldMask, n)
 	forEachCombo(func(a Actor, t Timing, d DataClass, s Source) {
 		probe.Actor, probe.Timing, probe.Data, probe.Source = a, t, d, s
 		i := bucketIndex(a, t, d, s)
@@ -146,6 +183,7 @@ func compileDispatch(rules []Rule) *dispatchIndex {
 		for ri := range bits {
 			if bits[ri].admits(&probe) {
 				backing = append(backing, uint16(ri))
+				sens[i] |= readsOf[ri]
 			}
 		}
 		buckets[i] = backing[start:len(backing):len(backing)]
@@ -155,7 +193,7 @@ func compileDispatch(rules []Rule) *dispatchIndex {
 	for i := range all {
 		all[i] = uint16(i)
 	}
-	return &dispatchIndex{buckets: buckets, all: all}
+	return &dispatchIndex{buckets: buckets, all: all, sens: sens}
 }
 
 // forEachCombo visits every valid (actor, timing, data, source)
@@ -208,6 +246,8 @@ func compactRuling(src *Ruling) Ruling {
 		Required: src.Required,
 		Regime:   src.Regime,
 		Privacy:  src.Privacy,
+		pw:       src.pw,
+		pwExact:  src.pwExact,
 	}
 	if len(src.Exceptions) > 0 {
 		out.Exceptions = append(make([]ExceptionKind, 0, len(src.Exceptions)), src.Exceptions...)
@@ -256,6 +296,7 @@ func (e *Engine) evaluateDispatch(a Action, sc *evalScratch) Ruling {
 	bucket := e.dispatch.bucketFor(&a)
 	if sc == nil {
 		r := Ruling{Action: a}
+		r.pw, r.pwExact = packAction(&r.Action)
 		rc := &RuleContext{engine: e, Action: &a, ruling: &r}
 		scanned := e.walkRules(rc, &r, bucket)
 		if e.statsOn {
@@ -264,6 +305,7 @@ func (e *Engine) evaluateDispatch(a Action, sc *evalScratch) Ruling {
 		return r
 	}
 	sc.reset(e, a)
+	sc.r.pw, sc.r.pwExact = packAction(&sc.r.Action)
 	scanned := e.walkRules(&sc.rc, &sc.r, bucket)
 	if e.statsOn {
 		e.counters.rulesScanned.Add(uint64(scanned))
@@ -278,6 +320,7 @@ func (e *Engine) evaluateDispatch(a Action, sc *evalScratch) Ruling {
 // evaluateDispatch to it.
 func (e *Engine) evaluateLinear(a Action) Ruling {
 	r := Ruling{Action: a}
+	r.pw, r.pwExact = packAction(&r.Action)
 	rc := &RuleContext{engine: e, Action: &a, ruling: &r}
 	for i := range e.rules {
 		rule := &e.rules[i]

@@ -67,6 +67,14 @@ type Ruling struct {
 	// Applied names the doctrine rules that fired, in pipeline order —
 	// the ruling's audit trail through the rule table.
 	Applied []string
+
+	// pw is the action's packed scalar word (see packAction), captured
+	// when the ruling was built, and pwExact records whether the
+	// packing is injective. Both are pure functions of Action — no
+	// engine or seed state — and let EvaluateDelta update the cache key
+	// in O(changed fields) instead of re-packing the whole action.
+	pw      uint64
+	pwExact bool
 }
 
 // NeedsProcess reports whether the acquisition requires any warrant, court
@@ -188,6 +196,9 @@ type engineCounters struct {
 	invalid      atomic.Uint64
 	rulesScanned atomic.Uint64
 	batchDeduped atomic.Uint64
+	batchChained atomic.Uint64
+	deltaEvals   atomic.Uint64
+	deltaShort   atomic.Uint64
 }
 
 // EngineStats is a point-in-time snapshot of the engine's counters —
@@ -223,6 +234,19 @@ type EngineStats struct {
 	// BatchDeduped counts batch slots satisfied by within-batch
 	// deduplication instead of a fresh evaluation.
 	BatchDeduped uint64
+	// BatchDeltaChained counts batch slots satisfied by the delta-
+	// compression pre-pass: near-duplicates of an earlier slot (same
+	// scalar shape and exposure, different name) that received the base
+	// slot's ruling with the name patched instead of a fresh evaluation.
+	BatchDeltaChained uint64
+	// DeltaEvaluations counts EvaluateDelta calls; DeltaShortCircuits
+	// counts the subset resolved by the dispatch-bitset proof without
+	// touching the rule table or the cache. Short-circuited calls do
+	// not count under Evaluations (no engine evaluation ran); the
+	// remainder re-enter the normal evaluation path and are counted
+	// there.
+	DeltaEvaluations   uint64
+	DeltaShortCircuits uint64
 	// RuleTableSize is the engine's rule count.
 	RuleTableSize int
 }
@@ -233,11 +257,14 @@ type EngineStats struct {
 // individual counter is monotonic.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
-		Evaluations:    e.counters.evaluations.Load(),
-		InvalidActions: e.counters.invalid.Load(),
-		RulesScanned:   e.counters.rulesScanned.Load(),
-		BatchDeduped:   e.counters.batchDeduped.Load(),
-		RuleTableSize:  len(e.rules),
+		Evaluations:        e.counters.evaluations.Load(),
+		InvalidActions:     e.counters.invalid.Load(),
+		RulesScanned:       e.counters.rulesScanned.Load(),
+		BatchDeduped:       e.counters.batchDeduped.Load(),
+		BatchDeltaChained:  e.counters.batchChained.Load(),
+		DeltaEvaluations:   e.counters.deltaEvals.Load(),
+		DeltaShortCircuits: e.counters.deltaShort.Load(),
+		RuleTableSize:      len(e.rules),
 	}
 	if e.cache != nil {
 		s.CacheMisses = e.counters.cacheMisses.Load()
@@ -375,6 +402,94 @@ func (e *Engine) Evaluate(a Action) (Ruling, error) {
 		return e.evaluateMiss(a, h, nil)
 	}
 	return e.evaluateUncached(a, nil)
+}
+
+// EvaluateDelta re-evaluates a previously ruled action after the given
+// delta, returning exactly what Evaluate would return for the mutated
+// action (the equivalence tests in delta_test.go hold it to that, error
+// cases included). prev must be a ruling produced by this engine — or
+// one configured with the same rule table and container doctrine —
+// and, like all rulings, must be treated as immutable.
+//
+// The fast path is an O(changed fields) proof that the prior ruling
+// still holds: when the delta leaves the four dispatch dimensions
+// untouched, every new value is in range, and the changed-field mask
+// misses the action's dispatch bucket sensitivity (the union of its
+// rules' declared Reads — see RuleMatch), then by induction over the
+// bucket walk every rule observes identical inputs, fires identically,
+// and contributes identically, so the prior ruling is returned with
+// only the action (and its packed word) updated — no rule walk, no
+// cache traffic, no allocation. Otherwise the action is rebuilt, the
+// cache key is updated incrementally from prev's packed word, and the
+// normal evaluation path runs.
+func (e *Engine) EvaluateDelta(prev *Ruling, d ActionDelta) (Ruling, error) {
+	if prev == nil {
+		return Ruling{}, fmt.Errorf("legal: EvaluateDelta: nil previous ruling")
+	}
+	if e.statsOn {
+		e.counters.deltaEvals.Add(1)
+	}
+	changed := d.mask()
+	if changed&dimFieldMask == 0 && prev.pwExact && d.changedInRange() {
+		// In-range dimensions (guaranteed by pwExact on a valid prior
+		// action) index the bucket whose sensitivity decides the proof.
+		bi := bucketIndex(prev.Action.Actor, prev.Action.Timing, prev.Action.Data, prev.Action.Source)
+		if bi >= 0 && bi < len(e.dispatch.sens) && e.dispatch.sens[bi]&changed == 0 {
+			if w, ok := d.updatePacked(prev.pw); ok {
+				r := *prev
+				d.Apply(&r.Action)
+				r.pw = w
+				if e.statsOn {
+					e.counters.deltaShort.Add(1)
+				}
+				return r, nil
+			}
+		}
+	}
+	a := prev.Action
+	d.Apply(&a)
+	c := e.cache
+	if c == nil {
+		return e.evaluateUncached(a, nil)
+	}
+	// Incremental cache key: fold the delta into prev's packed word in
+	// O(changed fields) when possible, then hash Name and Exposure —
+	// skipping the full packAction walk. Equal to hashActionKey by
+	// construction (updatePacked mirrors packAction's layout; the
+	// sweep and fuzz tests pin it).
+	w, exact := wInexact, false
+	if prev.pwExact {
+		if nw, ok := d.updatePacked(prev.pw); ok {
+			w, exact = nw, true
+		}
+	}
+	if !exact {
+		w, exact = packAction(&a)
+	}
+	h := hashString(e.seed, a.Name) ^ w
+	for _, x := range a.Exposure {
+		h = h*0x9e3779b97f4a7c15 + uint64(x)
+	}
+	h = mix64(h)
+	t := c.table.Load()
+	for en := t.slots[h&t.mask].Load(); en != nil; en = en.next {
+		if en.hash != h {
+			continue
+		}
+		if exact {
+			if en.w != w || a.Name != en.action.Name ||
+				!exposuresEqual(a.Exposure, en.action.Exposure) {
+				continue
+			}
+		} else if !actionsEqual(&en.action, &a) {
+			continue
+		}
+		if e.statsOn {
+			e.counters.evaluations.Add(1)
+		}
+		return *en.ruling, nil
+	}
+	return e.evaluateMiss(a, h, nil)
 }
 
 // evaluate is Evaluate with a per-worker scratch (batch workers pass

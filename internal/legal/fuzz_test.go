@@ -113,5 +113,30 @@ func FuzzEvaluate(f *testing.F) {
 					cr.Required, cr.Regime, r.Required, r.Regime)
 			}
 		}
+
+		// Delta equivalence under fuzzing: for every catalog mutation of
+		// this action, EvaluateDelta from its ruling must match a full
+		// Evaluate of the mutant (errors included), and apply-then-unapply
+		// must restore the action exactly.
+		for _, m := range deltaMuts {
+			target := a
+			m.mut(&target)
+			d := Diff(&a, &target)
+			got, gerr := engine.EvaluateDelta(&r, d)
+			want, werr := engine.Evaluate(target)
+			if (gerr == nil) != (werr == nil) ||
+				(gerr != nil && gerr.Error() != werr.Error()) {
+				t.Fatalf("mutation %q: delta error %v, full error %v (%+v)", m.name, gerr, werr, a)
+			}
+			if werr == nil && !reflect.DeepEqual(got, want) {
+				t.Fatalf("mutation %q: EvaluateDelta diverged:\n got %+v\nwant %+v", m.name, got, want)
+			}
+			cur := a
+			d.Apply(&cur)
+			d.Unapply(&cur)
+			if !reflect.DeepEqual(cur, a) {
+				t.Fatalf("mutation %q: apply/unapply did not round-trip:\n got %+v\nwant %+v", m.name, cur, a)
+			}
+		}
 	})
 }

@@ -127,12 +127,26 @@ func DefaultRules() []Rule {
 	contentData := []DataClass{DataContent, DataDeviceContents}
 	nonContentRT := []DataClass{DataAddressing, DataBasicSubscriber, DataTransactionalRecords}
 
+	// reads declares a rule's non-dimension field sensitivity for the
+	// delta short-circuit (RuleMatch.Reads): reads() means the rule
+	// consults only the dispatch dimensions; reads(f, ...) lists every
+	// other Action field its When or Apply touches. Ruling state read
+	// through the context (Required, Privacy) needs no declaration —
+	// it is itself a function of earlier rules in the same bucket, so
+	// the per-bucket union already covers it.
+	reads := func(fs ...Field) []Field {
+		if fs == nil {
+			return []Field{}
+		}
+		return fs
+	}
+
 	return []Rule{
 		// --- Stage 1: actor screen -----------------------------------
 		{
 			Name:  "private-search",
 			Doc:   "purely private searches fall outside the Fourth Amendment",
-			Match: RuleMatch{Actors: []Actor{ActorPrivate}},
+			Match: RuleMatch{Actors: []Actor{ActorPrivate}, Reads: reads()},
 			When:  func(rc *RuleContext) bool { return rc.Action.Actor == ActorPrivate },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessNone, RegimeNone,
@@ -145,7 +159,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "provider-own-system",
 			Doc:   "a provider may monitor its own system, § 2511(2)(a)(i)",
-			Match: RuleMatch{Actors: []Actor{ActorProvider}, Sources: []Source{SourceOwnNetwork}},
+			Match: RuleMatch{Actors: []Actor{ActorProvider}, Sources: []Source{SourceOwnNetwork}, Reads: reads(FieldExposure)},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Actor == ActorProvider && rc.Action.Source == SourceOwnNetwork
 			},
@@ -163,7 +177,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "provider-off-system",
 			Doc:   "a provider acting beyond its own system is a private party",
-			Match: RuleMatch{Actors: []Actor{ActorProvider}},
+			Match: RuleMatch{Actors: []Actor{ActorProvider}, Reads: reads()},
 			When:  func(rc *RuleContext) bool { return rc.Action.Actor == ActorProvider },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessNone, RegimeNone,
@@ -176,8 +190,9 @@ func DefaultRules() []Rule {
 
 		// --- Stage 2: doctrines excusing process outright -------------
 		{
-			Name: "plain-view",
-			Doc:  "plain view from a lawful vantage point excuses the warrant",
+			Name:  "plain-view",
+			Doc:   "plain view from a lawful vantage point excuses the warrant",
+			Match: RuleMatch{Reads: reads(FieldPlainView, FieldLawfulVantage)},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.PlainView && rc.Action.LawfulVantage
 			},
@@ -190,9 +205,10 @@ func DefaultRules() []Rule {
 			Terminal:  true,
 		},
 		{
-			Name: "probation",
-			Doc:  "probation/parole searches need only reasonable suspicion",
-			When: func(rc *RuleContext) bool { return rc.Action.ProbationSearch },
+			Name:  "probation",
+			Doc:   "probation/parole searches need only reasonable suspicion",
+			Match: RuleMatch{Reads: reads(FieldProbationSearch)},
+			When:  func(rc *RuleContext) bool { return rc.Action.ProbationSearch },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessNone, RegimeFourthAmendment,
 					"individuals on probation, parole, or supervised release have diminished expectations of privacy and may be searched on reasonable suspicion")
@@ -206,7 +222,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "realtime-public",
 			Doc:   "publicly exposed information may be collected by anyone",
-			Match: RuleMatch{Timings: realTime, Datas: []DataClass{DataPublic}},
+			Match: RuleMatch{Timings: realTime, Datas: []DataClass{DataPublic}, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Timing == TimingRealTime && rc.Action.Data == DataPublic
 			},
@@ -225,7 +241,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "trespasser-consent",
 			Doc:   "victim authorization to monitor a trespasser, § 2511(2)(i)",
-			Match: RuleMatch{Timings: realTime, Datas: contentData},
+			Match: RuleMatch{Timings: realTime, Datas: contentData, Reads: reads(FieldConsent)},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingRealTime && isContent(a.Data) &&
@@ -252,7 +268,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "party-consent",
 			Doc:   "one-party consent to interception, § 2511(2)(c)-(d)",
-			Match: RuleMatch{Timings: realTime, Datas: contentData},
+			Match: RuleMatch{Timings: realTime, Datas: contentData, Reads: reads(FieldConsent)},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingRealTime && isContent(a.Data) &&
@@ -278,7 +294,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "public-service-content",
 			Doc:   "content of a publicly accessible system, § 2511(2)(g)(i)",
-			Match: RuleMatch{Timings: realTime, Datas: contentData, Sources: []Source{SourcePublicService}},
+			Match: RuleMatch{Timings: realTime, Datas: contentData, Sources: []Source{SourcePublicService}, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingRealTime && isContent(a.Data) && a.Source == SourcePublicService
@@ -294,7 +310,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "title3-default",
 			Doc:   "real-time content interception requires a Title III order",
-			Match: RuleMatch{Timings: realTime, Datas: contentData},
+			Match: RuleMatch{Timings: realTime, Datas: contentData, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Timing == TimingRealTime && isContent(rc.Action.Data)
 			},
@@ -307,7 +323,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "streetview-note",
 			Doc:   "wireless payload collection is interception (starred judgment)",
-			Match: RuleMatch{Timings: realTime, Sources: []Source{SourceWirelessBroadcast}},
+			Match: RuleMatch{Timings: realTime, Sources: []Source{SourceWirelessBroadcast}, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				return rc.Required() == ProcessWiretapOrder &&
 					rc.Action.Timing == TimingRealTime &&
@@ -321,7 +337,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "relay-note",
 			Doc:   "relay operators intercept third-party communications",
-			Match: RuleMatch{Timings: realTime},
+			Match: RuleMatch{Timings: realTime, Reads: reads(FieldInterceptsThirdParty)},
 			When: func(rc *RuleContext) bool {
 				return rc.Required() == ProcessWiretapOrder &&
 					rc.Action.Timing == TimingRealTime &&
@@ -334,7 +350,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "encryption-note",
 			Doc:   "encryption does not change the content/non-content line",
-			Match: RuleMatch{Timings: realTime},
+			Match: RuleMatch{Timings: realTime, Reads: reads(FieldEncrypted)},
 			When: func(rc *RuleContext) bool {
 				return rc.Required() == ProcessWiretapOrder &&
 					rc.Action.Timing == TimingRealTime &&
@@ -349,7 +365,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "pentrap-public-service",
 			Doc:   "addressing of a public system is collectible by anyone",
-			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Sources: []Source{SourcePublicService}},
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Sources: []Source{SourcePublicService}, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				return isRealTimeNonContent(rc.Action) && rc.Action.Source == SourcePublicService
 			},
@@ -364,7 +380,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "pentrap-wireless",
 			Doc:   "broadcast addressing headers carry no REP (starred judgment)",
-			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Sources: []Source{SourceWirelessBroadcast}},
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Sources: []Source{SourceWirelessBroadcast}, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				return isRealTimeNonContent(rc.Action) && rc.Action.Source == SourceWirelessBroadcast
 			},
@@ -380,7 +396,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "pentrap-party-consent",
 			Doc:   "a communication party may consent to addressing collection",
-			Match: RuleMatch{Timings: realTime, Datas: nonContentRT},
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Reads: reads(FieldConsent)},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return isRealTimeNonContent(a) && a.Consent.Effective() &&
@@ -397,7 +413,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "emergency-pentrap",
 			Doc:   "§ 3125 emergency pen/trap installation",
-			Match: RuleMatch{Timings: realTime, Datas: nonContentRT},
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Reads: reads(FieldExigency)},
 			When: func(rc *RuleContext) bool {
 				x := rc.Action.Exigency
 				return isRealTimeNonContent(rc.Action) &&
@@ -414,7 +430,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "pentrap-default",
 			Doc:   "non-content collection requires a pen/trap order",
-			Match: RuleMatch{Timings: realTime, Datas: nonContentRT},
+			Match: RuleMatch{Timings: realTime, Datas: nonContentRT, Reads: reads()},
 			When:  func(rc *RuleContext) bool { return isRealTimeNonContent(rc.Action) },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessCourtOrder, RegimePenTrap,
@@ -437,7 +453,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "sca-consent",
 			Doc:   "SCA voluntary-disclosure consent exceptions, § 2702",
-			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}},
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}, Reads: reads(FieldProviderRole, FieldConsent)},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return scaCovered(a) && a.Consent.Effective() &&
@@ -454,7 +470,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "sca-exigency",
 			Doc:   "SCA emergency disclosure",
-			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}},
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}, Reads: reads(FieldProviderRole, FieldExigency)},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return scaCovered(a) && a.Exigency.Effective() && a.Exigency.Kind != ExigencyEmergencyPenTrap
@@ -470,7 +486,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "sca-content-warrant",
 			Doc:   "stored contents require a § 2703 search warrant",
-			Match: RuleMatch{Timings: stored, Datas: contentData, Sources: []Source{SourceProviderStored}},
+			Match: RuleMatch{Timings: stored, Datas: contentData, Sources: []Source{SourceProviderStored}, Reads: reads(FieldProviderRole)},
 			When: func(rc *RuleContext) bool {
 				return scaCovered(rc.Action) && isContent(rc.Action.Data)
 			},
@@ -484,7 +500,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "sca-records-order",
 			Doc:   "transactional records require a § 2703(d) order",
-			Match: RuleMatch{Timings: stored, Datas: []DataClass{DataTransactionalRecords}, Sources: []Source{SourceProviderStored}},
+			Match: RuleMatch{Timings: stored, Datas: []DataClass{DataTransactionalRecords}, Sources: []Source{SourceProviderStored}, Reads: reads(FieldProviderRole)},
 			When: func(rc *RuleContext) bool {
 				return scaCovered(rc.Action) && rc.Action.Data == DataTransactionalRecords
 			},
@@ -508,7 +524,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "sca-subscriber-subpoena",
 			Doc:   "basic subscriber information requires only a subpoena",
-			Match: RuleMatch{Timings: stored, Datas: []DataClass{DataBasicSubscriber}, Sources: []Source{SourceProviderStored}},
+			Match: RuleMatch{Timings: stored, Datas: []DataClass{DataBasicSubscriber}, Sources: []Source{SourceProviderStored}, Reads: reads(FieldProviderRole)},
 			When: func(rc *RuleContext) bool {
 				return scaCovered(rc.Action) && rc.Action.Data == DataBasicSubscriber
 			},
@@ -532,7 +548,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "sca-public",
 			Doc:   "public information held by a provider needs no process",
-			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}},
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceProviderStored}, Reads: reads(FieldProviderRole)},
 			When:  func(rc *RuleContext) bool { return scaCovered(rc.Action) },
 			Apply: func(rc *RuleContext) {
 				rc.Require(ProcessNone, RegimeSCA,
@@ -547,7 +563,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "container-new-search",
 			Doc:   "per-file containers: exceeding the original authority is a new search (Crist)",
-			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}},
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}, Reads: reads(FieldSearchBeyondAuthority)},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingStored && a.Source == SourceSeizedDevice &&
@@ -563,7 +579,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "single-container-note",
 			Doc:   "single container: the exhaustive examination stays within the authority (Runyan/Beusch)",
-			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}},
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}, Reads: reads(FieldSearchBeyondAuthority)},
 			When: func(rc *RuleContext) bool {
 				a := rc.Action
 				return a.Timing == TimingStored && a.Source == SourceSeizedDevice &&
@@ -576,7 +592,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "lawful-custody",
 			Doc:   "examination within the original authority needs no further process (Sloane)",
-			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}},
+			Match: RuleMatch{Timings: stored, Sources: []Source{SourceSeizedDevice}, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				return rc.Action.Timing == TimingStored && rc.Action.Source == SourceSeizedDevice
 			},
@@ -593,7 +609,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "workplace-lawful",
 			Doc:   "O'Connor-compliant administrative workplace search",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads(FieldWorkplace)},
 			When: func(rc *RuleContext) bool {
 				w := rc.Action.Workplace
 				return rc.Action.Timing == TimingStored && w != nil && w.GovernmentEmployer && w.Lawful()
@@ -609,7 +625,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "workplace-unlawful",
 			Doc:   "a failed O'Connor search falls back to the warrant requirement",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads(FieldWorkplace)},
 			When: func(rc *RuleContext) bool {
 				w := rc.Action.Workplace
 				return rc.Action.Timing == TimingStored && w != nil && w.GovernmentEmployer
@@ -626,7 +642,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "rep-analysis",
 			Doc:   "Katz two-prong reasonable-expectation-of-privacy analysis",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads(FieldExposure, FieldTech)},
 			When:  func(rc *RuleContext) bool { return rc.Action.Timing == TimingStored },
 			Apply: func(rc *RuleContext) {
 				p := analyzePrivacy(rc.Action)
@@ -640,7 +656,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "no-rep",
 			Doc:   "no reasonable expectation of privacy: not a search",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				return rc.Action.Timing == TimingStored && p != nil && !p.Reasonable
@@ -668,7 +684,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "fourth-consent",
 			Doc:   "voluntary consent by a person with authority (Matlock)",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads(FieldConsent)},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				return rc.Action.Timing == TimingStored && p != nil && p.Reasonable &&
@@ -695,7 +711,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "fourth-exigency",
 			Doc:   "exigent circumstances excuse the warrant (Mincey)",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads(FieldExigency)},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				x := rc.Action.Exigency
@@ -713,7 +729,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "warrant-default",
 			Doc:   "a search of matter carrying REP requires a warrant",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads()},
 			When: func(rc *RuleContext) bool {
 				p := rc.ruling.Privacy
 				return rc.Action.Timing == TimingStored && p != nil && p.Reasonable
@@ -728,7 +744,7 @@ func DefaultRules() []Rule {
 		{
 			Name:  "consent-defect-note",
 			Doc:   "defective consent (revoked, or exceeding its scope) is recorded",
-			Match: RuleMatch{Timings: stored},
+			Match: RuleMatch{Timings: stored, Reads: reads(FieldConsent)},
 			When: func(rc *RuleContext) bool {
 				c := rc.Action.Consent
 				return rc.Action.Timing == TimingStored && rc.ruling.Privacy != nil &&

@@ -152,6 +152,37 @@ func WithBatchWorkers(n int) EngineOption { return legal.WithBatchWorkers(n) }
 // requirement — the paper's recommendation to researchers operationalized.
 type Advice = legal.Advice
 
+// Event-carried delta pipeline: describe how an action changed as an
+// ActionDelta and re-rule it incrementally with Engine.EvaluateDelta —
+// O(changed fields) when the mutation cannot affect the outcome.
+type (
+	// ActionDelta is an ordered set of field-level mutations to an
+	// Action, applied with Apply and reversed with Unapply.
+	ActionDelta = legal.ActionDelta
+	// FieldDelta is one field's old-to-new transition inside a delta.
+	FieldDelta = legal.FieldDelta
+	// Field identifies one Action field in a delta.
+	Field = legal.Field
+)
+
+// Delta field identifiers, re-exported for building deltas by hand
+// (Diff derives them automatically).
+const (
+	FieldName                  = legal.FieldName
+	FieldActor                 = legal.FieldActor
+	FieldTiming                = legal.FieldTiming
+	FieldData                  = legal.FieldData
+	FieldSource                = legal.FieldSource
+	FieldProviderRole          = legal.FieldProviderRole
+	FieldEncrypted             = legal.FieldEncrypted
+	FieldConsent               = legal.FieldConsent
+	FieldExigency              = legal.FieldExigency
+	FieldSearchBeyondAuthority = legal.FieldSearchBeyondAuthority
+)
+
+// Diff computes the ActionDelta that transforms old into new.
+func Diff(old, new *Action) ActionDelta { return legal.Diff(old, new) }
+
 // Scenario catalog (the paper's Table 1 and Section IV case studies).
 type (
 	// Scene is one row of Table 1.

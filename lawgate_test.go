@@ -149,3 +149,52 @@ func TestFacadeAdvise(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeDeltaPipeline drives the event-carried delta path through
+// the public API alone: rule a base action, Diff a mutation, re-rule it
+// incrementally, and check it equals a full evaluation.
+func TestFacadeDeltaPipeline(t *testing.T) {
+	engine := lawgate.NewEngine()
+	base := lawgate.Action{
+		Name:   "facade-delta",
+		Actor:  legal.ActorGovernment,
+		Timing: legal.TimingRealTime,
+		Data:   legal.DataAddressing,
+		Source: legal.SourceThirdPartyNetwork,
+	}
+	prev, err := engine.Evaluate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	escalated := base
+	escalated.Data = legal.DataContent
+	d := lawgate.Diff(&base, &escalated)
+	if d.Len() != 1 || d.Fields[0].Field != lawgate.FieldData {
+		t.Fatalf("Diff = %+v, want one FieldData change", d)
+	}
+
+	got, err := engine.EvaluateDelta(&prev, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Evaluate(escalated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Required != want.Required || got.Regime != want.Regime {
+		t.Errorf("delta ruling = %v/%v, full = %v/%v",
+			got.Required, got.Regime, want.Required, want.Regime)
+	}
+	if got.Required != lawgate.ProcessWiretapOrder {
+		t.Errorf("escalated required = %v, want wiretap order", got.Required)
+	}
+
+	// Round trip: applying then unapplying restores the base action.
+	a := base
+	d.Apply(&a)
+	d.Unapply(&a)
+	if a.Fingerprint() != base.Fingerprint() {
+		t.Error("apply/unapply did not restore the base action")
+	}
+}

@@ -6,7 +6,9 @@
 # (scheduler step, send paths, neighbor lookup, heap churn) and the
 # BenchmarkSweepRunner macro-bench, and writes to BENCH_netsim.json.
 # The `legal` target runs the BenchmarkRulingsPerSec engine-throughput
-# family (cold/warm/batch/batch-dup) and writes to BENCH_legal.json.
+# family (cold/warm/batch/batch-dup) plus the delta-path families
+# (BenchmarkEvaluateDelta, BenchmarkBatchDeltaChain) and writes to
+# BENCH_legal.json.
 #
 # Each benchmark runs -count times and the per-benchmark MEDIANS of
 # ns/op, B/op, and allocs/op are written to FILE as JSON. When the
@@ -76,7 +78,7 @@ legal)
 	[ -n "$out" ] || out=BENCH_legal.json
 	baseline=scripts/bench_baseline_legal.json
 	echo "== legal engine throughput (count=$count, benchtime=$benchtime)" >&2
-	go test -run '^$' -bench '^BenchmarkRulingsPerSec$' \
+	go test -run '^$' -bench '^(BenchmarkRulingsPerSec|BenchmarkEvaluateDelta|BenchmarkBatchDeltaChain)$' \
 		-benchmem -benchtime "$benchtime" -count "$count" ./internal/legal |
 		tee -a "$tmp" >&2
 	;;

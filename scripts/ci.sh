@@ -62,6 +62,19 @@ go run ./cmd/tracewatermark -smoke -json >"$tmpdir/wm-run1.json"
 go run ./cmd/tracewatermark -smoke -json >"$tmpdir/wm-run2.json"
 cmp "$tmpdir/wm-run1.json" "$tmpdir/wm-run2.json"
 
+echo "== delta equivalence sweep under the race detector"
+go test -race -run 'TestDeltaMatchesFullEvaluate|TestDeltaRoundTrip|TestBatchDeltaChainWorkersIdentity' ./internal/legal
+
+echo "== smoke: evaluate -deltas rules a JSONL event stream"
+cat >"$tmpdir/events.jsonl" <<'JSONL'
+{"name":"ci-stream","actor":1,"timing":1,"data":2,"source":3}
+{"fields":[{"field":"encrypted","new":1}]}
+{"fields":[{"field":"data","old":2,"new":1}]}
+JSONL
+go run ./cmd/evaluate -deltas "$tmpdir/events.jsonl" >"$tmpdir/deltas.out"
+grep -q '^base: required' "$tmpdir/deltas.out"
+grep -q '^2 events, 1 ruling changes$' "$tmpdir/deltas.out"
+
 echo "== bench smoke: bench.sh -short emits valid BENCH JSON (netsim + legal)"
 scripts/bench.sh -short -o "$tmpdir/bench.json"
 go run ./scripts/benchcheck "$tmpdir/bench.json"
@@ -70,6 +83,9 @@ go run ./scripts/benchcheck "$tmpdir/bench_legal.json"
 
 echo "== benchcheck: committed BENCH files still valid"
 go run ./scripts/benchcheck BENCH_netsim.json
-go run ./scripts/benchcheck -min-speedup 'BenchmarkRulingsPerSec/warm=2.0' BENCH_legal.json
+go run ./scripts/benchcheck \
+	-min-speedup 'BenchmarkRulingsPerSec/warm=2.0' \
+	-min-speedup 'BenchmarkEvaluateDelta/delta/scalar2=3.0' \
+	BENCH_legal.json
 
 echo "tier-1 gate: PASS"
