@@ -9,31 +9,81 @@
 //
 // Usage:
 //
-//	casefile [-flow p2p|watermark|kyllo|drive|attribution|exigent|all] [-json]
+//	casefile [-flow p2p|watermark|kyllo|drive|attribution|exigent|all] [-json] [-export-ledger file]
+//	casefile verify-ledger <file>
+//
+// verify-ledger audits a serialized audit ledger (as written by
+// -export-ledger): every chain link, record hash, checkpoint-index
+// leaf, and the stored trailer commitment. It exits nonzero naming the
+// first tampered record if anything was mutated, deleted, reordered,
+// or truncated.
 package main
 
 import (
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
 
 	"lawgate/internal/investigation"
+	"lawgate/internal/ledger"
 	"lawgate/internal/opinion"
 	"lawgate/internal/report"
 	"lawgate/internal/watermark"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "verify-ledger" {
+		os.Exit(verifyLedgerCmd(os.Args[2:]))
+	}
 	flow := flag.String("flow", "all", "which flow to run: p2p, watermark, kyllo, drive, attribution, exigent, or all")
 	asJSON := flag.Bool("json", false, "emit machine-readable case exports instead of text")
+	exportLedger := flag.String("export-ledger", "", "write the last flow's audit ledger to this file (verify it with `casefile verify-ledger`)")
 	flag.Parse()
-	if err := run(*flow, *asJSON); err != nil {
+	if err := run(*flow, *asJSON, *exportLedger); err != nil {
 		fmt.Fprintln(os.Stderr, "casefile:", err)
 		os.Exit(1)
 	}
 }
 
-func run(flow string, asJSON bool) error {
+// verifyLedgerCmd implements the verify-ledger subcommand.
+func verifyLedgerCmd(args []string) int {
+	fs := flag.NewFlagSet("verify-ledger", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: casefile verify-ledger <file>")
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	led, err := ledger.LoadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casefile verify-ledger:", err)
+		return 1
+	}
+	if err := led.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "casefile verify-ledger: TAMPERED:", err)
+		return 1
+	}
+	cp := led.Checkpoint()
+	fmt.Printf("ledger OK: %d records, root %s\n", cp.Size, hex.EncodeToString(cp.Root[:]))
+	return 0
+}
+
+func run(flow string, asJSON bool, exportLedger string) error {
+	// last tracks the most recently completed flow's case; -export-ledger
+	// serializes its audit ledger.
+	var last *investigation.Case
+	export := func() error {
+		if exportLedger == "" {
+			return nil
+		}
+		if last == nil {
+			return fmt.Errorf("-export-ledger: no flow ran")
+		}
+		return last.Ledger().WriteFile(exportLedger)
+	}
 	runP2P := flow == "all" || flow == "p2p"
 	runWM := flow == "all" || flow == "watermark"
 	runKyllo := flow == "all" || flow == "kyllo"
@@ -54,6 +104,7 @@ func run(flow string, asJSON bool) error {
 				return err
 			}
 			cases = append(cases, report.CaseReport(res.Case))
+			last = res.Case
 		}
 		if runWM {
 			res, err := investigation.RunWatermarkTraceback(watermark.DefaultExperimentConfig())
@@ -61,6 +112,7 @@ func run(flow string, asJSON bool) error {
 				return err
 			}
 			cases = append(cases, report.CaseReport(res.Case))
+			last = res.Case
 		}
 		if runKyllo {
 			res, err := investigation.RunKylloDemo()
@@ -68,6 +120,7 @@ func run(flow string, asJSON bool) error {
 				return err
 			}
 			cases = append(cases, report.CaseReport(res.Case))
+			last = res.Case
 		}
 		if runDrive {
 			for _, withWarrant := range []bool{true, false} {
@@ -76,6 +129,7 @@ func run(flow string, asJSON bool) error {
 					return err
 				}
 				cases = append(cases, report.CaseReport(res.Case))
+				last = res.Case
 			}
 		}
 		if runAttr {
@@ -85,6 +139,7 @@ func run(flow string, asJSON bool) error {
 					return err
 				}
 				cases = append(cases, report.CaseReport(res.Case))
+				last = res.Case
 			}
 		}
 		if runExig {
@@ -94,7 +149,11 @@ func run(flow string, asJSON bool) error {
 					return err
 				}
 				cases = append(cases, report.CaseReport(res.Case))
+				last = res.Case
 			}
+		}
+		if err := export(); err != nil {
+			return err
 		}
 		return report.WriteJSON(os.Stdout, cases)
 	}
@@ -106,6 +165,7 @@ func run(flow string, asJSON bool) error {
 		if err != nil {
 			return err
 		}
+		last = res.Case
 		fmt.Println("================ SECTION IV-A: P2P TIMING TRACEBACK ================")
 		fmt.Print(res.Case.Report())
 		fmt.Printf("Identified subscribers: %d\n", len(res.Identified))
@@ -126,6 +186,7 @@ func run(flow string, asJSON bool) error {
 		if err != nil {
 			return err
 		}
+		last = res.Case
 		fmt.Println("================ SECTION IV-B: DSSS WATERMARK TRACEBACK ================")
 		fmt.Print(res.Case.Report())
 		fmt.Printf("Watermark: detected=%v Z=%.1f BER=%.2f; baseline corr=%.2f\n",
@@ -140,6 +201,7 @@ func run(flow string, asJSON bool) error {
 		if err != nil {
 			return err
 		}
+		last = res.Case
 		fmt.Println("================ KYLLO DEMO: ILLEGAL TECHNIQUE, SUPPRESSED FRUITS ================")
 		fmt.Print(res.Case.Report())
 		for _, a := range res.Hearing {
@@ -155,6 +217,7 @@ func run(flow string, asJSON bool) error {
 			if err != nil {
 				return err
 			}
+			last = res.Case
 			label := "WITH second warrant (Crist satisfied)"
 			if !withWarrant {
 				label = "WITHOUT second warrant (Crist violated)"
@@ -178,6 +241,7 @@ func run(flow string, asJSON bool) error {
 			if err != nil {
 				return err
 			}
+			last = res.Case
 			label := "EXCLUSIVE attribution"
 			if !exclusive {
 				label = "SHARED machine (non-exclusive)"
@@ -198,6 +262,7 @@ func run(flow string, asJSON bool) error {
 			if err != nil {
 				return err
 			}
+			last = res.Case
 			label := "EXIGENT (destroy command observed)"
 			if !threat.Exigent() {
 				label = "NO EXIGENCY (warrantless seizure)"
@@ -214,5 +279,5 @@ func run(flow string, asJSON bool) error {
 				res.SeizureLawful, admissible, len(res.Hearing))
 		}
 	}
-	return nil
+	return export()
 }

@@ -1,10 +1,15 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+
+	"lawgate/internal/ledger"
+)
 
 func TestRunFlows(t *testing.T) {
 	for _, flow := range []string{"kyllo", "p2p", "drive", "attribution", "exigent"} {
-		if err := run(flow, false); err != nil {
+		if err := run(flow, false, ""); err != nil {
 			t.Errorf("flow %s: %v", flow, err)
 		}
 	}
@@ -14,22 +19,42 @@ func TestRunWatermarkFlow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("watermark flow too slow for -short")
 	}
-	if err := run("watermark", false); err != nil {
+	if err := run("watermark", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunJSONExport(t *testing.T) {
-	if err := run("kyllo", true); err != nil {
+	if err := run("kyllo", true, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("drive", true); err != nil {
+	if err := run("drive", true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownFlow(t *testing.T) {
-	if err := run("bogus", false); err == nil {
+	if err := run("bogus", false, ""); err == nil {
 		t.Fatal("unknown flow must fail")
+	}
+}
+
+// TestRunExportLedger runs a flow with -export-ledger and verifies the
+// written ledger loads and passes a full audit — the same path the
+// verify-ledger subcommand exercises.
+func TestRunExportLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kyllo.ledger")
+	if err := run("kyllo", false, path); err != nil {
+		t.Fatal(err)
+	}
+	led, err := ledger.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := led.Verify(); err != nil {
+		t.Fatalf("exported ledger failed verification: %v", err)
+	}
+	if led.Len() == 0 {
+		t.Fatal("exported ledger is empty")
 	}
 }

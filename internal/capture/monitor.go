@@ -5,8 +5,62 @@ import (
 	"strconv"
 	"time"
 
+	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 )
+
+// CaptureEvent classifies a monitor-produced ledger record; it rides in
+// ledger.Record.Code on KindCapture records.
+type CaptureEvent uint32
+
+// Capture ledger events.
+const (
+	// CaptureBase seals the monitor's base ruling at start.
+	CaptureBase CaptureEvent = iota + 1
+	// CaptureEscalation is a scope change (re-kinded device, data-class
+	// creep, any non-consent, non-exigency mutation).
+	CaptureEscalation
+	// CaptureRevocation is a consent revoked mid-capture.
+	CaptureRevocation
+	// CaptureLapse is an exigency expiring mid-capture.
+	CaptureLapse
+)
+
+var captureEventNames = map[CaptureEvent]string{
+	CaptureBase:       "base",
+	CaptureEscalation: "escalation",
+	CaptureRevocation: "revocation",
+	CaptureLapse:      "lapse",
+}
+
+// String returns the human-readable event name.
+func (e CaptureEvent) String() string {
+	if s, ok := captureEventNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("CaptureEvent(%d)", uint32(e))
+}
+
+// classifyDelta maps a mutation event to its capture ledger event.
+// Revocation and lapse are recognized by their signature field changes;
+// everything else that mutates the action is an escalation.
+func classifyDelta(d *legal.ActionDelta) CaptureEvent {
+	for i := range d.Fields {
+		fd := &d.Fields[i]
+		switch fd.Field {
+		case legal.FieldConsent:
+			if fd.NewConsent != nil && fd.NewConsent.Revoked &&
+				(fd.OldConsent == nil || !fd.OldConsent.Revoked) {
+				return CaptureRevocation
+			}
+		case legal.FieldExigency:
+			if fd.OldExigency != nil && fd.NewExigency == nil {
+				return CaptureLapse
+			}
+		}
+	}
+	return CaptureEscalation
+}
 
 // Monitor follows the legal status of one evolving acquisition: a base
 // action ruled once, then a stream of ActionDeltas — scope escalations,
@@ -28,6 +82,26 @@ type Monitor struct {
 	// with AppendEncoding/AppendFingerprint, so steady-state events cost
 	// no per-event string allocations.
 	log []byte
+	// led, when set, receives one sealed KindCapture record per event:
+	// the base ruling, then each escalation / revocation / lapse.
+	led      *ledger.Ledger
+	operator string
+	device   string
+}
+
+// MonitorOption configures NewMonitor.
+type MonitorOption func(*Monitor)
+
+// WithAuditLedger seals every monitor event into led as a KindCapture
+// record: operator becomes the record's Actor, device its Subject, and
+// the transcript line its Note. With a ledger attached each event pays
+// one note-string allocation — the price of a sealed record.
+func WithAuditLedger(led *ledger.Ledger, operator, device string) MonitorOption {
+	return func(m *Monitor) {
+		m.led = led
+		m.operator = operator
+		m.device = device
+	}
 }
 
 // Transition records one event that changed the ruling.
@@ -45,16 +119,37 @@ type Transition struct {
 }
 
 // NewMonitor rules the base action and starts the event stream.
-func NewMonitor(engine *legal.Engine, base legal.Action) (*Monitor, error) {
+func NewMonitor(engine *legal.Engine, base legal.Action, opts ...MonitorOption) (*Monitor, error) {
 	r, err := engine.Evaluate(base)
 	if err != nil {
 		return nil, fmt.Errorf("capture: monitor base action: %w", err)
 	}
 	m := &Monitor{engine: engine, ruling: r}
+	for _, opt := range opts {
+		opt(m)
+	}
 	m.log = append(m.log, "base "...)
 	m.log = r.Action.AppendFingerprint(m.log)
 	m.log = m.appendStatus(m.log, &r)
+	m.seal(0, CaptureBase, 0)
 	return m, nil
+}
+
+// seal appends the transcript line starting at lineStart to the audit
+// ledger, if one is attached.
+func (m *Monitor) seal(lineStart int, ev CaptureEvent, at time.Duration) {
+	if m.led == nil {
+		return
+	}
+	note := string(m.log[lineStart : len(m.log)-1]) // strip trailing newline
+	m.led.Append(ledger.Draft{
+		At:      int64(at),
+		Kind:    ledger.KindCapture,
+		Code:    uint32(ev),
+		Actor:   m.operator,
+		Subject: m.device,
+		Note:    note,
+	})
 }
 
 // Apply re-rules the acquisition after one mutation event, returning
@@ -68,6 +163,7 @@ func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bo
 	}
 	m.events++
 	changed := next.Required != m.ruling.Required || next.Regime != m.ruling.Regime
+	lineStart := len(m.log)
 	m.log = append(m.log, "t="...)
 	m.log = strconv.AppendInt(m.log, int64(at), 10)
 	m.log = append(m.log, ' ')
@@ -75,6 +171,7 @@ func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bo
 	m.log = append(m.log, ' ')
 	m.log = next.Action.AppendFingerprint(m.log)
 	m.log = m.appendStatus(m.log, &next)
+	m.seal(lineStart, classifyDelta(&d), at)
 	if changed {
 		m.trans = append(m.trans, Transition{
 			At:         at,

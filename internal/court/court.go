@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 )
 
@@ -89,6 +90,10 @@ type Court struct {
 	clock           func() time.Time
 	warrantLifetime time.Duration
 	serial          int
+	// led, when set, receives a sealed record per adjudication:
+	// KindAuthorization for issued process, KindAuthorizationDenied for
+	// refusals, KindExecution for executed searches.
+	led *ledger.Ledger
 }
 
 // CourtOption configures a Court.
@@ -103,6 +108,12 @@ func WithCourtClock(clock func() time.Time) CourtOption {
 // (default 14 days, the federal execution window).
 func WithWarrantLifetime(d time.Duration) CourtOption {
 	return func(c *Court) { c.warrantLifetime = d }
+}
+
+// WithCourtLedger seals every adjudication — issuance, denial,
+// execution — into the shared audit ledger.
+func WithCourtLedger(led *ledger.Ledger) CourtOption {
+	return func(c *Court) { c.led = led }
 }
 
 // NewCourt returns a Court with a 14-day default process lifetime.
@@ -127,26 +138,32 @@ func NewCourt(opts ...CourtOption) *Court {
 //     things.
 func (c *Court) Apply(app Application) (*Order, error) {
 	if !app.Process.Valid() || app.Process == legal.ProcessNone {
-		return nil, fmt.Errorf("%w: %v", ErrInvalidProcess, app.Process)
+		err := fmt.Errorf("%w: %v", ErrInvalidProcess, app.Process)
+		c.seal(c.now(), ledger.KindAuthorizationDenied, uint32(app.Process), app.Applicant, app.Place, err.Error())
+		return nil, err
 	}
 	now := c.now()
 	found := AssessShowing(app.Facts, now)
 	need := legal.RequiredShowing(app.Process)
 	if !found.Sufficient(app.Process) {
-		return nil, fmt.Errorf("%w: %v requires %v, facts support only %v",
+		err := fmt.Errorf("%w: %v requires %v, facts support only %v",
 			ErrInsufficientShowing, app.Process, need, found)
+		c.seal(now, ledger.KindAuthorizationDenied, uint32(app.Process), app.Applicant, app.Place, err.Error())
+		return nil, err
 	}
 	if app.Process >= legal.ProcessSearchWarrant {
 		if app.Place == "" || len(app.Things) == 0 {
-			return nil, fmt.Errorf("%w: place=%q, %d thing categories",
+			err := fmt.Errorf("%w: place=%q, %d thing categories",
 				ErrLacksParticularity, app.Place, len(app.Things))
+			c.seal(now, ledger.KindAuthorizationDenied, uint32(app.Process), app.Applicant, app.Place, err.Error())
+			return nil, err
 		}
 	}
 	c.mu.Lock()
 	c.serial++
 	serial := fmt.Sprintf("ORD-%04d", c.serial)
 	c.mu.Unlock()
-	return &Order{
+	o := &Order{
 		Serial:       serial,
 		Process:      app.Process,
 		ShowingFound: found,
@@ -155,7 +172,27 @@ func (c *Court) Apply(app Application) (*Order, error) {
 		Place:        app.Place,
 		Things:       append([]string(nil), app.Things...),
 		Applicant:    app.Applicant,
-	}, nil
+	}
+	c.seal(now, ledger.KindAuthorization, uint32(app.Process), app.Applicant, serial,
+		fmt.Sprintf("issued %v on %v showing; place=%q; expires %s",
+			app.Process, found, app.Place, o.ExpiresAt.Format(time.RFC3339)))
+	return o, nil
+}
+
+// seal appends one adjudication record to the audit ledger, if one is
+// attached.
+func (c *Court) seal(at time.Time, kind ledger.Kind, code uint32, actor, subject, note string) {
+	if c.led == nil {
+		return
+	}
+	c.led.Append(ledger.Draft{
+		At:      at.UnixNano(),
+		Kind:    kind,
+		Code:    code,
+		Actor:   actor,
+		Subject: subject,
+		Note:    note,
+	})
 }
 
 // ApplyMulti issues one warrant per location, per the paper's

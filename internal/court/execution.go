@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 )
 
@@ -45,6 +46,28 @@ type ExecutionResult struct {
 	// they must be left alone (the business-records caution of
 	// § III-A-2-a).
 	Left []SearchItem
+}
+
+// Execute runs ExecuteSearch and seals the outcome — seized,
+// plain-view, and left counts, or the failure — as a KindExecution
+// record on the court's audit ledger. Flows that carry a ledger should
+// execute through the court so the search lands on the same sealed
+// timeline as the warrant that authorized it.
+func (c *Court) Execute(o *Order, now time.Time, place string, items []SearchItem) (ExecutionResult, error) {
+	res, err := ExecuteSearch(o, now, place, items)
+	serial, proc := "", uint32(0)
+	if o != nil {
+		serial, proc = o.Serial, uint32(o.Process)
+	}
+	if err != nil {
+		c.seal(now, ledger.KindExecution, proc, "", serial,
+			fmt.Sprintf("execution at %q failed: %v", place, err))
+		return res, err
+	}
+	c.seal(now, ledger.KindExecution, proc, "", serial,
+		fmt.Sprintf("executed at %q: seized=%d plain-view=%d left=%d",
+			place, len(res.Seized), len(res.PlainView), len(res.Left)))
+	return res, err
 }
 
 // ExecuteSearch executes a warrant at a place over the listed items at

@@ -1,16 +1,16 @@
 package evidence
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"time"
+
+	"lawgate/internal/ledger"
 )
 
-// ErrCustodyTampered is returned by CustodyLog.Verify when the hash chain
-// does not validate.
+// ErrCustodyTampered is returned by CustodyLog.Verify when the backing
+// ledger does not validate.
 var ErrCustodyTampered = errors.New("evidence: custody chain tampered")
 
 // CustodyEvent classifies what happened to an item.
@@ -51,9 +51,13 @@ func (e CustodyEvent) String() string {
 	return fmt.Sprintf("CustodyEvent(%d)", int(e))
 }
 
-// CustodyEntry is one link in the tamper-evident custody chain.
+// CustodyEntry is the custody-typed view of one ledger record. The hex
+// hash fields are decoded presentation; the authoritative digests are
+// the raw [32]byte values on the underlying ledger.Record.
 type CustodyEntry struct {
-	// Seq is the zero-based sequence number.
+	// Seq is the record's sequence number in the backing ledger. On a
+	// ledger shared with other audit producers (capture, court), custody
+	// sequence numbers are not contiguous.
 	Seq int
 	// At is the event time.
 	At time.Time
@@ -65,77 +69,108 @@ type CustodyEntry struct {
 	ItemID ID
 	// Note is free-form commentary.
 	Note string
-	// PrevHash is the hex hash of the previous entry ("" for the first).
+	// PrevHash is the hex chain hash of the preceding ledger record
+	// ("" for the ledger's first record).
 	PrevHash string
-	// Hash is the hex SHA-256 over this entry's fields and PrevHash.
+	// Hash is the hex chain hash of this record.
 	Hash string
 }
 
-// digest computes the chain hash for the entry's current field values.
-func (e *CustodyEntry) digest() string {
-	h := sha256.New()
-	var seq [8]byte
-	binary.BigEndian.PutUint64(seq[:], uint64(e.Seq))
-	h.Write(seq[:])
-	var at [8]byte
-	binary.BigEndian.PutUint64(at[:], uint64(e.At.UnixNano()))
-	h.Write(at[:])
-	writeLenPrefixed(h, []byte(e.Custodian))
-	var ev [8]byte
-	binary.BigEndian.PutUint64(ev[:], uint64(e.Event))
-	h.Write(ev[:])
-	writeLenPrefixed(h, []byte(e.ItemID))
-	writeLenPrefixed(h, []byte(e.Note))
-	writeLenPrefixed(h, []byte(e.PrevHash))
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-func writeLenPrefixed(h interface{ Write([]byte) (int, error) }, b []byte) {
-	var n [8]byte
-	binary.BigEndian.PutUint64(n[:], uint64(len(b)))
-	h.Write(n[:])
-	h.Write(b)
-}
-
-// CustodyLog is an append-only, hash-chained chain of custody. The zero
-// value is an empty, usable log.
+// CustodyLog is the chain of custody as a typed view over a
+// tamper-evident, hash-chained audit ledger. The zero value is an
+// empty, usable log backed by its own private ledger; Bind points the
+// view at a ledger shared with other audit producers so every custody
+// event lands on the case's single sealed timeline.
 type CustodyLog struct {
-	entries []CustodyEntry
+	led *ledger.Ledger
 }
 
-// Append adds an entry to the chain, computing its hash link, and returns
-// the stored entry.
-func (l *CustodyLog) Append(at time.Time, custodian string, event CustodyEvent, itemID ID, note string) CustodyEntry {
+// Bind points the log at a shared backing ledger. Call before the
+// first Append; entries already sealed into a previous backing ledger
+// are not migrated.
+func (l *CustodyLog) Bind(led *ledger.Ledger) { l.led = led }
+
+// Ledger returns the backing ledger, creating a private one on first
+// use.
+func (l *CustodyLog) Ledger() *ledger.Ledger {
+	if l.led == nil {
+		l.led = ledger.New()
+	}
+	return l.led
+}
+
+// entryFromRecord decodes the custody view of one ledger record.
+func entryFromRecord(r *ledger.Record) CustodyEntry {
 	e := CustodyEntry{
-		Seq:       len(l.entries),
-		At:        at,
-		Custodian: custodian,
-		Event:     event,
-		ItemID:    itemID,
-		Note:      note,
+		Seq:       int(r.Seq),
+		At:        time.Unix(0, r.At).UTC(),
+		Custodian: r.Actor,
+		Event:     CustodyEvent(r.Code),
+		ItemID:    ID(r.Subject),
+		Note:      r.Note,
+		Hash:      hex.EncodeToString(r.Hash[:]),
 	}
-	if n := len(l.entries); n > 0 {
-		e.PrevHash = l.entries[n-1].Hash
+	if r.Prev != [32]byte{} {
+		e.PrevHash = hex.EncodeToString(r.Prev[:])
 	}
-	e.Hash = e.digest()
-	l.entries = append(l.entries, e)
 	return e
 }
 
-// Len returns the number of entries.
-func (l *CustodyLog) Len() int { return len(l.entries) }
+// Append seals a custody event into the backing ledger and returns its
+// custody view.
+func (l *CustodyLog) Append(at time.Time, custodian string, event CustodyEvent, itemID ID, note string) CustodyEntry {
+	led := l.Ledger()
+	seq := led.Append(ledger.Draft{
+		At:      at.UnixNano(),
+		Kind:    ledger.KindCustody,
+		Code:    uint32(event),
+		Actor:   custodian,
+		Subject: string(itemID),
+		Note:    note,
+	})
+	r, err := led.Record(seq)
+	if err != nil {
+		// Unreachable: the record was just sealed under the ledger lock.
+		panic(err)
+	}
+	return entryFromRecord(&r)
+}
 
-// Entries returns a copy of the chain.
+// Len returns the number of custody entries (custody-kind records in
+// the backing ledger).
+func (l *CustodyLog) Len() int {
+	if l.led == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range l.led.Records() {
+		if r.Kind == ledger.KindCustody {
+			n++
+		}
+	}
+	return n
+}
+
+// Entries returns the custody view of the backing ledger: every
+// custody-kind record, in ledger order.
 func (l *CustodyLog) Entries() []CustodyEntry {
-	out := make([]CustodyEntry, len(l.entries))
-	copy(out, l.entries)
+	if l.led == nil {
+		return []CustodyEntry{}
+	}
+	recs := l.led.Records()
+	out := make([]CustodyEntry, 0, len(recs))
+	for i := range recs {
+		if recs[i].Kind == ledger.KindCustody {
+			out = append(out, entryFromRecord(&recs[i]))
+		}
+	}
 	return out
 }
 
 // ForItem returns the entries concerning one item, in order.
 func (l *CustodyLog) ForItem(id ID) []CustodyEntry {
 	var out []CustodyEntry
-	for _, e := range l.entries {
+	for _, e := range l.Entries() {
 		if e.ItemID == id {
 			out = append(out, e)
 		}
@@ -143,30 +178,19 @@ func (l *CustodyLog) ForItem(id ID) []CustodyEntry {
 	return out
 }
 
-// Verify walks the chain and returns ErrCustodyTampered (wrapped with the
-// first bad sequence number) if any entry's hash or back-link fails to
-// validate.
+// Verify audits the backing ledger — every chain link, record hash,
+// and checkpoint-index leaf — and returns ErrCustodyTampered (wrapping
+// the ledger's TamperError, which carries the first bad sequence
+// number) on any failure. On a shared ledger this covers the whole
+// audit trail, not just custody records: a tampered court or capture
+// record invalidates custody too, which is exactly the point of a
+// single sealed timeline.
 func (l *CustodyLog) Verify() error {
-	prev := ""
-	for i := range l.entries {
-		e := &l.entries[i]
-		if e.Seq != i {
-			return fmt.Errorf("%w: entry %d has sequence %d", ErrCustodyTampered, i, e.Seq)
-		}
-		if e.PrevHash != prev {
-			return fmt.Errorf("%w: entry %d back-link mismatch", ErrCustodyTampered, i)
-		}
-		if e.digest() != e.Hash {
-			return fmt.Errorf("%w: entry %d hash mismatch", ErrCustodyTampered, i)
-		}
-		prev = e.Hash
+	if l.led == nil {
+		return nil
+	}
+	if err := l.led.Verify(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCustodyTampered, err)
 	}
 	return nil
-}
-
-// tamper is a test hook: it mutates the note of entry i without rehashing.
-// Kept unexported so production code cannot misuse it; tests in this
-// package reach it directly.
-func (l *CustodyLog) tamper(i int, note string) {
-	l.entries[i].Note = note
 }

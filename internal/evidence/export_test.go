@@ -1,0 +1,23 @@
+package evidence
+
+import "lawgate/internal/ledger"
+
+// tamper is a test-only seam: it rewrites the note of the i-th custody
+// entry without resealing, by reconstructing the backing ledger from
+// records with one field forged. Production code has no mutation path —
+// the seam lives in the test binary only.
+func (l *CustodyLog) tamper(i int, note string) {
+	recs := l.Ledger().Records()
+	n := -1
+	for j := range recs {
+		if recs[j].Kind != ledger.KindCustody {
+			continue
+		}
+		n++
+		if n == i {
+			recs[j].Note = note
+			break
+		}
+	}
+	l.led = ledger.Reconstruct(recs)
+}

@@ -77,6 +77,10 @@ type Item struct {
 	Parents []ID
 	// Cleansing, when not CleansingNone, purges inherited taint.
 	Cleansing Cleansing
+	// LedgerSeq is the sequence number of the acquisition record in the
+	// audit ledger; the record's inclusion proof anchors the item to the
+	// ledger root.
+	LedgerSeq uint64
 }
 
 // LawfullyAcquired reports whether the process held at acquisition time

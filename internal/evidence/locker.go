@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 )
 
@@ -40,6 +41,14 @@ type LockerOption func(*Locker)
 // WithClock substitutes the time source (for deterministic tests).
 func WithClock(clock func() time.Time) LockerOption {
 	return func(l *Locker) { l.clock = clock }
+}
+
+// WithLedger points the custody log at a shared audit ledger, so
+// custody events interleave with capture and court records on one
+// sealed timeline. Without it the locker seals custody into a private
+// ledger of its own.
+func WithLedger(led *ledger.Ledger) LockerOption {
+	return func(l *Locker) { l.custody.Bind(led) }
 }
 
 // NewLocker returns an empty evidence locker.
@@ -120,7 +129,8 @@ func (l *Locker) Acquire(req AcquireRequest) (*Item, error) {
 	}
 	l.items[id] = it
 	l.order = append(l.order, id)
-	l.custody.Append(it.AcquiredAt, req.Custodian, EventAcquired, id, req.Description)
+	e := l.custody.Append(it.AcquiredAt, req.Custodian, EventAcquired, id, req.Description)
+	it.LedgerSeq = uint64(e.Seq)
 	return cloneItem(it), nil
 }
 
@@ -203,11 +213,20 @@ func (l *Locker) Custody() []CustodyEntry {
 	return l.custody.Entries()
 }
 
-// VerifyCustody validates the custody hash chain.
+// VerifyCustody audits the ledger backing the custody chain.
 func (l *Locker) VerifyCustody() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.custody.Verify()
+}
+
+// Ledger returns the audit ledger backing the custody chain — the
+// shared one if WithLedger was used, otherwise the locker's private
+// ledger.
+func (l *Locker) Ledger() *ledger.Ledger {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.custody.Ledger()
 }
 
 func cloneItem(it *Item) *Item {

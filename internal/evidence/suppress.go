@@ -1,6 +1,10 @@
 package evidence
 
-import "fmt"
+import (
+	"fmt"
+
+	"lawgate/internal/ledger"
+)
 
 // Status is the suppression outcome for one item.
 type Status int
@@ -31,7 +35,11 @@ func (s Status) String() string {
 	return fmt.Sprintf("Status(%d)", int(s))
 }
 
-// Assessment is the suppression analysis for one item.
+// Assessment is the suppression analysis for one item. Beyond the
+// outcome it carries the item's anchor into the audit ledger: the
+// acquisition record's sequence number, chain hash, and an inclusion
+// proof a court can check against the ledger root with
+// ledger.VerifyProof — provenance by proof, not by bare flag.
 type Assessment struct {
 	// ItemID identifies the item.
 	ItemID ID
@@ -41,6 +49,13 @@ type Assessment struct {
 	TaintSource ID
 	// Reasons explains the outcome.
 	Reasons []string
+	// LedgerSeq is the acquisition record's ledger sequence number.
+	LedgerSeq uint64
+	// RecordHash is the acquisition record's chain hash.
+	RecordHash [32]byte
+	// Proof is the inclusion proof for the acquisition record against
+	// the ledger root at Proof.Size records.
+	Proof ledger.Proof
 }
 
 // Admissible reports whether the item survives the hearing.
@@ -60,12 +75,20 @@ func (l *Locker) Assess() []Assessment {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
+	led := l.custody.Ledger()
+	size := uint64(led.Len())
 	status := make(map[ID]*Assessment, len(l.order))
 	// Items are stored in acquisition order and parents must pre-exist,
 	// so a single forward pass is a valid topological traversal.
 	for _, id := range l.order {
 		it := l.items[id]
-		a := &Assessment{ItemID: id, Status: StatusAdmissible}
+		a := &Assessment{ItemID: id, Status: StatusAdmissible, LedgerSeq: it.LedgerSeq}
+		if r, err := led.Record(it.LedgerSeq); err == nil {
+			a.RecordHash = r.Hash
+		}
+		if p, err := led.ProofAt(it.LedgerSeq, size); err == nil {
+			a.Proof = p
+		}
 		if !it.Held.Satisfies(it.Ruling.Required) {
 			a.Status = StatusSuppressed
 			a.Reasons = append(a.Reasons, fmt.Sprintf(

@@ -19,6 +19,7 @@ import (
 
 	"lawgate/internal/court"
 	"lawgate/internal/evidence"
+	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 )
 
@@ -35,6 +36,7 @@ type Case struct {
 	engine *legal.Engine
 	court  *court.Court
 	locker *evidence.Locker
+	led    *ledger.Ledger
 	facts  []court.Fact
 	orders []*court.Order
 	log    []string
@@ -73,8 +75,12 @@ func NewCase(name string, opts ...CaseOption) *Case {
 	for _, opt := range opts {
 		opt(c)
 	}
-	c.court = court.NewCourt(court.WithCourtClock(c.clock))
-	c.locker = evidence.NewLocker(evidence.WithClock(c.clock))
+	// One sealed timeline per case: custody, court, and capture records
+	// interleave on a single hash-chained ledger, so tampering with any
+	// producer's history invalidates them all.
+	c.led = ledger.New()
+	c.court = court.NewCourt(court.WithCourtClock(c.clock), court.WithCourtLedger(c.led))
+	c.locker = evidence.NewLocker(evidence.WithClock(c.clock), evidence.WithLedger(c.led))
 	return c
 }
 
@@ -269,12 +275,41 @@ func (c *Case) VerifyCustody() error { return c.locker.VerifyCustody() }
 // Custody returns a copy of the chain-of-custody entries.
 func (c *Case) Custody() []evidence.CustodyEntry { return c.locker.Custody() }
 
-// SuppressionHearing runs the exclusionary-rule analysis and logs the
-// outcome.
+// Ledger returns the case's audit ledger — the single sealed timeline
+// custody, court, and capture records share.
+func (c *Case) Ledger() *ledger.Ledger { return c.led }
+
+// VerifyLedger audits the whole case ledger.
+func (c *Case) VerifyLedger() error { return c.led.Verify() }
+
+// LedgerCheckpoint returns the portable commitment to the ledger's
+// current state, for reports and opinions to cite.
+func (c *Case) LedgerCheckpoint() ledger.Checkpoint { return c.led.Checkpoint() }
+
+// ExecuteSearch executes a warrant through the case court, so the
+// execution lands on the case ledger next to the warrant's own
+// authorization record.
+func (c *Case) ExecuteSearch(o *court.Order, place string, items []court.SearchItem) (court.ExecutionResult, error) {
+	return c.court.Execute(o, c.clock(), place, items)
+}
+
+// SuppressionHearing runs the exclusionary-rule analysis, logs the
+// outcome, and seals one KindCaseEvent record per ruling into the case
+// ledger — the hearing itself becomes part of the tamper-evident
+// record. (Assess is the read-only variant.)
 func (c *Case) SuppressionHearing() []evidence.Assessment {
 	as := c.locker.Assess()
+	now := c.clock().UnixNano()
 	for _, a := range as {
 		c.Logf("hearing: %s — %s", a.ItemID, a.Status)
+		c.led.Append(ledger.Draft{
+			At:      now,
+			Kind:    ledger.KindCaseEvent,
+			Code:    uint32(a.Status),
+			Actor:   c.Name,
+			Subject: string(a.ItemID),
+			Note:    "suppression hearing: " + a.Status.String(),
+		})
 	}
 	return as
 }

@@ -160,7 +160,7 @@ func RunDriveExam(withHashWarrant bool, opts ...CaseOption) (*DriveExamResult, e
 			{Name: "ledger.xls", Category: "business-records"},
 		}
 		orders := c.Orders()
-		exec, err := court.ExecuteSearch(orders[len(orders)-1], c.clock(),
+		exec, err := c.ExecuteSearch(orders[len(orders)-1],
 			"forensic image of suspect drive", items)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,147 @@
+package investigation
+
+import (
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lawgate/internal/ledger"
+)
+
+// The golden-root invariant: the Table 1 drive-exam flow (scenes 18-19,
+// the fullest producer mix — custody, court issuance, and warrant
+// execution all sealing onto one ledger) run under a fixed clock must
+// reproduce the exact ledger root, byte for byte. Any drift in record
+// encoding, chaining, Merkle construction, or the order producers seal
+// events fails here, exactly like the rulings golden catches doctrine
+// drift. Regenerate (only when an encoding change is intended and
+// reviewed) with:
+//
+//	go test ./internal/investigation -run TestGoldenLedgerRoot -update-ledger-golden
+var updateLedgerGolden = flag.Bool("update-ledger-golden", false, "rewrite testdata/drive_ledger_root.txt from the current encoding")
+
+// goldenDriveExam runs the Table 1 flow deterministically.
+func goldenDriveExam(t *testing.T) *Case {
+	t.Helper()
+	res, err := RunDriveExam(true, WithCaseClock(caseClock()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Case
+}
+
+func TestGoldenLedgerRoot(t *testing.T) {
+	c := goldenDriveExam(t)
+	if err := c.VerifyLedger(); err != nil {
+		t.Fatalf("ledger failed verification before golden check: %v", err)
+	}
+	cp := c.LedgerCheckpoint()
+	got := hex.EncodeToString(cp.Root[:]) + "\n"
+
+	path := filepath.Join("testdata", "drive_ledger_root.txt")
+	if *updateLedgerGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden root rewritten: %s (%d records)", path, cp.Size)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden root (regenerate with -update-ledger-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("ledger root diverged from golden (%d records):\n  got  %s  want %s",
+			cp.Size, got, want)
+	}
+
+	// The root must also be stable across an independent second run — a
+	// flow that leaks wall-clock time or map order into the ledger would
+	// pass a freshly-updated golden once and flake forever after.
+	c2 := goldenDriveExam(t)
+	if c2.LedgerCheckpoint() != cp {
+		t.Fatal("two identical runs produced different checkpoints")
+	}
+}
+
+// TestTable1ProofsVerify is the acceptance criterion in code: every
+// acquisition in the Table 1 flow carries an inclusion proof that
+// ledger.VerifyProof accepts against the ledger root at the proof's
+// size — admissibility cites proven provenance, not a bare flag.
+func TestTable1ProofsVerify(t *testing.T) {
+	c := goldenDriveExam(t)
+	led := c.Ledger()
+	assessments := c.Assess()
+	if len(assessments) == 0 {
+		t.Fatal("no assessments")
+	}
+	for _, a := range assessments {
+		root, err := led.RootAt(a.Proof.Size)
+		if err != nil {
+			t.Fatalf("%s: RootAt(%d): %v", a.ItemID, a.Proof.Size, err)
+		}
+		if !ledger.VerifyProof(a.RecordHash, a.Proof, root) {
+			t.Errorf("%s: inclusion proof rejected (seq %d, size %d)",
+				a.ItemID, a.LedgerSeq, a.Proof.Size)
+		}
+		rec, err := led.Record(a.LedgerSeq)
+		if err != nil {
+			t.Fatalf("%s: Record(%d): %v", a.ItemID, a.LedgerSeq, err)
+		}
+		if rec.Hash != a.RecordHash {
+			t.Errorf("%s: assessment hash does not match ledger record %d",
+				a.ItemID, a.LedgerSeq)
+		}
+		if rec.Kind != ledger.KindCustody || rec.Subject != string(a.ItemID) {
+			t.Errorf("%s: proof anchors to %v record for %q, want custody record for the item",
+				a.ItemID, rec.Kind, rec.Subject)
+		}
+	}
+
+	// A proof for one record must not verify for a sibling's hash:
+	// provenance is per-record, not per-ledger.
+	a0, a1 := assessments[0], assessments[1]
+	root, err := led.RootAt(a0.Proof.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ledger.VerifyProof(a1.RecordHash, a0.Proof, root) {
+		t.Error("proof for one acquisition verified a different record's hash")
+	}
+}
+
+// TestTable1LedgerProducers pins the seam change itself: the one case
+// ledger interleaves records from all the refactored producers.
+func TestTable1LedgerProducers(t *testing.T) {
+	c := goldenDriveExam(t)
+	seen := map[ledger.Kind]int{}
+	for _, r := range c.Ledger().Records() {
+		seen[r.Kind]++
+	}
+	for _, k := range []ledger.Kind{
+		ledger.KindCustody, ledger.KindAuthorization,
+		ledger.KindExecution, ledger.KindCaseEvent,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("no %v records on the case ledger; producers: %v", k, seen)
+		}
+	}
+	// And the custody view over the shared ledger still verifies.
+	if err := c.VerifyCustody(); err != nil {
+		t.Errorf("VerifyCustody over shared ledger: %v", err)
+	}
+	var b strings.Builder
+	for _, e := range c.Custody() {
+		b.WriteString(e.Event.String())
+		b.WriteByte('\n')
+	}
+	if !strings.Contains(b.String(), "acquired") {
+		t.Errorf("custody view lost acquisition events:\n%s", b.String())
+	}
+}

@@ -1,0 +1,38 @@
+// Package ledger is the tamper-evident audit spine of lawgate: an
+// append-only, hash-chained ledger of typed binary records onto which
+// every legal-event producer converges — custody events from the
+// evidence locker, escalation/revocation/lapse events from capture
+// monitors, authorization and execution events from the court, and
+// hearing outcomes from the investigation case. One ordered, verifiable
+// history replaces the per-package ad-hoc audit mechanisms, so the
+// paper's core rule — unauthorized capture taints evidence — becomes
+// cryptographically checkable instead of a bare taint flag.
+//
+// # Chain
+//
+// Every Record commits to its predecessor: the record's Hash is the
+// SHA-256 of its canonical encoding, which includes the previous
+// record's Hash (Prev). Mutating, reordering, or deleting any interior
+// record breaks the chain at an identifiable index; Verify walks the
+// chain and reports exactly where.
+//
+// # Checkpoint index
+//
+// Alongside the chain, the ledger maintains a Merkle checkpoint index
+// (RFC 6962 tree shape) over the record hashes. Interior nodes of
+// perfect subtrees are computed incrementally at append time and never
+// change, so the index supports O(log n)-sized inclusion proofs
+// (Proof/VerifyProof) and historical roots (RootAt) without rehashing
+// history. A Checkpoint (size, root, head) is a portable commitment to
+// the whole ledger; VerifyAgainst detects truncation or rewriting
+// relative to a previously published checkpoint, which is how a wiped
+// or rolled-back audit trail — the anti-forensics threat — is caught.
+//
+// # Performance
+//
+// The append path is allocation-free at steady state: records live in
+// preallocated fixed-size slabs (no copying growth), the hash state and
+// encoding scratch are reused, and AppendBatch amortizes locking for
+// bulk producers. With capacity preallocated (WithCapacity), Append
+// sustains millions of records per second; see BENCH_ledger.json.
+package ledger

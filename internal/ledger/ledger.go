@@ -1,0 +1,315 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// slabSize is the number of records per storage slab. Slabs are never
+// reallocated once created, so appends never copy sealed history and a
+// record pointer stays valid for the ledger's lifetime.
+const slabSize = 4096
+
+// ErrTampered is the sentinel every chain-verification failure wraps.
+var ErrTampered = errors.New("ledger: tampered")
+
+// TamperError pinpoints the first record at which verification failed.
+type TamperError struct {
+	// Index is the sequence number of the offending record.
+	Index uint64
+	// Reason says what failed at that record.
+	Reason string
+}
+
+// Error implements error.
+func (e *TamperError) Error() string {
+	return fmt.Sprintf("ledger: tampered at record %d: %s", e.Index, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrTampered) hold.
+func (e *TamperError) Unwrap() error { return ErrTampered }
+
+// Checkpoint is a portable commitment to a ledger prefix: the record
+// count, the Merkle root over those records, and the chain head hash.
+// Publish one (to a report, an opinion, another party) and any later
+// truncation or rewrite of that prefix is detectable by VerifyAgainst.
+type Checkpoint struct {
+	// Size is the number of records committed to.
+	Size uint64
+	// Root is the Merkle root over the first Size records.
+	Root [32]byte
+	// Head is the chain hash of record Size-1 (zero when Size is 0).
+	Head [32]byte
+}
+
+// Ledger is the append-only, hash-chained audit ledger. The zero value
+// is not usable; call New. A Ledger is safe for concurrent use.
+type Ledger struct {
+	mu    sync.Mutex
+	slabs [][]Record
+	n     uint64
+	head  [32]byte
+	idx   index
+	seal  *sealer
+	// loaded carries the trailer checkpoint of a deserialized ledger,
+	// so Verify can detect a truncated or rewritten tail even without
+	// an externally retained checkpoint.
+	loaded *Checkpoint
+}
+
+// Option configures New.
+type Option func(*Ledger)
+
+// WithCapacity preallocates slabs and index levels for n records, so
+// the first n appends perform no allocation at all.
+func WithCapacity(n int) Option {
+	return func(l *Ledger) {
+		if n <= 0 {
+			return
+		}
+		for got := 0; got < n; got += slabSize {
+			l.slabs = append(l.slabs, make([]Record, 0, slabSize))
+		}
+		l.idx.levels = append(l.idx.levels, make([][32]byte, 0, n))
+		for lvl, m := 1, n/2; m > 0; lvl, m = lvl+1, m/2 {
+			l.idx.levels = append(l.idx.levels, make([][32]byte, 0, m))
+		}
+	}
+}
+
+// New returns an empty ledger.
+func New(opts ...Option) *Ledger {
+	l := &Ledger{seal: newSealer()}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// Len returns the number of sealed records.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.n)
+}
+
+// Head returns the chain head hash (zero for an empty ledger).
+func (l *Ledger) Head() [32]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// slot returns the storage cell for record i, which must exist.
+func (l *Ledger) slot(i uint64) *Record {
+	return &l.slabs[i/slabSize][i%slabSize]
+}
+
+// appendLocked seals d as the next record and returns its sequence
+// number. Callers hold l.mu.
+func (l *Ledger) appendLocked(d Draft) uint64 {
+	seq := l.n
+	si := int(seq / slabSize)
+	if si == len(l.slabs) {
+		l.slabs = append(l.slabs, make([]Record, 0, slabSize))
+	}
+	slab := l.slabs[si]
+	slab = slab[:len(slab)+1]
+	l.slabs[si] = slab
+	r := &slab[len(slab)-1]
+	r.Seq = seq
+	r.At = d.At
+	r.Kind = d.Kind
+	r.Code = d.Code
+	r.Actor = d.Actor
+	r.Subject = d.Subject
+	r.Note = d.Note
+	r.Prev = l.head
+	r.Hash = l.seal.seal(r)
+	l.head = r.Hash
+	l.idx.push(l.seal, r.Hash)
+	l.n++
+	return seq
+}
+
+// Append seals one record and returns its sequence number.
+func (l *Ledger) Append(d Draft) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(d)
+}
+
+// AppendBatch seals the drafts in order under one lock acquisition and
+// returns the sequence number of the first — the batched-sealing path
+// for bulk producers.
+func (l *Ledger) AppendBatch(drafts []Draft) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := l.n
+	for i := range drafts {
+		l.appendLocked(drafts[i])
+	}
+	return first
+}
+
+// Record returns a copy of record seq.
+func (l *Ledger) Record(seq uint64) (Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq >= l.n {
+		return Record{}, fmt.Errorf("ledger: record %d out of range (size %d)", seq, l.n)
+	}
+	return *l.slot(seq), nil
+}
+
+// Records returns a copy of all records in order.
+func (l *Ledger) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, 0, l.n)
+	for _, slab := range l.slabs {
+		out = append(out, slab...)
+	}
+	return out
+}
+
+// Checkpoint returns the commitment to the current ledger state.
+func (l *Ledger) Checkpoint() Checkpoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Checkpoint{Size: l.n, Root: l.idx.rootAt(l.seal, l.n), Head: l.head}
+}
+
+// Root returns the Merkle root over all records.
+func (l *Ledger) Root() [32]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.rootAt(l.seal, l.n)
+}
+
+// RootAt returns the Merkle root over the first n records. Historical
+// roots stay computable because interior nodes never change.
+func (l *Ledger) RootAt(n uint64) ([32]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.n {
+		return [32]byte{}, fmt.Errorf("ledger: root size %d out of range (size %d)", n, l.n)
+	}
+	return l.idx.rootAt(l.seal, n), nil
+}
+
+// Proof returns the inclusion proof for record seq against the current
+// root (Proof.Size records). Verify it with VerifyProof and the root
+// from RootAt(Proof.Size) or a matching Checkpoint.
+func (l *Ledger) Proof(seq uint64) (Proof, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.idx.proof(l.seal, seq, l.n)
+}
+
+// ProofAt returns the inclusion proof for record seq against the root
+// over the first n records.
+func (l *Ledger) ProofAt(seq, n uint64) (Proof, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.n {
+		return Proof{}, fmt.Errorf("ledger: proof size %d out of range (size %d)", n, l.n)
+	}
+	return l.idx.proof(l.seal, seq, n)
+}
+
+// Verify audits the whole ledger: every record's sequence number,
+// back-link, and chain hash is recomputed, the Merkle index leaf is
+// cross-checked, and — for a deserialized ledger — the recomputed root
+// and head must match the stored trailer, so a truncated, extended, or
+// rewritten tail is caught even though each remaining link may be
+// self-consistent. The first failure is reported as a *TamperError
+// carrying the exact record index.
+func (l *Ledger) Verify() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	digest := sha256.New()
+	var scratch []byte
+	var prev [32]byte
+	var i uint64
+	for _, slab := range l.slabs {
+		for j := range slab {
+			r := &slab[j]
+			if r.Seq != i {
+				return &TamperError{Index: i, Reason: fmt.Sprintf("sequence %d out of order", r.Seq)}
+			}
+			if r.Prev != prev {
+				return &TamperError{Index: i, Reason: "back-link mismatch"}
+			}
+			if got := streamRecordDigest(digest, &scratch, r); got != r.Hash {
+				return &TamperError{Index: i, Reason: "chain hash mismatch"}
+			}
+			if l.idx.levels[0][i] != r.Hash {
+				return &TamperError{Index: i, Reason: "checkpoint index leaf mismatch"}
+			}
+			prev = r.Hash
+			i++
+		}
+	}
+	if i != l.n {
+		return &TamperError{Index: i, Reason: fmt.Sprintf("record count %d, expected %d", i, l.n)}
+	}
+	if l.loaded != nil {
+		if err := l.verifyAgainstLocked(*l.loaded); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyAgainst checks the ledger against a previously published
+// checkpoint: the ledger must still contain at least cp.Size records,
+// and the root and head over that prefix must match. A shrunk, spliced,
+// or rewritten history fails here even if its remaining chain links are
+// internally consistent.
+func (l *Ledger) VerifyAgainst(cp Checkpoint) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.verifyAgainstLocked(cp)
+}
+
+func (l *Ledger) verifyAgainstLocked(cp Checkpoint) error {
+	if l.n < cp.Size {
+		return &TamperError{Index: l.n, Reason: fmt.Sprintf("ledger truncated: %d records, checkpoint commits to %d", l.n, cp.Size)}
+	}
+	if got := l.idx.rootAt(l.seal, cp.Size); got != cp.Root {
+		return &TamperError{Index: cp.Size, Reason: "root mismatch against checkpoint"}
+	}
+	if cp.Size > 0 {
+		if got := l.slot(cp.Size - 1).Hash; got != cp.Head {
+			return &TamperError{Index: cp.Size - 1, Reason: "head hash mismatch against checkpoint"}
+		}
+	}
+	return nil
+}
+
+// Reconstruct builds a ledger from records taken verbatim — sequence
+// numbers, Prev links, and Hash values are trusted as given, and the
+// checkpoint index is rebuilt from the stored hashes. It is the
+// deserialization core (Load uses it) and the seam adversarial tests
+// use to construct tampered histories; Verify decides whether the
+// result is authentic.
+func Reconstruct(records []Record) *Ledger {
+	l := New(WithCapacity(len(records)))
+	for i := range records {
+		r := &records[i]
+		si := int(l.n / slabSize)
+		if si == len(l.slabs) {
+			l.slabs = append(l.slabs, make([]Record, 0, slabSize))
+		}
+		slab := l.slabs[si]
+		slab = append(slab, *r)
+		l.slabs[si] = slab
+		l.head = r.Hash
+		l.idx.push(l.seal, r.Hash)
+		l.n++
+	}
+	return l
+}

@@ -1,0 +1,169 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"hash"
+	"math/bits"
+)
+
+// index is the ledger's Merkle checkpoint index: an RFC 6962-shaped
+// binary tree over the record chain hashes. levels[0] holds the leaves
+// (record hashes); levels[h][j] is the interior hash over leaves
+// [j<<h, (j+1)<<h) and is computed exactly once, when that perfect
+// subtree completes. Nodes never change after creation, so historical
+// roots and proofs for any past size remain computable.
+type index struct {
+	levels [][][32]byte
+}
+
+// interiorPrefix domain-separates interior nodes from leaves.
+const interiorPrefix = 0x01
+
+// interior computes the parent of two child digests via the sealer's
+// reused state — allocation-free, for the append path.
+func (s *sealer) interior(l, r *[32]byte) [32]byte {
+	s.buf = append(s.buf[:0], interiorPrefix)
+	s.buf = append(s.buf, l[:]...)
+	s.buf = append(s.buf, r[:]...)
+	s.h.Reset()
+	s.h.Write(s.buf)
+	s.sum = s.h.Sum(s.sum[:0])
+	var out [32]byte
+	copy(out[:], s.sum)
+	return out
+}
+
+// interiorHash is the standalone twin of sealer.interior for verifiers
+// that hold no ledger state.
+func interiorHash(h hash.Hash, l, r *[32]byte) [32]byte {
+	h.Reset()
+	h.Write([]byte{interiorPrefix})
+	h.Write(l[:])
+	h.Write(r[:])
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// push appends one leaf and completes every perfect subtree the new
+// leaf closes — amortized one interior hash per leaf.
+func (x *index) push(s *sealer, leaf [32]byte) {
+	if len(x.levels) == 0 {
+		x.levels = append(x.levels, nil)
+	}
+	x.levels[0] = append(x.levels[0], leaf)
+	for lvl := 0; ; lvl++ {
+		n := len(x.levels[lvl])
+		if n%2 != 0 {
+			return
+		}
+		if len(x.levels) == lvl+1 {
+			x.levels = append(x.levels, nil)
+		}
+		p := s.interior(&x.levels[lvl][n-2], &x.levels[lvl][n-1])
+		x.levels[lvl+1] = append(x.levels[lvl+1], p)
+	}
+}
+
+// emptyRoot is the root of a zero-record ledger: SHA-256 of the empty
+// string, per RFC 6962's MTH({}).
+func emptyRoot() [32]byte {
+	return sha256.Sum256(nil)
+}
+
+// rangeHash returns the subtree hash over leaves [a, b). The recursion
+// only ever descends into the right, non-perfect part of a range; every
+// left part is a stored perfect aligned subtree, so the cost is
+// O(log n) lookups and hashes.
+func (x *index) rangeHash(s *sealer, a, b uint64) [32]byte {
+	n := b - a
+	if n == 1 {
+		return x.levels[0][a]
+	}
+	if n&(n-1) == 0 && a%n == 0 {
+		lvl := bits.TrailingZeros64(n)
+		return x.levels[lvl][a>>lvl]
+	}
+	k := uint64(1) << (bits.Len64(n-1) - 1) // largest power of two < n
+	l := x.rangeHash(s, a, a+k)
+	r := x.rangeHash(s, a+k, b)
+	return s.interior(&l, &r)
+}
+
+// rootAt returns the tree root over the first n leaves.
+func (x *index) rootAt(s *sealer, n uint64) [32]byte {
+	if n == 0 {
+		return emptyRoot()
+	}
+	return x.rangeHash(s, 0, n)
+}
+
+// Proof is an inclusion proof: the sibling path from record Index up to
+// the root of the tree over the first Size records, deepest sibling
+// first. Its length is O(log Size).
+type Proof struct {
+	// Index is the proven record's sequence number.
+	Index uint64
+	// Size is the ledger size (record count) the proof targets; verify
+	// it against the root at exactly this size.
+	Size uint64
+	// Path holds the sibling digests, leaf level first.
+	Path [][32]byte
+}
+
+// authPath appends the sibling hashes for idx within the tree over
+// leaves [a, b), deepest first.
+func (x *index) authPath(s *sealer, idx, a, b uint64, out [][32]byte) [][32]byte {
+	if b-a <= 1 {
+		return out
+	}
+	k := uint64(1) << (bits.Len64(b-a-1) - 1)
+	if idx < a+k {
+		out = x.authPath(s, idx, a, a+k, out)
+		return append(out, x.rangeHash(s, a+k, b))
+	}
+	out = x.authPath(s, idx, a+k, b, out)
+	return append(out, x.rangeHash(s, a, a+k))
+}
+
+// proof builds the inclusion proof for leaf idx in the tree of size n.
+func (x *index) proof(s *sealer, idx, n uint64) (Proof, error) {
+	if idx >= n {
+		return Proof{}, fmt.Errorf("ledger: proof index %d out of range (size %d)", idx, n)
+	}
+	return Proof{Index: idx, Size: n, Path: x.authPath(s, idx, 0, n, nil)}, nil
+}
+
+// VerifyProof reports whether p proves that the record whose chain hash
+// is leaf sits at p.Index in the ledger whose root over the first
+// p.Size records is root (the RFC 6962 audit-path check). It needs no
+// ledger state: the verifier holds only the record (re-hashable to
+// leaf), the proof, and a trusted root.
+func VerifyProof(leaf [32]byte, p Proof, root [32]byte) bool {
+	if p.Index >= p.Size {
+		return false
+	}
+	h := sha256.New()
+	fn, sn := p.Index, p.Size-1
+	r := leaf
+	for _, sib := range p.Path {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			r = interiorHash(h, &sib, &r)
+			if fn%2 == 0 {
+				for fn%2 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = interiorHash(h, &r, &sib)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && r == root
+}

@@ -1,0 +1,243 @@
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+)
+
+// Kind classifies which subsystem produced a record.
+type Kind uint16
+
+// Record kinds. Each producer package owns one or more kinds; the Code
+// field carries the producer's own sub-classification (a
+// evidence.CustodyEvent, a capture event code, a legal.Process level).
+const (
+	// KindCustody is a chain-of-custody event from the evidence locker.
+	KindCustody Kind = iota + 1
+	// KindCapture is a live-capture event from a capture.Monitor: the
+	// base ruling, then escalations, consent revocations, exigency
+	// lapses.
+	KindCapture
+	// KindAuthorization is issued legal process (court order, warrant).
+	KindAuthorization
+	// KindAuthorizationDenied is a denied application.
+	KindAuthorizationDenied
+	// KindExecution is the execution of issued process (a search).
+	KindExecution
+	// KindCaseEvent is an investigation-level event (a suppression
+	// hearing outcome).
+	KindCaseEvent
+)
+
+var kindNames = map[Kind]string{
+	KindCustody:             "custody",
+	KindCapture:             "capture",
+	KindAuthorization:       "authorization",
+	KindAuthorizationDenied: "authorization-denied",
+	KindExecution:           "execution",
+	KindCaseEvent:           "case-event",
+}
+
+// String returns the human-readable kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Valid reports whether k is a defined kind.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// Draft is the producer-supplied part of a record, before the ledger
+// assigns its sequence number and seals it into the chain.
+type Draft struct {
+	// At is the event time in nanoseconds (wall or virtual).
+	At int64
+	// Kind classifies the producing subsystem.
+	Kind Kind
+	// Code is the producer's sub-classification.
+	Code uint32
+	// Actor names who acted (custodian, applicant, operator).
+	Actor string
+	// Subject names what was acted on (item ID, order serial, device).
+	Subject string
+	// Note is free-form detail (a delta encoding, a ruling summary).
+	Note string
+}
+
+// Record is one sealed link of the ledger. All digests are raw
+// [32]byte values — hex is a presentation concern, not a storage one.
+type Record struct {
+	// Seq is the ledger-assigned zero-based sequence number.
+	Seq uint64
+	// At is the event time in nanoseconds.
+	At int64
+	// Kind classifies the producing subsystem.
+	Kind Kind
+	// Code is the producer's sub-classification.
+	Code uint32
+	// Actor names who acted.
+	Actor string
+	// Subject names what was acted on.
+	Subject string
+	// Note is free-form detail.
+	Note string
+	// Prev is the previous record's Hash (zero for the first record).
+	Prev [32]byte
+	// Hash is the SHA-256 over the record's canonical encoding,
+	// including Prev — the chain link.
+	Hash [32]byte
+}
+
+// recordHeaderLen is the fixed-width prefix of a record's canonical
+// encoding: seq(8) + at(8) + kind(2) + code(4).
+const recordHeaderLen = 8 + 8 + 2 + 4
+
+// maxFieldLen bounds a single string field in the canonical encoding;
+// decode rejects anything larger, so a corrupted length prefix cannot
+// drive a huge allocation.
+const maxFieldLen = 1 << 20
+
+// ErrMalformed is returned when serialized ledger bytes cannot be
+// decoded structurally (independent of hash validity).
+var ErrMalformed = errors.New("ledger: malformed serialized ledger")
+
+// WriteLenPrefixed writes b to h framed by an 8-byte big-endian length.
+// This is the variable-length field framing every ledger digest and
+// encoding uses; the custody chain's original hex-string hasher carried
+// an identical unexported copy, which this helper replaces.
+func WriteLenPrefixed(h hash.Hash, b []byte) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+	h.Write(n[:])
+	h.Write(b)
+}
+
+// AppendLenPrefixed appends b to dst framed by the same 8-byte
+// big-endian length WriteLenPrefixed hashes, and returns the extended
+// slice — the buffer-building twin of the hashing helper.
+func AppendLenPrefixed(dst []byte, b []byte) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(b)))
+	dst = append(dst, n[:]...)
+	return append(dst, b...)
+}
+
+// appendLenPrefixedString is AppendLenPrefixed specialized to string so
+// the append hot path never converts (and so never allocates).
+func appendLenPrefixedString(dst []byte, s string) []byte {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+	dst = append(dst, n[:]...)
+	return append(dst, s...)
+}
+
+// appendHeader appends the fixed-width header fields of r.
+func appendHeader(dst []byte, r *Record) []byte {
+	var hdr [recordHeaderLen]byte
+	binary.BigEndian.PutUint64(hdr[0:8], r.Seq)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(r.At))
+	binary.BigEndian.PutUint16(hdr[16:18], uint16(r.Kind))
+	binary.BigEndian.PutUint32(hdr[18:22], r.Code)
+	return append(dst, hdr[:]...)
+}
+
+// AppendRecordBody appends r's canonical encoding (everything the chain
+// hash covers: header, length-prefixed strings, Prev — but not Hash
+// itself) to dst and returns the extended slice. The sealer hashes
+// exactly these bytes; the serialized file format stores them verbatim.
+func AppendRecordBody(dst []byte, r *Record) []byte {
+	dst = appendHeader(dst, r)
+	dst = appendLenPrefixedString(dst, r.Actor)
+	dst = appendLenPrefixedString(dst, r.Subject)
+	dst = appendLenPrefixedString(dst, r.Note)
+	return append(dst, r.Prev[:]...)
+}
+
+// sealer computes record chain hashes on the append hot path. All of
+// its state — digest, encoding buffer, digest-output buffer — is
+// reused, so sealing allocates nothing at steady state.
+type sealer struct {
+	h   hash.Hash
+	buf []byte
+	sum []byte
+}
+
+func newSealer() *sealer {
+	return &sealer{h: sha256.New(), sum: make([]byte, 0, sha256.Size)}
+}
+
+// seal returns the chain hash of r: SHA-256 over its canonical body.
+func (s *sealer) seal(r *Record) [32]byte {
+	s.buf = AppendRecordBody(s.buf[:0], r)
+	s.h.Reset()
+	s.h.Write(s.buf)
+	s.sum = s.h.Sum(s.sum[:0])
+	var out [32]byte
+	copy(out[:], s.sum)
+	return out
+}
+
+// streamRecordDigest recomputes r's chain hash by streaming each field
+// through h with WriteLenPrefixed — an independently structured
+// implementation of the same canonical framing the buffer encoder
+// writes. Verify audits with this twin, so any drift between the two
+// encoders breaks verification of even an honest ledger and is caught
+// by every test that round-trips a chain.
+func streamRecordDigest(h hash.Hash, scratch *[]byte, r *Record) [32]byte {
+	h.Reset()
+	buf := *scratch
+	buf = appendHeader(buf[:0], r)
+	h.Write(buf)
+	buf = append(buf[:0], r.Actor...)
+	WriteLenPrefixed(h, buf)
+	buf = append(buf[:0], r.Subject...)
+	WriteLenPrefixed(h, buf)
+	buf = append(buf[:0], r.Note...)
+	WriteLenPrefixed(h, buf)
+	*scratch = buf
+	h.Write(r.Prev[:])
+	var sum [32]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// DecodeRecordBody decodes one canonical record body from data,
+// returning the record (Hash left zero) and the number of bytes
+// consumed. It is the inverse of AppendRecordBody.
+func DecodeRecordBody(data []byte) (Record, int, error) {
+	var r Record
+	if len(data) < recordHeaderLen {
+		return r, 0, fmt.Errorf("%w: short header", ErrMalformed)
+	}
+	r.Seq = binary.BigEndian.Uint64(data[0:8])
+	r.At = int64(binary.BigEndian.Uint64(data[8:16]))
+	r.Kind = Kind(binary.BigEndian.Uint16(data[16:18]))
+	r.Code = binary.BigEndian.Uint32(data[18:22])
+	off := recordHeaderLen
+	for _, field := range []*string{&r.Actor, &r.Subject, &r.Note} {
+		if len(data[off:]) < 8 {
+			return r, 0, fmt.Errorf("%w: short field length at offset %d", ErrMalformed, off)
+		}
+		n := binary.BigEndian.Uint64(data[off : off+8])
+		off += 8
+		if n > maxFieldLen || uint64(len(data[off:])) < n {
+			return r, 0, fmt.Errorf("%w: field length %d at offset %d", ErrMalformed, n, off)
+		}
+		*field = string(data[off : off+int(n)])
+		off += int(n)
+	}
+	if len(data[off:]) < 32 {
+		return r, 0, fmt.Errorf("%w: short prev hash at offset %d", ErrMalformed, off)
+	}
+	copy(r.Prev[:], data[off:off+32])
+	off += 32
+	return r, off, nil
+}

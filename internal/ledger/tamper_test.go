@@ -1,0 +1,189 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// The adversarial table: every way the anti-forensics SoK says an audit
+// trail gets attacked — mutate a field, swap records, truncate the
+// tail, splice a forged checkpoint — must be detected by Verify, and
+// the reported index must point at the exact record where the chain
+// breaks.
+func TestTamperTable(t *testing.T) {
+	const n = 16
+	cases := []struct {
+		name string
+		// mutate corrupts the record slice and returns the index Verify
+		// must report.
+		mutate func(recs []Record) uint64
+	}{
+		{"mutate-note", func(recs []Record) uint64 {
+			recs[5].Note = "rewritten after the fact"
+			return 5
+		}},
+		{"mutate-actor", func(recs []Record) uint64 {
+			recs[7].Actor = "impostor"
+			return 7
+		}},
+		{"mutate-subject", func(recs []Record) uint64 {
+			recs[3].Subject = "EV-9999"
+			return 3
+		}},
+		{"mutate-kind", func(recs []Record) uint64 {
+			recs[4].Kind = KindCustody // drafts cycle kinds; index 4 is KindExecution
+			return 4
+		}},
+		{"mutate-code", func(recs []Record) uint64 {
+			recs[4].Code++
+			return 4
+		}},
+		{"mutate-timestamp", func(recs []Record) uint64 {
+			recs[9].At += 1
+			return 9
+		}},
+		{"backdate-seq", func(recs []Record) uint64 {
+			recs[6].Seq = 2
+			return 6
+		}},
+		{"swap-records", func(recs []Record) uint64 {
+			// Swapping 5 and 6 wholesale: record 5's slot now holds the
+			// record claiming seq 6.
+			recs[5], recs[6] = recs[6], recs[5]
+			return 5
+		}},
+		{"swap-hashes-only", func(recs []Record) uint64 {
+			recs[10].Hash, recs[11].Hash = recs[11].Hash, recs[10].Hash
+			return 10
+		}},
+		{"delete-interior", func(recs []Record) uint64 {
+			copy(recs[8:], recs[9:])
+			// Verify sees record 9 in slot 8.
+			return 8
+		}},
+		{"rewrite-prev-link", func(recs []Record) uint64 {
+			recs[12].Prev = [32]byte{0xAB}
+			return 12
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs := build(n).Records()
+			wantIdx := tc.mutate(recs)
+			if tc.name == "delete-interior" {
+				recs = recs[:n-1]
+			}
+			tampered := Reconstruct(recs)
+			err := tampered.Verify()
+			if !errors.Is(err, ErrTampered) {
+				t.Fatalf("Verify = %v, want ErrTampered", err)
+			}
+			var te *TamperError
+			if !errors.As(err, &te) {
+				t.Fatalf("Verify error %T does not carry a *TamperError", err)
+			}
+			if te.Index != wantIdx {
+				t.Fatalf("TamperError.Index = %d, want %d (%v)", te.Index, wantIdx, err)
+			}
+		})
+	}
+}
+
+// A tail truncation leaves a perfectly self-consistent chain; only the
+// serialized trailer or a retained checkpoint refutes it.
+func TestTamperTruncatedTail(t *testing.T) {
+	l := build(20)
+	cp := l.Checkpoint()
+
+	// In-memory truncation against a retained checkpoint.
+	short := Reconstruct(l.Records()[:15])
+	if err := short.Verify(); err != nil {
+		t.Fatalf("truncated chain is self-consistent, Verify must pass without a checkpoint: %v", err)
+	}
+	err := short.VerifyAgainst(cp)
+	var te *TamperError
+	if !errors.Is(err, ErrTampered) || !errors.As(err, &te) || te.Index != 15 {
+		t.Fatalf("VerifyAgainst truncation = %v, want TamperError at 15", err)
+	}
+
+	// Serialized truncation with the trailer left behind: Verify on the
+	// loaded ledger catches it via the embedded trailer checkpoint.
+	var buf bytes.Buffer
+	short.WriteTo(&buf)
+	data := buf.Bytes()
+	// Graft the FULL ledger's trailer onto the short file, simulating an
+	// attacker who dropped records but forgot (or could not) recompute
+	// the commitment.
+	full := l.Checkpoint()
+	copy(data[len(data)-64:len(data)-32], full.Root[:])
+	copy(data[len(data)-32:], full.Head[:])
+	loaded, lerr := Load(data)
+	if lerr != nil {
+		t.Fatalf("Load: %v", lerr)
+	}
+	if err := loaded.Verify(); !errors.Is(err, ErrTampered) {
+		t.Fatalf("Verify of truncated file with stale trailer = %v, want ErrTampered", err)
+	}
+}
+
+// A forged checkpoint spliced into the serialized trailer must be
+// detected: the recomputed root cannot match an invented one.
+func TestTamperForgedCheckpoint(t *testing.T) {
+	l := build(12)
+	var buf bytes.Buffer
+	l.WriteTo(&buf)
+	data := buf.Bytes()
+	data[len(data)-64] ^= 0x01 // flip one bit of the stored root
+	loaded, err := Load(data)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	verr := loaded.Verify()
+	var te *TamperError
+	if !errors.Is(verr, ErrTampered) || !errors.As(verr, &te) {
+		t.Fatalf("Verify with forged trailer = %v, want TamperError", verr)
+	}
+	if te.Index != 12 {
+		t.Fatalf("forged-checkpoint TamperError.Index = %d, want 12 (the committed size)", te.Index)
+	}
+}
+
+// Byte-level corruption of any serialized record must be caught after
+// Load; sweep a bit flip across every record's body.
+func TestTamperSerializedBitFlips(t *testing.T) {
+	l := build(8)
+	var buf bytes.Buffer
+	l.WriteTo(&buf)
+	clean := buf.Bytes()
+	for off := 16; off < len(clean)-64; off += 13 {
+		data := append([]byte(nil), clean...)
+		data[off] ^= 0x40
+		loaded, err := Load(data)
+		if err != nil {
+			// Structural damage (a length prefix) is an acceptable
+			// detection too.
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("offset %d: Load = %v", off, err)
+			}
+			continue
+		}
+		if verr := loaded.Verify(); !errors.Is(verr, ErrTampered) {
+			t.Fatalf("offset %d: flipped bit survived Load+Verify: %v", off, verr)
+		}
+	}
+}
+
+// Appending after corruption does not heal anything: the first bad
+// index stays pinned.
+func TestTamperThenAppendStillDetected(t *testing.T) {
+	recs := build(10).Records()
+	recs[4].Note = "scrubbed"
+	l := Reconstruct(recs)
+	l.Append(Draft{At: 99, Kind: KindCustody, Note: "post-tamper append"})
+	err := l.Verify()
+	var te *TamperError
+	if !errors.As(err, &te) || te.Index != 4 {
+		t.Fatalf("Verify after post-tamper append = %v, want TamperError at 4", err)
+	}
+}

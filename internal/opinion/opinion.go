@@ -7,11 +7,13 @@
 package opinion
 
 import (
+	"encoding/hex"
 	"fmt"
 	"strings"
 
 	"lawgate/internal/evidence"
 	"lawgate/internal/investigation"
+	"lawgate/internal/ledger"
 )
 
 // Write composes the opinion for the case under the given caption (e.g.
@@ -85,6 +87,20 @@ func Write(c *investigation.Case, caption string) string {
 		if cites := citeLine(it); cites != "" {
 			fmt.Fprintf(&b, " *See* %s.", cites)
 		}
+		// Provenance: cite the exhibit's sealed ledger record and whether
+		// its inclusion proof checks out against the root — the court
+		// admits or suppresses on proven provenance, not a bare flag.
+		proven := false
+		if root, err := c.Ledger().RootAt(a.Proof.Size); err == nil {
+			proven = ledger.VerifyProof(a.RecordHash, a.Proof, root)
+		}
+		if proven {
+			fmt.Fprintf(&b, " The acquisition is sealed as audit-ledger record %d (chain hash `%s…`); its inclusion proof verifies against the ledger root.",
+				a.LedgerSeq, hex.EncodeToString(a.RecordHash[:6]))
+		} else {
+			fmt.Fprintf(&b, " The acquisition's audit-ledger record %d could **not** be proven under the ledger root; its provenance is unestablished.",
+				a.LedgerSeq)
+		}
 		b.WriteString("\n\n")
 	}
 
@@ -99,6 +115,13 @@ func Write(c *investigation.Case, caption string) string {
 		}
 	}
 	fmt.Fprintf(&b, "Of %d exhibits, %d are admitted and %d are suppressed.\n", len(assessments), admitted, suppressed)
+	cp := c.LedgerCheckpoint()
+	if c.VerifyLedger() == nil {
+		fmt.Fprintf(&b, "\nThe record of proceedings rests on a tamper-evident audit ledger of %d sealed records; the court verified the full chain and commits to root `%s`.\n",
+			cp.Size, hex.EncodeToString(cp.Root[:]))
+	} else {
+		fmt.Fprintf(&b, "\n**The audit ledger of record FAILED verification; the integrity of the record of proceedings is in doubt.**\n")
+	}
 	fmt.Fprintf(&b, "\nSO ORDERED.\n")
 	return b.String()
 }

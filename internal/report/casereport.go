@@ -1,25 +1,46 @@
 package report
 
 import (
+	"encoding/hex"
 	"time"
 
 	"lawgate/internal/evidence"
 	"lawgate/internal/investigation"
+	"lawgate/internal/ledger"
 )
 
+// ProofView is a serialization-friendly inclusion proof: the exhibit's
+// ledger record, proven to sit under the cited root. A reader holding
+// only the root can re-run the check with ledger.VerifyProof.
+type ProofView struct {
+	// LedgerSeq is the acquisition record's sequence number.
+	LedgerSeq uint64 `json:"ledgerSeq"`
+	// RecordHash is the record's hex chain hash (the proof's leaf).
+	RecordHash string `json:"recordHash"`
+	// Size is the ledger size the proof targets.
+	Size uint64 `json:"size"`
+	// Path is the hex sibling path, deepest first.
+	Path []string `json:"path"`
+	// Verified reports that the proof was checked against the ledger
+	// root at export time.
+	Verified bool `json:"verified"`
+}
+
 // EvidenceView is a serialization-friendly projection of one evidence item
-// together with its suppression outcome.
+// together with its suppression outcome and its anchor into the audit
+// ledger — admissibility cites an inclusion proof, not a bare flag.
 type EvidenceView struct {
-	ID          string   `json:"id"`
-	Description string   `json:"description"`
-	SHA256      string   `json:"sha256"`
-	Size        int      `json:"size"`
-	Acquisition string   `json:"acquisition"`
-	Required    string   `json:"required"`
-	Held        string   `json:"held"`
-	Status      string   `json:"status"`
-	TaintSource string   `json:"taintSource,omitempty"`
-	Parents     []string `json:"parents,omitempty"`
+	ID          string    `json:"id"`
+	Description string    `json:"description"`
+	SHA256      string    `json:"sha256"`
+	Size        int       `json:"size"`
+	Acquisition string    `json:"acquisition"`
+	Required    string    `json:"required"`
+	Held        string    `json:"held"`
+	Status      string    `json:"status"`
+	TaintSource string    `json:"taintSource,omitempty"`
+	Parents     []string  `json:"parents,omitempty"`
+	Proof       ProofView `json:"proof"`
 }
 
 // CustodyView is one chain-of-custody entry.
@@ -46,6 +67,12 @@ type CaseView struct {
 	CustodyIntact bool           `json:"custodyIntact"`
 	AdmissibleOf  int            `json:"admissible"`
 	TotalExhibits int            `json:"totalExhibits"`
+	// LedgerRoot/LedgerSize commit to the case's audit ledger at export
+	// time; every exhibit's Proof verifies against this root.
+	LedgerRoot string `json:"ledgerRoot"`
+	LedgerSize uint64 `json:"ledgerSize"`
+	// LedgerIntact reports a full Verify pass over the ledger.
+	LedgerIntact bool `json:"ledgerIntact"`
 }
 
 // CaseReport projects a case for export.
@@ -69,6 +96,7 @@ func CaseReport(c *investigation.Case) CaseView {
 			v.AdmissibleOf++
 		}
 	}
+	led := c.Ledger()
 	for _, it := range c.Evidence() {
 		a := byID[it.ID]
 		ev := EvidenceView{
@@ -81,6 +109,17 @@ func CaseReport(c *investigation.Case) CaseView {
 			Held:        it.Held.String(),
 			Status:      a.Status.String(),
 			TaintSource: string(a.TaintSource),
+			Proof: ProofView{
+				LedgerSeq:  a.LedgerSeq,
+				RecordHash: hex.EncodeToString(a.RecordHash[:]),
+				Size:       a.Proof.Size,
+			},
+		}
+		for _, h := range a.Proof.Path {
+			ev.Proof.Path = append(ev.Proof.Path, hex.EncodeToString(h[:]))
+		}
+		if root, err := led.RootAt(a.Proof.Size); err == nil {
+			ev.Proof.Verified = ledger.VerifyProof(a.RecordHash, a.Proof, root)
 		}
 		for _, p := range it.Parents {
 			ev.Parents = append(ev.Parents, string(p))
@@ -99,5 +138,9 @@ func CaseReport(c *investigation.Case) CaseView {
 		})
 	}
 	v.CustodyIntact = c.VerifyCustody() == nil
+	cp := c.LedgerCheckpoint()
+	v.LedgerRoot = hex.EncodeToString(cp.Root[:])
+	v.LedgerSize = cp.Size
+	v.LedgerIntact = c.VerifyLedger() == nil
 	return v
 }

@@ -62,6 +62,7 @@ import (
 	"lawgate/internal/experiment"
 	"lawgate/internal/faults"
 	"lawgate/internal/investigation"
+	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 	"lawgate/internal/p2p"
 	"lawgate/internal/scenario"
@@ -213,6 +214,61 @@ type (
 
 // NewLocker returns an empty evidence locker.
 func NewLocker(opts ...evidence.LockerOption) *Locker { return evidence.NewLocker(opts...) }
+
+// Tamper-evident audit ledger: the hash-chained, Merkle-indexed
+// append-only log that custody, capture, and court records share. A
+// Case seals all three producers onto one ledger; Assessment and the
+// case report cite inclusion proofs against its root.
+type (
+	// Ledger is the append-only, hash-chained audit ledger.
+	Ledger = ledger.Ledger
+	// LedgerRecord is one sealed ledger record.
+	LedgerRecord = ledger.Record
+	// LedgerDraft is the producer-supplied part of a record.
+	LedgerDraft = ledger.Draft
+	// LedgerKind classifies which subsystem produced a record.
+	LedgerKind = ledger.Kind
+	// LedgerProof is an O(log n) inclusion proof for one record.
+	LedgerProof = ledger.Proof
+	// LedgerCheckpoint is a portable commitment to a ledger prefix.
+	LedgerCheckpoint = ledger.Checkpoint
+	// LedgerTamperError pinpoints the first record failing verification.
+	LedgerTamperError = ledger.TamperError
+)
+
+// Ledger record kinds, re-exported.
+const (
+	LedgerKindCustody             = ledger.KindCustody
+	LedgerKindCapture             = ledger.KindCapture
+	LedgerKindAuthorization       = ledger.KindAuthorization
+	LedgerKindAuthorizationDenied = ledger.KindAuthorizationDenied
+	LedgerKindExecution           = ledger.KindExecution
+	LedgerKindCaseEvent           = ledger.KindCaseEvent
+)
+
+// ErrLedgerTampered is the sentinel every ledger-verification failure
+// wraps.
+var ErrLedgerTampered = ledger.ErrTampered
+
+// NewLedger returns an empty audit ledger.
+func NewLedger(opts ...ledger.Option) *Ledger { return ledger.New(opts...) }
+
+// WithLedgerCapacity preallocates ledger storage for n records so the
+// first n appends allocate nothing.
+func WithLedgerCapacity(n int) ledger.Option { return ledger.WithCapacity(n) }
+
+// VerifyLedgerProof checks an inclusion proof: that the record with
+// chain hash leaf sits at p.Index in the ledger whose root over the
+// first p.Size records is root.
+func VerifyLedgerProof(leaf [32]byte, p LedgerProof, root [32]byte) bool {
+	return ledger.VerifyProof(leaf, p, root)
+}
+
+// LoadLedger deserializes a ledger; Verify decides authenticity.
+func LoadLedger(data []byte) (*Ledger, error) { return ledger.Load(data) }
+
+// LoadLedgerFile reads and deserializes a ledger file.
+func LoadLedgerFile(path string) (*Ledger, error) { return ledger.LoadFile(path) }
 
 // Court simulation.
 type (

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Tracked benchmark baselines for the hot paths.
-# Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal]
+# Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger]
 #
 # The default `netsim` target runs the internal/netsim micro-benchmarks
 # (scheduler step, send paths, neighbor lookup, heap churn) and the
@@ -8,12 +8,15 @@
 # The `legal` target runs the BenchmarkRulingsPerSec engine-throughput
 # family (cold/warm/batch/batch-dup) plus the delta-path families
 # (BenchmarkEvaluateDelta, BenchmarkBatchDeltaChain) and writes to
-# BENCH_legal.json.
+# BENCH_legal.json. The `ledger` target runs the audit-ledger family
+# (append, batched append, proof generation, proof verification, full
+# chain verification) and writes to BENCH_ledger.json.
 #
 # Each benchmark runs -count times and the per-benchmark MEDIANS of
 # ns/op, B/op, and allocs/op are written to FILE as JSON. When the
-# target's baseline file (scripts/bench_baseline.json or
-# scripts/bench_baseline_legal.json) exists its contents are embedded
+# target's baseline file (scripts/bench_baseline.json,
+# scripts/bench_baseline_legal.json, or
+# scripts/bench_baseline_ledger.json) exists its contents are embedded
 # under "baseline" so the checked-in artifact carries its own
 # before/after comparison. -short runs one fast iteration of everything
 # — the CI smoke that proves the script and its output format still
@@ -39,12 +42,12 @@ while [ $# -gt 0 ]; do
 		out=$2
 		shift 2
 		;;
-	netsim | legal)
+	netsim | legal | ledger)
 		target=$1
 		shift
 		;;
 	*)
-		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal]" >&2
+		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger]" >&2
 		exit 2
 		;;
 	esac
@@ -80,6 +83,15 @@ legal)
 	echo "== legal engine throughput (count=$count, benchtime=$benchtime)" >&2
 	go test -run '^$' -bench '^(BenchmarkRulingsPerSec|BenchmarkEvaluateDelta|BenchmarkBatchDeltaChain)$' \
 		-benchmem -benchtime "$benchtime" -count "$count" ./internal/legal |
+		tee -a "$tmp" >&2
+	;;
+ledger)
+	[ -n "$out" ] || out=BENCH_ledger.json
+	baseline=scripts/bench_baseline_ledger.json
+	echo "== audit-ledger benchmarks (count=$count, benchtime=$benchtime)" >&2
+	go test -run '^$' \
+		-bench '^(BenchmarkLedgerAppend|BenchmarkLedgerAppendBatch|BenchmarkLedgerProof|BenchmarkLedgerVerifyProof|BenchmarkLedgerVerify)$' \
+		-benchmem -benchtime "$benchtime" -count "$count" ./internal/ledger |
 		tee -a "$tmp" >&2
 	;;
 esac

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	go run ./scripts/benchcheck [-min-speedup NAME=FACTOR ...] [FILE]
+//	go run ./scripts/benchcheck [-min-speedup NAME=FACTOR ...] \
+//	    [-max-ns NAME=NS ...] [-max-allocs NAME=N ...] [FILE]
 //
 // FILE defaults to BENCH_netsim.json. Exits non-zero when the file is
 // missing, malformed, or structurally empty.
@@ -15,6 +16,12 @@
 // entry (baseline ns/op divided by current ns/op >= FACTOR). This is
 // how CI pins a claimed optimization: the committed BENCH file must
 // keep proving the speedup it was merged for.
+//
+// -max-ns NAME=NS and -max-allocs NAME=N (both repeatable) are
+// absolute budgets, independent of any baseline: benchmark NAME must
+// show ns_per_op <= NS, or allocs_per_op <= N. These pin hard targets
+// like "the ledger append stays under a microsecond and allocates
+// nothing" even when the baseline entry describes replaced code.
 package main
 
 import (
@@ -47,42 +54,55 @@ type report struct {
 	Baseline   *baseline `json:"baseline"`
 }
 
-// speedupFlags collects repeated -min-speedup NAME=FACTOR assertions.
-type speedupFlags map[string]float64
+// namedValues collects repeated NAME=VALUE flag assertions.
+type namedValues struct {
+	vals       map[string]float64
+	allowZero  bool
+	valueLabel string
+}
 
-func (s speedupFlags) String() string {
-	parts := make([]string, 0, len(s))
-	for name, f := range s {
+func (s *namedValues) String() string {
+	parts := make([]string, 0, len(s.vals))
+	for name, f := range s.vals {
 		parts = append(parts, fmt.Sprintf("%s=%g", name, f))
 	}
 	return strings.Join(parts, ",")
 }
 
-func (s speedupFlags) Set(v string) error {
-	name, factorStr, ok := strings.Cut(v, "=")
+func (s *namedValues) Set(v string) error {
+	name, valStr, ok := strings.Cut(v, "=")
 	if !ok || name == "" {
-		return fmt.Errorf("want NAME=FACTOR, got %q", v)
+		return fmt.Errorf("want NAME=%s, got %q", s.valueLabel, v)
 	}
-	factor, err := strconv.ParseFloat(factorStr, 64)
-	if err != nil || factor <= 0 {
-		return fmt.Errorf("invalid factor in %q", v)
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil || val < 0 || (val == 0 && !s.allowZero) {
+		return fmt.Errorf("invalid %s in %q", s.valueLabel, v)
 	}
-	s[name] = factor
+	if s.vals == nil {
+		s.vals = map[string]float64{}
+	}
+	s.vals[name] = val
 	return nil
 }
 
 func main() {
-	minSpeedups := speedupFlags{}
+	minSpeedups := &namedValues{valueLabel: "FACTOR"}
+	maxNs := &namedValues{valueLabel: "NS"}
+	maxAllocs := &namedValues{valueLabel: "N", allowZero: true}
 	flag.Var(minSpeedups, "min-speedup",
 		"assert NAME runs >= FACTOR times faster than its baseline (repeatable)")
+	flag.Var(maxNs, "max-ns",
+		"assert NAME's ns_per_op <= NS, an absolute budget (repeatable)")
+	flag.Var(maxAllocs, "max-allocs",
+		"assert NAME's allocs_per_op <= N, an absolute budget (repeatable)")
 	flag.Parse()
-	if err := run(flag.Args(), minSpeedups); err != nil {
+	if err := run(flag.Args(), minSpeedups.vals, maxNs.vals, maxAllocs.vals); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, minSpeedups speedupFlags) error {
+func run(args []string, minSpeedups, maxNs, maxAllocs map[string]float64) error {
 	path := "BENCH_netsim.json"
 	if len(args) > 0 {
 		path = args[0]
@@ -147,6 +167,28 @@ func run(args []string, minSpeedups speedupFlags) error {
 				path, name, got, old.NsPerOp, b.NsPerOp, factor)
 		}
 		fmt.Printf("%s: %.2fx vs baseline (>= %.2fx required)\n", name, got, factor)
+	}
+	for name, budget := range maxNs {
+		b, ok := current[name]
+		if !ok {
+			return fmt.Errorf("%s: -max-ns %s: no such benchmark", path, name)
+		}
+		if b.NsPerOp > budget {
+			return fmt.Errorf("%s: %s runs at %.4g ns/op, over the %.4g ns/op budget",
+				path, name, b.NsPerOp, budget)
+		}
+		fmt.Printf("%s: %.4g ns/op (<= %.4g budget)\n", name, b.NsPerOp, budget)
+	}
+	for name, budget := range maxAllocs {
+		b, ok := current[name]
+		if !ok {
+			return fmt.Errorf("%s: -max-allocs %s: no such benchmark", path, name)
+		}
+		if b.AllocsPerOp > budget {
+			return fmt.Errorf("%s: %s allocates %g allocs/op, over the %g allocs/op budget",
+				path, name, b.AllocsPerOp, budget)
+		}
+		fmt.Printf("%s: %g allocs/op (<= %g budget)\n", name, b.AllocsPerOp, budget)
 	}
 	return nil
 }

@@ -5,10 +5,16 @@
 # Runs, in order: gofmt, vet, build, the full test suite, the race
 # detector over the whole module, and a short-mode smoke run of both
 # experiment commands on the parallel sweep path (-smoke -workers 2).
+# The audit ledger gets its own gates: the adversarial tamper tests
+# rerun under -race, a casefile export/verify-ledger happy-path smoke,
+# a corrupt-one-byte smoke that must exit nonzero, and benchcheck
+# budgets pinning ledger append to <= 1000 ns/op and 0 allocs/op.
 # Full benchmarks are not part of the gate (run `scripts/bench.sh` for
 # those), but a -short bench smoke proves the bench tooling itself
 # still runs and emits parseable JSON; the golden-ruling test in
-# internal/scenario pins the engine's Table 1 output.
+# internal/scenario pins the engine's Table 1 output, and the
+# golden-ledger-root test in internal/investigation pins the ledger
+# encoding the same way.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -75,11 +81,35 @@ go run ./cmd/evaluate -deltas "$tmpdir/events.jsonl" >"$tmpdir/deltas.out"
 grep -q '^base: required' "$tmpdir/deltas.out"
 grep -q '^2 events, 1 ruling changes$' "$tmpdir/deltas.out"
 
-echo "== bench smoke: bench.sh -short emits valid BENCH JSON (netsim + legal)"
+echo "== ledger tamper detection under the race detector"
+go test -race -run 'TestTamper|TestCustodyTamperDetected|TestVerifyAgainstCheckpoint' \
+	./internal/ledger ./internal/evidence
+
+echo "== smoke: casefile -export-ledger + verify-ledger happy path"
+go run ./cmd/casefile -flow kyllo -export-ledger "$tmpdir/kyllo.ledger" >/dev/null
+go run ./cmd/casefile verify-ledger "$tmpdir/kyllo.ledger"
+
+echo "== smoke: verify-ledger detects a corrupted export (expect nonzero exit)"
+# Flip one byte mid-file: past the header, inside a sealed record body.
+cp "$tmpdir/kyllo.ledger" "$tmpdir/kyllo-corrupt.ledger"
+orig=$(dd if="$tmpdir/kyllo-corrupt.ledger" bs=1 skip=40 count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "\\$(printf '%03o' $(((orig + 1) % 256)))" |
+	dd of="$tmpdir/kyllo-corrupt.ledger" bs=1 seek=40 conv=notrunc 2>/dev/null
+if go run ./cmd/casefile verify-ledger "$tmpdir/kyllo-corrupt.ledger" 2>/dev/null; then
+	echo "verify-ledger accepted a corrupted ledger" >&2
+	exit 1
+fi
+
+echo "== bench smoke: bench.sh -short emits valid BENCH JSON (netsim + legal + ledger)"
 scripts/bench.sh -short -o "$tmpdir/bench.json"
 go run ./scripts/benchcheck "$tmpdir/bench.json"
 scripts/bench.sh -short -o "$tmpdir/bench_legal.json" legal
 go run ./scripts/benchcheck "$tmpdir/bench_legal.json"
+scripts/bench.sh -short -o "$tmpdir/bench_ledger.json" ledger
+go run ./scripts/benchcheck \
+	-max-ns 'BenchmarkLedgerAppend=1000' \
+	-max-allocs 'BenchmarkLedgerAppend=0' \
+	"$tmpdir/bench_ledger.json"
 
 echo "== benchcheck: committed BENCH files still valid"
 go run ./scripts/benchcheck BENCH_netsim.json
@@ -87,5 +117,10 @@ go run ./scripts/benchcheck \
 	-min-speedup 'BenchmarkRulingsPerSec/warm=2.0' \
 	-min-speedup 'BenchmarkEvaluateDelta/delta/scalar2=3.0' \
 	BENCH_legal.json
+go run ./scripts/benchcheck \
+	-min-speedup 'BenchmarkLedgerAppend=4.0' \
+	-max-ns 'BenchmarkLedgerAppend=1000' \
+	-max-allocs 'BenchmarkLedgerAppend=0' \
+	BENCH_ledger.json
 
 echo "tier-1 gate: PASS"
