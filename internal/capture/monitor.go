@@ -3,6 +3,7 @@ package capture
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"lawgate/internal/ledger"
@@ -71,9 +72,14 @@ func classifyDelta(d *legal.ActionDelta) CaptureEvent {
 // the ruling untouched and resolve in the engine's O(changed fields)
 // short-circuit.
 //
-// A Monitor is not safe for concurrent use; drive it from the event
-// loop that owns the device.
+// A Monitor is safe for concurrent use: one mutex serializes Apply
+// against the read accessors (Ruling, Events, Transitions, Transcript),
+// so an auditor can stream the transcript while the capture loop is
+// still emitting deltas. Events remain totally ordered by whichever
+// goroutine wins the lock; drive Apply from one goroutine when event
+// order must follow device order.
 type Monitor struct {
+	mu     sync.Mutex
 	engine *legal.Engine
 	ruling legal.Ruling
 	events int
@@ -157,6 +163,8 @@ func (m *Monitor) seal(lineStart int, ev CaptureEvent, at time.Duration) {
 // process or governing regime. Errors (a delta that makes the action
 // invalid) leave the monitor's state untouched.
 func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	next, err := m.engine.EvaluateDelta(&m.ruling, d)
 	if err != nil {
 		return legal.Ruling{}, false, fmt.Errorf("capture: monitor event %d: %w", m.events+1, err)
@@ -197,13 +205,23 @@ func (m *Monitor) appendStatus(buf []byte, r *legal.Ruling) []byte {
 }
 
 // Ruling returns the determination currently in force.
-func (m *Monitor) Ruling() legal.Ruling { return m.ruling }
+func (m *Monitor) Ruling() legal.Ruling {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ruling
+}
 
 // Events reports how many mutation events the monitor has applied.
-func (m *Monitor) Events() int { return m.events }
+func (m *Monitor) Events() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
 
 // Transitions returns a copy of the ruling-changing events, in order.
 func (m *Monitor) Transitions() []Transition {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]Transition, len(m.trans))
 	copy(out, m.trans)
 	return out
@@ -212,4 +230,8 @@ func (m *Monitor) Transitions() []Transition {
 // Transcript returns the full audit transcript: one line per event
 // (fingerprint, delta encoding, resulting status), whether or not the
 // ruling changed.
-func (m *Monitor) Transcript() string { return string(m.log) }
+func (m *Monitor) Transcript() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return string(m.log)
+}

@@ -220,6 +220,22 @@ func (l *Ledger) ProofAt(seq, n uint64) (Proof, error) {
 	return l.idx.proof(l.seal, seq, n)
 }
 
+// ConsistencyProof returns the RFC 6962 consistency proof that the
+// ledger prefix of n records extends the prefix of m records, m <= n <=
+// Len(). A verifier holding the checkpoint roots for both sizes checks
+// it with VerifyConsistency — no records and no replay required — so a
+// tenant who anchored an earlier checkpoint externally can confirm the
+// ledger only grew. Like historical roots, proofs for any past size
+// pair stay computable because interior nodes never change.
+func (l *Ledger) ConsistencyProof(m, n uint64) (ConsistencyProof, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > l.n {
+		return ConsistencyProof{}, fmt.Errorf("ledger: consistency proof size %d out of range (size %d)", n, l.n)
+	}
+	return l.idx.consistencyProof(l.seal, m, n)
+}
+
 // Verify audits the whole ledger: every record's sequence number,
 // back-link, and chain hash is recomputed, the Merkle index leaf is
 // cross-checked, and — for a deserialized ledger — the recomputed root

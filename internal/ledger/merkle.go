@@ -135,6 +135,112 @@ func (x *index) proof(s *sealer, idx, n uint64) (Proof, error) {
 	return Proof{Index: idx, Size: n, Path: x.authPath(s, idx, 0, n, nil)}, nil
 }
 
+// ConsistencyProof proves that the ledger of NewSize records is an
+// append-only extension of the ledger of OldSize records: the RFC 6962
+// § 2.1.2 Merkle consistency proof. A verifier holding the two
+// checkpoint roots needs only the O(log n) Path — no records, no
+// replay — to conclude that nothing committed at OldSize was later
+// rewritten or reordered.
+type ConsistencyProof struct {
+	// OldSize and NewSize are the two committed record counts,
+	// OldSize <= NewSize.
+	OldSize, NewSize uint64
+	// Path holds the node digests of the proof, in RFC 6962 order.
+	Path [][32]byte
+}
+
+// consistency appends the RFC 6962 SUBPROOF(m, D[a:b], complete) node
+// hashes for proving that the tree over the first m leaves of the range
+// [a, b) is a prefix of the tree over the whole range. complete records
+// whether the subtree root over the first m leaves is already known to
+// the verifier (true only on the unbroken left spine from the root).
+func (x *index) consistency(s *sealer, m, a, b uint64, complete bool, out [][32]byte) [][32]byte {
+	n := b - a
+	if m == n {
+		if complete {
+			return out
+		}
+		return append(out, x.rangeHash(s, a, b))
+	}
+	k := uint64(1) << (bits.Len64(n-1) - 1) // largest power of two < n
+	if m <= k {
+		out = x.consistency(s, m, a, a+k, complete, out)
+		return append(out, x.rangeHash(s, a+k, b))
+	}
+	out = x.consistency(s, m-k, a+k, b, false, out)
+	return append(out, x.rangeHash(s, a, a+k))
+}
+
+// consistencyProof builds the proof that the tree of size n extends the
+// tree of size m.
+func (x *index) consistencyProof(s *sealer, m, n uint64) (ConsistencyProof, error) {
+	if m > n {
+		return ConsistencyProof{}, fmt.Errorf("ledger: consistency proof sizes %d > %d", m, n)
+	}
+	p := ConsistencyProof{OldSize: m, NewSize: n}
+	if m == n || m == 0 {
+		// Equal sizes need no path (equal roots decide); size zero is
+		// extended by everything (the empty-string root decides).
+		return p, nil
+	}
+	p.Path = x.consistency(s, m, 0, n, true, nil)
+	return p, nil
+}
+
+// VerifyConsistency reports whether p proves that the ledger whose root
+// over p.NewSize records is newRoot extends the ledger whose root over
+// p.OldSize records was oldRoot (the RFC 6962 § 2.1.4.2 check). It
+// needs no ledger state: the verifier holds only the two published
+// checkpoint roots and the proof.
+func VerifyConsistency(p ConsistencyProof, oldRoot, newRoot [32]byte) bool {
+	m, n := p.OldSize, p.NewSize
+	if m > n {
+		return false
+	}
+	if m == n {
+		return len(p.Path) == 0 && oldRoot == newRoot
+	}
+	if m == 0 {
+		return len(p.Path) == 0 && oldRoot == emptyRoot()
+	}
+	path := p.Path
+	// When m is an exact power of two, the old root itself is the first
+	// node of the recomputation; otherwise the proof carries it.
+	fr, sr := oldRoot, oldRoot
+	if m&(m-1) != 0 {
+		if len(path) == 0 {
+			return false
+		}
+		fr, sr = path[0], path[0]
+		path = path[1:]
+	}
+	h := sha256.New()
+	fn, sn := m-1, n-1
+	for fn%2 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	for _, c := range path {
+		if sn == 0 {
+			return false
+		}
+		switch {
+		case fn%2 == 1 || fn == sn:
+			fr = interiorHash(h, &c, &fr)
+			sr = interiorHash(h, &c, &sr)
+			for fn != 0 && fn%2 == 0 {
+				fn >>= 1
+				sn >>= 1
+			}
+		default:
+			sr = interiorHash(h, &sr, &c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && fr == oldRoot && sr == newRoot
+}
+
 // VerifyProof reports whether p proves that the record whose chain hash
 // is leaf sits at p.Index in the ledger whose root over the first
 // p.Size records is root (the RFC 6962 audit-path check). It needs no

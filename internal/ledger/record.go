@@ -30,6 +30,10 @@ const (
 	// KindCaseEvent is an investigation-level event (a suppression
 	// hearing outcome).
 	KindCaseEvent
+	// KindService is a ruling-service event from lawgated: tenant
+	// provisioning, doctrine-table installs, served rulings, sealed
+	// shutdown checkpoints (codes in internal/server).
+	KindService
 )
 
 var kindNames = map[Kind]string{
@@ -39,6 +43,7 @@ var kindNames = map[Kind]string{
 	KindAuthorizationDenied: "authorization-denied",
 	KindExecution:           "execution",
 	KindCaseEvent:           "case-event",
+	KindService:             "service",
 }
 
 // String returns the human-readable kind name.

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// errShed is returned when the wait queue is full: the request is shed
+// immediately (fast 429 + Retry-After) instead of joining a line that
+// can only grow latency for everyone.
+var errShed = errors.New("server: admission queue full")
+
+// admission is the server's bounded work queue. slots caps the number
+// of requests evaluating concurrently; up to maxWait more may wait for
+// a slot (bounded by their own deadlines); everything beyond that is
+// shed. The two bounds turn overload into fast, deliberate 429s with
+// stable latency for admitted work, instead of unbounded queueing
+// followed by timeouts for everyone.
+type admission struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+
+	shed     atomic.Uint64
+	expired  atomic.Uint64
+	admitted atomic.Uint64
+}
+
+// newAdmission sizes the controller: slots concurrent evaluations,
+// maxWait queued waiters.
+func newAdmission(slots, maxWait int) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &admission{slots: make(chan struct{}, slots), maxWait: int64(maxWait)}
+}
+
+// admit acquires an evaluation slot, waiting within ctx's deadline. The
+// release function must be called exactly once when the work is done.
+// Errors: errShed when the wait queue is full, ctx.Err() when the
+// deadline expired while queued — the waiter goroutine always unwinds,
+// never leaks.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxWait {
+		a.waiting.Add(-1)
+		a.shed.Add(1)
+		return nil, errShed
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return a.release, nil
+	case <-ctx.Done():
+		a.expired.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// queueDepth reports how many requests are currently waiting.
+func (a *admission) queueDepth() int64 { return a.waiting.Load() }
+
+// tokenBucket is a per-tenant rate limiter: rate tokens/second refilled
+// continuously up to burst. take is cheap (one mutex, no goroutines, no
+// timers) and reports how long until a token would be available, which
+// becomes the 429's Retry-After.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate, burst float64, now func() time.Time) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	b := &tokenBucket{rate: rate, burst: burst, tokens: burst, now: now}
+	b.last = now()
+	return b
+}
+
+// take consumes one token if available; otherwise it reports the wait
+// until the next token accrues.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

@@ -1,0 +1,180 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"lawgate/internal/ledger"
+	"lawgate/internal/legal"
+)
+
+// TestGracefulShutdown drives the full drain sequence: readiness flips
+// to 503 first, in-flight requests finish with real statuses, and every
+// tenant ledger gains a verifiable final checkpoint record committing
+// to everything served.
+func TestGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	s := mustServer(t,
+		WithTenants("default", "lab"),
+		// The drain delay holds the listener open so the 503 readiness
+		// flip is observable over the wire before connections stop.
+		WithDrainDelay(250*time.Millisecond),
+		WithEvalHook(func(ctx context.Context, _ string, a *legal.Action) {
+			if a.Name == "slow" {
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+			}
+		}),
+	)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	// Warm both tenants so their ledgers have served records.
+	for _, tenant := range []string{"default", "lab"} {
+		resp, data := postJSON(t, http.DefaultClient,
+			base+"/v1/evaluate?tenant="+tenant, validAction())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warmup %s: status %d body %s", tenant, resp.StatusCode, data)
+		}
+	}
+
+	// Park one request in-flight, then begin the drain.
+	var wg sync.WaitGroup
+	inflightStatus := make(chan int, 1)
+	slow := validAction()
+	slow.Name = "slow"
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postJSON(t, http.DefaultClient, base+"/v1/evaluate", slow)
+		inflightStatus <- resp.StatusCode
+	}()
+	waitFor(t, func() bool { return len(s.adm.slots) == 1 })
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// Readiness flips before the listener stops accepting.
+	waitFor(t, func() bool { return !s.ready.Load() })
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatalf("readyz during drain: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain = %d, want 503", resp.StatusCode)
+	}
+
+	// Release the in-flight request; the drain must wait for it.
+	close(release)
+	if st := <-inflightStatus; st != http.StatusOK {
+		t.Fatalf("in-flight request finished %d during drain, want 200", st)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+
+	// Every tenant sealed a final checkpoint, and each ledger verifies
+	// end to end with the checkpoint record as its last entry.
+	cps := s.FinalCheckpoints()
+	if len(cps) != 2 {
+		t.Fatalf("final checkpoints = %d, want 2", len(cps))
+	}
+	for _, cp := range cps {
+		led := s.Registry().Get(cp.Tenant).Ledger()
+		if err := led.Verify(); err != nil {
+			t.Fatalf("tenant %s: ledger verify: %v", cp.Tenant, err)
+		}
+		if got := uint64(led.Len()); got != cp.Checkpoint.Size+1 {
+			t.Fatalf("tenant %s: ledger has %d records, want sealed size %d + 1",
+				cp.Tenant, got, cp.Checkpoint.Size)
+		}
+		rec, err := led.Record(cp.Seq)
+		if err != nil {
+			t.Fatalf("tenant %s: reading seal record: %v", cp.Tenant, err)
+		}
+		if rec.Kind != ledger.KindService || rec.Code != ServiceCheckpointSealed {
+			t.Fatalf("tenant %s: last record kind/code = %v/%d", cp.Tenant, rec.Kind, rec.Code)
+		}
+		// The sealed root must bridge from the checkpoint via a valid
+		// consistency proof to the final ledger state.
+		final := led.Checkpoint()
+		proof, err := led.ConsistencyProof(cp.Checkpoint.Size, final.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ledger.VerifyConsistency(proof, cp.Checkpoint.Root, final.Root) {
+			t.Fatalf("tenant %s: sealed checkpoint does not extend to final state", cp.Tenant)
+		}
+	}
+
+	// The listener is closed: new connections fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// TestShutdownIdempotentWithoutListener covers Shutdown on a server
+// that never listened (handler-only tests, unit harnesses).
+func TestShutdownIdempotentWithoutListener(t *testing.T) {
+	s := mustServer(t)
+	if err := s.Shutdown(testCtx(t, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.FinalCheckpoints()) != 1 {
+		t.Fatalf("final checkpoints = %d, want 1", len(s.FinalCheckpoints()))
+	}
+}
+
+// TestDrainDelayKeepsServing verifies the pre-drain window: during
+// drainDelay the listener still serves (load balancers route away on
+// readiness, not on connection refused).
+func TestDrainDelayKeepsServing(t *testing.T) {
+	s := mustServer(t, WithDrainDelay(300*time.Millisecond))
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	waitFor(t, func() bool { return !s.ready.Load() })
+
+	// Not ready, but still serving.
+	resp, data := postJSON(t, http.DefaultClient, base+"/v1/evaluate", validAction())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("during drain delay: status %d body %s", resp.StatusCode, data)
+	}
+	var out EvaluateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("%s/healthz", base)); err == nil {
+		t.Fatal("listener still accepting after drain delay shutdown")
+	}
+}

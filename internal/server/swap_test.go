@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/report"
+)
+
+// cristAction is the scene-18 hash search (United States v. Crist): a
+// government examination of a lawfully seized device that exceeds the
+// original authority. The two container doctrines genuinely diverge on
+// it — per-file requires a warrant, single-container does not — so any
+// response exposes exactly which doctrine table ruled it.
+func cristAction() legal.Action {
+	return legal.Action{
+		Name:                  "crist-hash-search",
+		Actor:                 legal.ActorGovernment,
+		Timing:                legal.TimingStored,
+		Data:                  legal.DataDeviceContents,
+		Source:                legal.SourceSeizedDevice,
+		SearchBeyondAuthority: true,
+	}
+}
+
+// TestHotSwapLinearizability races a rules hot-swap against 1000
+// in-flight evaluations and byte-compares every response against the
+// only two legal transcripts: the exact pre-swap response or the exact
+// post-swap response. Any torn state — a half-installed table, a
+// revision paired with the wrong doctrine, a mixed ruling — produces a
+// third byte sequence and fails. Requests issued after the swap
+// returns must all observe the new table.
+func TestHotSwapLinearizability(t *testing.T) {
+	s := mustServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	client.Transport = &http.Transport{MaxIdleConnsPerHost: 64}
+
+	tenant := s.Registry().Get("default")
+	preVer := tenant.Engine()
+	singleCfg := RuleConfig{Container: "single"}
+	postEng, _, err := singleCfg.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The two legal response bodies, rendered exactly as the handler
+	// renders them. The post revision is preVer+1: the registry's
+	// revision counter is global and nothing else installs during the
+	// race.
+	renderBody := func(eng *legal.Engine, rev uint64) []byte {
+		t.Helper()
+		ruling, err := eng.Evaluate(cristAction())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(EvaluateResponse{
+			Tenant:   "default",
+			Revision: rev,
+			Ruling:   report.FromRuling(ruling),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(data, '\n')
+	}
+	preBody := renderBody(preVer.Engine, preVer.Revision)
+	postBody := renderBody(postEng, preVer.Revision+1)
+	if bytes.Equal(preBody, postBody) {
+		t.Fatal("doctrine tables do not diverge on the probe action; the test proves nothing")
+	}
+
+	actionJSON, err := json.Marshal(cristAction())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgJSON, err := json.Marshal(singleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 1000
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		pre, post int
+		swapGate  = make(chan struct{})
+		swapOnce  sync.Once
+	)
+	bodies := make([][]byte, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// A quarter of the way in, fire the swap concurrently.
+			if i == inflight/4 {
+				swapOnce.Do(func() { close(swapGate) })
+			}
+			resp, err := client.Post(ts.URL+"/v1/evaluate", "application/json",
+				bytes.NewReader(actionJSON))
+			if err != nil {
+				t.Errorf("evaluate %d: %v", i, err)
+				return
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("evaluate %d: status %d body %s", i, resp.StatusCode, buf.Bytes())
+				return
+			}
+			bodies[i] = buf.Bytes()
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-swapGate
+		req, err := http.NewRequest("PUT", ts.URL+"/v1/tenants/default/rules",
+			bytes.NewReader(cfgJSON))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Errorf("hot swap: %v", err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("hot swap: status %d", resp.StatusCode)
+		}
+	}()
+	wg.Wait()
+
+	for i, body := range bodies {
+		switch {
+		case body == nil:
+			t.Fatalf("request %d produced no body", i)
+		case bytes.Equal(body, preBody):
+			mu.Lock()
+			pre++
+			mu.Unlock()
+		case bytes.Equal(body, postBody):
+			mu.Lock()
+			post++
+			mu.Unlock()
+		default:
+			t.Fatalf("request %d observed a third state:\n got  %s\n pre  %s\n post %s",
+				i, body, preBody, postBody)
+		}
+	}
+	if pre+post != inflight {
+		t.Fatalf("pre %d + post %d != %d", pre, post, inflight)
+	}
+	if post == 0 {
+		t.Fatal("no request observed the new table; the swap never landed during the race")
+	}
+	t.Logf("linearizable: %d pre-swap, %d post-swap, 0 torn", pre, post)
+
+	// Every request issued after the swap completed sees only the new
+	// table: the pointer store is immediately visible.
+	for i := 0; i < 10; i++ {
+		resp, err := client.Post(ts.URL+"/v1/evaluate", "application/json",
+			bytes.NewReader(actionJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(buf.Bytes(), postBody) {
+			t.Fatalf("post-swap request %d still observes the old table: %s", i, buf.Bytes())
+		}
+	}
+}

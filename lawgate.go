@@ -244,6 +244,7 @@ const (
 	LedgerKindAuthorizationDenied = ledger.KindAuthorizationDenied
 	LedgerKindExecution           = ledger.KindExecution
 	LedgerKindCaseEvent           = ledger.KindCaseEvent
+	LedgerKindService             = ledger.KindService
 )
 
 // ErrLedgerTampered is the sentinel every ledger-verification failure
@@ -262,6 +263,17 @@ func WithLedgerCapacity(n int) ledger.Option { return ledger.WithCapacity(n) }
 // first p.Size records is root.
 func VerifyLedgerProof(leaf [32]byte, p LedgerProof, root [32]byte) bool {
 	return ledger.VerifyProof(leaf, p, root)
+}
+
+// LedgerConsistencyProof proves one checkpoint extends another without
+// replaying records (RFC 6962 § 2.1.2).
+type LedgerConsistencyProof = ledger.ConsistencyProof
+
+// VerifyLedgerConsistency checks that the ledger whose root over
+// p.NewSize records is newRoot is an append-only extension of the
+// ledger whose root over p.OldSize records was oldRoot.
+func VerifyLedgerConsistency(p LedgerConsistencyProof, oldRoot, newRoot [32]byte) bool {
+	return ledger.VerifyConsistency(p, oldRoot, newRoot)
 }
 
 // LoadLedger deserializes a ledger; Verify decides authenticity.

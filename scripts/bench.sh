@@ -1,6 +1,6 @@
 #!/bin/sh
 # Tracked benchmark baselines for the hot paths.
-# Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger]
+# Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger|server]
 #
 # The default `netsim` target runs the internal/netsim micro-benchmarks
 # (scheduler step, send paths, neighbor lookup, heap churn) and the
@@ -10,7 +10,15 @@
 # (BenchmarkEvaluateDelta, BenchmarkBatchDeltaChain) and writes to
 # BENCH_legal.json. The `ledger` target runs the audit-ledger family
 # (append, batched append, proof generation, proof verification, full
-# chain verification) and writes to BENCH_ledger.json.
+# chain verification) and writes to BENCH_ledger.json. The `server`
+# target runs the lawgated chaos bench (internal/server/loadgen driving
+# a live in-process server over TCP through bursts, malformed JSON,
+# oversized bodies, slow-loris connections, poisoned evaluations, and
+# mid-run doctrine hot swaps), asserts every request ended in a
+# deliberate status with no goroutine leak, and writes the observed
+# latency percentiles and rulings/sec to BENCH_server.json; lawgated
+# emits the report JSON itself, with a direct Engine.Evaluate baseline
+# measured in the same run.
 #
 # Each benchmark runs -count times and the per-benchmark MEDIANS of
 # ns/op, B/op, and allocs/op are written to FILE as JSON. When the
@@ -42,12 +50,12 @@ while [ $# -gt 0 ]; do
 		out=$2
 		shift 2
 		;;
-	netsim | legal | ledger)
+	netsim | legal | ledger | server)
 		target=$1
 		shift
 		;;
 	*)
-		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger]" >&2
+		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger|server]" >&2
 		exit 2
 		;;
 	esac
@@ -57,6 +65,18 @@ benchtime=1s
 if [ "$short" = 1 ]; then
 	count=1
 	benchtime=100x
+fi
+
+# The server target is self-contained: lawgated runs the chaos schedule
+# and writes the report JSON (with its in-run baseline) itself.
+if [ "$target" = server ]; then
+	[ -n "$out" ] || out=BENCH_server.json
+	duration=2s
+	[ "$short" = 1 ] && duration=400ms
+	echo "== lawgated chaos bench (duration=$duration)" >&2
+	go run ./cmd/lawgated -bench -bench-duration "$duration" -o "$out"
+	echo "wrote $out" >&2
+	exit 0
 fi
 
 tmp=$(mktemp)

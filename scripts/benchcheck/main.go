@@ -39,6 +39,9 @@ type entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// OpsPerSec is set by throughput-style benchmarks (the lawgated
+	// chaos bench reports rulings/sec); 0 when not applicable.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 }
 
 type baseline struct {
@@ -89,20 +92,23 @@ func main() {
 	minSpeedups := &namedValues{valueLabel: "FACTOR"}
 	maxNs := &namedValues{valueLabel: "NS"}
 	maxAllocs := &namedValues{valueLabel: "N", allowZero: true}
+	minOps := &namedValues{valueLabel: "OPS"}
 	flag.Var(minSpeedups, "min-speedup",
 		"assert NAME runs >= FACTOR times faster than its baseline (repeatable)")
 	flag.Var(maxNs, "max-ns",
 		"assert NAME's ns_per_op <= NS, an absolute budget (repeatable)")
 	flag.Var(maxAllocs, "max-allocs",
 		"assert NAME's allocs_per_op <= N, an absolute budget (repeatable)")
+	flag.Var(minOps, "min-ops",
+		"assert NAME's ops_per_sec >= OPS, an absolute throughput floor (repeatable)")
 	flag.Parse()
-	if err := run(flag.Args(), minSpeedups.vals, maxNs.vals, maxAllocs.vals); err != nil {
+	if err := run(flag.Args(), minSpeedups.vals, maxNs.vals, maxAllocs.vals, minOps.vals); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, minSpeedups, maxNs, maxAllocs map[string]float64) error {
+func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64) error {
 	path := "BENCH_netsim.json"
 	if len(args) > 0 {
 		path = args[0]
@@ -189,6 +195,17 @@ func run(args []string, minSpeedups, maxNs, maxAllocs map[string]float64) error 
 				path, name, b.AllocsPerOp, budget)
 		}
 		fmt.Printf("%s: %g allocs/op (<= %g budget)\n", name, b.AllocsPerOp, budget)
+	}
+	for name, floor := range minOps {
+		b, ok := current[name]
+		if !ok {
+			return fmt.Errorf("%s: -min-ops %s: no such benchmark", path, name)
+		}
+		if b.OpsPerSec < floor {
+			return fmt.Errorf("%s: %s runs at %.4g ops/sec, under the %.4g ops/sec floor",
+				path, name, b.OpsPerSec, floor)
+		}
+		fmt.Printf("%s: %.4g ops/sec (>= %.4g floor)\n", name, b.OpsPerSec, floor)
 	}
 	return nil
 }

@@ -9,6 +9,13 @@
 # rerun under -race, a casefile export/verify-ledger happy-path smoke,
 # a corrupt-one-byte smoke that must exit nonzero, and benchcheck
 # budgets pinning ledger append to <= 1000 ns/op and 0 allocs/op.
+# The lawgated ruling service gets a live smoke: serve on an ephemeral
+# port, run the full conformance probe (every endpoint plus the
+# deliberate 4xx paths), then SIGTERM and require a graceful exit 0
+# with final ledger checkpoints sealed; a -short chaos bench proves the
+# loadgen schedule completes with every request accounted, and the
+# committed BENCH_server.json is gated on a p99 latency budget and a
+# rulings/sec floor.
 # Full benchmarks are not part of the gate (run `scripts/bench.sh` for
 # those), but a -short bench smoke proves the bench tooling itself
 # still runs and emits parseable JSON; the golden-ruling test in
@@ -100,6 +107,26 @@ if go run ./cmd/casefile verify-ledger "$tmpdir/kyllo-corrupt.ledger" 2>/dev/nul
 	exit 1
 fi
 
+echo "== smoke: lawgated serve -> probe -> SIGTERM graceful drain (expect exit 0)"
+go build -o "$tmpdir/lawgated" ./cmd/lawgated
+"$tmpdir/lawgated" -addr 127.0.0.1:0 -port-file "$tmpdir/lawgated.port" \
+	-tenants default,lab 2>"$tmpdir/lawgated.log" &
+lawgated_pid=$!
+for _ in $(seq 1 100); do
+	[ -s "$tmpdir/lawgated.port" ] && break
+	sleep 0.1
+done
+[ -s "$tmpdir/lawgated.port" ] || {
+	echo "lawgated never wrote its port file" >&2
+	cat "$tmpdir/lawgated.log" >&2
+	exit 1
+}
+"$tmpdir/lawgated" -probe "http://$(cat "$tmpdir/lawgated.port")" >/dev/null
+kill -TERM "$lawgated_pid"
+wait "$lawgated_pid" # set -e: a non-zero (non-graceful) exit fails the gate
+grep -q 'drained clean' "$tmpdir/lawgated.log"
+grep -q 'sealed final checkpoint' "$tmpdir/lawgated.log"
+
 echo "== bench smoke: bench.sh -short emits valid BENCH JSON (netsim + legal + ledger)"
 scripts/bench.sh -short -o "$tmpdir/bench.json"
 go run ./scripts/benchcheck "$tmpdir/bench.json"
@@ -110,6 +137,10 @@ go run ./scripts/benchcheck \
 	-max-ns 'BenchmarkLedgerAppend=1000' \
 	-max-allocs 'BenchmarkLedgerAppend=0' \
 	"$tmpdir/bench_ledger.json"
+
+echo "== bench smoke: chaos bench completes with every request accounted (server)"
+scripts/bench.sh -short -o "$tmpdir/bench_server.json" server
+go run ./scripts/benchcheck "$tmpdir/bench_server.json"
 
 echo "== benchcheck: committed BENCH files still valid"
 go run ./scripts/benchcheck BENCH_netsim.json
@@ -122,5 +153,13 @@ go run ./scripts/benchcheck \
 	-max-ns 'BenchmarkLedgerAppend=1000' \
 	-max-allocs 'BenchmarkLedgerAppend=0' \
 	BENCH_ledger.json
+# p50 carries the real latency budget; p99 is lenient because the
+# chaos schedule deliberately kills keep-alive connections (413s and
+# recovered panics force closes), so tail evaluates pay reconnect cost.
+go run ./scripts/benchcheck \
+	-max-ns 'ServerEvaluateP50=10000000' \
+	-max-ns 'ServerEvaluateP99=200000000' \
+	-min-ops 'ServerRulingsPerSec=1000' \
+	BENCH_server.json
 
 echo "tier-1 gate: PASS"
