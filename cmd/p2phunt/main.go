@@ -11,10 +11,16 @@
 // churn. -trial-timeout and -max-steps bound each trial; a trial cut off
 // by either bound fails the run with a joined error naming it.
 //
+// With -partitions P the swarm-scale series is appended: the timing
+// attack inside a preferential-attachment swarm with organic query
+// load, run on the sharded parallel engine with P partitions. The
+// emitted results are identical for every P — only wall-clock time
+// changes — so CI compares runs at different partition counts.
+//
 // Usage:
 //
 //	p2phunt [-neighbors N] [-sources S] [-trials T] [-workers W] [-seed S]
-//	        [-faults PROFILE] [-trial-timeout D] [-max-steps N]
+//	        [-faults PROFILE] [-partitions P] [-trial-timeout D] [-max-steps N]
 //	        [-cpuprofile FILE] [-memprofile FILE]
 //	        [-json|-csv] [-smoke]
 package main
@@ -44,6 +50,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "master seed; per-trial seeds derive from it")
 	flag.StringVar(&o.faults, "faults", "",
 		"fault profile ("+strings.Join(faults.Profiles(), ", ")+"); adds loss and churn degradation series")
+	flag.IntVar(&o.partitions, "partitions", 0,
+		"run the swarm-scale series on the sharded engine with this many partitions (0 = skip)")
 	flag.DurationVar(&o.trialTimeout, "trial-timeout", 0, "wall-clock bound per trial (0 = none)")
 	flag.Int64Var(&o.maxSteps, "max-steps", 0, "simulator event bound per trial (0 = default)")
 	flag.BoolVar(&o.json, "json", false, "emit results as JSON instead of text")
@@ -69,6 +77,7 @@ func main() {
 
 type options struct {
 	neighbors, sources, trials, workers int
+	partitions                          int
 	seed                                int64
 	faults                              string
 	trialTimeout                        time.Duration
@@ -130,6 +139,20 @@ func sweeps(o options) ([]experiment.Sweep, error) {
 			p2p.ChurnSweep(sc, fixedProbes, downs),
 		)
 	}
+	if o.partitions > 0 {
+		scale := p2p.DefaultScaleConfig()
+		scale.Reps = o.trials
+		scale.Seed = o.seed
+		scale.Partitions = o.partitions
+		scale.MaxSteps = o.maxSteps
+		scale.Faults = sc.Faults
+		swarms := []int{200, 400, 800}
+		if o.smoke {
+			scale.Neighbors, scale.Sources, scale.Probes = 6, 2, 2
+			swarms = []int{48, 96}
+		}
+		out = append(out, p2p.ScaleSweep(scale, swarms))
+	}
 	return out, nil
 }
 
@@ -170,6 +193,7 @@ func render(w io.Writer, o options, report experiment.Report) error {
 		"p2p-delay-floor":  "classification vs delay floor (overlap when floor < ~170 ms)",
 		"p2p-loss":         "classification vs injected packet loss (degradation)",
 		"p2p-churn":        "classification vs peer churn down-fraction (degradation)",
+		"p2p-swarm-scale":  "classification vs swarm size (organic load on the evidence channel)",
 	}
 	for _, s := range report.Series {
 		fmt.Fprintf(tw, "\nSeries %s: %s\n", s.Sweep, titles[s.Sweep])

@@ -13,10 +13,16 @@
 // -trial-timeout and -max-steps bound each trial; a trial cut off by
 // either bound fails the run with a joined error naming it.
 //
+// With -partitions P the load-scale series is appended: detection on
+// the campus+ISP+Tor composite topology under growing background load,
+// run on the sharded parallel engine with P partitions. The emitted
+// results are identical for every P — only wall-clock time changes —
+// so CI compares runs at different partition counts.
+//
 // Usage:
 //
 //	tracewatermark [-trials T] [-workers W] [-seed S]
-//	               [-faults PROFILE] [-trial-timeout D] [-max-steps N]
+//	               [-faults PROFILE] [-partitions P] [-trial-timeout D] [-max-steps N]
 //	               [-cpuprofile FILE] [-memprofile FILE]
 //	               [-json|-csv] [-smoke]
 package main
@@ -44,6 +50,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "master seed; per-trial seeds derive from it")
 	flag.StringVar(&o.faults, "faults", "",
 		"fault profile ("+strings.Join(faults.Profiles(), ", ")+"); adds loss and jitter degradation series")
+	flag.IntVar(&o.partitions, "partitions", 0,
+		"run the load-scale series on the sharded engine with this many partitions (0 = skip)")
 	flag.DurationVar(&o.trialTimeout, "trial-timeout", 0, "wall-clock bound per trial (0 = none)")
 	flag.Int64Var(&o.maxSteps, "max-steps", 0, "simulator event bound per trial (0 = default)")
 	flag.BoolVar(&o.json, "json", false, "emit results as JSON instead of text")
@@ -69,6 +77,7 @@ func main() {
 
 type options struct {
 	trials, workers  int
+	partitions       int
 	seed             int64
 	faults           string
 	trialTimeout     time.Duration
@@ -128,6 +137,19 @@ func sweeps(o options) ([]experiment.Sweep, error) {
 			watermark.JitterSweep(base, reps, o.seed, jitters),
 		)
 	}
+	if o.partitions > 0 {
+		scale := watermark.DefaultScaleConfig()
+		scale.Partitions = o.partitions
+		load := base
+		hostCounts := []int{32, 96, 256}
+		if o.smoke {
+			load.CodeDegree = 5
+			scale.HostsPerCampus = 4
+			scale.TorRelays = 2
+			hostCounts = []int{8, 16}
+		}
+		out = append(out, watermark.ScaleSweep(load, scale, reps, o.seed, hostCounts))
+	}
 	return out, nil
 }
 
@@ -170,6 +192,7 @@ func render(w io.Writer, o options, report experiment.Report) error {
 		"watermark-lineup":      "lineup identification — which of K candidates is the downloader",
 		"watermark-loss":        "detection vs injected packet loss (degradation, noise=1.0)",
 		"watermark-jitter":      "detection vs injected reorder jitter (degradation, noise=1.0)",
+		"watermark-load":        "detection vs background hosts on the shared trunk (composite topology)",
 	}
 	for _, s := range report.Series {
 		fmt.Fprintf(tw, "\nSeries %s: %s\n", s.Sweep, titles[s.Sweep])

@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"lawgate/internal/experiment"
+	"lawgate/internal/netsim"
+)
+
+// Partitioned realizes a Plan for sharded simulations. The classic
+// Injector cannot cross a partition boundary for two reasons: its
+// transmit RNG is one global stream consumed in event order (so the
+// fault a packet draws would depend on what other partitions sent
+// first), and its lazy timeline map is written on first query (a data
+// race between partition goroutines). Partitioned fixes both by keying
+// every piece of state to a node, pre-materialized for a declared node
+// set:
+//
+//   - each node's transmit stream derives from (seed, streamTransmit,
+//     fnv(id)) and is consumed only by that node's own sends, in that
+//     node's event order — partition-invariant by the same argument as
+//     the simulator's per-node streams;
+//   - each node's churn timeline derives from (seed, streamChurn,
+//     fnv(id)) — the identical path the classic Injector uses, so a
+//     node's outage schedule matches the classic engine exactly;
+//   - stats are per-node and summed on read.
+//
+// Queries about undeclared nodes are benign no-ops (never down, zero
+// fault) rather than racy map writes.
+type Partitioned struct {
+	plan  Plan
+	seed  int64
+	nodes map[netsim.NodeID]*nodeFaults
+}
+
+var _ netsim.PartitionSafeFaults = (*Partitioned)(nil)
+
+// nodeFaults is one node's private fault state.
+type nodeFaults struct {
+	rng   *rand.Rand // transmit draws for packets this node sends
+	tl    *timeline
+	stats Stats
+}
+
+// NewPartitioned validates the plan and returns a partition-safe hook
+// covering exactly the given nodes. The node list's order is
+// irrelevant; every derivation keys on the node ID.
+func NewPartitioned(plan Plan, seed int64, nodes []netsim.NodeID) (*Partitioned, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Partitioned{
+		plan:  plan,
+		seed:  seed,
+		nodes: make(map[netsim.NodeID]*nodeFaults, len(nodes)),
+	}
+	for _, id := range nodes {
+		if _, ok := p.nodes[id]; ok {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		nf := &nodeFaults{
+			rng: rand.New(rand.NewSource(
+				experiment.DeriveSeed(seed, streamTransmit, int64(h.Sum64())))),
+		}
+		nf.tl = &timeline{
+			churn: plan.Churn,
+			stats: &nf.stats,
+			rng: rand.New(rand.NewSource(
+				experiment.DeriveSeed(seed, streamChurn, int64(h.Sum64())))),
+			horizon: plan.Churn.Start,
+		}
+		p.nodes[id] = nf
+	}
+	return p, nil
+}
+
+// PartitionSafe implements netsim.PartitionSafeFaults.
+func (p *Partitioned) PartitionSafe() {}
+
+// Plan returns the plan the hook realizes.
+func (p *Partitioned) Plan() Plan { return p.plan }
+
+// Stats sums what the hook has done across all nodes.
+func (p *Partitioned) Stats() Stats {
+	var s Stats
+	for _, nf := range p.nodes {
+		s.Dropped += nf.stats.Dropped
+		s.Duplicated += nf.stats.Duplicated
+		s.Delayed += nf.stats.Delayed
+		s.Outages += nf.stats.Outages
+	}
+	return s
+}
+
+// Transmit implements netsim.FaultHook. Draws come from the SOURCE
+// node's stream, so they depend only on that node's send history.
+func (p *Partitioned) Transmit(src, dst netsim.NodeID, now time.Duration, pkt *netsim.Packet) netsim.Fault {
+	var f netsim.Fault
+	nf, ok := p.nodes[src]
+	if !ok {
+		return f
+	}
+	pl := p.plan
+	if pl.Loss > 0 && nf.rng.Float64() < pl.Loss {
+		nf.stats.Dropped++
+		f.Drop = true
+		return f
+	}
+	if pl.Duplicate > 0 && nf.rng.Float64() < pl.Duplicate {
+		lag := pl.DuplicateLag
+		if lag <= 0 {
+			lag = time.Millisecond
+		}
+		f.Duplicates = []time.Duration{lag}
+		nf.stats.Duplicated++
+	}
+	if pl.Reorder > 0 && pl.ReorderSpread > 0 && nf.rng.Float64() < pl.Reorder {
+		f.ExtraDelay = time.Duration(nf.rng.Int63n(int64(pl.ReorderSpread))) + 1
+		nf.stats.Delayed++
+	}
+	f.BandwidthBps = pl.BandwidthBps
+	return f
+}
+
+// Down implements netsim.FaultHook. Only the node's own timeline is
+// touched, and a node's timeline is only ever queried from the
+// partition owning it (sends check the source, deliveries the
+// destination).
+func (p *Partitioned) Down(id netsim.NodeID, now time.Duration) bool {
+	c := p.plan.Churn
+	if !c.Active() || now < c.Start {
+		return false
+	}
+	nf, ok := p.nodes[id]
+	if !ok {
+		return false
+	}
+	for _, ex := range c.Exempt {
+		if string(id) == ex {
+			return false
+		}
+	}
+	return nf.tl.down(now)
+}
+
+// Outages mirrors Injector.Outages for declared nodes.
+func (p *Partitioned) Outages(id netsim.NodeID, until time.Duration) [][2]time.Duration {
+	c := p.plan.Churn
+	if !c.Active() {
+		return nil
+	}
+	nf, ok := p.nodes[id]
+	if !ok {
+		return nil
+	}
+	for _, ex := range c.Exempt {
+		if string(id) == ex {
+			return nil
+		}
+	}
+	nf.tl.extend(until)
+	var out [][2]time.Duration
+	for _, w := range nf.tl.windows {
+		if w[0] >= until {
+			break
+		}
+		end := w[1]
+		if end > until {
+			end = until
+		}
+		out = append(out, [2]time.Duration{w[0], end})
+	}
+	return out
+}

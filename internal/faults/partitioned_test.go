@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"lawgate/internal/netsim"
+)
+
+// TestPartitionedChurnMatchesInjector: a node's outage schedule under
+// Partitioned must be identical to the classic Injector's for the same
+// (plan, seed) — both derive timelines from (seed, streamChurn,
+// fnv(id)), so churn results carry over between engines unchanged.
+func TestPartitionedChurnMatchesInjector(t *testing.T) {
+	plan, err := Profile("hostile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []netsim.NodeID{"alpha", "beta", "campus0/h0", "isp-core"}
+	inj, err := New(plan, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewPartitioned(plan, 99, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := 30 * time.Second
+	for _, id := range nodes {
+		want := inj.Outages(id, horizon)
+		got := part.Outages(id, horizon)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Partitioned outages %v != Injector outages %v", id, got, want)
+		}
+		if len(want) == 0 {
+			t.Errorf("%s: no outages materialized under hostile churn", id)
+		}
+	}
+}
+
+// TestPartitionedTransmitPerSource: transmit draws come from the source
+// node's private stream, so one source's fault sequence is unaffected
+// by another source sending in between.
+func TestPartitionedTransmitPerSource(t *testing.T) {
+	plan := Plan{Loss: 0.5, Reorder: 0.5, ReorderSpread: 10 * time.Millisecond}
+	seq := func(interleave bool) []netsim.Fault {
+		p, err := NewPartitioned(plan, 7, []netsim.NodeID{"a", "b"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []netsim.Fault
+		for i := 0; i < 50; i++ {
+			if interleave {
+				p.Transmit("b", "a", 0, nil)
+			}
+			f := p.Transmit("a", "b", 0, nil)
+			f.Duplicates = nil // compare scalar fields
+			out = append(out, f)
+		}
+		return out
+	}
+	if !reflect.DeepEqual(seq(false), seq(true)) {
+		t.Error("interleaved sends from another source perturbed a's fault stream")
+	}
+}
+
+// TestPartitionedUnknownNodeBenign: undeclared nodes draw no faults and
+// are never down, rather than racing a lazy map write.
+func TestPartitionedUnknownNodeBenign(t *testing.T) {
+	plan, err := Profile("hostile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartitioned(plan, 1, []netsim.NodeID{"known"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Transmit("ghost", "known", 0, nil); f.Drop || f.ExtraDelay != 0 || len(f.Duplicates) != 0 {
+		t.Errorf("unknown source drew a fault: %+v", f)
+	}
+	if p.Down("ghost", time.Hour) {
+		t.Error("unknown node reported down")
+	}
+	if p.Outages("ghost", time.Hour) != nil {
+		t.Error("unknown node has outages")
+	}
+}
+
+// TestPartitionedStatsSum: per-node stats aggregate.
+func TestPartitionedStatsSum(t *testing.T) {
+	plan := Plan{Loss: 1.0}
+	p, err := NewPartitioned(plan, 1, []netsim.NodeID{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.Transmit("a", "b", 0, nil)
+	}
+	p.Transmit("b", "a", 0, nil)
+	if got := p.Stats().Dropped; got != 4 {
+		t.Errorf("summed Dropped = %d, want 4", got)
+	}
+}

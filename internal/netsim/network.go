@@ -3,6 +3,7 @@ package netsim
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 )
@@ -77,9 +78,13 @@ func (d Direction) String() string {
 	}
 }
 
-// Tap passively observes traffic at a node. Taps receive clones of packets
-// so observation cannot perturb delivery; all taps at one observation
-// point share a single snapshot clone.
+// Tap passively observes traffic at a node. Taps receive snapshots of
+// packets so observation cannot perturb delivery; all taps at one
+// observation point share a single snapshot, and the network reuses the
+// snapshot's buffers across packets. The snapshot is therefore only
+// valid for the duration of the Observe call: taps that keep packet data
+// must copy what they keep (capture devices already copy the header by
+// value and clone payload only under full-wiretap authority).
 type Tap interface {
 	// Observe is invoked for each packet crossing the tapped node.
 	Observe(dir Direction, at time.Duration, pkt *Packet)
@@ -132,6 +137,13 @@ type Network struct {
 	busy   map[dirKey]time.Duration // per-direction link occupancy
 	nextID int64
 	faults FaultHook
+	// shard is non-nil when this Network is one partition's view of a
+	// ShardedNetwork: topology maps are shared read-only across views,
+	// while busy, the counters, and the snapshot buffer stay private to
+	// the partition.
+	shard *shardRef
+	// snap is the reused tap-observation snapshot (see Tap).
+	snap Packet
 
 	// Delivered counts packets delivered; Dropped counts loss.
 	Delivered, Dropped int64
@@ -235,6 +247,15 @@ func (n *Network) Neighbors(id NodeID) []NodeID {
 	return out
 }
 
+// AppendNeighbors appends id's direct neighbors, in ascending order, to
+// dst and returns the extended slice. It is the zero-allocation sibling
+// of Neighbors for hot paths that can reuse a scratch buffer: pass
+// dst[:0] of a retained slice and no allocation occurs once the buffer
+// has grown to the node's degree.
+func (n *Network) AppendNeighbors(id NodeID, dst []NodeID) []NodeID {
+	return append(dst, n.adj[id]...)
+}
+
 // Degree returns the number of nodes directly linked to id without
 // copying the neighbor list.
 func (n *Network) Degree(id NodeID) int { return len(n.adj[id]) }
@@ -299,6 +320,23 @@ func (n *Network) Send(pkt *Packet) error {
 	if !ok {
 		return fmt.Errorf("%w: %q-%q", ErrNoLink, src, dst)
 	}
+	// Sharded mode: everything observable — loss and jitter draws, packet
+	// IDs, sequence keys — derives from the SOURCE node, not the
+	// simulator, so a transmission's outcome is independent of how nodes
+	// are partitioned. rng stays the simulator stream in classic mode,
+	// keeping that path byte-identical to the pre-sharding engine.
+	sh := n.shard
+	rng := n.sim.rng
+	var srcIdx, dstIdx int32
+	if sh != nil {
+		o := sh.owner
+		srcIdx, dstIdx = o.index[src], o.index[dst]
+		if int(o.partOf[srcIdx]) != sh.part {
+			return fmt.Errorf("%w: %q owned by partition %d, sent via partition %d",
+				ErrWrongPartition, src, o.partOf[srcIdx], sh.part)
+		}
+		rng = o.nodeRand[srcIdx]
+	}
 	// A crashed source transmits nothing: the packet never reaches the
 	// wire, so taps at either end see nothing and the link RNG stream is
 	// not consumed.
@@ -307,8 +345,14 @@ func (n *Network) Send(pkt *Packet) error {
 		return nil
 	}
 
-	n.nextID++
-	pkt.ID = n.nextID
+	if sh != nil {
+		o := sh.owner
+		o.pktCtr[srcIdx]++
+		pkt.ID = int64(srcIdx+1)<<32 | int64(o.pktCtr[srcIdx])
+	} else {
+		n.nextID++
+		pkt.ID = n.nextID
+	}
 	pkt.SentAt = n.sim.Now()
 	// Pre-size Hops for the two appends every delivered packet receives
 	// (src here, dst at delivery) so neither append reallocates.
@@ -324,7 +368,7 @@ func (n *Network) Send(pkt *Packet) error {
 
 	n.observe(src, DirOutbound, pkt)
 
-	if link.Loss > 0 && n.sim.Rand().Float64() < link.Loss {
+	if link.Loss > 0 && rng.Float64() < link.Loss {
 		n.Dropped++
 		return nil
 	}
@@ -355,10 +399,27 @@ func (n *Network) Send(pkt *Packet) error {
 	}
 	delay := departure - n.sim.Now() + link.Latency
 	if link.Jitter > 0 {
-		delay += time.Duration(n.sim.Rand().Int63n(int64(link.Jitter)))
+		delay += time.Duration(rng.Int63n(int64(link.Jitter)))
 	}
 	delay += fault.ExtraDelay
 	at := n.sim.Now() + delay
+	if sh != nil {
+		if len(fault.Duplicates) == 0 {
+			return sh.owner.deliver(at, srcIdx, dstIdx, pkt, handler, false)
+		}
+		if err := sh.owner.deliver(at, srcIdx, dstIdx, pkt.Clone(), handler, false); err != nil {
+			return err
+		}
+		for _, extra := range fault.Duplicates {
+			if extra < 0 {
+				extra = 0
+			}
+			if err := sh.owner.deliver(at+extra, srcIdx, dstIdx, pkt.Clone(), handler, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	// The common un-faulted case: exactly one delivery, so the packet
 	// itself rides the event and no clone is made. Duplicated packets
 	// each get an independent clone, as every delivery did before the
@@ -383,17 +444,42 @@ func (n *Network) Send(pkt *Packet) error {
 	return nil
 }
 
+// flowRand returns the RNG stream a traffic source rooted at src draws
+// from: src's own node stream in sharded mode (so gap and size draws are
+// partition-independent), the simulator stream in classic mode.
+func (n *Network) flowRand(src NodeID) *rand.Rand {
+	if n.shard != nil {
+		o := n.shard.owner
+		return o.nodeRand[o.index[src]]
+	}
+	return n.sim.rng
+}
+
+// scheduleNode queues fn to run delay from now in node id's context: in
+// sharded mode the event's sequence key is drawn from id's counter and
+// the callback executes with id as the current origin. Classic mode is
+// plain Schedule.
+func (n *Network) scheduleNode(id NodeID, delay time.Duration, fn func()) error {
+	if n.shard == nil {
+		return n.sim.Schedule(delay, fn)
+	}
+	o := n.shard.owner
+	idx := o.index[id]
+	return n.sim.pushEvent(event{at: n.sim.now + delay, seq: o.seqFor(idx), fn: fn, owner: idx})
+}
+
 // observe fans a packet snapshot out to the taps at one observation
-// point. All taps at the point share a single immutable clone — the
-// snapshot is taken once, not per tap — and when the point has no taps
-// no clone is made at all.
+// point. All taps at the point share a single snapshot whose buffers the
+// network reuses across packets (see Tap) — steady-state observation
+// allocates nothing — and when the point has no taps no copy is made at
+// all.
 func (n *Network) observe(id NodeID, dir Direction, pkt *Packet) {
 	taps := n.taps[id]
 	if len(taps) == 0 {
 		return
 	}
-	snapshot := pkt.Clone()
+	pkt.cloneInto(&n.snap)
 	for _, t := range taps {
-		t.Observe(dir, n.sim.Now(), snapshot)
+		t.Observe(dir, n.sim.Now(), &n.snap)
 	}
 }

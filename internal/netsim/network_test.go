@@ -220,6 +220,36 @@ func TestNeighbors(t *testing.T) {
 	}
 }
 
+func TestAppendNeighbors(t *testing.T) {
+	sim := NewSimulator(1)
+	n := NewNetwork(sim)
+	for _, id := range []NodeID{"hub", "c", "a", "b"} {
+		if err := n.AddNode(id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []NodeID{"c", "a", "b"} {
+		if err := n.Connect("hub", id, Link{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Appends after any existing prefix, in the same ascending order
+	// Neighbors reports.
+	got := n.AppendNeighbors("hub", []NodeID{"prefix"})
+	want := []NodeID{"prefix", "a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("AppendNeighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendNeighbors = %v, want %v", got, want)
+		}
+	}
+	if out := n.AppendNeighbors("isolated-or-unknown", nil); out != nil {
+		t.Errorf("AppendNeighbors(unknown, nil) = %v, want nil", out)
+	}
+}
+
 func TestPacketClone(t *testing.T) {
 	p := &Packet{
 		Header:  Header{Src: "a", Dst: "b"},

@@ -76,3 +76,15 @@ func (p *Packet) Clone() *Packet {
 	cp.Hops = append([]NodeID(nil), p.Hops...)
 	return &cp
 }
+
+// cloneInto copies p into dst, reusing dst's Payload and Hops capacity.
+// Tap observation snapshots go through here so steady-state observation
+// allocates nothing once the buffers have grown to the packet sizes in
+// play.
+func (p *Packet) cloneInto(dst *Packet) {
+	payload := append(dst.Payload[:0], p.Payload...)
+	hops := append(dst.Hops[:0], p.Hops...)
+	*dst = *p
+	dst.Payload = payload
+	dst.Hops = hops
+}

@@ -1,0 +1,124 @@
+package netsim_test
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"lawgate/internal/netsim"
+	"lawgate/internal/netsim/topo"
+)
+
+// shardBenchNodes sizes BenchmarkShardedRun's composite topology. The
+// headline scaling claim is measured at 100k nodes; CI's -short smoke
+// passes a small count so the bench proves the tooling, not the speedup.
+var shardBenchNodes = flag.Int("shard-bench-nodes", 100_000,
+	"total node count for BenchmarkShardedRun")
+
+// buildShardBench assembles the benchmark workload: a campus+ISP+Tor
+// composite sized to ~nodes total, hosts streaming Poisson traffic to
+// acking gateways and gateways streaming upstream over capped trunks —
+// the same shape as the determinism scenario, scaled up. Returned
+// un-run; the caller times RunUntil only.
+func buildShardBench(b *testing.B, nodes, partitions int) (*netsim.ShardedNetwork, int) {
+	b.Helper()
+	const hosts, edges, relays = 20, 4, 8
+	campuses := (nodes - edges - relays - 1) / (hosts + 1)
+	if campuses < 2 {
+		campuses = 2
+	}
+	g, err := topo.Composite(topo.CompositeConfig{
+		Campuses: campuses, HostsPerCampus: hosts,
+		ISPEdges: edges, TorRelays: relays,
+		TrunkBandwidthBps: 50_000_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := netsim.NewShardedNetwork(0xbe9c4, partitions)
+	if err := o.SetPartitionFunc(g.PartitionFunc(partitions)); err != nil {
+		b.Fatal(err)
+	}
+	handler := func(id netsim.NodeID) netsim.Handler {
+		if !strings.HasSuffix(string(id), "-gw") {
+			return nil
+		}
+		gw := id
+		return netsim.HandlerFunc(func(n *netsim.Network, pkt *netsim.Packet) {
+			if !strings.HasPrefix(string(pkt.Header.Flow), "up-") {
+				return
+			}
+			_ = n.Send(&netsim.Packet{
+				Header: netsim.Header{
+					Src: gw, Dst: pkt.Header.Src,
+					Flow:  "ack-" + pkt.Header.Flow,
+					Proto: netsim.ProtoUDP, SizeBytes: 60,
+				},
+			})
+		})
+	}
+	if err := g.ApplyTo(o, handler); err != nil {
+		b.Fatal(err)
+	}
+	start := func(src, dst netsim.NodeID, id netsim.FlowID, p netsim.TrafficPattern) {
+		pn, err := o.PartitionNet(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f := &netsim.Flow{
+			Net: pn, Src: src, Dst: dst, ID: id, Pattern: p,
+			Until: 400 * time.Millisecond,
+		}
+		if err := f.Start(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for c := 0; c < campuses; c++ {
+		gw := netsim.NodeID(fmt.Sprintf("campus%d-gw", c))
+		for h := 0; h < hosts; h++ {
+			host := netsim.NodeID(fmt.Sprintf("campus%d/h%d", c, h))
+			start(host, gw, netsim.FlowID(fmt.Sprintf("up-%d-%d", c, h)),
+				&netsim.Poisson{MeanGap: 20 * time.Millisecond, Size: 200})
+		}
+		edge := netsim.NodeID(fmt.Sprintf("isp-edge%d", c%edges))
+		start(gw, edge, netsim.FlowID(fmt.Sprintf("trunk-%d", c)),
+			&netsim.CBR{Gap: 5 * time.Millisecond, Size: 800})
+	}
+	return o, len(g.Nodes)
+}
+
+// BenchmarkShardedRun measures whole-run throughput of the sharded
+// engine on the composite topology, single-partition vs 8-way. The
+// events/sec and nodes/sec metrics feed BENCH_netsim.json; CI's
+// partition-speedup gate compares the comp-p1 and comp-p8 entries
+// (the 3x pair gate arms only when the recorded run had >= 8 cores).
+func BenchmarkShardedRun(b *testing.B) {
+	for _, bc := range []struct {
+		name           string
+		parts, workers int
+	}{
+		{"comp-p1", 1, 1},
+		{"comp-p8", 8, 8},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var events, nodes int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				o, n := buildShardBench(b, *shardBenchNodes, bc.parts)
+				b.StartTimer()
+				if err := o.RunUntil(500*time.Millisecond, bc.workers); err != nil {
+					b.Fatal(err)
+				}
+				events += o.Steps()
+				nodes += int64(n)
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(events)/sec, "events/sec")
+				b.ReportMetric(float64(nodes)/sec, "nodes/sec")
+			}
+		})
+	}
+}

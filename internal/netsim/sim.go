@@ -27,6 +27,12 @@ type event struct {
 	seq int64 // tie-break: same-time events fire in scheduling order
 	fn  func()
 	del delivery // valid when fn == nil
+	// owner is the dense node index whose context executes this event
+	// (sharded mode only): the scheduling node for callbacks, the
+	// destination for deliveries. The executing partition restores it as
+	// the current origin so nested scheduling attributes sequence keys to
+	// the right node.
+	owner int32
 }
 
 // before reports the heap order: (at, seq) ascending.
@@ -105,6 +111,40 @@ type Simulator struct {
 	rng    *rand.Rand
 	steps  int64
 	budget int64 // lifetime step cap; 0 = unlimited
+	// shard is non-nil when this simulator drives one partition of a
+	// ShardedNetwork. It swaps the sequence-key scheme from the private
+	// scheduling counter to partition-invariant (origin node, per-node
+	// counter) pairs, so event order — and therefore every result — is
+	// identical whatever the partition count.
+	shard *simShard
+}
+
+// simShard wires a partition's simulator into its owning sharded run.
+type simShard struct {
+	owner *ShardedNetwork
+	cur   int32 // dense index of the node whose event is executing
+}
+
+// nextSeq returns the next tie-break key: the private scheduling counter
+// in classic mode, an (origin node, per-node counter) packed key in
+// sharded mode. Packed keys are globally unique, so same-time events
+// from different partitions never tie and merge order is irrelevant.
+func (s *Simulator) nextSeq() int64 {
+	if s.shard != nil {
+		return s.shard.owner.seqFor(s.shard.cur)
+	}
+	s.seq++
+	return s.seq
+}
+
+// pushEvent inserts a fully formed event. The sharded engine uses it to
+// carry origin-packed sequence keys computed outside this simulator.
+func (s *Simulator) pushEvent(ev event) error {
+	if ev.at < s.now {
+		return ErrPastEvent
+	}
+	s.queue.push(ev)
+	return nil
 }
 
 // NewSimulator returns a simulator whose randomness derives entirely from
@@ -131,13 +171,17 @@ func (s *Simulator) Schedule(delay time.Duration, fn func()) error {
 	return s.ScheduleAt(s.now+delay, fn)
 }
 
-// ScheduleAt queues fn to run at absolute virtual time at.
+// ScheduleAt queues fn to run at absolute virtual time at. In sharded
+// mode the callback executes in the scheduling node's context.
 func (s *Simulator) ScheduleAt(at time.Duration, fn func()) error {
 	if at < s.now {
 		return ErrPastEvent
 	}
-	s.seq++
-	s.queue.push(event{at: at, seq: s.seq, fn: fn})
+	ev := event{at: at, seq: s.nextSeq(), fn: fn}
+	if s.shard != nil {
+		ev.owner = s.shard.cur
+	}
+	s.queue.push(ev)
 	return nil
 }
 
@@ -162,6 +206,9 @@ func (s *Simulator) Step() bool {
 	e := s.queue.pop()
 	s.now = e.at
 	s.steps++
+	if s.shard != nil {
+		s.shard.cur = e.owner
+	}
 	if e.fn != nil {
 		e.fn()
 	} else {

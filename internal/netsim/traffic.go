@@ -115,6 +115,10 @@ type Flow struct {
 	// emitFn caches the emit method value so each self-reschedule reuses
 	// one func value instead of allocating a fresh closure per packet.
 	emitFn func()
+	// rng is the stream pattern draws come from: the simulator stream in
+	// classic mode, the source node's stream in sharded mode (so a flow's
+	// gaps and sizes are independent of the partition layout).
+	rng *rand.Rand
 }
 
 // Sent returns the number of packets the flow has transmitted.
@@ -130,7 +134,8 @@ func (f *Flow) Start() error {
 		f.Proto = ProtoTCP
 	}
 	f.emitFn = f.emit
-	return f.Net.Sim().Schedule(f.Pattern.NextGap(f.Net.Sim().Rand()), f.emitFn)
+	f.rng = f.Net.flowRand(f.Src)
+	return f.Net.scheduleNode(f.Src, f.Pattern.NextGap(f.rng), f.emitFn)
 }
 
 func (f *Flow) emit() {
@@ -142,7 +147,7 @@ func (f *Flow) emit() {
 	if f.Payload != nil {
 		payload = f.Payload(f.sent)
 	}
-	size := f.Pattern.PacketSize(sim.Rand())
+	size := f.Pattern.PacketSize(f.rng)
 	pkt := &Packet{
 		Header: Header{
 			Src: f.Src, Dst: f.Dst, Flow: f.ID,
@@ -158,8 +163,8 @@ func (f *Flow) emit() {
 		return
 	}
 	f.sent++
-	gap := f.Pattern.NextGap(sim.Rand())
+	gap := f.Pattern.NextGap(f.rng)
 	if sim.Now()+gap <= f.Until {
-		_ = sim.Schedule(gap, f.emitFn)
+		_ = f.Net.scheduleNode(f.Src, gap, f.emitFn)
 	}
 }

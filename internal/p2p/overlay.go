@@ -128,6 +128,7 @@ type Peer struct {
 	overlay   *Overlay
 	seen      map[int64]bool          // queries already handled
 	backRoute map[int64]netsim.NodeID // reverse path for responses
+	nbrs      []netsim.NodeID         // scratch for the forward fan-out (AppendNeighbors)
 	// OnResponse, if set, receives responses addressed to this peer
 	// (used by the investigator).
 	OnResponse func(from netsim.NodeID, m message, at time.Duration)
@@ -285,11 +286,12 @@ func (p *Peer) handleQuery(from netsim.NodeID, m message) {
 	fwd := m
 	fwd.TTL--
 	delay := o.artificialDelay()
-	for _, friend := range o.net.Neighbors(p.ID) {
+	p.nbrs = o.net.AppendNeighbors(p.ID, p.nbrs[:0])
+	for _, friend := range p.nbrs {
 		if friend == from {
 			continue
 		}
-		friend := friend
+		friend := friend // the closures outlive the reused scratch buffer
 		_ = o.net.Sim().Schedule(delay, func() {
 			_ = o.send(p.ID, friend, fwd)
 		})

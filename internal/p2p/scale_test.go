@@ -1,0 +1,104 @@
+package p2p
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"lawgate/internal/experiment"
+)
+
+// smallScaleConfig returns a fast working point for tests: a small
+// swarm, short rounds, light background load.
+func smallScaleConfig() ScaleConfig {
+	sc := DefaultScaleConfig()
+	sc.Neighbors = 8
+	sc.Sources = 3
+	sc.SourceShare = 0.08
+	sc.Probes = 2
+	sc.RoundGap = 900 * time.Millisecond
+	sc.Tail = 1500 * time.Millisecond
+	return sc
+}
+
+// TestScaleExperimentPartitionInvariance: the swarm-scale trial's
+// result must be byte-identical at every partition and worker count —
+// the property the CI determinism gate relies on.
+func TestScaleExperimentPartitionInvariance(t *testing.T) {
+	sc := smallScaleConfig()
+	var want ExperimentResult
+	for i, layout := range []struct{ parts, workers int }{
+		{1, 1}, {2, 1}, {2, 2}, {4, 3},
+	} {
+		sc.Partitions, sc.Workers = layout.parts, layout.workers
+		res, err := RunScaleExperiment(sc, 96, 7)
+		if err != nil {
+			t.Fatalf("parts=%d workers=%d: %v", layout.parts, layout.workers, err)
+		}
+		if i == 0 {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Errorf("parts=%d workers=%d: result %+v != baseline %+v",
+				layout.parts, layout.workers, res, want)
+		}
+	}
+	if want.TruePos+want.FalsePos+want.TrueNeg+want.FalseNeg != sc.Neighbors {
+		t.Errorf("confusion counts do not cover all %d neighbors: %+v", sc.Neighbors, want)
+	}
+}
+
+// TestScaleExperimentCleanSwarmAccurate: with no bandwidth cap and no
+// background load the timing attack is as clean as in the E2 star —
+// every neighbor classified correctly and every probe answered.
+func TestScaleExperimentCleanSwarmAccurate(t *testing.T) {
+	sc := smallScaleConfig()
+	sc.BandwidthBps = 0
+	sc.QueryRate = 0
+	res, err := RunScaleExperiment(sc, 96, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Accuracy(); got != 1.0 {
+		t.Errorf("clean-swarm accuracy = %v, want 1.0 (%+v)", got, res)
+	}
+	if got := res.Answered(); got != 1.0 {
+		t.Errorf("clean-swarm answered = %v, want 1.0", got)
+	}
+	if res.TruePos != sc.Sources {
+		t.Errorf("TruePos = %d, want %d", res.TruePos, sc.Sources)
+	}
+}
+
+// TestScaleExperimentRejectsBadConfig: the usual validation surface.
+func TestScaleExperimentRejectsBadConfig(t *testing.T) {
+	sc := smallScaleConfig()
+	if _, err := RunScaleExperiment(sc, sc.Neighbors, 1); err == nil {
+		t.Error("swarm smaller than neighbors+1 accepted")
+	}
+	sc.Probes = 0
+	if _, err := RunScaleExperiment(sc, 96, 1); err == nil {
+		t.Error("zero probes accepted")
+	}
+}
+
+// TestScaleSweepSeriesShape: the declared sweep carries one point per
+// swarm size and the standard quality metrics.
+func TestScaleSweepSeriesShape(t *testing.T) {
+	sc := smallScaleConfig()
+	sc.Reps = 1
+	sw := ScaleSweep(sc, []int{64, 96})
+	if sw.Name != "p2p-swarm-scale" || len(sw.Points) != 2 {
+		t.Fatalf("sweep = %q with %d points", sw.Name, len(sw.Points))
+	}
+	sample, err := sw.Run(experiment.Trial{Seed: 11}, sw.Points[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"accuracy", "precision", "recall", "answered"} {
+		if _, ok := sample[key]; !ok {
+			t.Errorf("sample missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package watermark
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// smallScaleWorkingPoint returns a fast trial: short code, small
+// population.
+func smallScaleWorkingPoint() (ExperimentConfig, ScaleConfig) {
+	ec := DefaultExperimentConfig()
+	ec.CodeDegree = 5
+	ec.Bits = 3
+	sc := DefaultScaleConfig()
+	sc.HostsPerCampus = 4
+	sc.TorRelays = 2
+	return ec, sc
+}
+
+// TestWatermarkScalePartitionInvariance: the load-scale trial's result
+// must be identical at every partition and worker count — the property
+// the CI determinism gate relies on.
+func TestWatermarkScalePartitionInvariance(t *testing.T) {
+	ec, sc := smallScaleWorkingPoint()
+	var want ExperimentResult
+	for i, layout := range []struct{ parts, workers int }{
+		{1, 1}, {2, 1}, {3, 2}, {5, 3},
+	} {
+		sc.Partitions, sc.Workers = layout.parts, layout.workers
+		res, err := RunScaleExperiment(ec, sc, 16)
+		if err != nil {
+			t.Fatalf("parts=%d workers=%d: %v", layout.parts, layout.workers, err)
+		}
+		if i == 0 {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res, want) {
+			t.Errorf("parts=%d workers=%d: result %+v != baseline %+v",
+				layout.parts, layout.workers, res, want)
+		}
+	}
+	if want.SuspectPackets == 0 || want.ServerPackets == 0 {
+		t.Fatalf("meters saw no traffic: %+v", want)
+	}
+}
+
+// TestWatermarkScaleGuiltyVsInnocent: on a lightly loaded composite the
+// watermark behaves as in the isolated E3 circuit — detected on the
+// suspect when guilty, absent when the decoy downloads.
+func TestWatermarkScaleGuiltyVsInnocent(t *testing.T) {
+	ec, sc := smallScaleWorkingPoint()
+	ec.CodeDegree = 6
+
+	ec.Guilty = true
+	resG, err := RunScaleExperiment(ec, sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resG.Detected {
+		t.Errorf("guilty trial not detected: z=%.2f %+v", resG.Watermark.Z, resG.Watermark)
+	}
+
+	ec.Guilty = false
+	resI, err := RunScaleExperiment(ec, sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resI.Detected {
+		t.Errorf("innocent trial detected: z=%.2f", resI.Watermark.Z)
+	}
+}
+
+// TestWatermarkScaleRejectsBadConfig: validation surface.
+func TestWatermarkScaleRejectsBadConfig(t *testing.T) {
+	ec, sc := smallScaleWorkingPoint()
+	if _, err := RunScaleExperiment(ec, sc, sc.HostsPerCampus-1); err == nil {
+		t.Error("host count below one campus accepted")
+	}
+	sc.HostsPerCampus = 1
+	if _, err := RunScaleExperiment(ec, sc, 8); err == nil {
+		t.Error("single-host campus accepted (no room for the decoy)")
+	}
+	ec.Bits = 0
+	sc.HostsPerCampus = 4
+	if _, err := RunScaleExperiment(ec, sc, 8); err == nil {
+		t.Error("zero bits accepted")
+	}
+}
+
+// TestWatermarkScaleSweepShape: the declared sweep carries one point
+// per host count and the paired detection metrics.
+func TestWatermarkScaleSweepShape(t *testing.T) {
+	ec, sc := smallScaleWorkingPoint()
+	sw := ScaleSweep(ec, sc, 2, 9, []int{8, 16})
+	if sw.Name != "watermark-load" || len(sw.Points) != 2 || sw.Reps != 2 {
+		t.Fatalf("sweep = %q points=%d reps=%d", sw.Name, len(sw.Points), sw.Reps)
+	}
+	if sw.Points[1].Label != "hosts=16" {
+		t.Errorf("point label = %q", sw.Points[1].Label)
+	}
+}
+
+// TestWatermarkScaleStreamWindow: the stream should stop near the
+// watermark duration — a runaway emitter would blow the budget and the
+// meters.
+func TestWatermarkScaleStreamWindow(t *testing.T) {
+	ec, sc := smallScaleWorkingPoint()
+	res, err := RunScaleExperiment(ec, sc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := MSequence(ec.CodeDegree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected packet count ≈ duration / BaseGap; allow generous slack
+	// for the modulated gaps.
+	chips := len(code) * ec.Bits
+	expect := int(time.Duration(chips) * ec.ChipDuration / ec.BaseGap)
+	if res.ServerPackets < expect/2 || res.ServerPackets > expect*2 {
+		t.Errorf("server emitted %d packets, expected around %d", res.ServerPackets, expect)
+	}
+}

@@ -3,8 +3,13 @@
 # Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger|server]
 #
 # The default `netsim` target runs the internal/netsim micro-benchmarks
-# (scheduler step, send paths, neighbor lookup, heap churn) and the
-# BenchmarkSweepRunner macro-bench, and writes to BENCH_netsim.json.
+# (scheduler step, send paths, neighbor lookup, heap churn), the
+# BenchmarkSweepRunner macro-bench, and the BenchmarkShardedRun
+# parallel-engine macro-bench (a 100k-node composite topology run at 1
+# and 8 partitions, reporting events/sec and nodes/sec), and writes to
+# BENCH_netsim.json with the machine's core count recorded — CI arms
+# the 3x partition-speedup gate only when the recorded run had enough
+# cores to make the claim meaningful.
 # The `legal` target runs the BenchmarkRulingsPerSec engine-throughput
 # family (cold/warm/batch/batch-dup) plus the delta-path families
 # (BenchmarkEvaluateDelta, BenchmarkBatchDeltaChain) and writes to
@@ -21,7 +26,8 @@
 # measured in the same run.
 #
 # Each benchmark runs -count times and the per-benchmark MEDIANS of
-# ns/op, B/op, and allocs/op are written to FILE as JSON. When the
+# ns/op, B/op, allocs/op — plus events/sec and nodes/sec where a
+# benchmark reports them — are written to FILE as JSON. When the
 # target's baseline file (scripts/bench_baseline.json,
 # scripts/bench_baseline_legal.json, or
 # scripts/bench_baseline_ledger.json) exists its contents are embedded
@@ -62,10 +68,13 @@ while [ $# -gt 0 ]; do
 done
 
 benchtime=1s
+shardnodes=100000
 if [ "$short" = 1 ]; then
 	count=1
 	benchtime=100x
+	shardnodes=2000
 fi
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 
 # The server target is self-contained: lawgated runs the chaos schedule
 # and writes the report JSON (with its in-run baseline) itself.
@@ -95,6 +104,12 @@ netsim)
 	echo "== sweep macro-benchmark (count=$count, benchtime=1x)" >&2
 	go test -run '^$' -bench '^BenchmarkSweepRunner$' \
 		-benchmem -benchtime 1x -count "$count" . |
+		tee -a "$tmp" >&2
+
+	echo "== sharded-engine macro-benchmark (count=$count, benchtime=1x, nodes=$shardnodes)" >&2
+	go test -run '^$' -bench '^BenchmarkShardedRun$' \
+		-benchmem -benchtime 1x -count "$count" ./internal/netsim \
+		-args -shard-bench-nodes "$shardnodes" |
 		tee -a "$tmp" >&2
 	;;
 legal)
@@ -127,6 +142,8 @@ aggregate() {
 		if ($i == "ns/op") ns[name, ++nns[name]] = $(i - 1)
 		else if ($i == "B/op") by[name, ++nby[name]] = $(i - 1)
 		else if ($i == "allocs/op") al[name, ++nal[name]] = $(i - 1)
+		else if ($i == "events/sec") ev[name, ++nev[name]] = $(i - 1)
+		else if ($i == "nodes/sec") nd[name, ++nnd[name]] = $(i - 1)
 	}
 	if (!(name in seen)) { seen[name] = 1; order[++n] = name }
 }
@@ -145,8 +162,11 @@ END {
 	printf "  \"benchmarks\": [\n"
 	for (i = 1; i <= n; i++) {
 		name = order[i]
-		printf "    {\"name\": \"%s\", \"ns_per_op\": %.10g, \"bytes_per_op\": %.10g, \"allocs_per_op\": %.10g}%s\n", \
-			name, median(ns, nns, name), median(by, nby, name), median(al, nal, name), (i < n ? "," : "")
+		line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %.10g, \"bytes_per_op\": %.10g, \"allocs_per_op\": %.10g", \
+			name, median(ns, nns, name), median(by, nby, name), median(al, nal, name))
+		if (nev[name]) line = line sprintf(", \"events_per_sec\": %.10g", median(ev, nev, name))
+		if (nnd[name]) line = line sprintf(", \"nodes_per_sec\": %.10g", median(nd, nnd, name))
+		printf "%s}%s\n", line, (i < n ? "," : "")
 	}
 	printf "  ]"
 }' "$1"
@@ -156,6 +176,7 @@ END {
 	printf '{\n'
 	printf '  "schema": "lawgate-bench/v1",\n'
 	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "cores": %s,\n' "$cores"
 	printf '  "count": %s,\n' "$count"
 	aggregate "$tmp"
 	if [ -f "$baseline" ]; then

@@ -22,6 +22,15 @@
 // show ns_per_op <= NS, or allocs_per_op <= N. These pin hard targets
 // like "the ledger append stays under a microsecond and allocates
 // nothing" even when the baseline entry describes replaced code.
+//
+// -min-pair-speedup BASE:FAST:FACTOR and -max-pair-ratio A:B:FACTOR
+// (both repeatable) compare two benchmarks from the SAME file —
+// no baseline involved, so they gate claims measured in one run, like
+// "the 8-partition engine beats the 1-partition engine 3x on this
+// machine". The separator is ':' because benchmark names carry '/' and
+// '='. -min-pair-speedup asserts ns(BASE)/ns(FAST) >= FACTOR;
+// -max-pair-ratio asserts ns(B)/ns(A) <= FACTOR (an overhead bound for
+// machines that cannot demonstrate the speedup).
 package main
 
 import (
@@ -42,6 +51,10 @@ type entry struct {
 	// OpsPerSec is set by throughput-style benchmarks (the lawgated
 	// chaos bench reports rulings/sec); 0 when not applicable.
 	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// EventsPerSec and NodesPerSec are set by the sharded-engine
+	// macro-benchmark; 0 when not applicable.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	NodesPerSec  float64 `json:"nodes_per_sec,omitempty"`
 }
 
 type baseline struct {
@@ -50,11 +63,52 @@ type baseline struct {
 }
 
 type report struct {
-	Schema     string    `json:"schema"`
-	Go         string    `json:"go"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	// Cores records the machine the file was produced on; CI uses it
+	// to decide whether a parallel-speedup claim is testable there.
+	Cores      int       `json:"cores,omitempty"`
 	Count      int       `json:"count"`
 	Benchmarks []entry   `json:"benchmarks"`
 	Baseline   *baseline `json:"baseline"`
+}
+
+// pairAssert is one NAME:NAME:FACTOR comparison between two benchmarks
+// of the current file.
+type pairAssert struct {
+	a, b   string
+	factor float64
+}
+
+// pairValues collects repeated A:B:FACTOR flag assertions. ':' is the
+// separator because benchmark names contain '/' and '='.
+type pairValues struct {
+	pairs []pairAssert
+}
+
+func (s *pairValues) String() string {
+	parts := make([]string, 0, len(s.pairs))
+	for _, p := range s.pairs {
+		parts = append(parts, fmt.Sprintf("%s:%s:%g", p.a, p.b, p.factor))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (s *pairValues) Set(v string) error {
+	i := strings.LastIndex(v, ":")
+	if i < 0 {
+		return fmt.Errorf("want NAME:NAME:FACTOR, got %q", v)
+	}
+	factor, err := strconv.ParseFloat(v[i+1:], 64)
+	if err != nil || factor <= 0 {
+		return fmt.Errorf("invalid FACTOR in %q", v)
+	}
+	a, b, ok := strings.Cut(v[:i], ":")
+	if !ok || a == "" || b == "" {
+		return fmt.Errorf("want NAME:NAME:FACTOR, got %q", v)
+	}
+	s.pairs = append(s.pairs, pairAssert{a: a, b: b, factor: factor})
+	return nil
 }
 
 // namedValues collects repeated NAME=VALUE flag assertions.
@@ -93,6 +147,8 @@ func main() {
 	maxNs := &namedValues{valueLabel: "NS"}
 	maxAllocs := &namedValues{valueLabel: "N", allowZero: true}
 	minOps := &namedValues{valueLabel: "OPS"}
+	pairSpeedups := &pairValues{}
+	pairRatios := &pairValues{}
 	flag.Var(minSpeedups, "min-speedup",
 		"assert NAME runs >= FACTOR times faster than its baseline (repeatable)")
 	flag.Var(maxNs, "max-ns",
@@ -101,14 +157,20 @@ func main() {
 		"assert NAME's allocs_per_op <= N, an absolute budget (repeatable)")
 	flag.Var(minOps, "min-ops",
 		"assert NAME's ops_per_sec >= OPS, an absolute throughput floor (repeatable)")
+	flag.Var(pairSpeedups, "min-pair-speedup",
+		"assert ns(BASE)/ns(FAST) >= FACTOR between two current benchmarks, as BASE:FAST:FACTOR (repeatable)")
+	flag.Var(pairRatios, "max-pair-ratio",
+		"assert ns(B)/ns(A) <= FACTOR between two current benchmarks, as A:B:FACTOR (repeatable)")
 	flag.Parse()
-	if err := run(flag.Args(), minSpeedups.vals, maxNs.vals, maxAllocs.vals, minOps.vals); err != nil {
+	if err := run(flag.Args(), minSpeedups.vals, maxNs.vals, maxAllocs.vals, minOps.vals,
+		pairSpeedups.pairs, pairRatios.pairs); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64) error {
+func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64,
+	pairSpeedups, pairRatios []pairAssert) error {
 	path := "BENCH_netsim.json"
 	if len(args) > 0 {
 		path = args[0]
@@ -137,7 +199,11 @@ func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64
 		}
 	}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "%s: %d benchmarks (%s, median of %d)\n", path, len(r.Benchmarks), r.Go, r.Count)
+	host := r.Go
+	if r.Cores > 0 {
+		host = fmt.Sprintf("%s, %d cores", r.Go, r.Cores)
+	}
+	fmt.Fprintf(tw, "%s: %d benchmarks (%s, median of %d)\n", path, len(r.Benchmarks), host, r.Count)
 	fmt.Fprintln(tw, "benchmark\tns/op\tallocs/op\tvs baseline ns\tvs baseline allocs")
 	current := map[string]entry{}
 	for _, b := range r.Benchmarks {
@@ -206,6 +272,38 @@ func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64
 				path, name, b.OpsPerSec, floor)
 		}
 		fmt.Printf("%s: %.4g ops/sec (>= %.4g floor)\n", name, b.OpsPerSec, floor)
+	}
+	for _, p := range pairSpeedups {
+		base, ok := current[p.a]
+		if !ok {
+			return fmt.Errorf("%s: -min-pair-speedup %s: no such benchmark", path, p.a)
+		}
+		fast, ok := current[p.b]
+		if !ok {
+			return fmt.Errorf("%s: -min-pair-speedup %s: no such benchmark", path, p.b)
+		}
+		got := base.NsPerOp / fast.NsPerOp
+		if got < p.factor {
+			return fmt.Errorf("%s: %s is %.2fx faster than %s (%.4g ns/op vs %.4g ns/op), want >= %.2fx",
+				path, p.b, got, p.a, fast.NsPerOp, base.NsPerOp, p.factor)
+		}
+		fmt.Printf("%s: %.2fx faster than %s (>= %.2fx required)\n", p.b, got, p.a, p.factor)
+	}
+	for _, p := range pairRatios {
+		a, ok := current[p.a]
+		if !ok {
+			return fmt.Errorf("%s: -max-pair-ratio %s: no such benchmark", path, p.a)
+		}
+		b, ok := current[p.b]
+		if !ok {
+			return fmt.Errorf("%s: -max-pair-ratio %s: no such benchmark", path, p.b)
+		}
+		got := b.NsPerOp / a.NsPerOp
+		if got > p.factor {
+			return fmt.Errorf("%s: %s runs at %.2fx of %s (%.4g ns/op vs %.4g ns/op), over the %.2fx bound",
+				path, p.b, got, p.a, b.NsPerOp, a.NsPerOp, p.factor)
+		}
+		fmt.Printf("%s: %.2fx of %s (<= %.2fx bound)\n", p.b, got, p.a, p.factor)
 	}
 	return nil
 }
