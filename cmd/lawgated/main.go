@@ -30,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,12 +62,23 @@ func main() {
 
 		probeURL = flag.String("probe", "", "run the conformance probe against this base URL and exit")
 
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (separate listener, never the serving mux)")
+
 		bench      = flag.Bool("bench", false, "run the chaos bench against an in-process server and exit")
 		benchDur   = flag.Duration("bench-duration", 2*time.Second, "chaos bench duration")
 		benchWorke = flag.Int("bench-workers", 16, "chaos bench worker count")
 		out        = flag.String("o", "", "bench report output file (default stdout)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		paddr, err := startPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lawgated: pprof:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lawgated: pprof on http://%s/debug/pprof/\n", paddr)
+	}
 
 	var err error
 	switch {
@@ -85,6 +98,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lawgated:", err)
 		os.Exit(1)
 	}
+}
+
+// startPprof serves the pprof endpoints on their own listener and mux.
+// Profiling stays opt-in and off the serving mux: the hardened ruling
+// handler never exposes debug surfaces, and profile scrapes cannot
+// consume evaluation slots.
+func startPprof(addr string) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "lawgated: pprof listener:", err)
+		}
+	}()
+	return ln.Addr(), nil
 }
 
 func splitTenants(s string) []string {
@@ -201,6 +237,13 @@ func probe(base string) error {
 	if ev.Ruling.Required == "" || !ev.Ruling.NeedsProcess {
 		return fmt.Errorf("probe: wiretap ruling %+v, want process required", ev.Ruling)
 	}
+	// The serving hot path hand-encodes this response; the bytes on the
+	// wire must be indistinguishable from the stdlib rendering of the
+	// decoded struct.
+	if reenc := append(mustJSON(ev), '\n'); !bytes.Equal(body, reenc) {
+		return fmt.Errorf("probe: evaluate bytes diverge from canonical JSON:\n got %s\nwant %s", body, reenc)
+	}
+	fmt.Printf("probe: %-34s byte-identical\n", "evaluate wire encoding")
 
 	// Deliberate 4xx paths: malformed, oversized, unknown tenant,
 	// invalid action.
@@ -247,6 +290,10 @@ func probe(base string) error {
 	if len(br.Rulings) != 3 || br.Rulings[1] != nil || len(br.Errors) != 1 || br.Errors[0].Index != 1 {
 		return fmt.Errorf("probe: batch partial failure mishandled: %s", body)
 	}
+	if reenc := append(mustJSON(br), '\n'); !bytes.Equal(body, reenc) {
+		return fmt.Errorf("probe: batch bytes diverge from canonical JSON:\n got %s\nwant %s", body, reenc)
+	}
+	fmt.Printf("probe: %-34s byte-identical\n", "batch wire encoding")
 
 	// Advisory.
 	if status, body, err = doPost(client, base+"/v1/advise", mustJSON(probeAction("probe-advise"))); err != nil {
@@ -406,15 +453,21 @@ func runBench(dur time.Duration, workers int, out string) error {
 	directNs := measureDirectEvaluate()
 
 	report := benchReport{
-		Schema: "lawgate-bench/v1",
-		Go:     runtime.Version(),
-		Count:  1,
+		Schema:   "lawgate-bench/v1",
+		Go:       runtime.Version(),
+		Cores:    runtime.NumCPU(),
+		Maxprocs: runtime.GOMAXPROCS(0),
+		Count:    1,
 		Benchmarks: []benchEntry{
 			{Name: "ServerEvaluateP50", NsPerOp: float64(res.P50.Nanoseconds())},
 			{Name: "ServerEvaluateP99", NsPerOp: float64(res.P99.Nanoseconds())},
 			{Name: "ServerRulingsPerSec",
 				NsPerOp:   1e9 / res.RulingsPerSec,
 				OpsPerSec: res.RulingsPerSec},
+			// Client and server share the bench process, so this counts
+			// both sides of every request (chaos included): the server's
+			// pooled hot path plus the harness's own per-request cost.
+			{Name: "ServerAllocsPerRequest", AllocsPerOp: res.AllocsPerRequest},
 		},
 		Baseline: &benchBaseline{
 			Note: "direct in-process Engine.Evaluate measured in the same run; the delta is the full HTTP + admission + audit overhead under the chaos schedule",
@@ -469,8 +522,13 @@ type benchBaseline struct {
 }
 
 type benchReport struct {
-	Schema     string         `json:"schema"`
-	Go         string         `json:"go"`
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	// Cores and Maxprocs record the machine the report was produced
+	// on: latency and throughput claims are machine-relative, and CI
+	// reads cores to decide which gates are meaningful.
+	Cores      int            `json:"cores,omitempty"`
+	Maxprocs   int            `json:"maxprocs,omitempty"`
 	Count      int            `json:"count"`
 	Benchmarks []benchEntry   `json:"benchmarks"`
 	Baseline   *benchBaseline `json:"baseline"`

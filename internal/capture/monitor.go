@@ -141,37 +141,41 @@ func NewMonitor(engine *legal.Engine, base legal.Action, opts ...MonitorOption) 
 	return m, nil
 }
 
+// draft builds the sealed-record form of the transcript line starting
+// at lineStart. The note is copied out of m.log immediately, so later
+// transcript growth cannot alias it.
+func (m *Monitor) draft(lineStart int, ev CaptureEvent, at time.Duration) ledger.Draft {
+	return ledger.Draft{
+		At:      int64(at),
+		Kind:    ledger.KindCapture,
+		Code:    uint32(ev),
+		Actor:   m.operator,
+		Subject: m.device,
+		Note:    string(m.log[lineStart : len(m.log)-1]), // strip trailing newline
+	}
+}
+
 // seal appends the transcript line starting at lineStart to the audit
 // ledger, if one is attached.
 func (m *Monitor) seal(lineStart int, ev CaptureEvent, at time.Duration) {
 	if m.led == nil {
 		return
 	}
-	note := string(m.log[lineStart : len(m.log)-1]) // strip trailing newline
-	m.led.Append(ledger.Draft{
-		At:      int64(at),
-		Kind:    ledger.KindCapture,
-		Code:    uint32(ev),
-		Actor:   m.operator,
-		Subject: m.device,
-		Note:    note,
-	})
+	m.led.Append(m.draft(lineStart, ev, at))
 }
 
-// Apply re-rules the acquisition after one mutation event, returning
-// the ruling now in force and whether the event changed the required
-// process or governing regime. Errors (a delta that makes the action
-// invalid) leave the monitor's state untouched.
-func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// applyLocked re-rules the acquisition after one mutation event,
+// appends its transcript line, and advances the monitor state. It
+// returns the line bounds and event class so the caller chooses how to
+// seal — one record (Apply) or one batch (ApplyAll). Callers hold m.mu.
+func (m *Monitor) applyLocked(at time.Duration, d legal.ActionDelta) (lineStart int, ev CaptureEvent, changed bool, err error) {
 	next, err := m.engine.EvaluateDelta(&m.ruling, d)
 	if err != nil {
-		return legal.Ruling{}, false, fmt.Errorf("capture: monitor event %d: %w", m.events+1, err)
+		return 0, 0, false, fmt.Errorf("capture: monitor event %d: %w", m.events+1, err)
 	}
 	m.events++
-	changed := next.Required != m.ruling.Required || next.Regime != m.ruling.Regime
-	lineStart := len(m.log)
+	changed = next.Required != m.ruling.Required || next.Regime != m.ruling.Regime
+	lineStart = len(m.log)
 	m.log = append(m.log, "t="...)
 	m.log = strconv.AppendInt(m.log, int64(at), 10)
 	m.log = append(m.log, ' ')
@@ -179,7 +183,6 @@ func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bo
 	m.log = append(m.log, ' ')
 	m.log = next.Action.AppendFingerprint(m.log)
 	m.log = m.appendStatus(m.log, &next)
-	m.seal(lineStart, classifyDelta(&d), at)
 	if changed {
 		m.trans = append(m.trans, Transition{
 			At:         at,
@@ -192,7 +195,58 @@ func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bo
 		})
 	}
 	m.ruling = next
-	return next, changed, nil
+	return lineStart, classifyDelta(&d), changed, nil
+}
+
+// Apply re-rules the acquisition after one mutation event, returning
+// the ruling now in force and whether the event changed the required
+// process or governing regime. Errors (a delta that makes the action
+// invalid) leave the monitor's state untouched.
+func (m *Monitor) Apply(at time.Duration, d legal.ActionDelta) (legal.Ruling, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lineStart, ev, changed, err := m.applyLocked(at, d)
+	if err != nil {
+		return legal.Ruling{}, false, err
+	}
+	m.seal(lineStart, ev, at)
+	return m.ruling, changed, nil
+}
+
+// TimedDelta is one scheduled mutation in a buffered event burst.
+type TimedDelta struct {
+	At    time.Duration
+	Delta legal.ActionDelta
+}
+
+// ApplyAll applies a buffered burst of events in order under a single
+// lock hold and seals their audit records as one ledger batch, paying
+// the ledger's Merkle maintenance once per burst instead of once per
+// event. It stops at the first invalid delta and returns how many
+// events were applied with that error; the applied prefix is still
+// sealed, so the audit record matches the state the monitor reached.
+func (m *Monitor) ApplyAll(events []TimedDelta) (applied int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var drafts []ledger.Draft
+	if m.led != nil {
+		drafts = make([]ledger.Draft, 0, len(events))
+	}
+	for i := range events {
+		lineStart, ev, _, aerr := m.applyLocked(events[i].At, events[i].Delta)
+		if aerr != nil {
+			err = aerr
+			break
+		}
+		if m.led != nil {
+			drafts = append(drafts, m.draft(lineStart, ev, events[i].At))
+		}
+		applied++
+	}
+	if len(drafts) > 0 {
+		m.led.AppendBatch(drafts)
+	}
+	return applied, err
 }
 
 // appendStatus appends " -> <process> (<regime>)\n" to the transcript.

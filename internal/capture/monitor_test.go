@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 )
 
@@ -207,5 +208,84 @@ func TestMonitorQuietEventsAndTranscript(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], " -> court order (") {
 		t.Errorf("transcript line 1 = %q, should carry the status suffix", lines[1])
+	}
+}
+
+// TestMonitorApplyAllBatchSeals proves the buffered-burst path is
+// observationally identical to per-event Apply: same final ruling, same
+// transitions, and a byte-identical ledger root — AppendBatch sealing
+// must not be distinguishable from sequential sealing.
+func TestMonitorApplyAllBatchSeals(t *testing.T) {
+	d, err := New(PenRegister, govISPPlacement(), legal.ProcessCourtOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := d.Action()
+	var burst []TimedDelta
+	for i, kind := range []DeviceKind{TrapTrace, HeaderSniffer, FullWiretap} {
+		delta, err := d.Escalate(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		burst = append(burst, TimedDelta{At: time.Duration(i+1) * time.Second, Delta: delta})
+	}
+
+	engine := legal.NewEngine()
+	ledSeq, ledBatch := ledger.New(), ledger.New()
+	seq, err := NewMonitor(engine, base, WithAuditLedger(ledSeq, "op", "dev-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range burst {
+		if _, _, err := seq.Apply(ev.At, ev.Delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := NewMonitor(engine, base, WithAuditLedger(ledBatch, "op", "dev-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := batch.ApplyAll(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != len(burst) {
+		t.Fatalf("applied = %d, want %d", applied, len(burst))
+	}
+
+	if got, want := batch.Ruling(), seq.Ruling(); !reflect.DeepEqual(got, want) {
+		t.Errorf("burst ruling diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := batch.Transitions(), seq.Transitions(); !reflect.DeepEqual(got, want) {
+		t.Errorf("burst transitions diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := batch.Transcript(), seq.Transcript(); got != want {
+		t.Errorf("burst transcript diverged:\n got %q\nwant %q", got, want)
+	}
+	if err := ledBatch.Verify(); err != nil {
+		t.Fatalf("batch-sealed ledger verify: %v", err)
+	}
+	if got, want := ledBatch.Root(), ledSeq.Root(); got != want {
+		t.Errorf("batch-sealed root %x != sequentially sealed root %x", got, want)
+	}
+
+	// A burst that fails mid-way seals the applied prefix and reports
+	// the count, so the audit record matches the monitor's state.
+	var bad legal.ActionDelta
+	bad.SetActor(batch.Ruling().Action.Actor, legal.Actor(99))
+	good, err := d.Escalate(PenRegister)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ledBatch.Len()
+	applied, err = batch.ApplyAll([]TimedDelta{
+		{At: 10 * time.Second, Delta: good},
+		{At: 11 * time.Second, Delta: bad},
+	})
+	if err == nil || applied != 1 {
+		t.Fatalf("partial burst: applied=%d err=%v, want 1 applied with error", applied, err)
+	}
+	if got := ledBatch.Len(); got != before+1 {
+		t.Errorf("partial burst sealed %d records, want 1", got-before)
 	}
 }

@@ -300,17 +300,21 @@ func (c *Case) ExecuteSearch(o *court.Order, place string, items []court.SearchI
 func (c *Case) SuppressionHearing() []evidence.Assessment {
 	as := c.locker.Assess()
 	now := c.clock().UnixNano()
-	for _, a := range as {
+	drafts := make([]ledger.Draft, len(as))
+	for i, a := range as {
 		c.Logf("hearing: %s — %s", a.ItemID, a.Status)
-		c.led.Append(ledger.Draft{
+		drafts[i] = ledger.Draft{
 			At:      now,
 			Kind:    ledger.KindCaseEvent,
 			Code:    uint32(a.Status),
 			Actor:   c.Name,
 			Subject: string(a.ItemID),
 			Note:    "suppression hearing: " + a.Status.String(),
-		})
+		}
 	}
+	// One hearing, one seal: the per-item rulings land as a single
+	// batch, amortizing the ledger's Merkle maintenance.
+	c.led.AppendBatch(drafts)
 	return as
 }
 

@@ -36,28 +36,107 @@ func BenchmarkLedgerAppend(b *testing.B) {
 	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N), "appends/sec")
 }
 
-// BenchmarkLedgerAppendBatch measures the batched-sealing path.
+// benchBatchSize is the draft count per AppendBatch call in the batch
+// benchmarks — the shape a served batch request or a drained audit
+// spool produces.
+const benchBatchSize = 64
+
+// servedDraft is the audit record lawgated seals per served ruling —
+// the producer this repo's batch-sealing path exists for. Its body
+// (110 canonical bytes) spans two SHA-256 blocks; the batch/looped
+// pair benchmarks both use it so the CI pair gate measures the
+// serving-audit workload.
+var servedDraft = Draft{
+	At: 1330592400000000000, Kind: KindService, Code: 3,
+	Actor: "lawgated", Subject: "dev-7", Note: "evaluate -> warrant",
+}
+
+// BenchmarkLedgerAppendBatch measures the batched-sealing path,
+// reported per record (b.N counts records, not batches) so it is
+// directly comparable against BenchmarkLedgerAppendLooped — the CI
+// pair gate holds the batch path to ≥2x per record. The economies are
+// real but deferred-cost-aware: one-shot SHA-256 sealing and Merkle
+// interior maintenance pushed to the next index reader (see
+// BenchmarkLedgerAppendBatchCheckpointed for the flush-inclusive
+// number).
 func BenchmarkLedgerAppendBatch(b *testing.B) {
-	const batch = 64
-	drafts := make([]Draft, batch)
+	drafts := make([]Draft, benchBatchSize)
 	for i := range drafts {
-		drafts[i] = benchDraft
+		drafts[i] = servedDraft
 	}
 	l := New(WithCapacity(benchCap))
 	b.ReportAllocs()
 	b.ResetTimer()
 	appended := 0
-	for i := 0; i < b.N; i++ {
-		if appended+batch > benchCap {
+	for i := 0; i < b.N; i += benchBatchSize {
+		if appended+benchBatchSize > benchCap {
 			b.StopTimer()
 			l = New(WithCapacity(benchCap))
 			appended = 0
 			b.StartTimer()
 		}
 		l.AppendBatch(drafts)
-		appended += batch
+		appended += benchBatchSize
 	}
-	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N)*batch, "appends/sec")
+	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N), "appends/sec")
+}
+
+// BenchmarkLedgerAppendLooped appends the same drafts one Append call
+// at a time — the per-record base the AppendBatch pair gate divides
+// against. It differs from BenchmarkLedgerAppend only in draining a
+// prepared batch, so the two sides of the ratio do identical work per
+// iteration except for the batching.
+func BenchmarkLedgerAppendLooped(b *testing.B) {
+	drafts := make([]Draft, benchBatchSize)
+	for i := range drafts {
+		drafts[i] = servedDraft
+	}
+	l := New(WithCapacity(benchCap))
+	b.ReportAllocs()
+	b.ResetTimer()
+	appended := 0
+	for i := 0; i < b.N; i += benchBatchSize {
+		if appended+benchBatchSize > benchCap {
+			b.StopTimer()
+			l = New(WithCapacity(benchCap))
+			appended = 0
+			b.StartTimer()
+		}
+		for j := range drafts {
+			l.Append(drafts[j])
+		}
+		appended += benchBatchSize
+	}
+	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N), "appends/sec")
+}
+
+// BenchmarkLedgerAppendBatchCheckpointed is the flush-inclusive batch
+// number: every batch is followed by a Checkpoint, so the deferred
+// Merkle interior work AppendBatch pushed off the sealing path is paid
+// inside the measurement (plus the checkpoint's own O(log n) root
+// fold). This is the honest per-record cost for a producer that reads
+// a root after every batch.
+func BenchmarkLedgerAppendBatchCheckpointed(b *testing.B) {
+	drafts := make([]Draft, benchBatchSize)
+	for i := range drafts {
+		drafts[i] = servedDraft
+	}
+	l := New(WithCapacity(benchCap))
+	b.ReportAllocs()
+	b.ResetTimer()
+	appended := 0
+	for i := 0; i < b.N; i += benchBatchSize {
+		if appended+benchBatchSize > benchCap {
+			b.StopTimer()
+			l = New(WithCapacity(benchCap))
+			appended = 0
+			b.StartTimer()
+		}
+		l.AppendBatch(drafts)
+		l.Checkpoint()
+		appended += benchBatchSize
+	}
+	b.ReportMetric(1e9/float64(b.Elapsed().Nanoseconds())*float64(b.N), "appends/sec")
 }
 
 // BenchmarkLedgerProof measures inclusion-proof generation cost across

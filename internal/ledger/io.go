@@ -26,6 +26,7 @@ var magic = [8]byte{'L', 'G', 'L', 'E', 'D', 'G', 'R', '1'}
 func (l *Ledger) WriteTo(w io.Writer) (int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.idx.flush(l.seal)
 	var total int64
 	var buf []byte
 	var hdr [16]byte

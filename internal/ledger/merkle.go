@@ -15,6 +15,12 @@ import (
 // roots and proofs for any past size remain computable.
 type index struct {
 	levels [][][32]byte
+	// indexed counts the leaves whose interior-node completion has run.
+	// The eager append path keeps it equal to len(levels[0]); the batch
+	// append path lands leaves without completing subtrees and lets the
+	// next reader flush the gap, so batch sealing pays only the chain
+	// hash and the interior work is amortized across the batch.
+	indexed uint64
 }
 
 // interiorPrefix domain-separates interior nodes from leaves.
@@ -46,15 +52,22 @@ func interiorHash(h hash.Hash, l, r *[32]byte) [32]byte {
 	return sum
 }
 
-// push appends one leaf and completes every perfect subtree the new
-// leaf closes — amortized one interior hash per leaf.
-func (x *index) push(s *sealer, leaf [32]byte) {
+// appendLeaf stores one leaf without completing subtrees — the batch
+// sealing path. Interior nodes the leaf closes are deferred until the
+// next flush; until then only levels[0] reflects the leaf.
+func (x *index) appendLeaf(leaf [32]byte) {
 	if len(x.levels) == 0 {
 		x.levels = append(x.levels, nil)
 	}
 	x.levels[0] = append(x.levels[0], leaf)
+}
+
+// completeLeaf closes every perfect subtree whose final leaf is leaf i
+// — the amortized one-interior-hash-per-leaf maintenance step. Leaves
+// must be completed in order; flush guarantees that.
+func (x *index) completeLeaf(s *sealer, i uint64) {
 	for lvl := 0; ; lvl++ {
-		n := len(x.levels[lvl])
+		n := (i + 1) >> lvl
 		if n%2 != 0 {
 			return
 		}
@@ -64,6 +77,28 @@ func (x *index) push(s *sealer, leaf [32]byte) {
 		p := s.interior(&x.levels[lvl][n-2], &x.levels[lvl][n-1])
 		x.levels[lvl+1] = append(x.levels[lvl+1], p)
 	}
+}
+
+// flush completes every deferred subtree, bringing the interior levels
+// up to date with the appended leaves. Interior nodes come out
+// identical to eager maintenance — only their computation time moves —
+// so roots and proofs are unaffected by which append path ran. Called
+// by every reader that consults the index above its leaves.
+func (x *index) flush(s *sealer) {
+	if len(x.levels) == 0 {
+		return
+	}
+	for n := uint64(len(x.levels[0])); x.indexed < n; x.indexed++ {
+		x.completeLeaf(s, x.indexed)
+	}
+}
+
+// push appends one leaf and completes every perfect subtree up through
+// it — the eager path used by single-record appends. It flushes first,
+// so eager and batch appends interleave safely.
+func (x *index) push(s *sealer, leaf [32]byte) {
+	x.appendLeaf(leaf)
+	x.flush(s)
 }
 
 // emptyRoot is the root of a zero-record ledger: SHA-256 of the empty

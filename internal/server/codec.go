@@ -1,0 +1,185 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/wire"
+)
+
+// This file is the serving hot path's request/response lifecycle:
+// pooled body reads, wire-codec decoding of actions, and response
+// envelopes appended straight from rulings into pooled buffers. Every
+// byte written here is pinned byte-identical to what writeJSON
+// (json.Marshal on the response structs) would produce — codec_test.go
+// proves it — so clients, golden files, and the conformance probe see
+// no change. The cold endpoints (checkpoint, tenant views, metrics,
+// errors) stay on writeJSON: their cost is not on the serving path and
+// stdlib keeps them trivially correct.
+
+// reqScratch is the pooled per-request state: the body buffer every
+// read reuses and the action slice batch decoding appends into. The
+// actions backing is safe to reuse because the engine copies actions
+// by value; the sub-objects inside each decoded action are always
+// fresh (see wire.DecodeAction).
+type reqScratch struct {
+	body    []byte
+	actions []legal.Action
+}
+
+// maxRetainedScratch caps what a pathological request can pin in the
+// pool — one oversized body or batch does not hold its high-water
+// backing forever.
+const maxRetainedScratch = 1 << 20
+
+var scratchPool = sync.Pool{
+	New: func() any { return &reqScratch{body: make([]byte, 0, 4096)} },
+}
+
+func getScratch() *reqScratch { return scratchPool.Get().(*reqScratch) }
+
+func putScratch(sc *reqScratch) {
+	if cap(sc.body) > maxRetainedScratch || cap(sc.actions) > DefaultMaxBatch {
+		return
+	}
+	scratchPool.Put(sc)
+}
+
+// readBody reads the whole request body into buf under the same
+// robustness caps readJSON enforces: at most maxBody bytes (413
+// beyond), delivered within bodyReadTimeout (408), read failures as
+// 400. The returned slice reuses buf's backing.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, *apiError) {
+	rc := http.NewResponseController(w)
+	// Best effort: test recorders don't support deadlines; real
+	// connections do, and that is where slow-loris defense matters.
+	_ = rc.SetReadDeadline(s.now().Add(s.bodyReadTimeout))
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			var tooLarge *http.MaxBytesError
+			switch {
+			case errors.As(err, &tooLarge):
+				return buf, &apiError{status: http.StatusRequestEntityTooLarge,
+					msg: fmt.Sprintf("request body exceeds %d bytes", s.maxBody)}
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				return buf, &apiError{status: http.StatusRequestTimeout,
+					msg: fmt.Sprintf("request body not delivered within %s", s.bodyReadTimeout)}
+			default:
+				return buf, &apiError{status: http.StatusBadRequest, msg: "malformed JSON: " + err.Error()}
+			}
+		}
+	}
+	// Reset the read deadline so response writing is not affected.
+	_ = rc.SetReadDeadline(time.Time{})
+	return buf, nil
+}
+
+// readAction reads and decodes one action through the wire codec.
+func (s *Server) readAction(w http.ResponseWriter, r *http.Request, sc *reqScratch, a *legal.Action) *apiError {
+	body, aerr := s.readBody(w, r, sc.body)
+	sc.body = body
+	if aerr != nil {
+		return aerr
+	}
+	if err := wire.DecodeAction(sc.body, a); err != nil {
+		return &apiError{status: http.StatusBadRequest, msg: "malformed JSON: " + err.Error()}
+	}
+	return nil
+}
+
+// readActions reads and decodes a batch of actions into the scratch's
+// reused slice — the batch body is materialized once (the pooled body
+// buffer) and decoded once, never copied into an intermediate value.
+func (s *Server) readActions(w http.ResponseWriter, r *http.Request, sc *reqScratch) *apiError {
+	body, aerr := s.readBody(w, r, sc.body)
+	sc.body = body
+	if aerr != nil {
+		return aerr
+	}
+	actions, err := wire.DecodeActions(sc.body, sc.actions)
+	sc.actions = actions
+	if err != nil {
+		return &apiError{status: http.StatusBadRequest, msg: "malformed JSON: " + err.Error()}
+	}
+	return nil
+}
+
+var newline = []byte{'\n'}
+
+// writeRaw writes pre-encoded JSON exactly as writeJSON writes
+// marshaled bytes: Content-Type, status, body, trailing newline.
+func writeRaw(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write(newline)
+}
+
+// appendEvaluateResponse appends the /v1/evaluate envelope —
+// byte-identical to json.Marshal(EvaluateResponse{...}) — projecting
+// the ruling straight into view JSON without materializing a
+// RulingView.
+func appendEvaluateResponse(dst []byte, tenant string, revision uint64, r *legal.Ruling) []byte {
+	dst = append(dst, `{"tenant":`...)
+	dst = wire.AppendString(dst, tenant)
+	dst = append(dst, `,"revision":`...)
+	dst = wire.AppendUint(dst, revision)
+	dst = append(dst, `,"ruling":`...)
+	dst = wire.AppendRulingViewFromRuling(dst, r)
+	return append(dst, '}')
+}
+
+// appendBatchResponse appends the /v1/evaluate/batch envelope straight
+// from the engine's rulings: one slot per input action, null for
+// failed slots, errors listed when present — byte-identical to
+// json.Marshal(BatchResponse{...}) without materializing the
+// []*report.RulingView.
+func appendBatchResponse(dst []byte, tenant string, revision uint64, slots int, rulings []legal.Ruling, failed map[int]bool, errs []BatchError) []byte {
+	dst = append(dst, `{"tenant":`...)
+	dst = wire.AppendString(dst, tenant)
+	dst = append(dst, `,"revision":`...)
+	dst = wire.AppendUint(dst, revision)
+	dst = append(dst, `,"rulings":[`...)
+	for i := 0; i < slots; i++ {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		if i >= len(rulings) || failed[i] {
+			dst = append(dst, "null"...)
+			continue
+		}
+		dst = wire.AppendRulingViewFromRuling(dst, &rulings[i])
+	}
+	dst = append(dst, ']')
+	if len(errs) > 0 {
+		dst = append(dst, `,"errors":[`...)
+		for i := range errs {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"index":`...)
+			dst = wire.AppendInt(dst, int64(errs[i].Index))
+			dst = append(dst, `,"error":`...)
+			dst = wire.AppendString(dst, errs[i].Error)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	return append(dst, '}')
+}

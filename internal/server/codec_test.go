@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/report"
+)
+
+func codecRulings() []legal.Ruling {
+	return []legal.Ruling{
+		{},
+		{
+			Action:   legal.Action{Name: "seize stored email <inbox> & \"drafts\""},
+			Required: legal.ProcessSearchWarrant,
+			Regime:   legal.RegimeSCA,
+			Rationale: []string{
+				"stored content at a public provider",
+				"SCA \u00a7 2703(a) requires a warrant",
+			},
+			Citations: []legal.Citation{{ID: "sca", Title: "18 U.S.C. \u00a7 2703"}},
+		},
+		{
+			Action:     legal.Action{Name: "consent search"},
+			Required:   legal.ProcessNone,
+			Regime:     legal.RegimeFourthAmendment,
+			Exceptions: []legal.ExceptionKind{1, 2},
+			Rationale:  []string{},
+			Citations:  []legal.Citation{},
+		},
+	}
+}
+
+// The hand-built evaluate envelope must be byte-identical to
+// json.Marshal of the EvaluateResponse struct — the contract that
+// keeps clients and the conformance probe oblivious to the codec.
+func TestAppendEvaluateResponseMatchesStdlib(t *testing.T) {
+	for i, r := range codecRulings() {
+		want, err := json.Marshal(EvaluateResponse{
+			Tenant:   "tenant-a",
+			Revision: 7,
+			Ruling:   report.FromRuling(r),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendEvaluateResponse(nil, "tenant-a", 7, &r)
+		if !bytes.Equal(got, want) {
+			t.Errorf("ruling %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestAppendBatchResponseMatchesStdlib(t *testing.T) {
+	rulings := codecRulings()
+	cases := []struct {
+		name   string
+		slots  int
+		ruls   []legal.Ruling
+		failed map[int]bool
+		errs   []BatchError
+	}{
+		{name: "empty", slots: 0, ruls: nil},
+		{name: "all ok", slots: 3, ruls: rulings},
+		{
+			name: "one failed", slots: 3, ruls: rulings,
+			failed: map[int]bool{1: true},
+			errs:   []BatchError{{Index: 1, Error: "action 1: invalid <action>"}},
+		},
+		{
+			name: "unindexed error", slots: 2, ruls: rulings[:2],
+			failed: map[int]bool{0: true, 1: true},
+			errs: []BatchError{
+				{Index: 0, Error: "action 0: bad"},
+				{Index: 1, Error: "action 1: bad"},
+				{Index: -1, Error: "context canceled"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Build the reply the pre-codec handler built, then require
+			// the direct encoder to reproduce its exact bytes.
+			resp := BatchResponse{Tenant: "t", Revision: 3,
+				Rulings: make([]*report.RulingView, tc.slots), Errors: tc.errs}
+			for i := 0; i < tc.slots && i < len(tc.ruls); i++ {
+				if tc.failed[i] {
+					continue
+				}
+				v := report.FromRuling(tc.ruls[i])
+				resp.Rulings[i] = &v
+			}
+			want, err := json.Marshal(resp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := appendBatchResponse(nil, "t", 3, tc.slots, tc.ruls, tc.failed, tc.errs)
+			if !bytes.Equal(got, want) {
+				t.Errorf("\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// End-to-end byte identity: the served /v1/evaluate body, decoded with
+// encoding/json and re-marshaled, must reproduce the raw response
+// exactly — the same assertion the lawgated probe makes on a live
+// server.
+func TestServedEvaluateBytesRoundTripStdlib(t *testing.T) {
+	srv, err := New(WithTenants("default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies := []string{
+		`{"Name":"wiretap call contents","Actor":1,"Timing":1,"Data":1,"Source":3}`,
+		`{"Name":"subpoena basic subscriber info","Actor":1,"Timing":2,"Data":3,"Source":4}`,
+		`{"Name":"consent <search>","Actor":1,"Timing":2,"Data":1,"Source":4,"Consent":{"Scope":1}}`,
+	}
+	for _, body := range bodies {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body))
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		raw := rec.Body.Bytes()
+		var resp EvaluateResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("response not valid JSON: %v", err)
+		}
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n')
+		if !bytes.Equal(raw, want) {
+			t.Errorf("served bytes diverge from stdlib rendering:\n got %s\nwant %s", raw, want)
+		}
+	}
+
+	// Batch endpoint, including a failed slot.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/evaluate/batch",
+		strings.NewReader(`[{"Name":"ok","Actor":1,"Timing":2,"Data":3,"Source":4},{"Name":"bad","Actor":99}]`))
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	raw := rec.Body.Bytes()
+	var bresp BatchResponse
+	if err := json.Unmarshal(raw, &bresp); err != nil {
+		t.Fatalf("batch response not valid JSON: %v", err)
+	}
+	want, err := json.Marshal(bresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(raw, want) {
+		t.Errorf("batch bytes diverge:\n got %s\nwant %s", raw, want)
+	}
+}
+
+// The audit spool must flush on every external ledger observation:
+// checkpoints, tenant views, and direct Ledger() access all see every
+// request served so far.
+func TestAuditSpoolFlushesOnReads(t *testing.T) {
+	srv, err := New(WithTenants("default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := srv.Registry().Get("default")
+	base := tn.Ledger().Len()
+	const served = 5 // below spoolFlushThreshold: only reads can flush
+	for i := 0; i < served; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/evaluate",
+			strings.NewReader(`{"Name":"wiretap","Actor":1,"Timing":1,"Data":1,"Source":3}`))
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	if got := tn.Ledger().Len(); got != base+served {
+		t.Fatalf("Ledger() sees %d records, want %d", got, base+served)
+	}
+	if err := tn.Ledger().Verify(); err != nil {
+		t.Fatalf("ledger verify after spool flush: %v", err)
+	}
+
+	// The checkpoint endpoint must commit to spooled requests too.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/evaluate",
+		strings.NewReader(`{"Name":"wiretap","Actor":1,"Timing":1,"Data":1,"Source":3}`))
+	srv.Handler().ServeHTTP(rec, req)
+	crec := httptest.NewRecorder()
+	creq := httptest.NewRequest("GET", "/v1/ledger/checkpoint", nil)
+	srv.Handler().ServeHTTP(crec, creq)
+	var cp CheckpointResponse
+	if err := json.Unmarshal(crec.Body.Bytes(), &cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Size != uint64(base+served+1) {
+		t.Fatalf("checkpoint size %d, want %d", cp.Size, base+served+1)
+	}
+}
+
+// The spool drains inline once it reaches spoolFlushThreshold, so an
+// unread ledger cannot buffer unboundedly.
+func TestAuditSpoolThresholdFlush(t *testing.T) {
+	srv, err := New(WithTenants("default"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := srv.Registry().Get("default")
+	base := tn.led.Len() // direct: do not trigger a read flush
+	for i := 0; i < spoolFlushThreshold; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/evaluate",
+			strings.NewReader(`{"Name":"wiretap","Actor":1,"Timing":1,"Data":1,"Source":3}`))
+		srv.Handler().ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("status %d", rec.Code)
+		}
+	}
+	if got := tn.led.Len(); got != base+spoolFlushThreshold {
+		t.Fatalf("after %d requests ledger has %d records, want %d (threshold flush missing)",
+			spoolFlushThreshold, got, base+spoolFlushThreshold)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"lawgate/internal/ledger"
 	"lawgate/internal/legal"
 	"lawgate/internal/report"
+	"lawgate/internal/wire"
 )
 
 // EvaluateResponse is the /v1/evaluate reply.
@@ -133,8 +134,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) *apiErro
 	if aerr != nil {
 		return aerr
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	var a legal.Action
-	if aerr := s.readJSON(w, r, &a); aerr != nil {
+	if aerr := s.readAction(w, r, sc, &a); aerr != nil {
 		return aerr
 	}
 	ctx, cancel := s.requestContext(r)
@@ -156,7 +159,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) *apiErro
 		return &apiError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 	}
 	s.stats.rulings.Add(1)
-	t.led.Append(ledger.Draft{
+	t.audit(ledger.Draft{
 		At:      s.now().UnixNano(),
 		Kind:    ledger.KindService,
 		Code:    ServiceRulingServed,
@@ -164,11 +167,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) *apiErro
 		Subject: a.Name,
 		Note:    "evaluate -> " + ruling.Required.String(),
 	})
-	writeJSON(w, http.StatusOK, EvaluateResponse{
-		Tenant:   t.ID,
-		Revision: ev.Revision,
-		Ruling:   report.FromRuling(ruling),
-	})
+	buf := wire.GetBuffer()
+	buf.B = appendEvaluateResponse(buf.B[:0], t.ID, ev.Revision, &ruling)
+	writeRaw(w, http.StatusOK, buf.B)
+	wire.PutBuffer(buf)
 	return nil
 }
 
@@ -177,10 +179,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) *apiError {
 	if aerr != nil {
 		return aerr
 	}
-	var actions []legal.Action
-	if aerr := s.readJSON(w, r, &actions); aerr != nil {
+	sc := getScratch()
+	defer putScratch(sc)
+	if aerr := s.readActions(w, r, sc); aerr != nil {
 		return aerr
 	}
+	actions := sc.actions
 	if len(actions) > s.maxBatch {
 		return &apiError{status: http.StatusRequestEntityTooLarge,
 			msg: fmt.Sprintf("batch of %d actions exceeds the %d-action cap", len(actions), s.maxBatch)}
@@ -204,33 +208,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) *apiError {
 	if err != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
 		return deadlineErr("batch evaluation")
 	}
-	resp := BatchResponse{Tenant: t.ID, Revision: ev.Revision,
-		Rulings: make([]*report.RulingView, len(actions))}
-	failed := collectBatchErrors(err, &resp)
+	var batchErrs []BatchError
+	failed := collectBatchErrors(err, &batchErrs)
 	for i := range rulings {
-		if failed[i] {
-			continue
+		if !failed[i] {
+			s.stats.rulings.Add(1)
 		}
-		v := report.FromRuling(rulings[i])
-		resp.Rulings[i] = &v
-		s.stats.rulings.Add(1)
 	}
-	t.led.Append(ledger.Draft{
+	t.audit(ledger.Draft{
 		At:      s.now().UnixNano(),
 		Kind:    ledger.KindService,
 		Code:    ServiceRulingServed,
 		Actor:   "lawgated",
 		Subject: t.ID,
-		Note:    fmt.Sprintf("batch: %d actions, %d invalid", len(actions), len(resp.Errors)),
+		Note:    fmt.Sprintf("batch: %d actions, %d invalid", len(actions), len(batchErrs)),
 	})
-	writeJSON(w, http.StatusOK, resp)
+	// Encode straight from the engine's rulings: the response never
+	// materializes a []*report.RulingView.
+	buf := wire.GetBuffer()
+	buf.B = appendBatchResponse(buf.B[:0], t.ID, ev.Revision, len(actions), rulings, failed, batchErrs)
+	writeRaw(w, http.StatusOK, buf.B)
+	wire.PutBuffer(buf)
 	return nil
 }
 
 // collectBatchErrors unpacks EvaluateBatch's joined per-index errors
-// ("action %d: ..." per failed slot) into the response and reports
-// which slots failed.
-func collectBatchErrors(err error, resp *BatchResponse) map[int]bool {
+// ("action %d: ..." per failed slot) into errs and reports which slots
+// failed.
+func collectBatchErrors(err error, errs *[]BatchError) map[int]bool {
 	failed := map[int]bool{}
 	if err == nil {
 		return failed
@@ -247,7 +252,7 @@ func collectBatchErrors(err error, resp *BatchResponse) map[int]bool {
 		} else {
 			idx = -1
 		}
-		resp.Errors = append(resp.Errors, BatchError{Index: idx, Error: msg})
+		*errs = append(*errs, BatchError{Index: idx, Error: msg})
 	}
 	return failed
 }
@@ -257,8 +262,10 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) *apiError 
 	if aerr != nil {
 		return aerr
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	var a legal.Action
-	if aerr := s.readJSON(w, r, &a); aerr != nil {
+	if aerr := s.readAction(w, r, sc, &a); aerr != nil {
 		return aerr
 	}
 	ctx, cancel := s.requestContext(r)
@@ -293,7 +300,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) *apiError 
 		})
 	}
 	s.stats.rulings.Add(1)
-	t.led.Append(ledger.Draft{
+	t.audit(ledger.Draft{
 		At:      s.now().UnixNano(),
 		Kind:    ledger.KindService,
 		Code:    ServiceAdviceServed,
@@ -310,7 +317,10 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) *apiEr
 	if aerr != nil {
 		return aerr
 	}
-	cp := t.led.Checkpoint()
+	// Ledger() drains the audit spool first, so the checkpoint commits
+	// to every request served before it.
+	led := t.Ledger()
+	cp := led.Checkpoint()
 	resp := CheckpointResponse{
 		Tenant: t.ID,
 		Size:   cp.Size,
@@ -329,7 +339,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) *apiEr
 			return &apiError{status: http.StatusConflict,
 				msg: fmt.Sprintf("anchored size %d is ahead of ledger size %d", since, cp.Size)}
 		}
-		proof, err := t.led.ConsistencyProof(since, cp.Size)
+		proof, err := led.ConsistencyProof(since, cp.Size)
 		if err != nil {
 			return &apiError{status: http.StatusInternalServerError, msg: err.Error()}
 		}
@@ -381,7 +391,7 @@ func tenantView(t *Tenant, v *engineVersion, stats *legal.EngineStats) TenantVie
 		Container:   container,
 		RuleCount:   v.RuleCount,
 		InstalledAt: v.InstalledAt,
-		LedgerSize:  t.led.Len(),
+		LedgerSize:  t.Ledger().Len(),
 		Engine:      stats,
 	}
 }

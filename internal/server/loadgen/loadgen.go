@@ -17,6 +17,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -87,6 +88,13 @@ type Result struct {
 	P99 time.Duration `json:"p99_ns"`
 	// RulingsPerSec is Rulings / Elapsed.
 	RulingsPerSec float64 `json:"rulings_per_sec"`
+	// AllocsPerRequest is the process-wide heap-allocation delta
+	// (runtime.MemStats.Mallocs) across the run divided by Requests.
+	// Against lawgated's in-process bench server it counts client and
+	// server allocations together — the number the zero-alloc serving
+	// path is budgeted against; against a remote server it counts only
+	// the harness side.
+	AllocsPerRequest float64 `json:"allocs_per_request"`
 }
 
 // DeliberateStatuses is the set of statuses the server is allowed to
@@ -126,14 +134,13 @@ func (r *Result) Check() error {
 // evaluateBody is the steady-state request: a Title III wiretap that
 // always evaluates cleanly.
 func evaluateBody(name string) []byte {
-	b, _ := json.Marshal(legal.Action{
+	return mustJSON(legal.Action{
 		Name:   name,
 		Actor:  legal.ActorGovernment,
 		Timing: legal.TimingRealTime,
 		Data:   legal.DataContent,
 		Source: legal.SourceThirdPartyNetwork,
 	})
-	return b
 }
 
 // Run executes the schedule and returns the accounting. The error is
@@ -203,19 +210,24 @@ func Run(cfg Config) (*Result, error) {
 
 	steady := evaluateBody("load-wiretap")
 	batch := func() []byte {
-		var actions []legal.Action
-		for i := 0; i < 8; i++ {
-			var a legal.Action
-			json.Unmarshal(steady, &a)
-			a.Name = fmt.Sprintf("load-batch-%d", i)
-			actions = append(actions, a)
+		var base legal.Action
+		if err := json.Unmarshal(steady, &base); err != nil {
+			// The steady body is marshaled from a literal above; failing
+			// to round-trip it means the harness itself is broken.
+			panic(fmt.Sprintf("loadgen: steady body does not round-trip: %v", err))
 		}
-		b, _ := json.Marshal(actions)
-		return b
+		actions := make([]legal.Action, 8)
+		for i := range actions {
+			actions[i] = base
+			actions[i].Name = fmt.Sprintf("load-batch-%d", i)
+		}
+		return mustJSON(actions)
 	}()
 	poison := evaluateBody(ChaosPanicName)
 	oversized := []byte(`{"Name": "` + strings.Repeat("x", cfg.OversizeBytes) + `"}`)
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -322,6 +334,8 @@ func Run(cfg Config) (*Result, error) {
 
 	wg.Wait()
 	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	var all []int64
 	for _, l := range latencies {
@@ -342,6 +356,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if elapsed > 0 {
 		res.RulingsPerSec = float64(res.Rulings) / elapsed.Seconds()
+	}
+	if res.Requests > 0 {
+		res.AllocsPerRequest = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Requests)
 	}
 	return res, nil
 }

@@ -145,15 +145,64 @@ type Tenant struct {
 	eng    atomic.Pointer[engineVersion]
 	bucket *tokenBucket
 	led    *ledger.Ledger
+	spool  auditSpool
 }
+
+// auditSpool batches served-request audit drafts so the serving path
+// pays a cheap slice append instead of a full sealed ledger append.
+// The spool drains through ledger.AppendBatch — amortizing hashing and
+// Merkle maintenance across records — at a size threshold and before
+// every read of the ledger, so external observers always see a fully
+// sealed ledger in arrival order.
+type auditSpool struct {
+	mu     sync.Mutex
+	drafts []ledger.Draft
+}
+
+// spoolFlushThreshold is the spool size that triggers an inline drain.
+// 64 records amortize the batch-seal setup well past the knee of the
+// AppendBatch curve while keeping worst-case deferred work small.
+const spoolFlushThreshold = 64
 
 // Engine returns the tenant's current engine version. Callers must use
 // the returned version for the whole request and never re-load
 // mid-request.
 func (t *Tenant) Engine() *engineVersion { return t.eng.Load() }
 
-// Ledger returns the tenant's audit ledger.
-func (t *Tenant) Ledger() *ledger.Ledger { return t.led }
+// Ledger returns the tenant's audit ledger, sealing any spooled audit
+// drafts first so the caller observes every served request.
+func (t *Tenant) Ledger() *ledger.Ledger {
+	t.flushAudit()
+	return t.led
+}
+
+// audit enqueues an audit draft for batched sealing. Enqueue order is
+// preserved across flushes, and the draft's At timestamp records the
+// event time regardless of when its batch seals.
+func (t *Tenant) audit(d ledger.Draft) {
+	t.spool.mu.Lock()
+	t.spool.drafts = append(t.spool.drafts, d)
+	if len(t.spool.drafts) >= spoolFlushThreshold {
+		t.flushLocked()
+	}
+	t.spool.mu.Unlock()
+}
+
+// flushAudit seals any spooled audit drafts. Every path that reads the
+// ledger or appends to it directly must flush first to keep record
+// order faithful to arrival order.
+func (t *Tenant) flushAudit() {
+	t.spool.mu.Lock()
+	t.flushLocked()
+	t.spool.mu.Unlock()
+}
+
+func (t *Tenant) flushLocked() {
+	if len(t.spool.drafts) > 0 {
+		t.led.AppendBatch(t.spool.drafts)
+		t.spool.drafts = t.spool.drafts[:0]
+	}
+}
 
 // Registry holds the per-tenant engines. Lookups are lock-free on the
 // read path (a sync.Map get plus one atomic pointer load); installs
@@ -230,25 +279,36 @@ func (r *Registry) Install(id string, cfg RuleConfig) (*Tenant, *engineVersion, 
 		InstalledAt: r.now(),
 	}
 	t.eng.Store(v)
+	// Flush any spooled served-request drafts first so install records
+	// land after everything served under the previous revision, then
+	// seal the install's own records as one batch.
+	t.flushAudit()
+	var drafts [2]ledger.Draft
+	n := 0
 	if created {
-		t.led.Append(ledger.Draft{
+		drafts[n] = ledger.Draft{
 			At:      r.now().UnixNano(),
 			Kind:    ledger.KindService,
 			Code:    ServiceTenantCreated,
 			Actor:   "lawgated",
 			Subject: id,
 			Note:    "tenant provisioned",
-		})
-		r.tenants.Store(id, t)
+		}
+		n++
 	}
-	t.led.Append(ledger.Draft{
+	drafts[n] = ledger.Draft{
 		At:      r.now().UnixNano(),
 		Kind:    ledger.KindService,
 		Code:    ServiceRulesInstalled,
 		Actor:   "lawgated",
 		Subject: id,
 		Note:    fmt.Sprintf("revision %d: %s", v.Revision, cfg.summary(ruleCount)),
-	})
+	}
+	n++
+	t.led.AppendBatch(drafts[:n])
+	if created {
+		r.tenants.Store(id, t)
+	}
 	return t, v, nil
 }
 

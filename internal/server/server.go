@@ -17,6 +17,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/hex"
 	"encoding/json"
@@ -371,32 +372,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// readJSON reads and decodes a request body under the server's
-// robustness caps: at most maxBody bytes (413 beyond), delivered within
-// bodyReadTimeout (408 for slow-loris bodies), and structurally valid
-// JSON (400).
+// readJSON reads and decodes a request body into an arbitrary value
+// under the server's robustness caps (see readBody). The hot endpoints
+// use the typed wire-codec readers in codec.go; this stdlib path
+// remains for cold, schema-rich bodies like RuleConfig.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, into any) *apiError {
-	rc := http.NewResponseController(w)
-	// Best effort: test recorders don't support deadlines; real
-	// connections do, and that is where slow-loris defense matters.
-	_ = rc.SetReadDeadline(s.now().Add(s.bodyReadTimeout))
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	dec := json.NewDecoder(body)
-	if err := dec.Decode(into); err != nil {
-		var tooLarge *http.MaxBytesError
-		switch {
-		case errors.As(err, &tooLarge):
-			return &apiError{status: http.StatusRequestEntityTooLarge,
-				msg: fmt.Sprintf("request body exceeds %d bytes", s.maxBody)}
-		case errors.Is(err, os.ErrDeadlineExceeded):
-			return &apiError{status: http.StatusRequestTimeout,
-				msg: fmt.Sprintf("request body not delivered within %s", s.bodyReadTimeout)}
-		default:
-			return &apiError{status: http.StatusBadRequest, msg: "malformed JSON: " + err.Error()}
-		}
+	sc := getScratch()
+	defer putScratch(sc)
+	body, aerr := s.readBody(w, r, sc.body)
+	sc.body = body
+	if aerr != nil {
+		return aerr
 	}
-	// Reset the read deadline so response writing is not affected.
-	_ = rc.SetReadDeadline(time.Time{})
+	// json.Decoder, not Unmarshal: the previous streaming reader took
+	// the first JSON value and ignored trailing bytes, and the typed
+	// wire decoders share that semantic.
+	if err := json.NewDecoder(bytes.NewReader(sc.body)).Decode(into); err != nil {
+		return &apiError{status: http.StatusBadRequest, msg: "malformed JSON: " + err.Error()}
+	}
 	return nil
 }
 
@@ -464,6 +457,9 @@ func (s *Server) sealFinalCheckpoints() []TenantCheckpoint {
 	var out []TenantCheckpoint
 	for _, id := range s.reg.Tenants() {
 		t := s.reg.Get(id)
+		// Drain the audit spool so the final checkpoint commits to every
+		// request served before the listener closed.
+		t.flushAudit()
 		cp := t.led.Checkpoint()
 		seq := t.led.Append(ledger.Draft{
 			At:      s.now().UnixNano(),

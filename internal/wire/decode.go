@@ -1,0 +1,1196 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"unicode"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/report"
+)
+
+// maxSkipDepth bounds nesting while skipping unknown fields, so a
+// hostile deeply-nested body cannot blow the stack (encoding/json has
+// the same 10000 cap).
+const maxSkipDepth = 10000
+
+// Interning bounds: only short strings are interned (action names,
+// enum-ish labels), and the cache is cleared once it holds
+// maxInternEntries so a name-churning client cannot grow it without
+// bound.
+const (
+	maxInternLen     = 64
+	maxInternEntries = 1024
+)
+
+var errUnexpectedEnd = errors.New("wire: unexpected end of JSON input")
+
+// decoder is the pooled per-call parse state: the input, a cursor, a
+// scratch buffer for escaped strings, a fixed key-folding buffer, and
+// the string intern cache that makes repeated action names free.
+type decoder struct {
+	data    []byte
+	pos     int
+	scratch []byte
+	keybuf  [32]byte
+	names   map[string]string
+}
+
+var decPool = sync.Pool{
+	New: func() any {
+		return &decoder{
+			scratch: make([]byte, 0, 256),
+			names:   make(map[string]string, 64),
+		}
+	},
+}
+
+func getDecoder(data []byte) *decoder {
+	d := decPool.Get().(*decoder)
+	d.data, d.pos = data, 0
+	return d
+}
+
+func putDecoder(d *decoder) {
+	d.data = nil
+	if cap(d.scratch) <= maxRetainedBuf {
+		decPool.Put(d)
+	}
+}
+
+func (d *decoder) errAt(msg string) error {
+	return fmt.Errorf("wire: %s at offset %d", msg, d.pos)
+}
+
+func (d *decoder) skipSpace() {
+	for d.pos < len(d.data) {
+		switch d.data[d.pos] {
+		case ' ', '\t', '\n', '\r':
+			d.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (d *decoder) expect(c byte) error {
+	d.skipSpace()
+	if d.pos >= len(d.data) {
+		return errUnexpectedEnd
+	}
+	if d.data[d.pos] != c {
+		return d.errAt("unexpected character")
+	}
+	d.pos++
+	return nil
+}
+
+// endElem consumes the punctuation after an object member or array
+// element: ',' means another element follows, close ends the
+// container.
+func (d *decoder) endElem(close byte) (more bool, err error) {
+	d.skipSpace()
+	if d.pos >= len(d.data) {
+		return false, errUnexpectedEnd
+	}
+	switch d.data[d.pos] {
+	case ',':
+		d.pos++
+		return true, nil
+	case close:
+		d.pos++
+		return false, nil
+	}
+	return false, d.errAt("expected ',' or container close")
+}
+
+// tryNull consumes a null literal if one is next.
+func (d *decoder) tryNull() bool {
+	if len(d.data)-d.pos >= 4 && string(d.data[d.pos:d.pos+4]) == "null" {
+		d.pos += 4
+		return true
+	}
+	return false
+}
+
+func (d *decoder) parseBool() (bool, error) {
+	if len(d.data)-d.pos >= 4 && string(d.data[d.pos:d.pos+4]) == "true" {
+		d.pos += 4
+		return true, nil
+	}
+	if len(d.data)-d.pos >= 5 && string(d.data[d.pos:d.pos+5]) == "false" {
+		d.pos += 5
+		return false, nil
+	}
+	return false, d.errAt("expected boolean")
+}
+
+// parseInt parses a JSON number that must be a whole int64: fractions,
+// exponents, leading zeroes, and overflow are rejected, exactly as
+// encoding/json rejects them when the destination is an integer field.
+func (d *decoder) parseInt() (int64, error) {
+	neg := false
+	if d.pos < len(d.data) && d.data[d.pos] == '-' {
+		neg = true
+		d.pos++
+	}
+	if d.pos >= len(d.data) || d.data[d.pos] < '0' || d.data[d.pos] > '9' {
+		return 0, d.errAt("invalid number")
+	}
+	if d.data[d.pos] == '0' && d.pos+1 < len(d.data) && d.data[d.pos+1] >= '0' && d.data[d.pos+1] <= '9' {
+		return 0, d.errAt("invalid number: leading zero")
+	}
+	var v uint64
+	for d.pos < len(d.data) {
+		c := d.data[d.pos]
+		if c < '0' || c > '9' {
+			break
+		}
+		if v > (math.MaxUint64-uint64(c-'0'))/10 {
+			return 0, d.errAt("integer overflow")
+		}
+		v = v*10 + uint64(c-'0')
+		d.pos++
+	}
+	if d.pos < len(d.data) {
+		if c := d.data[d.pos]; c == '.' || c == 'e' || c == 'E' {
+			return 0, d.errAt("cannot decode non-integer number into integer field")
+		}
+	}
+	if neg {
+		if v > uint64(math.MaxInt64)+1 {
+			return 0, d.errAt("integer overflow")
+		}
+		return -int64(v), nil
+	}
+	if v > math.MaxInt64 {
+		return 0, d.errAt("integer overflow")
+	}
+	return int64(v), nil
+}
+
+// parseString parses a JSON string and returns its decoded bytes,
+// which alias either the input (clean ASCII fast path) or the
+// decoder's scratch buffer — both invalidated by the next parse, so
+// callers must copy or intern before parsing on.
+func (d *decoder) parseString() ([]byte, error) {
+	if d.pos >= len(d.data) || d.data[d.pos] != '"' {
+		return nil, d.errAt("expected string")
+	}
+	d.pos++
+	start := d.pos
+	for d.pos < len(d.data) {
+		c := d.data[d.pos]
+		if c == '"' {
+			s := d.data[start:d.pos]
+			d.pos++
+			return s, nil
+		}
+		// Escapes and non-ASCII take the slow path; the latter because
+		// invalid UTF-8 must decode to U+FFFD replacements, exactly as
+		// encoding/json's unquote does.
+		if c == '\\' || c >= utf8.RuneSelf {
+			return d.parseStringSlow(start)
+		}
+		if c < 0x20 {
+			return nil, d.errAt("invalid control character in string")
+		}
+		d.pos++
+	}
+	return nil, errUnexpectedEnd
+}
+
+func (d *decoder) parseStringSlow(start int) ([]byte, error) {
+	b := append(d.scratch[:0], d.data[start:d.pos]...)
+	for d.pos < len(d.data) {
+		c := d.data[d.pos]
+		switch {
+		case c == '"':
+			d.pos++
+			d.scratch = b
+			return b, nil
+		case c == '\\':
+			d.pos++
+			if d.pos >= len(d.data) {
+				return nil, errUnexpectedEnd
+			}
+			switch e := d.data[d.pos]; e {
+			case '"', '\\', '/':
+				b = append(b, e)
+				d.pos++
+			case 'b':
+				b = append(b, '\b')
+				d.pos++
+			case 'f':
+				b = append(b, '\f')
+				d.pos++
+			case 'n':
+				b = append(b, '\n')
+				d.pos++
+			case 'r':
+				b = append(b, '\r')
+				d.pos++
+			case 't':
+				b = append(b, '\t')
+				d.pos++
+			case 'u':
+				d.pos++
+				r, err := d.parseHex4()
+				if err != nil {
+					return nil, err
+				}
+				if utf16.IsSurrogate(r) {
+					// A high surrogate pairs with an immediately
+					// following \u low surrogate; anything unpaired
+					// becomes U+FFFD, as in encoding/json.
+					if d.pos+1 < len(d.data) && d.data[d.pos] == '\\' && d.data[d.pos+1] == 'u' {
+						save := d.pos
+						d.pos += 2
+						r2, err := d.parseHex4()
+						if err != nil {
+							return nil, err
+						}
+						if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+							b = utf8.AppendRune(b, dec)
+							continue
+						}
+						d.pos = save
+					}
+					b = utf8.AppendRune(b, utf8.RuneError)
+					continue
+				}
+				b = utf8.AppendRune(b, r)
+			default:
+				return nil, d.errAt("invalid escape in string")
+			}
+		case c < 0x20:
+			return nil, d.errAt("invalid control character in string")
+		case c < utf8.RuneSelf:
+			b = append(b, c)
+			d.pos++
+		default:
+			r, size := utf8.DecodeRune(d.data[d.pos:])
+			if r == utf8.RuneError && size == 1 {
+				b = utf8.AppendRune(b, utf8.RuneError)
+				d.pos++
+			} else {
+				b = append(b, d.data[d.pos:d.pos+size]...)
+				d.pos += size
+			}
+		}
+	}
+	return nil, errUnexpectedEnd
+}
+
+func (d *decoder) parseHex4() (rune, error) {
+	if d.pos+4 > len(d.data) {
+		return 0, errUnexpectedEnd
+	}
+	var v rune
+	for i := 0; i < 4; i++ {
+		c := d.data[d.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			v = v<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			v = v<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			v = v<<4 | rune(c-'A'+10)
+		default:
+			return 0, d.errAt("invalid \\u escape")
+		}
+	}
+	d.pos += 4
+	return v, nil
+}
+
+// skipValue consumes one JSON value of any shape — how unknown object
+// members are discarded.
+func (d *decoder) skipValue(depth int) error {
+	if depth > maxSkipDepth {
+		return errors.New("wire: exceeded max nesting depth")
+	}
+	d.skipSpace()
+	if d.pos >= len(d.data) {
+		return errUnexpectedEnd
+	}
+	switch c := d.data[d.pos]; {
+	case c == '"':
+		_, err := d.parseString()
+		return err
+	case c == '{':
+		d.pos++
+		d.skipSpace()
+		if d.pos < len(d.data) && d.data[d.pos] == '}' {
+			d.pos++
+			return nil
+		}
+		for {
+			d.skipSpace()
+			if _, err := d.parseString(); err != nil {
+				return err
+			}
+			if err := d.expect(':'); err != nil {
+				return err
+			}
+			if err := d.skipValue(depth + 1); err != nil {
+				return err
+			}
+			more, err := d.endElem('}')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	case c == '[':
+		d.pos++
+		d.skipSpace()
+		if d.pos < len(d.data) && d.data[d.pos] == ']' {
+			d.pos++
+			return nil
+		}
+		for {
+			if err := d.skipValue(depth + 1); err != nil {
+				return err
+			}
+			more, err := d.endElem(']')
+			if err != nil {
+				return err
+			}
+			if !more {
+				return nil
+			}
+		}
+	case c == 't' || c == 'f':
+		_, err := d.parseBool()
+		return err
+	case c == 'n':
+		if d.tryNull() {
+			return nil
+		}
+		return d.errAt("invalid literal")
+	case c == '-' || (c >= '0' && c <= '9'):
+		return d.skipNumber()
+	default:
+		return d.errAt("unexpected character")
+	}
+}
+
+// skipNumber validates and consumes a full JSON number, including the
+// float forms parseInt rejects — unknown fields may legitimately hold
+// them.
+func (d *decoder) skipNumber() error {
+	if d.data[d.pos] == '-' {
+		d.pos++
+	}
+	if d.pos >= len(d.data) {
+		return errUnexpectedEnd
+	}
+	switch {
+	case d.data[d.pos] == '0':
+		d.pos++
+	case d.data[d.pos] >= '1' && d.data[d.pos] <= '9':
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+		}
+	default:
+		return d.errAt("invalid number")
+	}
+	if d.pos < len(d.data) && d.data[d.pos] == '.' {
+		d.pos++
+		n := 0
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+			n++
+		}
+		if n == 0 {
+			return d.errAt("invalid number")
+		}
+	}
+	if d.pos < len(d.data) && (d.data[d.pos] == 'e' || d.data[d.pos] == 'E') {
+		d.pos++
+		if d.pos < len(d.data) && (d.data[d.pos] == '+' || d.data[d.pos] == '-') {
+			d.pos++
+		}
+		n := 0
+		for d.pos < len(d.data) && d.data[d.pos] >= '0' && d.data[d.pos] <= '9' {
+			d.pos++
+			n++
+		}
+		if n == 0 {
+			return d.errAt("invalid number")
+		}
+	}
+	return nil
+}
+
+// lowerKey folds an object key into the decoder's fixed buffer. The
+// field structs here have no case-colliding names, so one folded
+// comparison reproduces encoding/json's exact-then-case-insensitive
+// member matching. Keys longer than the buffer cannot name any known
+// field and are returned unfolded (they fall through to skipValue).
+func (d *decoder) lowerKey(key []byte) []byte {
+	if len(key) > len(d.keybuf) {
+		return key
+	}
+	for i, c := range key {
+		if c >= utf8.RuneSelf {
+			return d.foldKeySlow(key)
+		}
+		if c >= 'A' && c <= 'Z' {
+			c |= 0x20
+		}
+		d.keybuf[i] = c
+	}
+	return d.keybuf[:len(key)]
+}
+
+// foldKeySlow canonicalizes a key containing non-ASCII bytes the way
+// encoding/json's foldName does: each rune maps to the smallest rune
+// in its simple case-folding set, which lands case-variant Unicode
+// letters (the Kelvin sign, the long s) on their ASCII canon; ASCII
+// is then lowered to match lowerKey. Folding never lengthens a rune's
+// UTF-8 form, so the output fits keybuf whenever the key did.
+func (d *decoder) foldKeySlow(key []byte) []byte {
+	out := d.keybuf[:0]
+	for i := 0; i < len(key); {
+		if c := key[i]; c < utf8.RuneSelf {
+			if c >= 'A' && c <= 'Z' {
+				c |= 0x20
+			}
+			out = append(out, c)
+			i++
+			continue
+		}
+		r, n := utf8.DecodeRune(key[i:])
+		i += n
+		for {
+			r2 := unicode.SimpleFold(r)
+			if r2 <= r {
+				r = r2
+				break
+			}
+			r = r2
+		}
+		if r >= 'A' && r <= 'Z' {
+			r |= 0x20
+		}
+		out = utf8.AppendRune(out, r)
+	}
+	return out
+}
+
+// intern returns a string for b, reusing a previously allocated copy
+// when the same short name has been seen before — the steady-state
+// zero-alloc path for action names.
+func (d *decoder) intern(b []byte) string {
+	if len(b) > maxInternLen {
+		return string(b)
+	}
+	if s, ok := d.names[string(b)]; ok {
+		return s
+	}
+	if len(d.names) >= maxInternEntries {
+		clear(d.names)
+	}
+	s := string(b)
+	d.names[s] = s
+	return s
+}
+
+// internedString decodes a string value into *s via the intern cache.
+// null leaves *s unchanged (stdlib scalar-null semantics).
+func (d *decoder) internedString(s *string) error {
+	if d.tryNull() {
+		return nil
+	}
+	b, err := d.parseString()
+	if err != nil {
+		return err
+	}
+	*s = d.intern(b)
+	return nil
+}
+
+// copiedString decodes a string value into *s as a fresh copy — for
+// the colder decoders whose strings should not crowd the intern cache.
+func (d *decoder) copiedString(s *string) error {
+	if d.tryNull() {
+		return nil
+	}
+	b, err := d.parseString()
+	if err != nil {
+		return err
+	}
+	*s = string(b)
+	return nil
+}
+
+// setInt decodes an integer value into any int-kinded field; null is a
+// no-op.
+func setInt[T ~int](d *decoder, p *T) error {
+	if d.tryNull() {
+		return nil
+	}
+	v, err := d.parseInt()
+	if err != nil {
+		return err
+	}
+	*p = T(v)
+	return nil
+}
+
+// setBool decodes a boolean value; null is a no-op.
+func (d *decoder) setBool(p *bool) error {
+	if d.tryNull() {
+		return nil
+	}
+	v, err := d.parseBool()
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// setInt64 decodes an int64 field; null is a no-op.
+func (d *decoder) setInt64(p *int64) error {
+	if d.tryNull() {
+		return nil
+	}
+	v, err := d.parseInt()
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// decodeIntSlice decodes a JSON array of integers into a FRESH slice:
+// null → nil, [] → non-nil empty, null elements → zero values — all
+// encoding/json semantics. The backing is never pooled because decoded
+// slices escape into the engine's ruling cache.
+func decodeIntSlice[T ~int](d *decoder, p *[]T) error {
+	if d.tryNull() {
+		*p = nil
+		return nil
+	}
+	if err := d.expect('['); err != nil {
+		return err
+	}
+	xs := make([]T, 0)
+	d.skipSpace()
+	if d.pos < len(d.data) && d.data[d.pos] == ']' {
+		d.pos++
+		*p = xs
+		return nil
+	}
+	for {
+		d.skipSpace()
+		if d.tryNull() {
+			xs = append(xs, 0)
+		} else {
+			v, err := d.parseInt()
+			if err != nil {
+				return err
+			}
+			xs = append(xs, T(v))
+		}
+		more, err := d.endElem(']')
+		if err != nil {
+			return err
+		}
+		if !more {
+			*p = xs
+			return nil
+		}
+	}
+}
+
+// stringSlice decodes a JSON array of strings into a fresh slice with
+// fresh string copies; same null/empty semantics as decodeIntSlice.
+func (d *decoder) stringSlice(p *[]string) error {
+	if d.tryNull() {
+		*p = nil
+		return nil
+	}
+	if err := d.expect('['); err != nil {
+		return err
+	}
+	ss := make([]string, 0)
+	d.skipSpace()
+	if d.pos < len(d.data) && d.data[d.pos] == ']' {
+		d.pos++
+		*p = ss
+		return nil
+	}
+	for {
+		d.skipSpace()
+		if d.tryNull() {
+			ss = append(ss, "")
+		} else {
+			b, err := d.parseString()
+			if err != nil {
+				return err
+			}
+			ss = append(ss, string(b))
+		}
+		more, err := d.endElem(']')
+		if err != nil {
+			return err
+		}
+		if !more {
+			*p = ss
+			return nil
+		}
+	}
+}
+
+// beginObject consumes '{' (or null, or an immediately empty object)
+// and reports whether any members follow.
+func (d *decoder) beginObject() (members bool, err error) {
+	if err := d.expect('{'); err != nil {
+		return false, err
+	}
+	d.skipSpace()
+	if d.pos < len(d.data) && d.data[d.pos] == '}' {
+		d.pos++
+		return false, nil
+	}
+	return true, nil
+}
+
+// member parses one `"key":` prefix and returns the folded key.
+func (d *decoder) member() ([]byte, error) {
+	d.skipSpace()
+	key, err := d.parseString()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.expect(':'); err != nil {
+		return nil, err
+	}
+	// Fold into keybuf now: the value parse below may clobber scratch,
+	// which the key bytes can alias.
+	k := d.lowerKey(key)
+	d.skipSpace()
+	return k, nil
+}
+
+func (d *decoder) decodeConsent(c *legal.Consent) error {
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "scope":
+			err = setInt(d, &c.Scope)
+		case "revoked":
+			err = d.setBool(&c.Revoked)
+		case "exceedsscope":
+			err = d.setBool(&c.ExceedsScope)
+		case "allpartiesrequired":
+			err = d.setBool(&c.AllPartiesRequired)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *decoder) decodeExigency(x *legal.Exigency) error {
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "kind":
+			err = setInt(d, &x.Kind)
+		case "approved":
+			err = d.setBool(&x.Approved)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *decoder) decodeTech(t *legal.SpecializedTech) error {
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "generalpublicuse":
+			err = d.setBool(&t.GeneralPublicUse)
+		case "revealshomeinterior":
+			err = d.setBool(&t.RevealsHomeInterior)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *decoder) decodeWorkplace(w *legal.WorkplaceSearch) error {
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "governmentemployer":
+			err = d.setBool(&w.GovernmentEmployer)
+		case "workrelated":
+			err = d.setBool(&w.WorkRelated)
+		case "justifiedatinception":
+			err = d.setBool(&w.JustifiedAtInception)
+		case "permissiblescope":
+			err = d.setBool(&w.PermissibleScope)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// decodeAction fills a from one JSON object. Sub-objects and slices
+// are freshly allocated on every call — NEVER pooled — because the
+// engine's ruling cache retains a shallow copy of the Action, so any
+// reuse of pointer/slice backing across requests would corrupt cached
+// rulings. The scalar-only hot serving shape allocates nothing.
+func (d *decoder) decodeAction(a *legal.Action) error {
+	d.skipSpace()
+	if d.tryNull() {
+		return nil
+	}
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "name":
+			err = d.internedString(&a.Name)
+		case "actor":
+			err = setInt(d, &a.Actor)
+		case "timing":
+			err = setInt(d, &a.Timing)
+		case "data":
+			err = setInt(d, &a.Data)
+		case "source":
+			err = setInt(d, &a.Source)
+		case "encrypted":
+			err = d.setBool(&a.Encrypted)
+		case "exposure":
+			err = decodeIntSlice(d, &a.Exposure)
+		case "consent":
+			if d.tryNull() {
+				a.Consent = nil
+			} else {
+				c := a.Consent
+				if c == nil {
+					c = new(legal.Consent)
+				}
+				if err = d.decodeConsent(c); err == nil {
+					a.Consent = c
+				}
+			}
+		case "exigency":
+			if d.tryNull() {
+				a.Exigency = nil
+			} else {
+				x := a.Exigency
+				if x == nil {
+					x = new(legal.Exigency)
+				}
+				if err = d.decodeExigency(x); err == nil {
+					a.Exigency = x
+				}
+			}
+		case "plainview":
+			err = d.setBool(&a.PlainView)
+		case "lawfulvantage":
+			err = d.setBool(&a.LawfulVantage)
+		case "probationsearch":
+			err = d.setBool(&a.ProbationSearch)
+		case "tech":
+			if d.tryNull() {
+				a.Tech = nil
+			} else {
+				t := a.Tech
+				if t == nil {
+					t = new(legal.SpecializedTech)
+				}
+				if err = d.decodeTech(t); err == nil {
+					a.Tech = t
+				}
+			}
+		case "workplace":
+			if d.tryNull() {
+				a.Workplace = nil
+			} else {
+				w := a.Workplace
+				if w == nil {
+					w = new(legal.WorkplaceSearch)
+				}
+				if err = d.decodeWorkplace(w); err == nil {
+					a.Workplace = w
+				}
+			}
+		case "providerrole":
+			err = setInt(d, &a.ProviderRole)
+		case "providerpublic":
+			err = d.setBool(&a.ProviderPublic)
+		case "interceptsthirdparty":
+			err = d.setBool(&a.InterceptsThirdParty)
+		case "searchbeyondauthority":
+			err = d.setBool(&a.SearchBeyondAuthority)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *decoder) decodeCitation(c *legal.Citation) error {
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "id":
+			err = d.copiedString(&c.ID)
+		case "title":
+			err = d.copiedString(&c.Title)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *decoder) citationSlice(p *[]legal.Citation) error {
+	if d.tryNull() {
+		*p = nil
+		return nil
+	}
+	if err := d.expect('['); err != nil {
+		return err
+	}
+	cs := make([]legal.Citation, 0)
+	d.skipSpace()
+	if d.pos < len(d.data) && d.data[d.pos] == ']' {
+		d.pos++
+		*p = cs
+		return nil
+	}
+	for {
+		d.skipSpace()
+		cs = append(cs, legal.Citation{})
+		if !d.tryNull() {
+			if err := d.decodeCitation(&cs[len(cs)-1]); err != nil {
+				return err
+			}
+		}
+		more, err := d.endElem(']')
+		if err != nil {
+			return err
+		}
+		if !more {
+			*p = cs
+			return nil
+		}
+	}
+}
+
+func (d *decoder) decodePrivacy(p *legal.PrivacyFinding) error {
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "reasonable":
+			err = d.setBool(&p.Reasonable)
+		case "reasons":
+			err = d.stringSlice(&p.Reasons)
+		case "citations":
+			err = d.citationSlice(&p.Citations)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *decoder) decodeRuling(r *legal.Ruling) error {
+	d.skipSpace()
+	if d.tryNull() {
+		return nil
+	}
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "action":
+			err = d.decodeAction(&r.Action)
+		case "required":
+			err = setInt(d, &r.Required)
+		case "regime":
+			err = setInt(d, &r.Regime)
+		case "exceptions":
+			err = decodeIntSlice(d, &r.Exceptions)
+		case "privacy":
+			if d.tryNull() {
+				r.Privacy = nil
+			} else {
+				p := r.Privacy
+				if p == nil {
+					p = new(legal.PrivacyFinding)
+				}
+				if err = d.decodePrivacy(p); err == nil {
+					r.Privacy = p
+				}
+			}
+		case "rationale":
+			err = d.stringSlice(&r.Rationale)
+		case "citations":
+			err = d.citationSlice(&r.Citations)
+		case "applied":
+			err = d.stringSlice(&r.Applied)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+func (d *decoder) decodeRulingView(v *report.RulingView) error {
+	d.skipSpace()
+	if d.tryNull() {
+		return nil
+	}
+	members, err := d.beginObject()
+	if err != nil || !members {
+		return err
+	}
+	for {
+		key, err := d.member()
+		if err != nil {
+			return err
+		}
+		switch string(key) {
+		case "action":
+			err = d.copiedString(&v.Action)
+		case "required":
+			err = d.copiedString(&v.Required)
+		case "regime":
+			err = d.copiedString(&v.Regime)
+		case "needsprocess":
+			err = d.setBool(&v.NeedsProcess)
+		case "exceptions":
+			err = d.stringSlice(&v.Exceptions)
+		case "rationale":
+			err = d.stringSlice(&v.Rationale)
+		case "citations":
+			err = d.stringSlice(&v.Citations)
+		default:
+			err = d.skipValue(0)
+		}
+		if err != nil {
+			return err
+		}
+		more, err := d.endElem('}')
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// DecodeAction parses data's first JSON value into a, resetting a
+// first. Trailing bytes after the value are ignored — the semantics of
+// the json.Decoder stream the server's readJSON used before this
+// codec. a's pointer and slice fields come out either nil or freshly
+// allocated; nothing aliases previous decodes.
+func DecodeAction(data []byte, a *legal.Action) error {
+	d := getDecoder(data)
+	defer putDecoder(d)
+	*a = legal.Action{}
+	return d.decodeAction(a)
+}
+
+// DecodeActions parses a JSON array of actions, appending into dst's
+// backing (dst is truncated first) so a pooled slice is reused across
+// requests. Element sub-objects are still freshly allocated per call —
+// only the []legal.Action backing itself is reused, which is safe
+// because the engine copies actions by value. A null top level yields
+// the truncated dst, observably identical to stdlib's nil.
+func DecodeActions(data []byte, dst []legal.Action) ([]legal.Action, error) {
+	d := getDecoder(data)
+	defer putDecoder(d)
+	dst = dst[:0]
+	d.skipSpace()
+	if d.tryNull() {
+		return dst, nil
+	}
+	if err := d.expect('['); err != nil {
+		return dst, err
+	}
+	d.skipSpace()
+	if d.pos < len(d.data) && d.data[d.pos] == ']' {
+		d.pos++
+		return dst, nil
+	}
+	for {
+		dst = append(dst, legal.Action{})
+		if err := d.decodeAction(&dst[len(dst)-1]); err != nil {
+			return dst, err
+		}
+		more, err := d.endElem(']')
+		if err != nil {
+			return dst, err
+		}
+		if !more {
+			return dst, nil
+		}
+	}
+}
+
+// DecodeRuling parses data's first JSON value into r, resetting r
+// first. The unexported cache-key words stay zero, exactly as with
+// encoding/json; the engine rebuilds them on evaluation.
+func DecodeRuling(data []byte, r *legal.Ruling) error {
+	d := getDecoder(data)
+	defer putDecoder(d)
+	*r = legal.Ruling{}
+	return d.decodeRuling(r)
+}
+
+// DecodeRulingView parses data's first JSON value into v, resetting v
+// first.
+func DecodeRulingView(data []byte, v *report.RulingView) error {
+	d := getDecoder(data)
+	defer putDecoder(d)
+	*v = report.RulingView{}
+	return d.decodeRulingView(v)
+}

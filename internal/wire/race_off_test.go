@@ -1,0 +1,5 @@
+//go:build !race
+
+package wire_test
+
+const raceEnabled = false

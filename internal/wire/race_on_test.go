@@ -1,0 +1,9 @@
+//go:build race
+
+package wire_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector's instrumentation allocates on some decoder paths, which
+// makes testing.AllocsPerRun report nonzero for code that is
+// allocation-free in a normal build.
+const raceEnabled = true

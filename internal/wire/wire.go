@@ -1,0 +1,54 @@
+// Package wire is the zero-allocation JSON codec for the serving hot
+// path. It hand-encodes and hand-decodes the request/response types
+// lawgated moves per request — legal.Action, legal.Ruling,
+// report.RulingView, and the primitives the server's response
+// envelopes are built from — producing output byte-identical to
+// encoding/json (the compatibility contract, proven by differential
+// fuzz in wire_test.go) while allocating nothing at steady state:
+// encoders append into pooled buffers, decoders run off a pooled
+// scratch + name-intern cache, and the only allocations left are the
+// ones Go's aliasing rules force (fresh sub-objects and slices that
+// outlive the request inside the engine's ruling cache, and
+// first-sight strings before they are interned).
+//
+// Byte-identity with encoding/json is a hard requirement, not a
+// nicety: golden files, external clients, and the conformance probe
+// all pin the stdlib rendering, so the codec must reproduce stdlib
+// field order, omitempty behavior, nil-vs-empty slice distinction,
+// and string escaping (HTML-safe escapes for <, >, &; \u00xx for
+// control characters with the \b \f \n \r \t shorthands; U+2028 and
+// U+2029 escaped; invalid UTF-8 bytes replaced by �) exactly.
+// Decoding matches encoding/json semantics for the inputs the server
+// accepts: case-insensitive key matching, unknown fields skipped,
+// null handling, and [] decoding to a non-nil empty slice.
+package wire
+
+import "sync"
+
+// maxRetainedBuf caps the capacity of a buffer returned to the pool, so
+// one pathological response does not pin a huge backing array forever.
+const maxRetainedBuf = 1 << 20
+
+// Buffer is a pooled byte buffer for encoders. Callers append to B.
+type Buffer struct {
+	B []byte
+}
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buffer{B: make([]byte, 0, 4096)} },
+}
+
+// GetBuffer checks a buffer out of the pool. Pair with PutBuffer.
+func GetBuffer() *Buffer {
+	return bufPool.Get().(*Buffer)
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not retain
+// any slice of b.B afterwards.
+func PutBuffer(b *Buffer) {
+	if cap(b.B) > maxRetainedBuf {
+		return
+	}
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}

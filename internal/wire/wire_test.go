@@ -1,0 +1,525 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"lawgate/internal/legal"
+	"lawgate/internal/report"
+	"lawgate/internal/wire"
+)
+
+// sampleActions spans the Action surface: every pointer populated and
+// nil, nil vs empty vs populated slices, and names exercising the
+// escaper (HTML significands, control characters, line separators,
+// invalid UTF-8).
+func sampleActions() []legal.Action {
+	return []legal.Action{
+		{},
+		{
+			Name: "wiretap", Actor: legal.ActorGovernment, Timing: legal.TimingRealTime,
+			Data: legal.DataContent, Source: legal.SourceOwnNetwork, Encrypted: true,
+		},
+		{
+			Name:     "subpoena <records> & \"logs\"\n\ttab",
+			Exposure: []legal.ExposureFact{},
+		},
+		{
+			Name:     "exposure",
+			Exposure: []legal.ExposureFact{1, 2, 3},
+			Consent:  &legal.Consent{Scope: 2, Revoked: true},
+			Exigency: &legal.Exigency{Kind: 1, Approved: true},
+		},
+		{
+			Name:      "unicode \u2028\u2029 caf\u00e9 \xff\xfe bad",
+			Tech:      &legal.SpecializedTech{GeneralPublicUse: true},
+			Workplace: &legal.WorkplaceSearch{GovernmentEmployer: true, PermissibleScope: true},
+		},
+		{
+			Name: "provider", ProviderRole: 2, ProviderPublic: true,
+			InterceptsThirdParty: true, SearchBeyondAuthority: true,
+			PlainView: true, LawfulVantage: true, ProbationSearch: true,
+		},
+	}
+}
+
+func sampleRulings() []legal.Ruling {
+	return []legal.Ruling{
+		{},
+		{
+			Action:     sampleActions()[1],
+			Required:   legal.ProcessWiretapOrder,
+			Regime:     legal.RegimeWiretap,
+			Exceptions: []legal.ExceptionKind{1},
+			Privacy: &legal.PrivacyFinding{
+				Reasonable: true,
+				Reasons:    []string{"content of communications"},
+				Citations:  []legal.Citation{{ID: "katz", Title: "Katz v. United States"}},
+			},
+			Rationale: []string{"real-time content", "Title III governs"},
+			Citations: []legal.Citation{{ID: "t3", Title: "18 U.S.C. \u00a7 2511"}},
+			Applied:   []string{"wiretap-rule"},
+		},
+		{
+			Action:     sampleActions()[3],
+			Required:   legal.ProcessNone,
+			Regime:     legal.RegimeNone,
+			Exceptions: []legal.ExceptionKind{},
+			Rationale:  []string{},
+			Citations:  []legal.Citation{},
+			Applied:    nil,
+		},
+	}
+}
+
+// edgeStrings are escaper torture inputs for the byte-identity check.
+var edgeStrings = []string{
+	"",
+	"plain ascii",
+	"<script>&amp;</script>",
+	"ctrl \x00\x01\x1f\x7f del",
+	"quotes \" and \\ backslash / slash",
+	"\b\f\n\r\t",
+	"line seps \u2028 \u2029",
+	"caf\u00e9 \u65e5\u672c\u8a9e \U0001d11e",
+	"bad utf8 \xff\xfe\xed\xa0\x80 end",
+	"truncated \xc3",
+}
+
+func TestAppendStringMatchesStdlib(t *testing.T) {
+	for _, s := range edgeStrings {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("stdlib refused %q: %v", s, err)
+		}
+		got := wire.AppendString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendString(%q)\n got %s\nwant %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendActionMatchesStdlib(t *testing.T) {
+	for i, a := range sampleActions() {
+		want, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := wire.AppendAction(nil, &a)
+		if !bytes.Equal(got, want) {
+			t.Errorf("action %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestAppendRulingMatchesStdlib(t *testing.T) {
+	for i, r := range sampleRulings() {
+		want, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := wire.AppendRuling(nil, &r)
+		if !bytes.Equal(got, want) {
+			t.Errorf("ruling %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestAppendRulingViewMatchesStdlib(t *testing.T) {
+	for i, r := range sampleRulings() {
+		v := report.FromRuling(r)
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := wire.AppendRulingView(nil, &v); !bytes.Equal(got, want) {
+			t.Errorf("view %d:\n got %s\nwant %s", i, got, want)
+		}
+		// The direct projection must match without materializing the view.
+		if got := wire.AppendRulingViewFromRuling(nil, &r); !bytes.Equal(got, want) {
+			t.Errorf("direct view %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// decodeInputs are hand-written bodies covering the decode semantics
+// the codec must share with encoding/json.
+var decodeInputs = []string{
+	`{}`,
+	`null`,
+	` { "Name" : "spaced" , "Actor" : 2 } `,
+	`{"name":"lowercase keys","actor":1,"ENCRYPTED":true}`,
+	`{"NaMe":"mixed","searchbeyondauthority":true}`,
+	`{"Name":"dup","Name":"last wins"}`,
+	`{"Unknown":{"deep":[1,{"x":null}]},"Name":"after unknown","other":1.5e3}`,
+	`{"Exposure":null,"Consent":null,"Tech":null}`,
+	`{"Exposure":[],"Consent":{},"Exigency":{"Kind":2}}`,
+	`{"Exposure":[1,2,3],"Workplace":{"WorkRelated":true,"unknown":"x"}}`,
+	`{"Consent":{"Scope":1},"Consent":{"Revoked":true}}`,
+	`{"Consent":{"Scope":1},"Consent":null}`,
+	`{"Name":"esc \u0041\u2028\ud834\udd1e\n","Actor":-1}`,
+	`{"Name":null,"Actor":null,"Encrypted":null}`,
+	`{"Exposure":[null,2]}`,
+	`{"Actor":0}`,
+}
+
+func TestDecodeActionMatchesStdlib(t *testing.T) {
+	for _, a := range sampleActions() {
+		j, _ := json.Marshal(a)
+		decodeActionBoth(t, j)
+	}
+	for _, in := range decodeInputs {
+		decodeActionBoth(t, []byte(in))
+	}
+}
+
+func decodeActionBoth(t *testing.T, data []byte) {
+	t.Helper()
+	var want legal.Action
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("stdlib rejected %s: %v", data, err)
+	}
+	var got legal.Action
+	if err := wire.DecodeAction(data, &got); err != nil {
+		t.Fatalf("wire rejected %s: %v", data, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("decode %s:\n got %+v\nwant %+v", data, got, want)
+	}
+}
+
+func TestDecodeActionRejects(t *testing.T) {
+	for _, in := range []string{
+		``, `{`, `{"Name"}`, `{"Name":}`, `{"Name":"x"`, `[1]`, `"s"`, `42`,
+		`{"Actor":1.5}`, `{"Actor":1e3}`, `{"Actor":007}`, `{"Actor":99999999999999999999}`,
+		`{"Name":"raw ` + "\x01" + ` ctrl"}`, `{"Name":"bad \q escape"}`,
+		`{"Encrypted":yes}`, `{"Name":"x" "y":1}`, `{"Exposure":[1,]}`,
+	} {
+		var a legal.Action
+		if err := wire.DecodeAction([]byte(in), &a); err == nil {
+			t.Errorf("DecodeAction accepted %q", in)
+		}
+	}
+}
+
+// Decoded pointer fields must never alias an earlier decode's
+// allocations: the engine's ruling cache retains a shallow Action
+// copy, so shared backing would let one request corrupt another's
+// cached ruling.
+func TestDecodeActionFreshAllocations(t *testing.T) {
+	data := []byte(`{"Name":"a","Exposure":[1,2],"Consent":{"Scope":1},"Exigency":{"Kind":1},"Tech":{},"Workplace":{}}`)
+	var a1, a2 legal.Action
+	if err := wire.DecodeAction(data, &a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.DecodeAction(data, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Consent == a2.Consent || a1.Exigency == a2.Exigency ||
+		a1.Tech == a2.Tech || a1.Workplace == a2.Workplace {
+		t.Fatal("pointer fields alias across decodes")
+	}
+	if &a1.Exposure[0] == &a2.Exposure[0] {
+		t.Fatal("exposure backing aliases across decodes")
+	}
+	a1.Consent.Scope = 99
+	a1.Exposure[0] = 99
+	if a2.Consent.Scope == 99 || a2.Exposure[0] == 99 {
+		t.Fatal("mutating one decode's result changed another's")
+	}
+}
+
+func TestDecodeActionsReusesBacking(t *testing.T) {
+	data := []byte(`[{"Name":"a"},{"Name":"b","Actor":2},{"Name":"c"}]`)
+	var want []legal.Action
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodeActions(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+	p0 := &got[0]
+	// A second decode into the same slice reuses the backing array.
+	got2, err := wire.DecodeActions([]byte(`[{"Name":"z"}]`), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 1 || got2[0].Name != "z" {
+		t.Fatalf("second decode: %+v", got2)
+	}
+	if &got2[0] != p0 {
+		t.Fatal("backing array not reused")
+	}
+	// Empty and null both yield the truncated destination.
+	for _, in := range []string{`[]`, `null`, ` [ ] `} {
+		out, err := wire.DecodeActions([]byte(in), got2)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("%q: len %d", in, len(out))
+		}
+	}
+}
+
+func TestDecodeRulingRoundTrip(t *testing.T) {
+	for i, r := range sampleRulings() {
+		j, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want, got legal.Ruling
+		if err := json.Unmarshal(j, &want); err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.DecodeRuling(j, &got); err != nil {
+			t.Fatalf("ruling %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ruling %d:\n got %+v\nwant %+v", i, got, want)
+		}
+		v := report.FromRuling(r)
+		jv, _ := json.Marshal(v)
+		var gotV report.RulingView
+		if err := wire.DecodeRulingView(jv, &gotV); err != nil {
+			t.Fatalf("view %d: %v", i, err)
+		}
+		var wantV report.RulingView
+		if err := json.Unmarshal(jv, &wantV); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotV, wantV) {
+			t.Errorf("view %d:\n got %+v\nwant %+v", i, gotV, wantV)
+		}
+	}
+}
+
+// FuzzWireRoundTrip is the differential proof of the codec's contract:
+// any input encoding/json accepts, the codec must decode to a deeply
+// equal value and re-encode to the exact bytes encoding/json produces.
+// Arbitrary bytes also feed the string escaper directly.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, a := range sampleActions() {
+		j, _ := json.Marshal(a)
+		f.Add(j)
+	}
+	for _, r := range sampleRulings() {
+		j, _ := json.Marshal(r)
+		f.Add(j)
+		j2, _ := json.Marshal(report.FromRuling(r))
+		f.Add(j2)
+	}
+	for _, in := range decodeInputs {
+		f.Add([]byte(in))
+	}
+	f.Add([]byte(`{"\u004eAME":"escaped key","\u212aind":1}`))
+	f.Add([]byte(`{"name":"\ud800 lone \udc00 pair \ud834\udd1e"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The escaper must match stdlib on arbitrary string content.
+		s := string(data)
+		if want, err := json.Marshal(s); err == nil {
+			if got := wire.AppendString(nil, s); !bytes.Equal(got, want) {
+				t.Fatalf("AppendString(%q)\n got %s\nwant %s", s, got, want)
+			}
+		}
+
+		var wantA legal.Action
+		if err := json.Unmarshal(data, &wantA); err == nil {
+			var gotA legal.Action
+			if err := wire.DecodeAction(data, &gotA); err != nil {
+				t.Fatalf("wire.DecodeAction rejected stdlib-accepted %q: %v", data, err)
+			}
+			if !reflect.DeepEqual(gotA, wantA) {
+				t.Fatalf("decode mismatch on %q:\n got %+v\nwant %+v", data, gotA, wantA)
+			}
+			std, err := json.Marshal(wantA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := wire.AppendAction(nil, &gotA); !bytes.Equal(got, std) {
+				t.Fatalf("re-encode mismatch on %q:\n got %s\nwant %s", data, got, std)
+			}
+		}
+
+		var wantR legal.Ruling
+		if err := json.Unmarshal(data, &wantR); err == nil {
+			var gotR legal.Ruling
+			if err := wire.DecodeRuling(data, &gotR); err != nil {
+				t.Fatalf("wire.DecodeRuling rejected stdlib-accepted %q: %v", data, err)
+			}
+			if !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("ruling decode mismatch on %q:\n got %+v\nwant %+v", data, gotR, wantR)
+			}
+			std, err := json.Marshal(wantR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := wire.AppendRuling(nil, &gotR); !bytes.Equal(got, std) {
+				t.Fatalf("ruling re-encode mismatch on %q:\n got %s\nwant %s", data, got, std)
+			}
+		}
+
+		var wantV report.RulingView
+		if err := json.Unmarshal(data, &wantV); err == nil {
+			var gotV report.RulingView
+			if err := wire.DecodeRulingView(data, &gotV); err != nil {
+				t.Fatalf("wire.DecodeRulingView rejected stdlib-accepted %q: %v", data, err)
+			}
+			if !reflect.DeepEqual(gotV, wantV) {
+				t.Fatalf("view decode mismatch on %q:\n got %+v\nwant %+v", data, gotV, wantV)
+			}
+			std, err := json.Marshal(wantV)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := wire.AppendRulingView(nil, &gotV); !bytes.Equal(got, std) {
+				t.Fatalf("view re-encode mismatch on %q:\n got %s\nwant %s", data, got, std)
+			}
+		}
+	})
+}
+
+// hotAction is the scalar-only shape the serving hot path decodes:
+// no pointers, no exposure slice — the shape that must cost zero
+// allocations at steady state.
+var hotAction = legal.Action{
+	Name: "seize stored email", Actor: 1, Timing: 2, Data: 1, Source: 3,
+	Encrypted: true, ProviderRole: 2, ProviderPublic: true,
+}
+
+// hotRuling approximates a served ruling: a few rationale lines and
+// citations, no privacy finding pointer chasing beyond the slices.
+var hotRuling = legal.Ruling{
+	Action:   hotAction,
+	Required: legal.ProcessSearchWarrant,
+	Regime:   legal.RegimeSCA,
+	Rationale: []string{
+		"stored content at a public provider",
+		"SCA \u00a7 2703(a) requires a warrant for content",
+	},
+	Citations: []legal.Citation{{ID: "sca", Title: "18 U.S.C. \u00a7 2703"}},
+	Applied:   []string{"sca-content-rule"},
+}
+
+// TestWireEncodeAllocsZero pins the encoder's zero-allocation claim:
+// appending into a warmed pooled buffer allocates nothing.
+func TestWireEncodeAllocsZero(t *testing.T) {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	buf.B = wire.AppendAction(buf.B[:0], &hotAction)
+	if n := testing.AllocsPerRun(200, func() {
+		buf.B = wire.AppendAction(buf.B[:0], &hotAction)
+	}); n != 0 {
+		t.Errorf("AppendAction allocs/op = %v, want 0", n)
+	}
+	buf.B = wire.AppendRulingViewFromRuling(buf.B[:0], &hotRuling)
+	if n := testing.AllocsPerRun(200, func() {
+		buf.B = wire.AppendRulingViewFromRuling(buf.B[:0], &hotRuling)
+	}); n != 0 {
+		t.Errorf("AppendRulingViewFromRuling allocs/op = %v, want 0", n)
+	}
+}
+
+// TestWireDecodeAllocsZero pins the decoder's steady-state claim: once
+// the action name is interned, decoding the hot shape allocates
+// nothing.
+func TestWireDecodeAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the decode path; AllocsPerRun is meaningless here")
+	}
+	data, err := json.Marshal(hotAction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a legal.Action
+	if err := wire.DecodeAction(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := wire.DecodeAction(data, &a); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeAction allocs/op = %v, want 0", n)
+	}
+
+	batch := []byte(`[` + string(data) + `,` + string(data) + `,` + string(data) + `]`)
+	actions, err := wire.DecodeActions(batch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		actions, err = wire.DecodeActions(batch, actions)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeActions allocs/op = %v, want 0", n)
+	}
+}
+
+// BenchmarkWireEncode is the gated serving-response encode: the direct
+// Ruling -> view-JSON projection on a pooled buffer. Must stay at
+// 0 allocs/op.
+func BenchmarkWireEncode(b *testing.B) {
+	buf := wire.GetBuffer()
+	defer wire.PutBuffer(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.B = wire.AppendRulingViewFromRuling(buf.B[:0], &hotRuling)
+	}
+}
+
+// BenchmarkWireEncodeStdlib is the encoding/json baseline for the same
+// projection (FromRuling + Marshal) — the path writeJSON used before
+// this codec.
+func BenchmarkWireEncodeStdlib(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(report.FromRuling(hotRuling)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecode is the gated serving-request decode: the hot
+// action shape into a reused struct. Must stay at 0 allocs/op.
+func BenchmarkWireDecode(b *testing.B) {
+	data, err := json.Marshal(hotAction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var a legal.Action
+	if err := wire.DecodeAction(data, &a); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.DecodeAction(data, &a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireDecodeStdlib is the encoding/json baseline decode.
+func BenchmarkWireDecodeStdlib(b *testing.B) {
+	data, err := json.Marshal(hotAction)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var a legal.Action
+		if err := json.Unmarshal(data, &a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Tracked benchmark baselines for the hot paths.
-# Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger|server]
+# Usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger|server|wire]
 #
 # The default `netsim` target runs the internal/netsim micro-benchmarks
 # (scheduler step, send paths, neighbor lookup, heap churn), the
@@ -14,8 +14,12 @@
 # family (cold/warm/batch/batch-dup) plus the delta-path families
 # (BenchmarkEvaluateDelta, BenchmarkBatchDeltaChain) and writes to
 # BENCH_legal.json. The `ledger` target runs the audit-ledger family
-# (append, batched append, proof generation, proof verification, full
-# chain verification) and writes to BENCH_ledger.json. The `server`
+# (append, batched append and its looped-append pair baseline,
+# checkpointed batches, proof generation, proof verification, full
+# chain verification) and writes to BENCH_ledger.json. The `wire`
+# target runs the zero-alloc wire-codec encode/decode benchmarks next
+# to their encoding/json equivalents and writes to BENCH_wire.json —
+# CI pins both hot-path benchmarks to 0 allocs/op. The `server`
 # target runs the lawgated chaos bench (internal/server/loadgen driving
 # a live in-process server over TCP through bursts, malformed JSON,
 # oversized bodies, slow-loris connections, poisoned evaluations, and
@@ -56,12 +60,12 @@ while [ $# -gt 0 ]; do
 		out=$2
 		shift 2
 		;;
-	netsim | legal | ledger | server)
+	netsim | legal | ledger | server | wire)
 		target=$1
 		shift
 		;;
 	*)
-		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger|server]" >&2
+		echo "usage: scripts/bench.sh [-count N] [-short] [-o FILE] [netsim|legal|ledger|server|wire]" >&2
 		exit 2
 		;;
 	esac
@@ -125,8 +129,17 @@ ledger)
 	baseline=scripts/bench_baseline_ledger.json
 	echo "== audit-ledger benchmarks (count=$count, benchtime=$benchtime)" >&2
 	go test -run '^$' \
-		-bench '^(BenchmarkLedgerAppend|BenchmarkLedgerAppendBatch|BenchmarkLedgerProof|BenchmarkLedgerVerifyProof|BenchmarkLedgerVerify)$' \
+		-bench '^(BenchmarkLedgerAppend|BenchmarkLedgerAppendBatch|BenchmarkLedgerAppendLooped|BenchmarkLedgerAppendBatchCheckpointed|BenchmarkLedgerProof|BenchmarkLedgerVerifyProof|BenchmarkLedgerVerify)$' \
 		-benchmem -benchtime "$benchtime" -count "$count" ./internal/ledger |
+		tee -a "$tmp" >&2
+	;;
+wire)
+	[ -n "$out" ] || out=BENCH_wire.json
+	baseline=
+	echo "== wire-codec benchmarks (count=$count, benchtime=$benchtime)" >&2
+	go test -run '^$' \
+		-bench '^(BenchmarkWireEncode|BenchmarkWireEncodeStdlib|BenchmarkWireDecode|BenchmarkWireDecodeStdlib)$' \
+		-benchmem -benchtime "$benchtime" -count "$count" ./internal/wire |
 		tee -a "$tmp" >&2
 	;;
 esac

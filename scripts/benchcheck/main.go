@@ -210,8 +210,12 @@ func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64
 		if b.Name == "" {
 			return fmt.Errorf("%s: benchmark with empty name", path)
 		}
-		if b.NsPerOp <= 0 {
-			return fmt.Errorf("%s: %s: ns_per_op %v, want > 0", path, b.Name, b.NsPerOp)
+		// Metric-only entries (e.g. the chaos bench's allocs/request
+		// counter) carry no timing; require at least one positive
+		// metric so an all-zero entry still fails loudly.
+		if b.NsPerOp <= 0 && b.AllocsPerOp <= 0 && b.OpsPerSec <= 0 &&
+			b.EventsPerSec <= 0 && b.NodesPerSec <= 0 {
+			return fmt.Errorf("%s: %s: no positive metric (ns_per_op %v)", path, b.Name, b.NsPerOp)
 		}
 		current[b.Name] = b
 		nsDelta, allocDelta := "-", "-"
@@ -233,6 +237,9 @@ func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64
 		if !ok {
 			return fmt.Errorf("%s: -min-speedup %s: no baseline entry", path, name)
 		}
+		if b.NsPerOp <= 0 || old.NsPerOp <= 0 {
+			return fmt.Errorf("%s: -min-speedup %s: entry has no timing data", path, name)
+		}
 		got := old.NsPerOp / b.NsPerOp
 		if got < factor {
 			return fmt.Errorf("%s: %s speedup %.2fx (baseline %.4g ns/op -> %.4g ns/op), want >= %.2fx",
@@ -244,6 +251,9 @@ func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64
 		b, ok := current[name]
 		if !ok {
 			return fmt.Errorf("%s: -max-ns %s: no such benchmark", path, name)
+		}
+		if b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: -max-ns %s: entry has no timing data", path, name)
 		}
 		if b.NsPerOp > budget {
 			return fmt.Errorf("%s: %s runs at %.4g ns/op, over the %.4g ns/op budget",
@@ -282,6 +292,9 @@ func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64
 		if !ok {
 			return fmt.Errorf("%s: -min-pair-speedup %s: no such benchmark", path, p.b)
 		}
+		if base.NsPerOp <= 0 || fast.NsPerOp <= 0 {
+			return fmt.Errorf("%s: -min-pair-speedup %s:%s: entry has no timing data", path, p.a, p.b)
+		}
 		got := base.NsPerOp / fast.NsPerOp
 		if got < p.factor {
 			return fmt.Errorf("%s: %s is %.2fx faster than %s (%.4g ns/op vs %.4g ns/op), want >= %.2fx",
@@ -297,6 +310,9 @@ func run(args []string, minSpeedups, maxNs, maxAllocs, minOps map[string]float64
 		b, ok := current[p.b]
 		if !ok {
 			return fmt.Errorf("%s: -max-pair-ratio %s: no such benchmark", path, p.b)
+		}
+		if a.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			return fmt.Errorf("%s: -max-pair-ratio %s:%s: entry has no timing data", path, p.a, p.b)
 		}
 		got := b.NsPerOp / a.NsPerOp
 		if got > p.factor {

@@ -18,11 +18,18 @@
 # budgets pinning ledger append to <= 1000 ns/op and 0 allocs/op.
 # The lawgated ruling service gets a live smoke: serve on an ephemeral
 # port, run the full conformance probe (every endpoint plus the
-# deliberate 4xx paths), then SIGTERM and require a graceful exit 0
-# with final ledger checkpoints sealed; a -short chaos bench proves the
-# loadgen schedule completes with every request accounted, and the
-# committed BENCH_server.json is gated on a p99 latency budget and a
+# deliberate 4xx paths, including the byte-identity assertion on the
+# hand-encoded hot-path responses), then SIGTERM and require a graceful
+# exit 0 with final ledger checkpoints sealed; a -short chaos bench
+# proves the loadgen schedule completes with every request accounted,
+# and the committed BENCH_server.json is gated on latency budgets and a
 # rulings/sec floor.
+# The wire codec gets its own gates: a short differential fuzz run
+# against encoding/json, a bench smoke pinning encode and decode to 0
+# allocs/op, and pair gates on the committed BENCH_wire.json proving
+# the codec's speedup over stdlib; the committed BENCH_ledger.json
+# additionally proves AppendBatch amortizes at least 2x over looped
+# Append.
 # Full benchmarks are not part of the gate (run `scripts/bench.sh` for
 # those), but a -short bench smoke proves the bench tooling itself
 # still runs and emits parseable JSON; the golden-ruling test in
@@ -109,6 +116,9 @@ go run ./cmd/evaluate -deltas "$tmpdir/events.jsonl" >"$tmpdir/deltas.out"
 grep -q '^base: required' "$tmpdir/deltas.out"
 grep -q '^2 events, 1 ruling changes$' "$tmpdir/deltas.out"
 
+echo "== wire codec: differential fuzz vs encoding/json (10s smoke)"
+go test -run '^FuzzWireRoundTrip$' -fuzz '^FuzzWireRoundTrip$' -fuzztime 10s ./internal/wire
+
 echo "== ledger tamper detection under the race detector"
 go test -race -run 'TestTamper|TestCustodyTamperDetected|TestVerifyAgainstCheckpoint' \
 	./internal/ledger ./internal/evidence
@@ -162,6 +172,12 @@ go run ./scripts/benchcheck \
 	-max-allocs 'BenchmarkLedgerAppend=0' \
 	"$tmpdir/bench_ledger.json"
 
+scripts/bench.sh -short -o "$tmpdir/bench_wire.json" wire
+go run ./scripts/benchcheck \
+	-max-allocs 'BenchmarkWireEncode=0' \
+	-max-allocs 'BenchmarkWireDecode=0' \
+	"$tmpdir/bench_wire.json"
+
 echo "== bench smoke: chaos bench completes with every request accounted (server)"
 scripts/bench.sh -short -o "$tmpdir/bench_server.json" server
 go run ./scripts/benchcheck "$tmpdir/bench_server.json"
@@ -187,16 +203,28 @@ go run ./scripts/benchcheck \
 	-min-speedup 'BenchmarkRulingsPerSec/warm=2.0' \
 	-min-speedup 'BenchmarkEvaluateDelta/delta/scalar2=3.0' \
 	BENCH_legal.json
+# The batched append must keep amortizing: at least 2x cheaper per
+# record than sealing the same drafts through looped single appends.
 go run ./scripts/benchcheck \
 	-min-speedup 'BenchmarkLedgerAppend=4.0' \
 	-max-ns 'BenchmarkLedgerAppend=1000' \
 	-max-allocs 'BenchmarkLedgerAppend=0' \
+	-max-allocs 'BenchmarkLedgerAppendBatch=0' \
+	-min-pair-speedup 'BenchmarkLedgerAppendLooped:BenchmarkLedgerAppendBatch:2.0' \
 	BENCH_ledger.json
+# The hand-rolled codec must stay allocation-free and keep beating the
+# encoding/json implementations it mirrors byte-for-byte.
+go run ./scripts/benchcheck \
+	-max-allocs 'BenchmarkWireEncode=0' \
+	-max-allocs 'BenchmarkWireDecode=0' \
+	-min-pair-speedup 'BenchmarkWireEncodeStdlib:BenchmarkWireEncode:2.0' \
+	-min-pair-speedup 'BenchmarkWireDecodeStdlib:BenchmarkWireDecode:3.0' \
+	BENCH_wire.json
 # p50 carries the real latency budget; p99 is lenient because the
 # chaos schedule deliberately kills keep-alive connections (413s and
 # recovered panics force closes), so tail evaluates pay reconnect cost.
 go run ./scripts/benchcheck \
-	-max-ns 'ServerEvaluateP50=10000000' \
+	-max-ns 'ServerEvaluateP50=5000000' \
 	-max-ns 'ServerEvaluateP99=200000000' \
 	-min-ops 'ServerRulingsPerSec=1000' \
 	BENCH_server.json
